@@ -1,0 +1,29 @@
+//! Ablation bench: strip width sweep for the improved vertical filtering
+//! (the design choice behind `VerticalStrategy::DEFAULT_STRIP`), plus the
+//! padded-width alternative, on the pathological power-of-two pitch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pj2k_dwt::{forward_97, VerticalStrategy};
+use pj2k_image::Plane;
+use pj2k_parutil::Exec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let side = 1024;
+    let src = Plane::from_fn(side, side, |x, y| ((x * 7 + y * 3) % 255) as f32);
+    let mut group = c.benchmark_group("strip_width_ablation");
+    group.sample_size(10);
+    for width in [1usize, 2, 4, 8, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| {
+                let mut p = src.clone();
+                forward_97(&mut p, 5, VerticalStrategy::Strip { width: w }, &Exec::SEQ);
+                black_box(p);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

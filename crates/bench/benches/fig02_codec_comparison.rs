@@ -1,0 +1,33 @@
+//! Criterion companion of Fig. 2: encode throughput of the three codecs on
+//! a fixed 256x256 input (small enough for statistically stable criterion
+//! runs; the `fig02_codec_comparison` binary sweeps the paper's sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pj2k_core::{Encoder, EncoderConfig, RateControl};
+use pj2k_image::synth;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let img = synth::natural_gray(256, 256, 42);
+    let mut group = c.benchmark_group("fig02_codec_comparison");
+    group.sample_size(10);
+
+    group.bench_function("jpeg_q75", |b| {
+        b.iter(|| pj2k_jpegbase::encode(black_box(&img), 75).unwrap())
+    });
+    group.bench_function("spiht_1bpp", |b| {
+        b.iter(|| pj2k_spiht::encode(black_box(&img), 5, 1.0).unwrap())
+    });
+    let encoder = Encoder::new(EncoderConfig {
+        rate: RateControl::TargetBpp(vec![1.0]),
+        ..EncoderConfig::default()
+    })
+    .unwrap();
+    group.bench_function("jpeg2000_1bpp", |b| {
+        b.iter(|| encoder.encode(black_box(&img)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

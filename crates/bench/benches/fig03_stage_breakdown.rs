@@ -1,0 +1,50 @@
+//! Criterion companion of Fig. 3: the two hot stages in isolation — the
+//! multi-level DWT (intra-component transform) and Tier-1 block coding —
+//! plus the full pipeline for reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pj2k_core::{Encoder, EncoderConfig, RateControl};
+use pj2k_dwt::{forward_97, VerticalStrategy};
+use pj2k_ebcot::{encode_block, BandCtx};
+use pj2k_image::{synth, Plane};
+use pj2k_parutil::Exec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03_stage_breakdown");
+    group.sample_size(10);
+
+    // Stage: DWT on a 512x512 plane, paper defaults.
+    let src = Plane::from_fn(512, 512, |x, y| ((x * 31 + y * 17) % 251) as f32 - 125.0);
+    group.bench_function("dwt_5level_97", |b| {
+        b.iter(|| {
+            let mut p = src.clone();
+            forward_97(&mut p, 5, VerticalStrategy::Naive, &Exec::SEQ);
+            black_box(p);
+        })
+    });
+
+    // Stage: Tier-1 on a representative dense 64x64 code-block.
+    let coeffs: Vec<i32> = (0..64 * 64)
+        .map(|i| {
+            let v = ((i * 37 + 11) % 255) - 127;
+            v / (1 + (i % 4))
+        })
+        .collect();
+    group.bench_function("tier1_block_64x64", |b| {
+        b.iter(|| encode_block(black_box(&coeffs), 64, 64, BandCtx::Hh))
+    });
+
+    // Full pipeline for scale.
+    let img = synth::natural_gray(256, 256, 3);
+    let encoder = Encoder::new(EncoderConfig {
+        rate: RateControl::TargetBpp(vec![1.0]),
+        ..EncoderConfig::default()
+    })
+    .unwrap();
+    group.bench_function("full_encode_256", |b| b.iter(|| encoder.encode(black_box(&img))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

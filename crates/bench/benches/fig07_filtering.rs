@@ -1,0 +1,42 @@
+//! Criterion companion of Figs. 7/8: vertical filtering strategies on a
+//! power-of-two plane — the serial cache effect measured live on the host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pj2k_dwt::{forward_97, VerticalStrategy};
+use pj2k_image::Plane;
+use pj2k_parutil::Exec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let side = 1024; // power of two: the pathological pitch
+    let src = Plane::from_fn(side, side, |x, y| ((x * 13 + y * 29) % 251) as f32);
+    let padded = src.restride(side + 8);
+    let mut group = c.benchmark_group("fig07_filtering");
+    group.sample_size(10);
+
+    group.bench_function("naive_pow2", |b| {
+        b.iter(|| {
+            let mut p = src.clone();
+            forward_97(&mut p, 5, VerticalStrategy::Naive, &Exec::SEQ);
+            black_box(p);
+        })
+    });
+    group.bench_function("naive_padded_width", |b| {
+        b.iter(|| {
+            let mut p = padded.clone();
+            forward_97(&mut p, 5, VerticalStrategy::Naive, &Exec::SEQ);
+            black_box(p);
+        })
+    });
+    group.bench_function("strip16_pow2", |b| {
+        b.iter(|| {
+            let mut p = src.clone();
+            forward_97(&mut p, 5, VerticalStrategy::Strip { width: 16 }, &Exec::SEQ);
+            black_box(p);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Tier-1 microbenchmarks: encode/decode of code-blocks with different
+//! statistics (the per-block costs that feed the scheduling model), plus
+//! the MQ coder in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pj2k_ebcot::{decode_block, encode_block, BandCtx};
+use pj2k_mq::{CtxState, MqEncoder};
+use std::hint::black_box;
+
+fn block(gen: impl Fn(usize) -> i32) -> Vec<i32> {
+    (0..64 * 64).map(gen).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tier1_blocks");
+    group.sample_size(20);
+
+    let dense = block(|i| ((i * 37 + 11) % 255) as i32 - 127);
+    let sparse = block(|i| if i % 97 == 0 { 1 << (i % 10) } else { 0 });
+    let empty = block(|_| 0);
+    group.bench_function("encode_dense", |b| {
+        b.iter(|| encode_block(black_box(&dense), 64, 64, BandCtx::LlLh))
+    });
+    group.bench_function("encode_sparse", |b| {
+        b.iter(|| encode_block(black_box(&sparse), 64, 64, BandCtx::Hh))
+    });
+    group.bench_function("encode_empty", |b| {
+        b.iter(|| encode_block(black_box(&empty), 64, 64, BandCtx::Hl))
+    });
+
+    let blk = encode_block(&dense, 64, 64, BandCtx::LlLh);
+    let segs: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
+    group.bench_function("decode_dense", |b| {
+        b.iter(|| decode_block(64, 64, BandCtx::LlLh, blk.msb_planes, black_box(&segs)))
+    });
+
+    group.bench_function("mq_encode_10k_decisions", |b| {
+        b.iter(|| {
+            let mut enc = MqEncoder::new();
+            let mut ctx = CtxState::default();
+            for i in 0..10_000u32 {
+                enc.encode(&mut ctx, ((i * i) % 7 == 0) as u8);
+            }
+            black_box(enc.flush())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! §3.2 — The cache diagnosis, verified directly: how many cache sets an
+//! image column touches, and the miss rates of the three filtering
+//! strategies on the paper's Pentium II L1 geometry (16 KiB / 4-way /
+//! 32-byte lines).
+//!
+//! ```sh
+//! cargo run --release -p pj2k-bench --bin cache_analysis
+//! ```
+
+use pj2k_cachesim::{
+    vertical_naive_trace, vertical_strip_trace, CacheConfig, FilterTraceParams,
+};
+
+fn main() {
+    let cfg = CacheConfig::PENTIUM2_L1D;
+    println!(
+        "Cache: {} KiB, {}-way, {}-byte lines ({} sets)\n",
+        cfg.size_bytes / 1024,
+        cfg.ways,
+        cfg.line_bytes,
+        cfg.sets()
+    );
+
+    println!("column -> cache-set spread (f32 samples, 256 rows):");
+    println!("{:<26} {:>14}", "row pitch", "distinct sets");
+    for (label, stride) in [
+        ("1024 (power of two)", 1024usize),
+        ("2048 (power of two)", 2048),
+        ("4096 (power of two)", 4096),
+        ("4096 + 8 pad", 4104),
+        ("4100 (odd width)", 4100),
+    ] {
+        println!("{label:<26} {:>14}", cfg.column_sets(stride * 4, 256));
+    }
+
+    println!("\nmiss rates of vertical filtering over 64 columns x 1024 rows:");
+    println!(
+        "{:<26} {:>12} {:>14} {:>12}",
+        "row pitch", "naive", "naive+pad", "strip(16)"
+    );
+    for width in [1024usize, 2048, 4096] {
+        let p = FilterTraceParams::f32_97(64, 1024, width);
+        let padded = FilterTraceParams {
+            stride: width + 8,
+            ..p
+        };
+        println!(
+            "{:<26} {:>11.1}% {:>13.1}% {:>11.1}%",
+            width,
+            100.0 * vertical_naive_trace(&p, cfg).miss_rate(),
+            100.0 * vertical_naive_trace(&padded, cfg).miss_rate(),
+            100.0 * vertical_strip_trace(&p, 16, cfg).miss_rate(),
+        );
+    }
+    println!(
+        "\nExpected shape (paper §3.2): power-of-two pitches collapse each\n\
+         column onto one set (miss rate ~100% for the naive walker); both\n\
+         fixes — padding the pitch and strip filtering — cut misses by an\n\
+         order of magnitude, strip being the stronger of the two."
+    );
+}

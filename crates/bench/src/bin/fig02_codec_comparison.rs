@@ -1,0 +1,40 @@
+//! Fig. 2 — Compression timings: encode time vs image size for JPEG,
+//! SPIHT, and the JPEG2000 codec under both of the paper's parallelization
+//! backends (JJ2000-style worker pool / Jasper-style loop splitting), run
+//! sequentially here as the paper's Fig. 2 is a serial comparison.
+//!
+//! ```sh
+//! cargo run --release -p pj2k-bench --bin fig02_codec_comparison
+//! PJ2K_FULL=1 cargo run ... # the paper's full 256..16384 Kpixel sweep
+//! ```
+
+use pj2k_bench::{ms, row, sizes_kpixel, test_image, time};
+use pj2k_core::{Encoder, EncoderConfig, RateControl};
+
+fn main() {
+    println!("Fig. 2 — compression timings (encode wall-clock, ms)\n");
+    row(
+        "image size (Kpixel)",
+        &["JPEG".into(), "SPIHT".into(), "pj2k (j2k)".into()],
+    );
+    for kpx in sizes_kpixel() {
+        let img = test_image(kpx);
+        let (_, t_jpeg) = time(|| pj2k_jpegbase::encode(&img, 75).expect("jpeg"));
+        let levels = 5u8;
+        let (_, t_spiht) = time(|| pj2k_spiht::encode(&img, levels, 1.0).expect("spiht"));
+        let cfg = EncoderConfig {
+            rate: RateControl::TargetBpp(vec![1.0]),
+            ..EncoderConfig::default()
+        };
+        let encoder = Encoder::new(cfg).expect("config");
+        let (_, t_j2k) = time(|| encoder.encode(&img));
+        row(
+            &format!("{kpx}"),
+            &[ms(t_jpeg), ms(t_spiht), ms(t_j2k)],
+        );
+    }
+    println!(
+        "\nExpected shape (paper): JPEG fastest by a wide margin, JPEG2000\n\
+         slowest, SPIHT in between; all grow ~linearly with pixel count."
+    );
+}

@@ -1,0 +1,44 @@
+//! Fig. 11 — Vertical-filtering speedup on the simulated SGI, measured
+//! against the *original* serial Jasper filtering (the paper's factor-80
+//! chart: cache fix x parallel CPUs compound).
+//!
+//! ```sh
+//! cargo run --release -p pj2k-bench --bin fig11_sgi_filter_speedup
+//! ```
+
+use pj2k_bench::{filtering_profile, project_filtering, row, x};
+use pj2k_smpsim::BusParams;
+
+fn main() {
+    let side = if std::env::var("PJ2K_FULL").is_ok_and(|v| v == "1") {
+        4096
+    } else {
+        2048
+    };
+    let fp = filtering_profile(side, 5);
+    let bus = BusParams::SGI_POWER_CHALLENGE;
+    let base = project_filtering(&fp.naive_items, 1, bus); // original serial
+    println!(
+        "Fig. 11 — vertical filtering speedup vs ORIGINAL serial filtering\n\
+         ({side}x{side} image)\n"
+    );
+    row(
+        "#CPUs",
+        &["orig vertical".into(), "mod vertical".into()],
+    );
+    for p in [1usize, 2, 4, 6, 8, 10, 12, 14, 16] {
+        row(
+            &format!("{p}"),
+            &[
+                x(base / project_filtering(&fp.naive_items, p, bus)),
+                x(base / project_filtering(&fp.strip_items, p, bus)),
+            ],
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 11): the modified filtering's speedup\n\
+         over the original serial routine compounds the serial cache gain\n\
+         with parallel scaling, reaching tens of x at 16 CPUs (the paper\n\
+         reports ~80x on its 20-CPU SGI); the original one flattens early."
+    );
+}

@@ -1,0 +1,381 @@
+//! Shared harness for the figure-regeneration binaries and criterion
+//! benches.
+//!
+//! Every table/figure of the paper has a `fig*` binary (see DESIGN.md §4)
+//! built from the helpers here: workload construction, host measurement,
+//! and the measured-costs → SMP-model projection that stands in for the
+//! paper's 4-CPU Intel / 16-CPU SGI machines (DESIGN.md §2).
+
+use pj2k_cachesim::{
+    horizontal_filter_trace, vertical_naive_trace, vertical_strip_trace, CacheConfig,
+    FilterTraceParams,
+};
+use pj2k_core::{Encoder, EncoderConfig, FilterStrategy, ParallelMode, RateControl};
+use pj2k_dwt::{forward_97, DwtStats, VerticalStrategy};
+use pj2k_image::{synth, Image, Plane};
+use pj2k_parutil::Exec;
+use pj2k_smpsim::{bus_makespan, BusParams, Schedule, WorkItem};
+use std::time::Instant;
+
+/// Kpixel sizes used by the figure binaries.
+///
+/// Defaults to a laptop-friendly subset; set `PJ2K_FULL=1` for the paper's
+/// full sweep (256..16384 Kpixel — the 16-Mpixel points take minutes per
+/// codec on one core).
+pub fn sizes_kpixel() -> Vec<usize> {
+    if std::env::var("PJ2K_FULL").is_ok_and(|v| v == "1") {
+        synth::PAPER_SIZES_KPIXEL.to_vec()
+    } else {
+        vec![256, 1024, 4096]
+    }
+}
+
+/// Square side for a Kpixel count.
+pub fn side(kpx: usize) -> usize {
+    synth::side_for_kpixels(kpx)
+}
+
+/// The deterministic test image for a Kpixel count.
+pub fn test_image(kpx: usize) -> Image {
+    let s = side(kpx);
+    synth::natural_gray(s, s, 0xA5A5 + kpx as u64)
+}
+
+/// Paper-default encoder configuration at 1 bpp.
+pub fn paper_config() -> EncoderConfig {
+    EncoderConfig {
+        rate: RateControl::TargetBpp(vec![1.0]),
+        ..EncoderConfig::default()
+    }
+}
+
+/// Wall-clock one closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Print a row of right-aligned columns after a left-aligned label.
+pub fn row(label: &str, cols: &[String]) {
+    print!("{label:<34}");
+    for c in cols {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+/// Format seconds as milliseconds.
+pub fn ms(t: f64) -> String {
+    format!("{:.1}", t * 1e3)
+}
+
+/// Format a speedup factor.
+pub fn x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+// ---------------------------------------------------------------------------
+// Filtering measurement + projection (Figs. 7, 8, 10, 11 substrate)
+// ---------------------------------------------------------------------------
+
+/// Measured serial filtering times plus modeled per-column work items for
+/// one multi-level 9/7 transform of a `side x side` plane.
+pub struct FilteringProfile {
+    /// Host-measured serial vertical/horizontal times, naive strategy.
+    pub naive: DwtStats,
+    /// Host-measured serial vertical/horizontal times, strip strategy.
+    pub strip: DwtStats,
+    /// Per-column work items (vertical pass, naive): compute + miss bytes.
+    pub naive_items: Vec<WorkItem>,
+    /// Per-column work items (vertical pass, strip).
+    pub strip_items: Vec<WorkItem>,
+    /// Per-row work items (horizontal pass).
+    pub horiz_items: Vec<WorkItem>,
+}
+
+/// Build a [`FilteringProfile`] for a `side x side` 9/7 transform with
+/// `levels` levels.
+///
+/// Calibration: both strategies are *measured* serially on the host; the
+/// cache simulator supplies the miss-traffic ratio between them, from
+/// which a per-byte stall cost is derived
+/// (`kappa = (t_naive - t_strip) / (traffic_naive - traffic_strip)`).
+/// Each strategy's work items then carry `compute = t - kappa * traffic`
+/// and `stall = kappa * traffic` (stall capped at half the measured time,
+/// since the host's prefetchers make streaming traffic cheaper than the
+/// trace's byte count suggests).
+pub fn filtering_profile(side: usize, levels: u8) -> FilteringProfile {
+    let mk = || {
+        let mut p = Plane::<f32>::new(side, side);
+        for y in 0..side {
+            for (xx, v) in p.row_mut(y).iter_mut().enumerate() {
+                *v = ((xx * 31 + y * 17) % 251) as f32 - 125.0;
+            }
+        }
+        p
+    };
+    let mut p1 = mk();
+    let (_, naive) = forward_97(&mut p1, levels, VerticalStrategy::Naive, &Exec::SEQ);
+    let mut p2 = mk();
+    let (_, strip) = forward_97(&mut p2, levels, VerticalStrategy::DEFAULT_STRIP, &Exec::SEQ);
+
+    // Cache-simulated traffic, summed over levels (region halves each
+    // level). Simulating every column of a 4096^2 image is slow, so the
+    // trace samples a window of columns and scales: conflict-miss
+    // behaviour is homogeneous across columns.
+    let cfg = CacheConfig::PENTIUM2_L1D;
+    let mut m_naive = 0f64;
+    let mut m_strip = 0f64;
+    let mut m_horiz = 0f64;
+    let mut w = side;
+    let mut h = side;
+    for _ in 0..levels {
+        let sample_cols = w.min(64);
+        let params = FilterTraceParams::f32_97(sample_cols, h, side);
+        let scale = w as f64 / sample_cols as f64;
+        m_naive += vertical_naive_trace(&params, cfg).miss_bytes(&cfg) as f64 * scale;
+        m_strip += vertical_strip_trace(&params, 16, cfg).miss_bytes(&cfg) as f64 * scale;
+        let sample_rows = h.min(64);
+        let hparams = FilterTraceParams::f32_97(w, sample_rows, side);
+        m_horiz += horizontal_filter_trace(&hparams, cfg).miss_bytes(&cfg) as f64
+            * (h as f64 / sample_rows as f64);
+        w = w.div_ceil(2);
+        h = h.div_ceil(2);
+    }
+
+    let t_naive = naive.vertical.as_secs_f64();
+    let t_strip = strip.vertical.as_secs_f64();
+    let t_horiz = naive.horizontal.as_secs_f64();
+    let kappa = if m_naive > m_strip && t_naive > t_strip {
+        (t_naive - t_strip) / (m_naive - m_strip)
+    } else {
+        0.0
+    };
+    let split = |t: f64, traffic: f64| -> (f64, f64) {
+        let stall = (kappa * traffic).min(0.5 * t);
+        (t - stall, stall)
+    };
+    let (c_strip, s_strip) = split(t_strip, m_strip);
+    // Naive shares the strip's arithmetic; everything beyond it is stall.
+    let c_naive = c_strip;
+    let s_naive = (t_naive - c_naive).max(0.0);
+    let (c_horiz, s_horiz) = split(t_horiz, m_horiz);
+
+    let n_items = side.max(1);
+    let per = |c: f64, st: f64| -> Vec<WorkItem> {
+        (0..n_items)
+            .map(|_| WorkItem {
+                compute: c / n_items as f64,
+                stall: st / n_items as f64,
+            })
+            .collect()
+    };
+    FilteringProfile {
+        naive_items: per(c_naive, s_naive),
+        strip_items: per(c_strip, s_strip),
+        horiz_items: per(c_horiz, s_horiz),
+        naive,
+        strip,
+    }
+}
+
+/// Projected wall time of a filtering pass on `p` virtual CPUs.
+pub fn project_filtering(items: &[WorkItem], p: usize, bus: BusParams) -> f64 {
+    bus_makespan(items, p, Schedule::StaticBlock, bus)
+}
+
+// ---------------------------------------------------------------------------
+// Whole-encoder projection (Figs. 6, 9, 12, 13 substrate)
+// ---------------------------------------------------------------------------
+
+/// Measured serial stage times plus the ingredients to project them onto
+/// `p` virtual CPUs.
+pub struct EncodeProfile {
+    /// Serial per-stage seconds, in [`pj2k_core::report::stage::ALL`] order.
+    pub stage_secs: Vec<(String, f64)>,
+    /// Per-code-block Tier-1 seconds.
+    pub block_times: Vec<f64>,
+    /// Vertical/horizontal DWT split.
+    pub dwt: DwtStats,
+    /// Filtering projection items for the DWT stage.
+    pub filtering: FilteringProfile,
+    /// The strategy the profile was measured with (anchors the model
+    /// scale).
+    pub filter: FilterStrategy,
+    /// Bytes produced.
+    pub bytes: usize,
+}
+
+/// Measure a sequential encode of `img` under `filter`.
+pub fn encode_profile(img: &Image, filter: FilterStrategy, levels: u8) -> EncodeProfile {
+    let cfg = EncoderConfig {
+        filter,
+        levels,
+        parallel: ParallelMode::Sequential,
+        ..paper_config()
+    };
+    let encoder = Encoder::new(cfg).expect("valid config");
+    let (bytes, report) = encoder.encode(img);
+    let filtering = filtering_profile(img.width().min(1024), levels);
+    EncodeProfile {
+        stage_secs: report
+            .stages
+            .iter()
+            .map(|(n, d)| (n.to_string(), d.as_secs_f64()))
+            .collect(),
+        block_times: report.block_times,
+        dwt: report.dwt,
+        filtering,
+        filter,
+        bytes: bytes.len(),
+    }
+}
+
+/// Project the total encode time of a measured profile onto `p` virtual
+/// CPUs: DWT through the bus model (scaled to the measured magnitude),
+/// Tier-1 through the staggered-round-robin makespan, quantization through
+/// a static split, everything else sequential. Returns (total, per-stage).
+pub fn project_encode(
+    profile: &EncodeProfile,
+    p: usize,
+    strip_filtering: bool,
+    bus: BusParams,
+) -> (f64, Vec<(String, f64)>) {
+    use pj2k_core::report::stage;
+    let fp = &profile.filtering;
+    // Scale factor from the (possibly smaller) filtering-profile plane to
+    // the measured DWT magnitude — anchored on the strategy the profile
+    // was *measured* with, so projecting the other strategy preserves the
+    // model's cache gain instead of cancelling it.
+    let measured_dwt = profile.dwt.total().as_secs_f64();
+    let anchor_serial = match profile.filter {
+        FilterStrategy::Strip => fp.strip.total().as_secs_f64(),
+        _ => fp.naive.total().as_secs_f64(),
+    };
+    let v_items = if strip_filtering {
+        &fp.strip_items
+    } else {
+        &fp.naive_items
+    };
+    let scale = if anchor_serial > 0.0 {
+        measured_dwt / anchor_serial
+    } else {
+        1.0
+    };
+    let dwt_p = (project_filtering(v_items, p, bus)
+        + project_filtering(&fp.horiz_items, p, bus))
+        * scale;
+
+    let tier1_p = pj2k_smpsim::makespan(&profile.block_times, p, Schedule::StaggeredRoundRobin);
+    let mut total = 0.0;
+    let mut stages = Vec::new();
+    for (name, secs) in &profile.stage_secs {
+        let t = match name.as_str() {
+            stage::INTRA_COMPONENT => dwt_p,
+            stage::TIER1 => tier1_p,
+            stage::QUANTIZATION => *secs / p as f64,
+            _ => *secs,
+        };
+        stages.push((name.clone(), t));
+        total += t;
+    }
+    (total, stages)
+}
+
+/// Shared driver for Figs. 6 and 9 (parallel per-stage breakdown at 4
+/// virtual CPUs; they differ only in filter strategy).
+pub fn parallel_breakdown(filter: FilterStrategy, fig: &str, desc: &str) {
+    let p = 4;
+    println!("{fig} — parallel runtime analysis, {p} virtual CPUs, {desc}\n");
+    for kpx in sizes_kpixel() {
+        let img = test_image(kpx);
+        let profile = encode_profile(&img, filter, 5);
+        let strip = filter == FilterStrategy::Strip;
+        let (serial_total, _) = project_encode(&profile, 1, strip, BusParams::PENTIUM2_FSB);
+        let (par_total, stages) = project_encode(&profile, p, strip, BusParams::PENTIUM2_FSB);
+        println!("--- {kpx} Kpixel ---");
+        for (name, secs) in &stages {
+            println!("  {name:<28} {:>9.1} ms", secs * 1e3);
+        }
+        println!(
+            "  {:<28} {:>9.1} ms   (serial {:.1} ms, modeled speedup {:.2}x)",
+            "TOTAL",
+            par_total * 1e3,
+            serial_total * 1e3,
+            serial_total / par_total
+        );
+        // Honest wall-clock with real threads (speedup bounded by the
+        // host's core count).
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if host >= 2 {
+            let cfg = EncoderConfig {
+                filter,
+                parallel: ParallelMode::WorkerPool {
+                    workers: p.min(host),
+                },
+                ..paper_config()
+            };
+            let encoder = Encoder::new(cfg).expect("config");
+            let (_, t_real) = time(|| encoder.encode(&img));
+            println!(
+                "  measured threaded total       {:>9.1} ms ({host} host cores)",
+                t_real * 1e3
+            );
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filtering_profile_shows_cache_gap() {
+        // Power-of-two side: the naive items must carry far more stall.
+        let fp = filtering_profile(512, 3);
+        let naive_stall: f64 = fp.naive_items.iter().map(|i| i.stall).sum();
+        let strip_stall: f64 = fp.strip_items.iter().map(|i| i.stall).sum();
+        assert!(
+            naive_stall > 2.0 * strip_stall,
+            "naive {naive_stall} vs strip {strip_stall}"
+        );
+        // Items reproduce the measured serial times.
+        let naive_total: f64 = fp.naive_items.iter().map(|i| i.compute + i.stall).sum();
+        assert!((naive_total - fp.naive.vertical.as_secs_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_shows_paper_shape() {
+        let fp = filtering_profile(512, 3);
+        let bus = BusParams::PENTIUM2_FSB;
+        let naive_1 = project_filtering(&fp.naive_items, 1, bus);
+        let naive_4 = project_filtering(&fp.naive_items, 4, bus);
+        let strip_1 = project_filtering(&fp.strip_items, 1, bus);
+        let strip_4 = project_filtering(&fp.strip_items, 4, bus);
+        let s_naive = naive_1 / naive_4;
+        let s_strip = strip_1 / strip_4;
+        assert!(
+            s_strip > s_naive,
+            "strip should scale better: {s_strip} vs {s_naive}"
+        );
+    }
+
+    #[test]
+    fn encode_projection_is_consistent() {
+        let img = test_image(64); // 256x256
+        let profile = encode_profile(&img, FilterStrategy::Naive, 4);
+        let (t1, _) = project_encode(&profile, 1, false, BusParams::PENTIUM2_FSB);
+        let (t4, stages4) = project_encode(&profile, 4, false, BusParams::PENTIUM2_FSB);
+        assert!(t4 <= t1 * 1.05, "more CPUs cannot be slower: {t1} -> {t4}");
+        assert_eq!(stages4.len(), profile.stage_secs.len());
+        // Serial stages unchanged.
+        for ((n1, s1), (n4, s4)) in profile.stage_secs.iter().zip(&stages4) {
+            assert_eq!(n1, n4);
+            if n1 == pj2k_core::report::stage::RD_ALLOCATION {
+                assert!((s1 - s4).abs() < 1e-12);
+            }
+        }
+    }
+}

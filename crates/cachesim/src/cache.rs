@@ -1,0 +1,236 @@
+//! LRU set-associative cache model.
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The Pentium II Xeon L1 data cache the paper ran on:
+    /// 16 KiB, 4-way, 32-byte lines (128 sets).
+    pub const PENTIUM2_L1D: CacheConfig = CacheConfig {
+        size_bytes: 16 * 1024,
+        line_bytes: 32,
+        ways: 4,
+    };
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+
+    /// Validate the geometry.
+    ///
+    /// # Panics
+    /// Panics on zero or non-power-of-two parameters, or inconsistent size.
+    pub fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two() && self.line_bytes > 0);
+        assert!(self.ways > 0);
+        assert!(self.size_bytes.is_multiple_of(self.line_bytes * self.ways), "ragged sets");
+        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+    }
+
+    /// How many distinct cache sets the lines of one image column touch,
+    /// for a row pitch of `stride_bytes` (the paper's key quantity — 1
+    /// means the whole column thrashes a single set).
+    pub fn column_sets(&self, stride_bytes: usize, rows: usize) -> usize {
+        let sets = self.sets();
+        let mut seen = vec![false; sets];
+        let mut count = 0;
+        for r in 0..rows {
+            let set = (r * stride_bytes / self.line_bytes) % sets;
+            if !seen[set] {
+                seen[set] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (line fill).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]` (0 for no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Bytes transferred from memory (misses x line size).
+    pub fn miss_bytes(&self, cfg: &CacheConfig) -> u64 {
+        self.misses * cfg.line_bytes as u64
+    }
+}
+
+/// An LRU set-associative cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// Per set: tags in LRU order (front = most recent).
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Empty cache of the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.ways); cfg.sets()],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Access byte address `addr`; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.cfg.line_bytes as u64;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            set.remove(pos);
+            set.insert(0, tag);
+            self.stats.hits += 1;
+            true
+        } else {
+            if set.len() == self.cfg.ways {
+                set.pop();
+            }
+            set.insert(0, tag);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Run a whole address sequence.
+    pub fn run<I: IntoIterator<Item = u64>>(&mut self, addrs: I) {
+        for a in addrs {
+            self.access(a);
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clear contents and counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 256,
+            line_bytes: 16,
+            ways: 2,
+        } // 8 sets
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CacheConfig::PENTIUM2_L1D.sets(), 128);
+        assert_eq!(tiny().sets(), 8);
+    }
+
+    #[test]
+    fn sequential_access_within_line_hits() {
+        let mut c = Cache::new(tiny());
+        assert!(!c.access(0));
+        assert!(c.access(1));
+        assert!(c.access(15));
+        assert!(!c.access(16));
+        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 2 });
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = Cache::new(tiny());
+        // Set 0 receives lines 0, 8, 16 (addresses 0, 128, 256): 2 ways.
+        assert!(!c.access(0));
+        assert!(!c.access(128));
+        assert!(c.access(0)); // refresh line 0
+        assert!(!c.access(256)); // evicts line 8 (LRU), not line 0
+        assert!(c.access(0));
+        assert!(!c.access(128)); // line 8 was evicted
+    }
+
+    #[test]
+    fn conflict_thrashing_with_strided_addresses() {
+        // Addresses spaced by sets*line = 128 bytes all map to set 0; with
+        // 2 ways, a cyclic walk over 3+ such lines always misses.
+        let mut c = Cache::new(tiny());
+        for _ in 0..10 {
+            for k in 0..3u64 {
+                c.access(k * 128);
+            }
+        }
+        assert_eq!(c.stats().hits, 0, "{:?}", c.stats());
+    }
+
+    #[test]
+    fn column_sets_matches_paper_claim() {
+        let cfg = CacheConfig::PENTIUM2_L1D;
+        // 4096-wide f32 image: stride 16384 bytes, multiple of
+        // sets*line = 4096 => a column hits exactly one set.
+        assert_eq!(cfg.column_sets(4096 * 4, 64), 1);
+        assert_eq!(cfg.column_sets(2048 * 4, 64), 1, "any multiple of sets*line");
+        // 512-wide f32 rows (2 KiB pitch) alternate between two sets.
+        assert_eq!(cfg.column_sets(512 * 4, 64), 2);
+        // Padding the width by 8 samples spreads the column over many sets.
+        assert_eq!(cfg.column_sets((4096 + 8) * 4, 128), 128);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = Cache::new(tiny());
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(!c.access(0), "cold after reset");
+    }
+
+    #[test]
+    fn miss_bytes() {
+        let cfg = tiny();
+        let s = CacheStats { hits: 3, misses: 5 };
+        assert_eq!(s.miss_bytes(&cfg), 80);
+        assert!((s.miss_rate() - 5.0 / 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,20 @@
+//! Set-associative cache simulator and wavelet-filtering address traces.
+//!
+//! The paper's §3.2 diagnoses the poor performance of vertical wavelet
+//! filtering as a cache pathology: *"when using large images with width
+//! equal to a power-of-two and the filter length is longer than 4 (this
+//! corresponds to the 4-way associative cache), an entire image column is
+//! mapped onto a single cache set"*. The authors verify their fixes
+//! (padding the width, strip filtering) indirectly through runtimes on a
+//! 2002 SMP; this crate verifies them *directly* by replaying the exact
+//! address sequences of the three filtering strategies through a
+//! configurable LRU set-associative cache (default: the Pentium II Xeon's
+//! 16 KiB / 4-way / 32-byte-line L1D).
+
+pub mod cache;
+pub mod trace;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use trace::{
+    horizontal_filter_trace, vertical_naive_trace, vertical_strip_trace, FilterTraceParams,
+};

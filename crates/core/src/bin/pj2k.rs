@@ -1,0 +1,331 @@
+//! `pj2k` — command-line front end for the codec.
+//!
+//! ```text
+//! pj2k encode <in.pgm|in.ppm> <out.pj2k> [options]
+//!     --bpp R[,R2,...]   lossy target bit rates (cumulative layers; default 1.0)
+//!     --lossless         reversible 5/3, exact reconstruction
+//!     --levels N         decomposition levels (default 5)
+//!     --block WxH        code-block size (default 64x64)
+//!     --tiles N          NxN tiling (default: none)
+//!     --filter F         naive | padded | strip (default strip)
+//!     --threads N        worker threads (default 1)
+//!     --backend B        pool | rayon (default pool)
+//!     --causal           stripe-causal Tier-1 contexts
+//!     --reset            reset MQ contexts every pass
+//!     --bypass           lazy mode: raw-code the deep SPP/MRP passes
+//!     --roi X,Y,W,H      prioritize a region of interest (MAXSHIFT)
+//!     --stats            print the per-stage timing breakdown
+//!
+//! pj2k decode <in.pj2k> <out.pgm> [--layers N] [--threads N]
+//! pj2k info   <in.pj2k>
+//! ```
+
+use pj2k_core::config::Tier1Options;
+use pj2k_core::{Decoder, Encoder, EncoderConfig, FilterStrategy, ParallelMode, RateControl};
+use pj2k_image::pnm;
+use pj2k_tier2::codestream::{self, MarkerReader, PayloadReader};
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("pj2k: {msg}");
+    eprintln!("run `pj2k help` for usage");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("encode") => cmd_encode(&args[1..]),
+        Some("decode") => cmd_decode(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("help") | None => {
+            println!("usage: pj2k <encode|decode|info> ... (see crate docs)");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown command {other:?}")),
+    }
+}
+
+/// Pull `--name value` style options out of an argument list.
+struct Opts<'a> {
+    rest: Vec<&'a str>,
+    flags: Vec<(&'a str, Option<&'a str>)>,
+}
+
+const VALUE_OPTS: [&str; 9] = [
+    "--bpp", "--levels", "--block", "--tiles", "--filter", "--threads", "--backend", "--layers",
+    "--roi",
+];
+
+fn parse_opts(args: &[String]) -> Opts<'_> {
+    let mut rest = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter().map(String::as_str).peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--").map(|_| a) {
+            if VALUE_OPTS.contains(&name) {
+                flags.push((name, it.next()));
+            } else {
+                flags.push((name, None));
+            }
+        } else {
+            rest.push(a);
+        }
+    }
+    Opts { rest, flags }
+}
+
+impl Opts<'_> {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| *v)
+    }
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| *n == name)
+    }
+}
+
+fn parallel_mode(opts: &Opts) -> Result<ParallelMode, String> {
+    let threads: usize = match opts.value("--threads") {
+        None => 1,
+        Some(t) => t.parse().map_err(|_| format!("bad --threads {t:?}"))?,
+    };
+    if threads <= 1 {
+        return Ok(ParallelMode::Sequential);
+    }
+    match opts.value("--backend").unwrap_or("pool") {
+        "pool" => Ok(ParallelMode::WorkerPool { workers: threads }),
+        "rayon" => Ok(ParallelMode::Rayon { workers: threads }),
+        other => Err(format!("bad --backend {other:?} (pool|rayon)")),
+    }
+}
+
+fn cmd_encode(args: &[String]) -> ExitCode {
+    let opts = parse_opts(args);
+    let [input, output] = opts.rest[..] else {
+        return fail("encode needs <input.pnm> <output.pj2k>");
+    };
+    let file = match std::fs::File::open(input) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("cannot open {input}: {e}")),
+    };
+    let img = match pnm::read(&mut BufReader::new(file)) {
+        Ok(i) => i,
+        Err(e) => return fail(&format!("cannot read {input}: {e}")),
+    };
+
+    let mut cfg = EncoderConfig {
+        filter: FilterStrategy::Strip,
+        ..EncoderConfig::default()
+    };
+    if opts.has("--lossless") {
+        cfg.wavelet = pj2k_core::Wavelet::Reversible53;
+        cfg.rate = RateControl::Lossless;
+    } else if let Some(bpp) = opts.value("--bpp") {
+        let rates: Result<Vec<f64>, _> = bpp.split(',').map(str::parse).collect();
+        match rates {
+            Ok(r) => cfg.rate = RateControl::TargetBpp(r),
+            Err(_) => return fail(&format!("bad --bpp {bpp:?}")),
+        }
+    }
+    if let Some(l) = opts.value("--levels") {
+        match l.parse() {
+            Ok(v) => cfg.levels = v,
+            Err(_) => return fail(&format!("bad --levels {l:?}")),
+        }
+    }
+    if let Some(b) = opts.value("--block") {
+        let parts: Vec<&str> = b.split('x').collect();
+        match parts[..] {
+            [w, h] => match (w.parse(), h.parse()) {
+                (Ok(w), Ok(h)) => cfg.code_block = (w, h),
+                _ => return fail(&format!("bad --block {b:?}")),
+            },
+            _ => return fail(&format!("bad --block {b:?} (expected WxH)")),
+        }
+    }
+    if let Some(t) = opts.value("--tiles") {
+        match t.parse::<usize>() {
+            Ok(v) => cfg.tiles = Some((v, v)),
+            Err(_) => return fail(&format!("bad --tiles {t:?}")),
+        }
+    }
+    if let Some(f) = opts.value("--filter") {
+        cfg.filter = match f {
+            "naive" => FilterStrategy::Naive,
+            "padded" => FilterStrategy::PaddedWidth,
+            "strip" => FilterStrategy::Strip,
+            other => return fail(&format!("bad --filter {other:?}")),
+        };
+    }
+    cfg.parallel = match parallel_mode(&opts) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    cfg.tier1 = Tier1Options {
+        stripe_causal: opts.has("--causal"),
+        reset_contexts: opts.has("--reset"),
+        bypass: opts.has("--bypass"),
+    };
+    if let Some(spec) = opts.value("--roi") {
+        let nums: Result<Vec<usize>, _> = spec.split(',').map(str::parse).collect();
+        match nums.as_deref() {
+            Ok([x0, y0, w, h]) => {
+                cfg.roi = Some(pj2k_core::Roi {
+                    x0: *x0,
+                    y0: *y0,
+                    w: *w,
+                    h: *h,
+                })
+            }
+            _ => return fail(&format!("bad --roi {spec:?} (expected X,Y,W,H)")),
+        }
+    }
+
+    let encoder = match Encoder::new(cfg) {
+        Ok(e) => e,
+        Err(e) => return fail(&format!("{e}")),
+    };
+    let (bytes, report) = encoder.encode(&img);
+    if let Err(e) = std::fs::write(output, &bytes) {
+        return fail(&format!("cannot write {output}: {e}"));
+    }
+    let bpp = bytes.len() as f64 * 8.0 / img.pixels() as f64;
+    println!(
+        "{} -> {}: {} bytes ({bpp:.3} bpp, {} blocks, {} passes)",
+        input,
+        output,
+        bytes.len(),
+        report.num_blocks,
+        report.total_passes
+    );
+    if opts.has("--stats") {
+        for (stage, t) in report.stages.iter() {
+            println!("  {stage:<28} {:>9.2} ms", t.as_secs_f64() * 1e3);
+        }
+        println!(
+            "  DWT split: vertical {:.2} ms / horizontal {:.2} ms",
+            report.dwt.vertical.as_secs_f64() * 1e3,
+            report.dwt.horizontal.as_secs_f64() * 1e3
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_decode(args: &[String]) -> ExitCode {
+    let opts = parse_opts(args);
+    let [input, output] = opts.rest[..] else {
+        return fail("decode needs <input.pj2k> <output.pnm>");
+    };
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("cannot read {input}: {e}")),
+    };
+    let mut dec = Decoder::default();
+    if let Some(l) = opts.value("--layers") {
+        match l.parse() {
+            Ok(v) => dec.max_layers = Some(v),
+            Err(_) => return fail(&format!("bad --layers {l:?}")),
+        }
+    }
+    dec.parallel = match parallel_mode(&opts) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let (img, _) = match dec.decode(&bytes) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("decode failed: {e}")),
+    };
+    let mut f = match std::fs::File::create(output) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("cannot create {output}: {e}")),
+    };
+    if let Err(e) = pnm::write(&mut f, &img) {
+        return fail(&format!("cannot write {output}: {e}"));
+    }
+    println!(
+        "{} -> {}: {}x{}, {} component(s)",
+        input,
+        output,
+        img.width(),
+        img.height(),
+        img.num_components()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let opts = parse_opts(args);
+    let [input] = opts.rest[..] else {
+        return fail("info needs <input.pj2k>");
+    };
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => return fail(&format!("cannot read {input}: {e}")),
+    };
+    match describe(&bytes) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("cannot parse {input}: {e}")),
+    }
+}
+
+/// Render the main-header parameters of a codestream.
+fn describe(bytes: &[u8]) -> Result<String, codestream::ParseError> {
+    use std::fmt::Write;
+    let mut r = MarkerReader::new(bytes);
+    r.expect_marker(codestream::SOC)?;
+    let siz = r.expect_segment(codestream::SIZ)?;
+    let mut p = PayloadReader::new(siz);
+    let (w, h) = (p.u32()?, p.u32()?);
+    let ncomp = p.u8()?;
+    let depth = p.u8()?;
+    let signed = p.u8()? != 0;
+    let (tw, th) = (p.u32()?, p.u32()?);
+    let cod = r.expect_segment(codestream::COD)?;
+    let mut p = PayloadReader::new(cod);
+    let wavelet = p.u8()?;
+    let levels = p.u8()?;
+    let (cbw, cbh) = (p.u16()?, p.u16()?);
+    let layers = p.u16()?;
+    let flags = p.u8()?;
+    let qcd = r.expect_segment(codestream::QCD)?;
+    let step = PayloadReader::new(qcd).f64()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "pj2k codestream, {} bytes", bytes.len());
+    let _ = writeln!(out, "  image:      {w}x{h}, {ncomp} component(s), {depth}-bit{}", if signed { " signed" } else { "" });
+    let _ = writeln!(
+        out,
+        "  tiles:      {}",
+        if tw == 0 { "none (single tile)".to_string() } else { format!("{tw}x{th}") }
+    );
+    let _ = writeln!(
+        out,
+        "  wavelet:    {} ({levels} levels)",
+        if wavelet == 0 { "reversible 5/3" } else { "irreversible 9/7" }
+    );
+    let _ = writeln!(out, "  code-block: {cbw}x{cbh}");
+    let _ = writeln!(out, "  layers:     {layers}");
+    let _ = writeln!(out, "  base step:  {step}");
+    let mut style = String::new();
+    if flags & 1 != 0 {
+        style.push_str("stripe-causal ");
+    }
+    if flags & 2 != 0 {
+        style.push_str("reset-contexts ");
+    }
+    if flags & 4 != 0 {
+        style.push_str("bypass ");
+    }
+    if style.is_empty() {
+        style.push_str("default");
+    }
+    let _ = writeln!(out, "  tier-1:     {}", style.trim_end());
+    Ok(out)
+}

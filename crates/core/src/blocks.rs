@@ -1,0 +1,133 @@
+//! Code-block and resolution geometry on top of the DWT subband layout.
+
+use pj2k_dwt::{Band, Decomposition, Subband};
+use pj2k_ebcot::BandCtx;
+
+/// Zero-coding context class for a subband orientation.
+pub fn band_ctx(band: Band) -> BandCtx {
+    match band {
+        Band::LL | Band::LH => BandCtx::LlLh,
+        Band::HL => BandCtx::Hl,
+        Band::HH => BandCtx::Hh,
+    }
+}
+
+/// Group subbands into resolutions: resolution 0 is the deepest `LL`,
+/// resolution `r >= 1` holds `HL/LH/HH` of decomposition level
+/// `levels - r + 1`. Index by `resolutions(deco)[r]`.
+pub fn resolutions(deco: &Decomposition) -> Vec<Vec<Subband>> {
+    let bands = deco.subbands();
+    let mut out: Vec<Vec<Subband>> = vec![Vec::new(); deco.levels as usize + 1];
+    for sb in bands {
+        let r = match sb.band {
+            Band::LL => 0,
+            _ => (deco.levels - sb.level) as usize + 1,
+        };
+        out[r].push(sb);
+    }
+    out
+}
+
+/// One code-block's placement, in transformed-plane coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockGeom {
+    /// Left column in the plane.
+    pub x0: usize,
+    /// Top row in the plane.
+    pub y0: usize,
+    /// Width in coefficients.
+    pub w: usize,
+    /// Height in coefficients.
+    pub h: usize,
+}
+
+/// Code-block grid dimensions of a subband for `cb = (width, height)`
+/// blocks: `(columns, rows)`; `(0, 0)` for empty bands.
+pub fn grid_dims(sb: &Subband, cb: (usize, usize)) -> (usize, usize) {
+    if sb.is_empty() {
+        (0, 0)
+    } else {
+        (sb.w.div_ceil(cb.0), sb.h.div_ceil(cb.1))
+    }
+}
+
+/// All code-blocks of a subband in raster order (row-major over the grid).
+pub fn blocks_of(sb: &Subband, cb: (usize, usize)) -> Vec<BlockGeom> {
+    let (gw, gh) = grid_dims(sb, cb);
+    let mut out = Vec::with_capacity(gw * gh);
+    for by in 0..gh {
+        for bx in 0..gw {
+            let x0 = sb.x0 + bx * cb.0;
+            let y0 = sb.y0 + by * cb.1;
+            out.push(BlockGeom {
+                x0,
+                y0,
+                w: (sb.x0 + sb.w - x0).min(cb.0),
+                h: (sb.y0 + sb.h - y0).min(cb.1),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolutions_partition_bands() {
+        let deco = Decomposition::new(256, 256, 5);
+        let res = resolutions(&deco);
+        assert_eq!(res.len(), 6);
+        assert_eq!(res[0].len(), 1);
+        assert_eq!(res[0][0].band, Band::LL);
+        for (r, bands) in res.iter().enumerate().skip(1) {
+            assert_eq!(bands.len(), 3, "resolution {r}");
+            // resolution 1 = deepest detail level (5), resolution 5 = level 1
+            assert!(bands.iter().all(|b| b.level == (6 - r) as u8));
+        }
+    }
+
+    #[test]
+    fn blocks_tile_band_exactly() {
+        let sb = Subband {
+            band: Band::HL,
+            level: 1,
+            x0: 100,
+            y0: 0,
+            w: 150,
+            h: 90,
+        };
+        let blocks = blocks_of(&sb, (64, 64));
+        assert_eq!(blocks.len(), 3 * 2);
+        let area: usize = blocks.iter().map(|b| b.w * b.h).sum();
+        assert_eq!(area, 150 * 90);
+        // Right-edge block is narrower.
+        assert_eq!(blocks[2].w, 150 - 128);
+        assert_eq!(blocks[5].h, 90 - 64);
+        assert_eq!(blocks[0].x0, 100);
+        assert_eq!(blocks[3].y0, 64);
+    }
+
+    #[test]
+    fn empty_band_has_no_blocks() {
+        let sb = Subband {
+            band: Band::HH,
+            level: 3,
+            x0: 1,
+            y0: 1,
+            w: 0,
+            h: 5,
+        };
+        assert_eq!(grid_dims(&sb, (64, 64)), (0, 0));
+        assert!(blocks_of(&sb, (64, 64)).is_empty());
+    }
+
+    #[test]
+    fn ctx_mapping() {
+        assert_eq!(band_ctx(Band::LL), BandCtx::LlLh);
+        assert_eq!(band_ctx(Band::LH), BandCtx::LlLh);
+        assert_eq!(band_ctx(Band::HL), BandCtx::Hl);
+        assert_eq!(band_ctx(Band::HH), BandCtx::Hh);
+    }
+}

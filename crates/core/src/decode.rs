@@ -1,0 +1,653 @@
+//! The decoding pipeline (mirror of [`crate::encode`]).
+
+use crate::blocks::{band_ctx, blocks_of, grid_dims, resolutions};
+use crate::config::ParallelMode;
+use crate::quant::{band_step, dequantize_plane};
+use crate::report::stage;
+use pj2k_dwt::{inverse_53, inverse_97, Decomposition, DwtStats, VerticalStrategy, Wavelet};
+use pj2k_ebcot::{decode_block_with, Tier1Options};
+use pj2k_image::tile::TileGrid;
+use pj2k_image::transform::{dc_level_shift_inverse, ict_inverse, rct_inverse};
+use pj2k_image::{Image, Plane};
+use pj2k_parutil::{pool_map, Schedule, StageTimes};
+use pj2k_tier2::codestream::{self, MarkerReader, ParseError, PayloadReader};
+use pj2k_tier2::{decode_packet, PrecinctState};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Decoder-side failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// Malformed codestream.
+    Parse(String),
+    /// Structurally valid but semantically impossible stream.
+    Invalid(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Parse(m) => write!(f, "parse error: {m}"),
+            CodecError::Invalid(m) => write!(f, "invalid codestream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<ParseError> for CodecError {
+    fn from(e: ParseError) -> Self {
+        CodecError::Parse(e.0)
+    }
+}
+
+/// Decode-side run report.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeReport {
+    /// Wall-clock per pipeline stage.
+    pub stages: StageTimes,
+    /// Inverse-DWT filtering breakdown.
+    pub dwt: DwtStats,
+    /// Number of code-blocks with coded data.
+    pub num_blocks: usize,
+}
+
+/// pj2k codestream decoder.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// Parallel execution of the inverse DWT and Tier-1 decoding.
+    pub parallel: ParallelMode,
+    /// Decode only the first `n` quality layers (progressive decoding);
+    /// `None` decodes everything present.
+    pub max_layers: Option<usize>,
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Self {
+            parallel: ParallelMode::Sequential,
+            max_layers: None,
+        }
+    }
+}
+
+/// Stream-level parameters parsed from the main header.
+struct MainHeader {
+    ncomp: usize,
+    bit_depth: u8,
+    signed: bool,
+    tiles: Option<(usize, usize)>,
+    wavelet: Wavelet,
+    levels: u8,
+    code_block: (usize, usize),
+    n_layers: usize,
+    base_step: f64,
+    tier1: Tier1Options,
+}
+
+impl Decoder {
+    /// Decode a pj2k codestream.
+    ///
+    /// # Errors
+    /// Returns [`CodecError`] on malformed input.
+    pub fn decode(&self, bytes: &[u8]) -> Result<(Image, DecodeReport), CodecError> {
+        match self.parallel {
+            ParallelMode::Rayon { workers } => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(workers.max(1))
+                    .build()
+                    .expect("rayon pool");
+                pool.install(|| self.decode_inner(bytes))
+            }
+            _ => self.decode_inner(bytes),
+        }
+    }
+
+    fn decode_inner(&self, bytes: &[u8]) -> Result<(Image, DecodeReport), CodecError> {
+        let mut report = DecodeReport::default();
+        let t0 = Instant::now();
+        let mut r = MarkerReader::new(bytes);
+        r.expect_marker(codestream::SOC)?;
+        let siz = r.expect_segment(codestream::SIZ)?;
+        let mut p = PayloadReader::new(siz);
+        let width = p.u32()? as usize;
+        let height = p.u32()? as usize;
+        let ncomp = p.u8()? as usize;
+        let bit_depth = p.u8()?;
+        let signed = p.u8()? != 0;
+        let tw = p.u32()? as usize;
+        let th = p.u32()? as usize;
+        let cod = r.expect_segment(codestream::COD)?;
+        let mut p = PayloadReader::new(cod);
+        let wavelet = match p.u8()? {
+            0 => Wavelet::Reversible53,
+            1 => Wavelet::Irreversible97,
+            x => return Err(CodecError::Invalid(format!("unknown wavelet {x}"))),
+        };
+        let levels = p.u8()?;
+        let cbw = p.u16()? as usize;
+        let cbh = p.u16()? as usize;
+        let n_layers = p.u16()? as usize;
+        let t1flags = p.u8()?;
+        if t1flags > 7 {
+            return Err(CodecError::Invalid(format!("unknown tier-1 flags {t1flags:#x}")));
+        }
+        let tier1 = Tier1Options {
+            stripe_causal: t1flags & 1 != 0,
+            reset_contexts: t1flags & 2 != 0,
+            bypass: t1flags & 4 != 0,
+        };
+        let qcd = r.expect_segment(codestream::QCD)?;
+        let base_step = PayloadReader::new(qcd).f64()?;
+        let hdr = MainHeader {
+            ncomp,
+            bit_depth,
+            signed,
+            tiles: if tw == 0 { None } else { Some((tw, th)) },
+            wavelet,
+            levels,
+            code_block: (cbw, cbh),
+            n_layers,
+            base_step,
+            tier1,
+        };
+        if width == 0 || height == 0 || ncomp == 0 {
+            return Err(CodecError::Invalid("empty image".into()));
+        }
+        // Harden against corrupted headers: bound allocations and reject
+        // geometry the encoder can never produce.
+        if width.saturating_mul(height).saturating_mul(ncomp) > (1 << 28) {
+            return Err(CodecError::Invalid(format!(
+                "implausible image size {width}x{height}x{ncomp}"
+            )));
+        }
+        if ncomp > 4 {
+            return Err(CodecError::Invalid(format!("{ncomp} components")));
+        }
+        if !(1..=16).contains(&bit_depth) {
+            return Err(CodecError::Invalid(format!("bit depth {bit_depth}")));
+        }
+        if let Some((tw, th)) = hdr.tiles {
+            if tw == 0 || th == 0 {
+                return Err(CodecError::Invalid("zero tile dimension".into()));
+            }
+        }
+        if hdr.levels > 12 {
+            return Err(CodecError::Invalid(format!("{} levels", hdr.levels)));
+        }
+        let (cbw2, cbh2) = hdr.code_block;
+        if !cbw2.is_power_of_two()
+            || !cbh2.is_power_of_two()
+            || !(4..=1024).contains(&cbw2)
+            || !(4..=1024).contains(&cbh2)
+            || cbw2 * cbh2 > 4096
+        {
+            return Err(CodecError::Invalid(format!("code-block {cbw2}x{cbh2}")));
+        }
+        if hdr.n_layers == 0 || hdr.n_layers > 4096 {
+            return Err(CodecError::Invalid(format!("{} layers", hdr.n_layers)));
+        }
+        if !(hdr.base_step.is_finite() && hdr.base_step > 0.0) {
+            return Err(CodecError::Invalid(format!("base step {}", hdr.base_step)));
+        }
+        report.stages.add(stage::BITSTREAM_IO, t0.elapsed());
+
+        let grid = match hdr.tiles {
+            Some((tw, th)) => TileGrid::new(width, height, tw, th),
+            None => TileGrid::single(width, height),
+        };
+        let mut tiles = Vec::with_capacity(grid.len());
+        for i in 0..grid.len() {
+            let t0 = Instant::now();
+            let sot = r.expect_segment(codestream::SOT)?;
+            let mut p = PayloadReader::new(sot);
+            let idx = p.u32()? as usize;
+            if idx != i {
+                return Err(CodecError::Invalid(format!("tile {idx} out of order")));
+            }
+            let body_len = p.u32()? as usize;
+            r.expect_marker(codestream::SOD)?;
+            let body = r.raw(body_len)?;
+            report.stages.add(stage::BITSTREAM_IO, t0.elapsed());
+            let rect = grid.rect(i);
+            tiles.push(self.decode_tile(&hdr, body, rect.w, rect.h, &mut report)?);
+        }
+        let t0 = Instant::now();
+        r.expect_marker(codestream::EOC)?;
+        let mut out = pj2k_image::tile::assemble(&tiles, &grid, hdr.bit_depth, hdr.signed);
+        out.clamp_to_depth();
+        report.stages.add(stage::SETUP, t0.elapsed());
+        Ok((out, report))
+    }
+
+    fn decode_tile(
+        &self,
+        hdr: &MainHeader,
+        body: &[u8],
+        w: usize,
+        h: usize,
+        report: &mut DecodeReport,
+    ) -> Result<Image, CodecError> {
+        let exec = self.parallel.exec();
+        let reversible = hdr.wavelet == Wavelet::Reversible53;
+        let deco = Decomposition::new(w, h, hdr.levels);
+        let res = resolutions(&deco);
+        let band_list = deco.subbands();
+        let nbands = band_list.len();
+
+        // --- tier-2: parse Kmax table and packet headers -------------------
+        let t0 = Instant::now();
+        if body.len() < hdr.ncomp * nbands {
+            return Err(CodecError::Parse("truncated Kmax table".into()));
+        }
+        let kmax = &body[..hdr.ncomp * nbands];
+        if let Some(&bad) = kmax.iter().find(|&&k| k > pj2k_ebcot::MAX_PLANES) {
+            return Err(CodecError::Invalid(format!(
+                "Kmax {bad} exceeds the {} coded planes the coder supports",
+                pj2k_ebcot::MAX_PLANES
+            )));
+        }
+        let mut cursor = hdr.ncomp * nbands;
+        if body.len() < cursor + 2 {
+            return Err(CodecError::Parse("truncated ROI header".into()));
+        }
+        let (roi_s, roi_d) = (body[cursor], body[cursor + 1]);
+        cursor += 2;
+        if roi_s > 30 || roi_d > 30 {
+            return Err(CodecError::Invalid(format!(
+                "implausible ROI shifts ({roi_s}, {roi_d})"
+            )));
+        }
+
+        // Per-precinct state, mirroring the encoder's ordering.
+        struct Prec {
+            comp: usize,
+            band: pj2k_dwt::Band,
+            level: u8,
+            blocks: Vec<crate::blocks::BlockGeom>,
+            state: PrecinctState,
+            /// Per block: segments gathered across layers.
+            segs: Vec<Vec<Vec<u8>>>,
+            zbp: Vec<u32>,
+        }
+        let mut precincts: Vec<Prec> = Vec::new();
+        for comp in 0..hdr.ncomp {
+            for bands in &res {
+                for sb in bands {
+                    let (gw, gh) = grid_dims(sb, hdr.code_block);
+                    let blocks = blocks_of(sb, hdr.code_block);
+                    let n = blocks.len();
+                    precincts.push(Prec {
+                        comp,
+                        band: sb.band,
+                        level: sb.level,
+                        blocks,
+                        state: PrecinctState::for_decoder(gw.max(1), gh.max(1)),
+                        segs: vec![Vec::new(); n],
+                        zbp: vec![0; n],
+                    });
+                }
+            }
+        }
+
+        let decode_layers = self.max_layers.map_or(hdr.n_layers, |m| m.min(hdr.n_layers));
+        for layer in 0..hdr.n_layers {
+            for prec in precincts.iter_mut() {
+                if prec.blocks.is_empty() {
+                    continue;
+                }
+                if cursor + 2 > body.len() {
+                    return Err(CodecError::Parse("truncated packet length".into()));
+                }
+                let hlen = u16::from_be_bytes([body[cursor], body[cursor + 1]]) as usize;
+                cursor += 2;
+                if cursor + hlen > body.len() {
+                    return Err(CodecError::Parse("truncated packet header".into()));
+                }
+                let header = &body[cursor..cursor + hlen];
+                cursor += hlen;
+                let (results, _) = decode_packet(&mut prec.state, layer, header);
+                for (b, resu) in results.iter().enumerate() {
+                    for &len in &resu.seg_lens {
+                        if cursor + len > body.len() {
+                            return Err(CodecError::Parse("truncated pass segment".into()));
+                        }
+                        if layer < decode_layers {
+                            prec.segs[b].push(body[cursor..cursor + len].to_vec());
+                        }
+                        cursor += len;
+                    }
+                    if resu.new_passes > 0 {
+                        prec.zbp[b] = resu.zero_bitplanes;
+                    }
+                }
+            }
+        }
+        report.stages.add(stage::TIER2, t0.elapsed());
+
+        // --- tier-1 decoding -------------------------------------------------
+        let t0 = Instant::now();
+        struct DecJob<'a> {
+            comp: usize,
+            geom: crate::blocks::BlockGeom,
+            ctx: pj2k_ebcot::BandCtx,
+            msb: u8,
+            segs: &'a [Vec<u8>],
+        }
+        let mut jobs: Vec<DecJob> = Vec::new();
+        for prec in &precincts {
+            let bidx = crate::encode::band_index(&band_list, prec.band, prec.level);
+            let ceiling = kmax[prec.comp * nbands + bidx];
+            for (b, geom) in prec.blocks.iter().enumerate() {
+                if prec.segs[b].is_empty() {
+                    continue;
+                }
+                let zbp = prec.zbp[b];
+                if zbp > u32::from(ceiling) {
+                    return Err(CodecError::Invalid(format!(
+                        "zero bitplanes {zbp} exceed band ceiling {ceiling}"
+                    )));
+                }
+                let msb = ceiling - zbp as u8;
+                let max_passes = if msb == 0 { 0 } else { 1 + 3 * (usize::from(msb) - 1) };
+                if prec.segs[b].len() > max_passes {
+                    return Err(CodecError::Invalid(format!(
+                        "{} passes exceed the {max_passes} the plane structure admits",
+                        prec.segs[b].len()
+                    )));
+                }
+                jobs.push(DecJob {
+                    comp: prec.comp,
+                    geom: *geom,
+                    ctx: band_ctx(prec.band),
+                    msb: ceiling - zbp as u8,
+                    segs: &prec.segs[b],
+                });
+            }
+        }
+        report.num_blocks += jobs.len();
+        let decode_one = |j: &DecJob| -> Vec<i32> {
+            let refs: Vec<&[u8]> = j.segs.iter().map(|s| s.as_slice()).collect();
+            decode_block_with(j.geom.w, j.geom.h, j.ctx, j.msb, &refs, hdr.tier1)
+        };
+        let decoded: Vec<Vec<i32>> = match self.parallel {
+            ParallelMode::Sequential => jobs.iter().map(decode_one).collect(),
+            ParallelMode::WorkerPool { workers } => pool_map(
+                jobs.len(),
+                workers.max(1),
+                Schedule::StaggeredRoundRobin,
+                |i| decode_one(&jobs[i]),
+            ),
+            ParallelMode::Rayon { .. } => jobs.par_iter().map(decode_one).collect(),
+        };
+        let mut planes_q: Vec<Plane<i32>> = (0..hdr.ncomp).map(|_| Plane::new(w, h)).collect();
+        for (j, coeffs) in jobs.iter().zip(&decoded) {
+            let plane = &mut planes_q[j.comp];
+            for dy in 0..j.geom.h {
+                let row = &coeffs[dy * j.geom.w..(dy + 1) * j.geom.w];
+                plane.row_mut(j.geom.y0 + dy)[j.geom.x0..j.geom.x0 + j.geom.w]
+                    .copy_from_slice(row);
+            }
+        }
+        // --- inverse ROI scaling ---------------------------------------------
+        crate::roi::undo_roi_shift(&mut planes_q, roi_s, roi_d);
+        report.stages.add(stage::TIER1, t0.elapsed());
+
+        // --- dequantization ----------------------------------------------------
+        let t0 = Instant::now();
+        let mut planes_f: Vec<Plane<f32>> = Vec::new();
+        if !reversible {
+            for q in &planes_q {
+                let mut f = Plane::<f32>::new(w, h);
+                for sb in &band_list {
+                    if sb.is_empty() {
+                        continue;
+                    }
+                    let step = band_step(hdr.base_step, sb.level.max(1), sb.band);
+                    dequantize_plane(q, &mut f, (sb.x0, sb.y0, sb.w, sb.h), step, &exec);
+                }
+                planes_f.push(f);
+            }
+        }
+        report.stages.add(stage::QUANTIZATION, t0.elapsed());
+
+        // --- inverse DWT ---------------------------------------------------------
+        let t0 = Instant::now();
+        let vstrat = VerticalStrategy::DEFAULT_STRIP;
+        if reversible {
+            for q in planes_q.iter_mut() {
+                let stats = inverse_53(q, hdr.levels, vstrat, &exec);
+                report.dwt.merge(&stats);
+            }
+        } else {
+            for f in planes_f.iter_mut() {
+                let stats = inverse_97(f, hdr.levels, vstrat, &exec);
+                report.dwt.merge(&stats);
+            }
+        }
+        report.stages.add(stage::INTRA_COMPONENT, t0.elapsed());
+
+        // --- inverse component transform + DC shift -------------------------------
+        let t0 = Instant::now();
+        let mut planes_out: Vec<Plane<i32>>;
+        if reversible {
+            if hdr.ncomp == 3 {
+                let (a, rest) = planes_q.split_at_mut(1);
+                let (b, c) = rest.split_at_mut(1);
+                rct_inverse(&mut a[0], &mut b[0], &mut c[0]);
+            }
+            planes_out = planes_q;
+        } else {
+            if hdr.ncomp == 3 {
+                let (a, rest) = planes_f.split_at_mut(1);
+                let (b, c) = rest.split_at_mut(1);
+                ict_inverse(&mut a[0], &mut b[0], &mut c[0]);
+            }
+            planes_out = Vec::with_capacity(hdr.ncomp);
+            for f in &planes_f {
+                planes_out.push(f.map(|v| v.round() as i32));
+            }
+        }
+        report.stages.add(stage::INTER_COMPONENT, t0.elapsed());
+
+        let mut img = Image::new(planes_out, hdr.bit_depth, hdr.signed);
+        dc_level_shift_inverse(&mut img);
+        Ok(img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EncoderConfig, FilterStrategy, RateControl};
+    use crate::encode::Encoder;
+    use pj2k_image::metrics::{max_abs_error, psnr};
+    use pj2k_image::synth;
+
+    fn encode(img: &Image, cfg: EncoderConfig) -> Vec<u8> {
+        Encoder::new(cfg).unwrap().encode(img).0
+    }
+
+    #[test]
+    fn lossless_roundtrip_is_exact() {
+        let img = synth::natural_gray(96, 64, 4);
+        let bytes = encode(
+            &img,
+            EncoderConfig {
+                wavelet: Wavelet::Reversible53,
+                rate: RateControl::Lossless,
+                levels: 4,
+                ..Default::default()
+            },
+        );
+        let (out, report) = Decoder::default().decode(&bytes).unwrap();
+        assert_eq!(max_abs_error(&img, &out), 0, "lossless must be bit exact");
+        assert!(report.num_blocks > 0);
+    }
+
+    #[test]
+    fn lossless_rgb_roundtrip_is_exact() {
+        let img = synth::natural_rgb(48, 48, 8);
+        let bytes = encode(
+            &img,
+            EncoderConfig {
+                wavelet: Wavelet::Reversible53,
+                rate: RateControl::Lossless,
+                levels: 3,
+                ..Default::default()
+            },
+        );
+        let (out, _) = Decoder::default().decode(&bytes).unwrap();
+        assert_eq!(max_abs_error(&img, &out), 0);
+    }
+
+    #[test]
+    fn lossy_roundtrip_reaches_reasonable_psnr() {
+        let img = synth::natural_gray(128, 128, 6);
+        let bytes = encode(
+            &img,
+            EncoderConfig {
+                rate: RateControl::TargetBpp(vec![2.0]),
+                levels: 4,
+                ..Default::default()
+            },
+        );
+        let (out, _) = Decoder::default().decode(&bytes).unwrap();
+        let q = psnr(&img, &out);
+        assert!(q > 30.0, "2 bpp PSNR too low: {q}");
+    }
+
+    #[test]
+    fn more_bpp_means_higher_psnr() {
+        let img = synth::natural_gray(128, 128, 2);
+        let mut prev = 0.0;
+        for bpp in [0.125, 0.5, 2.0] {
+            let bytes = encode(
+                &img,
+                EncoderConfig {
+                    rate: RateControl::TargetBpp(vec![bpp]),
+                    levels: 4,
+                    ..Default::default()
+                },
+            );
+            let (out, _) = Decoder::default().decode(&bytes).unwrap();
+            let q = psnr(&img, &out);
+            assert!(q > prev, "bpp {bpp}: psnr {q} <= {prev}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn layered_stream_decodes_progressively() {
+        let img = synth::natural_gray(128, 128, 12);
+        let bytes = encode(
+            &img,
+            EncoderConfig {
+                rate: RateControl::TargetBpp(vec![0.25, 1.0, 3.0]),
+                levels: 4,
+                ..Default::default()
+            },
+        );
+        let mut prev = 0.0;
+        for layers in 1..=3 {
+            let dec = Decoder {
+                max_layers: Some(layers),
+                ..Default::default()
+            };
+            let (out, _) = dec.decode(&bytes).unwrap();
+            let q = psnr(&img, &out);
+            assert!(
+                q >= prev - 0.01,
+                "layer {layers}: psnr {q} dropped from {prev}"
+            );
+            prev = q;
+        }
+        assert!(prev > 30.0, "full-quality psnr {prev}");
+    }
+
+    #[test]
+    fn tiled_roundtrip_works() {
+        let img = synth::natural_gray(100, 80, 5);
+        let bytes = encode(
+            &img,
+            EncoderConfig {
+                tiles: Some((64, 64)),
+                levels: 3,
+                rate: RateControl::TargetBpp(vec![2.0]),
+                ..Default::default()
+            },
+        );
+        let (out, _) = Decoder::default().decode(&bytes).unwrap();
+        assert_eq!(out.width(), 100);
+        assert_eq!(out.height(), 80);
+        assert!(psnr(&img, &out) > 28.0);
+    }
+
+    #[test]
+    fn parallel_decoding_matches_sequential() {
+        let img = synth::natural_gray(96, 96, 3);
+        let bytes = encode(
+            &img,
+            EncoderConfig {
+                levels: 3,
+                ..Default::default()
+            },
+        );
+        let (a, _) = Decoder::default().decode(&bytes).unwrap();
+        for parallel in [
+            ParallelMode::WorkerPool { workers: 3 },
+            ParallelMode::Rayon { workers: 2 },
+        ] {
+            let (b, _) = Decoder {
+                parallel,
+                ..Default::default()
+            }
+            .decode(&bytes)
+            .unwrap();
+            assert_eq!(a, b, "{parallel:?}");
+        }
+    }
+
+    #[test]
+    fn padded_width_stream_decodes_identically() {
+        let img = synth::natural_gray(128, 128, 14);
+        let cfg_naive = EncoderConfig {
+            levels: 3,
+            ..Default::default()
+        };
+        let cfg_padded = EncoderConfig {
+            levels: 3,
+            filter: FilterStrategy::PaddedWidth,
+            ..Default::default()
+        };
+        let a = encode(&img, cfg_naive);
+        let b = encode(&img, cfg_padded);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn garbage_input_is_rejected_not_panicking() {
+        assert!(Decoder::default().decode(&[]).is_err());
+        assert!(Decoder::default().decode(&[0x00, 0x11, 0x22]).is_err());
+        assert!(Decoder::default().decode(&[0xFF, 0x4F]).is_err());
+        // SOC then garbage
+        let mut v = vec![0xFF, 0x4F];
+        v.extend_from_slice(&[0xFF; 32]);
+        assert!(Decoder::default().decode(&v).is_err());
+    }
+
+    #[test]
+    fn truncating_every_prefix_never_panics() {
+        let img = synth::natural_gray(48, 48, 1);
+        let bytes = encode(
+            &img,
+            EncoderConfig {
+                levels: 2,
+                ..Default::default()
+            },
+        );
+        for cut in (0..bytes.len()).step_by(7) {
+            let _ = Decoder::default().decode(&bytes[..cut]);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Scalar dead-zone quantization (lossy 9/7 path).
+//!
+//! Each subband `b` uses step `Δ_b = base_step / g_b`, where `g_b` is the
+//! band's L2 synthesis gain ([`pj2k_dwt::gains`]), so that a unit quantized
+//! error contributes comparably to pixel-domain MSE in every band —
+//! which also makes PCRD slopes commensurable across bands.
+//!
+//! Dequantization reconstructs mid-bin: `v = sign(q) * (|q| + 0.5) * Δ_b`.
+//! For layer-truncated blocks the Tier-1 decoder already returns the
+//! integer-domain bin midpoint, so the extra half step is a slight
+//! overshoot there; the effect on PSNR is far below the truncation error
+//! itself (see DESIGN.md §5).
+//!
+//! This stage is one of the paper's parallel targets (§3.3: "every
+//! processor may have a chunk of coefficients ... speedups of approximately
+//! 3.2"): rows of the coefficient plane are split statically over the
+//! executor.
+
+use pj2k_dwt::{gains, Band};
+use pj2k_image::Plane;
+use pj2k_parutil::{Exec, SendPtr};
+
+/// Quantization step for band `band` at decomposition `level`.
+pub fn band_step(base_step: f64, level: u8, band: Band) -> f64 {
+    base_step / gains::l2_gain_97(level, band)
+}
+
+/// Distortion scale factor turning Tier-1 integer-domain squared error into
+/// pixel-domain MSE contribution: `(Δ_b * g_b)^2` — with the step above this
+/// is simply `base_step^2`, but it is computed explicitly so alternative
+/// step policies keep working.
+pub fn distortion_scale(step: f64, level: u8, band: Band) -> f64 {
+    let g = gains::l2_gain_97(level, band);
+    (step * g) * (step * g)
+}
+
+/// Quantize an f32 coefficient plane into i32 indices, in place over rows
+/// split across `exec` workers: `q = sign(v) * floor(|v| / step)`.
+pub fn quantize_plane(src: &Plane<f32>, dst: &mut Plane<i32>, region: (usize, usize, usize, usize), step: f64, exec: &Exec) {
+    let (x0, y0, w, h) = region;
+    debug_assert!(x0 + w <= src.width() && y0 + h <= src.height());
+    let inv = 1.0 / step;
+    let src_stride = src.stride();
+    let dst_stride = dst.stride();
+    let src_ptr = SendPtr(src.raw().as_ptr() as *mut f32);
+    let dst_ptr = SendPtr::new(dst.raw_mut());
+    exec.run_ranges(h, |rows| {
+        let (src_ptr, dst_ptr) = (src_ptr, dst_ptr); // capture the Send wrappers
+        for dy in rows {
+            let y = y0 + dy;
+            // SAFETY: rows are disjoint across workers; src is only read.
+            let src_row = unsafe { std::slice::from_raw_parts(src_ptr.0.add(y * src_stride + x0), w) };
+            let dst_row = unsafe { dst_ptr.slice_mut(y * dst_stride + x0, w) };
+            for (d, &v) in dst_row.iter_mut().zip(src_row) {
+                let q = (f64::from(v).abs() * inv).floor() as i32;
+                *d = if v < 0.0 { -q } else { q };
+            }
+        }
+    });
+}
+
+/// Dequantize i32 indices back to f32 coefficients (mid-bin), in place over
+/// rows split across `exec` workers.
+pub fn dequantize_plane(src: &Plane<i32>, dst: &mut Plane<f32>, region: (usize, usize, usize, usize), step: f64, exec: &Exec) {
+    let (x0, y0, w, h) = region;
+    debug_assert!(x0 + w <= src.width() && y0 + h <= src.height());
+    let src_stride = src.stride();
+    let dst_stride = dst.stride();
+    let src_ptr = SendPtr(src.raw().as_ptr() as *mut i32);
+    let dst_ptr = SendPtr::new(dst.raw_mut());
+    exec.run_ranges(h, |rows| {
+        let (src_ptr, dst_ptr) = (src_ptr, dst_ptr); // capture the Send wrappers
+        for dy in rows {
+            let y = y0 + dy;
+            // SAFETY: rows are disjoint across workers; src is only read.
+            let src_row = unsafe { std::slice::from_raw_parts(src_ptr.0.add(y * src_stride + x0), w) };
+            let dst_row = unsafe { dst_ptr.slice_mut(y * dst_stride + x0, w) };
+            for (d, &q) in dst_row.iter_mut().zip(src_row) {
+                *d = if q == 0 {
+                    0.0
+                } else {
+                    let m = (f64::from(q.abs()) + 0.5) * step;
+                    if q < 0 {
+                        -m as f32
+                    } else {
+                        m as f32
+                    }
+                };
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_matches_scalar_definition() {
+        let src = Plane::from_fn(8, 4, |x, y| (x as f32 - 3.5) * (y as f32 + 0.5) * 2.3);
+        let mut dst = Plane::<i32>::new(8, 4);
+        quantize_plane(&src, &mut dst, (0, 0, 8, 4), 0.5, &Exec::SEQ);
+        for y in 0..4 {
+            for x in 0..8 {
+                let v = f64::from(src.get(x, y));
+                let expect = (v.abs() / 0.5).floor() as i32 * v.signum() as i32;
+                assert_eq!(dst.get(x, y), expect, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_dequant_error_bounded_by_step() {
+        let src = Plane::from_fn(16, 16, |x, y| ((x * 31 + y * 7) % 97) as f32 - 48.0);
+        let mut q = Plane::<i32>::new(16, 16);
+        let mut back = Plane::<f32>::new(16, 16);
+        let step = 0.75;
+        quantize_plane(&src, &mut q, (0, 0, 16, 16), step, &Exec::SEQ);
+        dequantize_plane(&q, &mut back, (0, 0, 16, 16), step, &Exec::SEQ);
+        for y in 0..16 {
+            for x in 0..16 {
+                let err = (src.get(x, y) - back.get(x, y)).abs();
+                assert!(err <= step as f32 * 0.5 + 1e-5, "({x},{y}): err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_stays_zero_and_signs_preserved() {
+        let src = Plane::from_vec(3, 1, vec![0.0f32, -2.6, 2.6]);
+        let mut q = Plane::<i32>::new(3, 1);
+        quantize_plane(&src, &mut q, (0, 0, 3, 1), 1.0, &Exec::SEQ);
+        assert_eq!(q.row(0), &[0, -2, 2]);
+        let mut back = Plane::<f32>::new(3, 1);
+        dequantize_plane(&q, &mut back, (0, 0, 3, 1), 1.0, &Exec::SEQ);
+        assert_eq!(back.get(0, 0), 0.0);
+        assert!(back.get(1, 0) < 0.0 && back.get(2, 0) > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let src = Plane::from_fn(33, 29, |x, y| (x as f32 * 1.7 - y as f32 * 2.1) * 0.9);
+        let mut a = Plane::<i32>::new(33, 29);
+        let mut b = Plane::<i32>::new(33, 29);
+        quantize_plane(&src, &mut a, (0, 0, 33, 29), 0.3, &Exec::SEQ);
+        quantize_plane(&src, &mut b, (0, 0, 33, 29), 0.3, &Exec::threads(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn region_quantization_leaves_rest_untouched() {
+        let src = Plane::from_fn(8, 8, |_, _| 10.0f32);
+        let mut dst = Plane::<i32>::new(8, 8);
+        quantize_plane(&src, &mut dst, (2, 3, 4, 2), 1.0, &Exec::SEQ);
+        assert_eq!(dst.get(2, 3), 10);
+        assert_eq!(dst.get(5, 4), 10);
+        assert_eq!(dst.get(0, 0), 0);
+        assert_eq!(dst.get(6, 3), 0);
+    }
+
+    #[test]
+    fn band_step_scales_inversely_with_gain() {
+        let s_ll = band_step(0.125, 3, Band::LL);
+        let s_hh = band_step(0.125, 1, Band::HH);
+        // LL at level 3 has much larger gain, hence smaller step.
+        assert!(s_ll < s_hh);
+        // distortion scale with matching step is base_step^2
+        let d = distortion_scale(band_step(0.125, 2, Band::HL), 2, Band::HL);
+        assert!((d - 0.125 * 0.125).abs() < 1e-12);
+    }
+}

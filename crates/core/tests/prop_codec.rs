@@ -1,0 +1,107 @@
+//! Property tests for the full codec: lossless exactness on arbitrary
+//! inputs, lossy totality, and decoder robustness against corruption.
+
+use pj2k_core::{Decoder, Encoder, EncoderConfig, RateControl, Wavelet};
+use pj2k_image::{metrics, Image, Plane};
+use proptest::prelude::*;
+
+#[allow(clippy::type_complexity)]
+fn arb_image() -> impl Strategy<Value = Image> {
+    (1usize..48, 1usize..48, any::<u64>()).prop_map(|(w, h, seed)| {
+        let mut state = seed | 1;
+        Image::gray8(Plane::from_fn(w, h, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 256) as i32
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lossless coding is bit exact for any image content, size, level
+    /// count and code-block shape.
+    #[test]
+    fn lossless_always_exact(
+        img in arb_image(),
+        levels in 0u8..6,
+        cb_pow in 2u32..7,
+    ) {
+        let cb = 1usize << cb_pow;
+        let cfg = EncoderConfig {
+            wavelet: Wavelet::Reversible53,
+            rate: RateControl::Lossless,
+            levels,
+            code_block: (cb, (4096 / cb).clamp(4, 64)),
+            ..EncoderConfig::default()
+        };
+        let (bytes, _) = Encoder::new(cfg).unwrap().encode(&img);
+        let (out, _) = Decoder::default().decode(&bytes).unwrap();
+        prop_assert_eq!(metrics::max_abs_error(&img, &out), 0);
+    }
+
+    /// Lossy coding is total and quality is bounded below at decent rates.
+    #[test]
+    fn lossy_is_total_and_sane(img in arb_image(), bpp in 0.1f64..6.0) {
+        let cfg = EncoderConfig {
+            rate: RateControl::TargetBpp(vec![bpp]),
+            levels: 3,
+            ..EncoderConfig::default()
+        };
+        let (bytes, report) = Encoder::new(cfg).unwrap().encode(&img);
+        prop_assert!(report.bytes == bytes.len());
+        let (out, _) = Decoder::default().decode(&bytes).unwrap();
+        prop_assert_eq!(out.width(), img.width());
+        prop_assert_eq!(out.height(), img.height());
+        // Reconstruction stays in range (clamped to depth).
+        for v in out.component(0).samples() {
+            prop_assert!((0..=255).contains(&v));
+        }
+    }
+
+    /// Truncating the stream anywhere yields an error, never a panic.
+    #[test]
+    fn decoder_survives_truncation(img in arb_image(), frac in 0.0f64..1.0) {
+        let cfg = EncoderConfig {
+            levels: 2,
+            ..EncoderConfig::default()
+        };
+        let (bytes, _) = Encoder::new(cfg).unwrap().encode(&img);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let _ = Decoder::default().decode(&bytes[..cut]);
+    }
+
+    /// Flipping a byte anywhere yields either an error or a decoded image,
+    /// never a panic (decoder totality under corruption).
+    #[test]
+    fn decoder_survives_corruption(
+        img in arb_image(),
+        pos_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let cfg = EncoderConfig {
+            levels: 2,
+            ..EncoderConfig::default()
+        };
+        let (mut bytes, _) = Encoder::new(cfg).unwrap().encode(&img);
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= xor;
+        let _ = Decoder::default().decode(&bytes);
+    }
+
+    /// The codestream is deterministic: same input, same bytes.
+    #[test]
+    fn encoding_is_deterministic(img in arb_image()) {
+        let cfg = EncoderConfig {
+            levels: 3,
+            ..EncoderConfig::default()
+        };
+        let enc = Encoder::new(cfg).unwrap();
+        let (a, _) = enc.encode(&img);
+        let (b, _) = enc.encode(&img);
+        prop_assert_eq!(a, b);
+    }
+}

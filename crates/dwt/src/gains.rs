@@ -1,0 +1,100 @@
+//! Subband L2 synthesis gains for the 9/7 filter bank.
+//!
+//! Quantization steps and PCRD distortion estimates must account for how a
+//! unit coefficient error in subband `b` propagates to pixel-domain squared
+//! error. That factor is the squared L2 norm of the subband's synthesis
+//! basis function. Rather than hard-coding the textbook table, the gains are
+//! computed numerically — an impulse is placed mid-band and inverse
+//! transformed — which keeps them exactly consistent with this crate's
+//! filter normalization.
+
+use crate::subband::{Band, Decomposition};
+use crate::transform2d::{inverse_97, VerticalStrategy};
+use pj2k_image::Plane;
+use pj2k_parutil::Exec;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+fn cache() -> &'static Mutex<HashMap<(u8, Band), f64>> {
+    static CACHE: OnceLock<Mutex<HashMap<(u8, Band), f64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// L2 norm of the synthesis basis function of band `band` produced at
+/// decomposition `level` (1-based) of the 9/7 transform.
+///
+/// `LL` at level `L` means the residual lowpass band. Gains grow roughly
+/// ×2 per level for `LL` and are smallest for `HH`.
+///
+/// # Panics
+/// Panics if `level == 0`.
+pub fn l2_gain_97(level: u8, band: Band) -> f64 {
+    assert!(level >= 1, "subband level is 1-based");
+    if let Some(&g) = cache().lock().unwrap().get(&(level, band)) {
+        return g;
+    }
+    let g = compute_gain(level, band);
+    cache().lock().unwrap().insert((level, band), g);
+    g
+}
+
+fn compute_gain(level: u8, band: Band) -> f64 {
+    // A plane large enough that the basis function (support grows ~2^level
+    // * filter length) does not clip: 2^level * 16 per side covers the
+    // ~10 * 2^level support with margin.
+    let n = ((1usize << level) * 16).max(64);
+    let mut p = Plane::<f32>::new(n, n);
+    let deco = Decomposition::new(n, n, level);
+    let bands = deco.subbands();
+    let sb = bands
+        .iter()
+        .find(|s| s.band == band && (band == Band::LL || s.level == level))
+        .expect("requested band exists");
+    // Impulse in the middle of the band, away from boundary effects.
+    p.set(sb.x0 + sb.w / 2, sb.y0 + sb.h / 2, 1.0);
+    inverse_97(&mut p, level, VerticalStrategy::DEFAULT_STRIP, &Exec::SEQ);
+    let energy: f64 = p.samples().map(|v| (v as f64) * (v as f64)).sum();
+    energy.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ll_gain_doubles_per_level() {
+        let g1 = l2_gain_97(1, Band::LL);
+        let g2 = l2_gain_97(2, Band::LL);
+        let g3 = l2_gain_97(3, Band::LL);
+        assert!((g2 / g1 - 2.0).abs() < 0.1, "g1={g1} g2={g2}");
+        assert!((g3 / g2 - 2.0).abs() < 0.1, "g2={g2} g3={g3}");
+    }
+
+    #[test]
+    fn gains_are_separable_and_symmetric() {
+        // 2D gains are products of 1D filter norms a (low) and b (high):
+        // LL = a^2, HL = LH = a*b, HH = b^2, hence HL^2 == LL * HH.
+        let ll = l2_gain_97(1, Band::LL);
+        let hl = l2_gain_97(1, Band::HL);
+        let lh = l2_gain_97(1, Band::LH);
+        let hh = l2_gain_97(1, Band::HH);
+        assert!((hl - lh).abs() < 1e-6, "HL and LH are symmetric: {hl} vs {lh}");
+        assert!(
+            (hl * hl - ll * hh).abs() / (ll * hh) < 1e-3,
+            "separability: HL^2={} vs LL*HH={}",
+            hl * hl,
+            ll * hh
+        );
+        for g in [ll, hl, hh] {
+            assert!(g > 0.5 && g < 4.0, "sane magnitude: {g}");
+        }
+    }
+
+    #[test]
+    fn gains_are_cached_and_stable() {
+        let a = l2_gain_97(2, Band::HH);
+        let b = l2_gain_97(2, Band::HH);
+        assert_eq!(a, b);
+    }
+}

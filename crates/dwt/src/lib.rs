@@ -1,0 +1,57 @@
+//! Discrete wavelet transform substrate for pj2k.
+//!
+//! Implements the two JPEG2000 filter banks — the reversible integer 5/3
+//! (lossless path) and the irreversible 9/7 (lossy path) — as lifting
+//! schemes with whole-sample symmetric boundary extension, the multi-level
+//! Mallat decomposition over [`pj2k_image::Plane`], and, central to the
+//! reproduced paper, **three vertical-filtering strategies**:
+//!
+//! * [`VerticalStrategy::Naive`] — each column is filtered by walking down
+//!   the column once per lifting step. For images whose row pitch is a large
+//!   power of two this maps the whole column onto a single cache set and
+//!   thrashes (paper §3.2, Figs. 7/10).
+//! * width padding — not a filtering algorithm but a layout fix: allocate
+//!   the plane with `stride = width + pad` (`Plane::with_stride`) so
+//!   columns spread over many cache sets; the naive walker then behaves.
+//! * [`VerticalStrategy::Strip`] — the paper's preferred fix: several
+//!   adjacent columns are filtered concurrently within one processor, so
+//!   every cache line fetched during the column walk is fully used.
+//!
+//! Both the horizontal and vertical passes can be split across workers with
+//! a [`pj2k_parutil::Exec`] policy (static contiguous ranges, barrier per
+//! pass — exactly the paper's scheme), and per-pass wall-clock is reported
+//! through [`DwtStats`] so the harness can regenerate Figs. 7, 8, 10, 11.
+
+pub mod gains;
+pub mod lift;
+pub mod subband;
+pub mod transform2d;
+pub mod vertical;
+
+pub use subband::{Band, Decomposition, Subband};
+pub use transform2d::{
+    forward_53, forward_97, inverse_53, inverse_97, DwtStats, VerticalStrategy,
+};
+
+/// 9/7 lifting constant α (first predict step).
+pub const ALPHA: f32 = -1.586_134_3;
+/// 9/7 lifting constant β (first update step).
+pub const BETA: f32 = -0.052_980_117;
+/// 9/7 lifting constant γ (second predict step).
+pub const GAMMA: f32 = 0.882_911_1;
+/// 9/7 lifting constant δ (second update step).
+pub const DELTA: f32 = 0.443_506_87;
+/// 9/7 scaling constant K; lowpass is scaled by `1/K`, highpass by `K/2`
+/// during analysis (and inversely during synthesis), giving the lowpass
+/// unit DC gain and the highpass unit Nyquist gain.
+pub const KAPPA: f32 = 1.230_174_1;
+
+/// Which JPEG2000 filter bank to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Wavelet {
+    /// Reversible integer 5/3 (Le Gall), exact reconstruction.
+    Reversible53,
+    /// Irreversible floating 9/7 (CDF), the paper's default
+    /// ("five-level wavelet decomposition with 7/9-biorthogonal filters").
+    Irreversible97,
+}

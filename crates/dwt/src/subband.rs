@@ -1,0 +1,222 @@
+//! Decomposition geometry: where each subband lives in the Mallat layout.
+//!
+//! After `L` decomposition levels of a `w x h` plane, the transformed plane
+//! holds, in place, the deepest lowpass band `LL_L` at the top-left and the
+//! detail bands `HL_l`, `LH_l`, `HH_l` for `l = L..1` around it. Level
+//! indices follow the "decomposition step that produced the band"
+//! convention: level 1 bands are the finest (largest), level `L` the
+//! coarsest.
+
+/// Subband orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Band {
+    /// Low-low residual (only the deepest level keeps one).
+    LL,
+    /// Horizontal detail (highpass along x, lowpass along y).
+    HL,
+    /// Vertical detail (lowpass along x, highpass along y).
+    LH,
+    /// Diagonal detail.
+    HH,
+}
+
+/// One subband's placement inside the transformed plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subband {
+    /// Orientation.
+    pub band: Band,
+    /// Producing decomposition level, `1..=levels` (1 = finest). For the
+    /// `LL` band this equals `levels`.
+    pub level: u8,
+    /// Left column of the band inside the transformed plane.
+    pub x0: usize,
+    /// Top row of the band.
+    pub y0: usize,
+    /// Band width in coefficients (may be zero for degenerate sizes).
+    pub w: usize,
+    /// Band height in coefficients.
+    pub h: usize,
+}
+
+impl Subband {
+    /// Number of coefficients in the band.
+    pub fn len(&self) -> usize {
+        self.w * self.h
+    }
+
+    /// True when the band holds no coefficients.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A multi-level dyadic decomposition of a `width x height` plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decomposition {
+    /// Plane width in samples.
+    pub width: usize,
+    /// Plane height in samples.
+    pub height: usize,
+    /// Number of decomposition levels (0 = identity transform).
+    pub levels: u8,
+}
+
+impl Decomposition {
+    /// Construct, clamping `levels` so every decomposed region keeps at
+    /// least one sample per side.
+    pub fn new(width: usize, height: usize, levels: u8) -> Self {
+        Self {
+            width,
+            height,
+            levels,
+        }
+    }
+
+    /// Size of the `LL_l` region after `l` decomposition steps
+    /// (`l = 0` is the full plane).
+    pub fn ll_size(&self, l: u8) -> (usize, usize) {
+        let mut w = self.width;
+        let mut h = self.height;
+        for _ in 0..l {
+            w = w.div_ceil(2);
+            h = h.div_ceil(2);
+        }
+        (w, h)
+    }
+
+    /// All subbands in coarse-to-fine order: `LL_L`, then for
+    /// `l = L, L-1, .., 1`: `HL_l`, `LH_l`, `HH_l`.
+    ///
+    /// This is also the resolution-progression order used by Tier-2.
+    pub fn subbands(&self) -> Vec<Subband> {
+        let mut out = Vec::with_capacity(1 + 3 * self.levels as usize);
+        let (llw, llh) = self.ll_size(self.levels);
+        out.push(Subband {
+            band: Band::LL,
+            level: self.levels,
+            x0: 0,
+            y0: 0,
+            w: llw,
+            h: llh,
+        });
+        for l in (1..=self.levels).rev() {
+            let (pw, ph) = self.ll_size(l - 1);
+            let cw = pw.div_ceil(2); // low half sizes
+            let ch = ph.div_ceil(2);
+            let fw = pw / 2; // high half sizes
+            let fh = ph / 2;
+            out.push(Subband {
+                band: Band::HL,
+                level: l,
+                x0: cw,
+                y0: 0,
+                w: fw,
+                h: ch,
+            });
+            out.push(Subband {
+                band: Band::LH,
+                level: l,
+                x0: 0,
+                y0: ch,
+                w: cw,
+                h: fh,
+            });
+            out.push(Subband {
+                band: Band::HH,
+                level: l,
+                x0: cw,
+                y0: ch,
+                w: fw,
+                h: fh,
+            });
+        }
+        out
+    }
+
+    /// Largest level count that keeps the deepest LL at least 1x1 and
+    /// meaningful (each side halved at most `log2(min_side)` times).
+    pub fn max_levels(width: usize, height: usize) -> u8 {
+        let mut side = width.min(height).max(1);
+        let mut l = 0u8;
+        while side > 1 {
+            side = side.div_ceil(2);
+            l += 1;
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ll_sizes_halve_with_ceiling() {
+        let d = Decomposition::new(5, 7, 3);
+        assert_eq!(d.ll_size(0), (5, 7));
+        assert_eq!(d.ll_size(1), (3, 4));
+        assert_eq!(d.ll_size(2), (2, 2));
+        assert_eq!(d.ll_size(3), (1, 1));
+    }
+
+    #[test]
+    fn subbands_tile_the_plane_exactly() {
+        for (w, h, l) in [(64, 64, 5), (33, 17, 3), (5, 7, 2), (512, 512, 5), (1, 1, 1)] {
+            let d = Decomposition::new(w, h, l);
+            let bands = d.subbands();
+            assert_eq!(bands.len(), 1 + 3 * l as usize);
+            let total: usize = bands.iter().map(Subband::len).sum();
+            assert_eq!(total, w * h, "{w}x{h} L={l}");
+            // Pairwise disjoint.
+            let mut covered = vec![false; w * h];
+            for b in &bands {
+                for y in b.y0..b.y0 + b.h {
+                    for x in b.x0..b.x0 + b.w {
+                        assert!(!covered[y * w + x], "overlap at ({x},{y}) in {b:?}");
+                        covered[y * w + x] = true;
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&c| c));
+        }
+    }
+
+    #[test]
+    fn coarse_to_fine_order() {
+        let d = Decomposition::new(64, 64, 3);
+        let bands = d.subbands();
+        assert_eq!(bands[0].band, Band::LL);
+        assert_eq!(bands[0].level, 3);
+        assert_eq!(bands[1].band, Band::HL);
+        assert_eq!(bands[1].level, 3);
+        assert_eq!(bands[9].band, Band::HH);
+        assert_eq!(bands[9].level, 1);
+        assert_eq!(bands[7].band, Band::HL);
+        assert_eq!(bands[7].level, 1);
+    }
+
+    #[test]
+    fn level_one_band_sizes() {
+        let d = Decomposition::new(65, 64, 1);
+        let bands = d.subbands();
+        let hl = bands.iter().find(|b| b.band == Band::HL).unwrap();
+        assert_eq!((hl.x0, hl.y0, hl.w, hl.h), (33, 0, 32, 32));
+        let lh = bands.iter().find(|b| b.band == Band::LH).unwrap();
+        assert_eq!((lh.x0, lh.y0, lh.w, lh.h), (0, 32, 33, 32));
+    }
+
+    #[test]
+    fn max_levels_bounds() {
+        assert_eq!(Decomposition::max_levels(512, 512), 9);
+        assert_eq!(Decomposition::max_levels(1, 100), 0);
+        assert_eq!(Decomposition::max_levels(3, 1000), 2);
+    }
+
+    #[test]
+    fn zero_levels_is_single_ll() {
+        let d = Decomposition::new(10, 10, 0);
+        let bands = d.subbands();
+        assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0].len(), 100);
+    }
+}

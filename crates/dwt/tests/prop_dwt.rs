@@ -1,0 +1,115 @@
+//! Property tests: the transform invariants every other crate builds on.
+
+use pj2k_dwt::{
+    forward_53, forward_97, inverse_53, inverse_97, Decomposition, VerticalStrategy,
+};
+use pj2k_image::Plane;
+use pj2k_parutil::Exec;
+use proptest::prelude::*;
+
+fn arb_plane_i32() -> impl Strategy<Value = Plane<i32>> {
+    (1usize..48, 1usize..48, 0usize..7, any::<u64>()).prop_map(|(w, h, pad, seed)| {
+        let mut p = Plane::with_stride(w, h, w + pad);
+        let mut state = seed | 1;
+        for y in 0..h {
+            for x in 0..w {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                p.set(x, y, ((state >> 33) as i32 % 511) - 255);
+            }
+        }
+        p
+    })
+}
+
+fn strategies() -> impl Strategy<Value = VerticalStrategy> {
+    prop_oneof![
+        Just(VerticalStrategy::Naive),
+        (1usize..40).prop_map(|w| VerticalStrategy::Strip { width: w }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The 5/3 is *exactly* reversible on any size, stride, level count,
+    /// and vertical strategy.
+    #[test]
+    fn dwt53_perfect_reconstruction(p in arb_plane_i32(), levels in 0u8..5, strat in strategies()) {
+        let orig = p.clone();
+        let mut q = p;
+        forward_53(&mut q, levels, strat, &Exec::SEQ);
+        inverse_53(&mut q, levels, strat, &Exec::SEQ);
+        prop_assert_eq!(q, orig);
+    }
+
+    /// The 9/7 reconstructs within float tolerance.
+    #[test]
+    fn dwt97_near_reconstruction(p in arb_plane_i32(), levels in 0u8..5) {
+        let f = p.map(|v| v as f32);
+        let mut q = f.clone();
+        forward_97(&mut q, levels, VerticalStrategy::DEFAULT_STRIP, &Exec::SEQ);
+        inverse_97(&mut q, levels, VerticalStrategy::DEFAULT_STRIP, &Exec::SEQ);
+        for y in 0..f.height() {
+            for x in 0..f.width() {
+                prop_assert!((q.get(x, y) - f.get(x, y)).abs() < 2e-2,
+                    "({}, {}): {} vs {}", x, y, q.get(x, y), f.get(x, y));
+            }
+        }
+    }
+
+    /// All vertical strategies compute the identical integer transform.
+    #[test]
+    fn strategies_agree_53(p in arb_plane_i32(), levels in 1u8..4, strat in strategies()) {
+        let mut a = p.clone();
+        let mut b = p;
+        forward_53(&mut a, levels, VerticalStrategy::Naive, &Exec::SEQ);
+        forward_53(&mut b, levels, strat, &Exec::SEQ);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Parallel execution is bit-identical to sequential (both filters).
+    #[test]
+    fn parallel_equals_sequential(p in arb_plane_i32(), levels in 1u8..4, workers in 2usize..5) {
+        let mut seq = p.clone();
+        let mut par = p.clone();
+        forward_53(&mut seq, levels, VerticalStrategy::DEFAULT_STRIP, &Exec::SEQ);
+        forward_53(&mut par, levels, VerticalStrategy::DEFAULT_STRIP, &Exec::threads(workers));
+        prop_assert_eq!(&par, &seq);
+
+        let f = p.map(|v| v as f32);
+        let mut seq_f = f.clone();
+        let mut par_f = f;
+        forward_97(&mut seq_f, levels, VerticalStrategy::Naive, &Exec::SEQ);
+        forward_97(&mut par_f, levels, VerticalStrategy::Naive, &Exec::rayon(workers));
+        for y in 0..seq_f.height() {
+            for x in 0..seq_f.width() {
+                prop_assert_eq!(par_f.get(x, y).to_bits(), seq_f.get(x, y).to_bits());
+            }
+        }
+    }
+
+    /// Subband geometry always partitions the plane.
+    #[test]
+    fn subbands_partition(w in 1usize..200, h in 1usize..200, levels in 0u8..8) {
+        let deco = Decomposition::new(w, h, levels);
+        let total: usize = deco.subbands().iter().map(|s| s.w * s.h).sum();
+        prop_assert_eq!(total, w * h);
+    }
+
+    /// Energy is (approximately) preserved by the orthonormal-ish 9/7 at
+    /// one level — a guard against scaling regressions.
+    #[test]
+    fn dwt97_energy_sane(p in arb_plane_i32()) {
+        let f = p.map(|v| v as f32);
+        let e0: f64 = f.samples().map(|v| (v as f64) * (v as f64)).sum();
+        let mut q = f;
+        forward_97(&mut q, 1, VerticalStrategy::DEFAULT_STRIP, &Exec::SEQ);
+        let e1: f64 = q.samples().map(|v| (v as f64) * (v as f64)).sum();
+        // Our normalization is not exactly orthonormal (unit-DC lowpass),
+        // but the energy ratio stays within a modest band.
+        if e0 > 1.0 {
+            let ratio = e1 / e0;
+            prop_assert!(ratio > 0.2 && ratio < 6.0, "energy ratio {}", ratio);
+        }
+    }
+}

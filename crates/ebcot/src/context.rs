@@ -1,0 +1,237 @@
+//! Tier-1 context modeling (ISO/IEC 15444-1 Annex D, Tables D.1–D.4).
+//!
+//! Nineteen MQ contexts: 9 zero-coding (0–8, orientation-dependent),
+//! 5 sign-coding (9–13), 3 magnitude-refinement (14–16), one run-length
+//! (17) and one uniform (18).
+
+use pj2k_mq::CtxState;
+
+/// Zero-coding contexts occupy indices `0..=8`.
+pub const CTX_ZC_BASE: usize = 0;
+/// Sign-coding contexts occupy indices `9..=13`.
+pub const CTX_SC_BASE: usize = 9;
+/// Magnitude-refinement contexts occupy indices `14..=16`.
+pub const CTX_MR_BASE: usize = 14;
+/// Run-length context index.
+pub const CTX_RL: usize = 17;
+/// Uniform (near-raw) context index.
+pub const CTX_UNI: usize = 18;
+/// Total context count.
+pub const NUM_CTX: usize = 19;
+
+/// Subband orientation class for zero-coding context selection.
+///
+/// `LL` and `LH` (vertically high-pass) blocks share a table; `HL`
+/// (horizontally high-pass) swaps the roles of horizontal and vertical
+/// neighbors; `HH` keys primarily on the diagonal count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BandCtx {
+    /// LL or LH subband.
+    LlLh,
+    /// HL subband.
+    Hl,
+    /// HH subband.
+    Hh,
+}
+
+/// Fresh context bank with the standard initial states:
+/// ZC context 0 starts at Qe row 4, run-length at row 3, uniform at row 46,
+/// everything else at row 0.
+pub fn initial_states() -> [CtxState; NUM_CTX] {
+    let mut ctx = [CtxState::default(); NUM_CTX];
+    ctx[CTX_ZC_BASE] = CtxState::new(4);
+    ctx[CTX_RL] = CtxState::new(3);
+    ctx[CTX_UNI] = CtxState::new(46);
+    ctx
+}
+
+/// Zero-coding context (0..=8) from neighbor significance counts:
+/// `h`/`v` in `0..=2` (horizontal/vertical neighbors), `d` in `0..=4`
+/// (diagonals).
+#[inline]
+pub fn zc_context(band: BandCtx, h: u32, v: u32, d: u32) -> usize {
+    debug_assert!(h <= 2 && v <= 2 && d <= 4);
+    let (h, v) = match band {
+        BandCtx::LlLh => (h, v),
+        BandCtx::Hl => (v, h), // transpose
+        BandCtx::Hh => {
+            // HH keys on d first; fold (h + v) into the "h" slot below.
+            return match d {
+                d if d >= 3 => 8,
+                2 => {
+                    if h + v >= 1 {
+                        7
+                    } else {
+                        6
+                    }
+                }
+                1 => match h + v {
+                    hv if hv >= 2 => 5,
+                    1 => 4,
+                    _ => 3,
+                },
+                _ => match h + v {
+                    hv if hv >= 2 => 2,
+                    1 => 1,
+                    _ => 0,
+                },
+            };
+        }
+    };
+    match h {
+        2 => 8,
+        1 => {
+            if v >= 1 {
+                7
+            } else if d >= 1 {
+                6
+            } else {
+                5
+            }
+        }
+        _ => match v {
+            2 => 4,
+            1 => 3,
+            _ => match d {
+                d if d >= 2 => 2,
+                1 => 1,
+                _ => 0,
+            },
+        },
+    }
+}
+
+/// Sign-coding context and XOR bit from the clamped horizontal and vertical
+/// sign contributions `hc`, `vc` in `-1..=1` (Tables D.3/D.4).
+///
+/// The coded decision is `sign_bit XOR xor_bit` where `sign_bit` is 1 for
+/// negative.
+#[inline]
+pub fn sc_context(hc: i32, vc: i32) -> (usize, u8) {
+    debug_assert!((-1..=1).contains(&hc) && (-1..=1).contains(&vc));
+    match (hc, vc) {
+        (1, 1) => (13, 0),
+        (1, 0) => (12, 0),
+        (1, -1) => (11, 0),
+        (0, 1) => (10, 0),
+        (0, 0) => (9, 0),
+        (0, -1) => (10, 1),
+        (-1, 1) => (11, 1),
+        (-1, 0) => (12, 1),
+        (-1, -1) => (13, 1),
+        _ => unreachable!("clamped contributions"),
+    }
+}
+
+/// Magnitude-refinement context: `first` refinement of a coefficient keys on
+/// whether any of the 8 neighbors is significant; later refinements use
+/// context 16.
+#[inline]
+pub fn mr_context(first_refinement: bool, any_sig_neighbor: bool) -> usize {
+    if !first_refinement {
+        16
+    } else if any_sig_neighbor {
+        15
+    } else {
+        14
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zc_ll_table_spot_checks() {
+        assert_eq!(zc_context(BandCtx::LlLh, 2, 0, 0), 8);
+        assert_eq!(zc_context(BandCtx::LlLh, 2, 2, 4), 8);
+        assert_eq!(zc_context(BandCtx::LlLh, 1, 1, 0), 7);
+        assert_eq!(zc_context(BandCtx::LlLh, 1, 0, 3), 6);
+        assert_eq!(zc_context(BandCtx::LlLh, 1, 0, 0), 5);
+        assert_eq!(zc_context(BandCtx::LlLh, 0, 2, 0), 4);
+        assert_eq!(zc_context(BandCtx::LlLh, 0, 1, 4), 3);
+        assert_eq!(zc_context(BandCtx::LlLh, 0, 0, 2), 2);
+        assert_eq!(zc_context(BandCtx::LlLh, 0, 0, 1), 1);
+        assert_eq!(zc_context(BandCtx::LlLh, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn zc_hl_is_transposed_ll() {
+        for h in 0..=2 {
+            for v in 0..=2 {
+                for d in 0..=4 {
+                    assert_eq!(
+                        zc_context(BandCtx::Hl, h, v, d),
+                        zc_context(BandCtx::LlLh, v, h, d),
+                        "h={h} v={v} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zc_hh_table_spot_checks() {
+        assert_eq!(zc_context(BandCtx::Hh, 0, 0, 4), 8);
+        assert_eq!(zc_context(BandCtx::Hh, 0, 0, 3), 8);
+        assert_eq!(zc_context(BandCtx::Hh, 1, 0, 2), 7);
+        assert_eq!(zc_context(BandCtx::Hh, 0, 0, 2), 6);
+        assert_eq!(zc_context(BandCtx::Hh, 2, 1, 1), 5);
+        assert_eq!(zc_context(BandCtx::Hh, 1, 0, 1), 4);
+        assert_eq!(zc_context(BandCtx::Hh, 0, 0, 1), 3);
+        assert_eq!(zc_context(BandCtx::Hh, 1, 1, 0), 2);
+        assert_eq!(zc_context(BandCtx::Hh, 0, 1, 0), 1);
+        assert_eq!(zc_context(BandCtx::Hh, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn zc_range_is_0_to_8() {
+        for band in [BandCtx::LlLh, BandCtx::Hl, BandCtx::Hh] {
+            for h in 0..=2 {
+                for v in 0..=2 {
+                    for d in 0..=4 {
+                        let c = zc_context(band, h, v, d);
+                        assert!(c <= 8);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sc_table_is_symmetric_under_negation() {
+        // Negating both contributions keeps the context and flips the XOR.
+        for hc in -1..=1 {
+            for vc in -1..=1 {
+                let (c1, x1) = sc_context(hc, vc);
+                let (c2, x2) = sc_context(-hc, -vc);
+                assert_eq!(c1, c2);
+                if (hc, vc) != (0, 0) {
+                    assert_ne!(x1, x2, "hc={hc} vc={vc}");
+                } else {
+                    assert_eq!(x1, x2);
+                }
+                assert!((9..=13).contains(&c1));
+            }
+        }
+    }
+
+    #[test]
+    fn mr_contexts() {
+        assert_eq!(mr_context(true, false), 14);
+        assert_eq!(mr_context(true, true), 15);
+        assert_eq!(mr_context(false, false), 16);
+        assert_eq!(mr_context(false, true), 16);
+    }
+
+    #[test]
+    fn initial_states_match_standard() {
+        let ctx = initial_states();
+        assert_eq!(ctx[CTX_ZC_BASE].index(), 4);
+        assert_eq!(ctx[CTX_RL].index(), 3);
+        assert_eq!(ctx[CTX_UNI].index(), 46);
+        assert_eq!(ctx[1].index(), 0);
+        assert_eq!(ctx[CTX_MR_BASE].index(), 0);
+        assert!(ctx.iter().all(|c| c.mps() == 0));
+    }
+}

@@ -1,0 +1,404 @@
+//! Tier-1 block decoder (exact mirror of the encoder's pass structure).
+
+use crate::context::{
+    initial_states, mr_context, sc_context, zc_context, BandCtx, CTX_RL, CTX_UNI, NUM_CTX,
+};
+use crate::state::{FlagGrid, NEG, NEWSIG, REFINED, SIG, VISITED};
+use crate::encoder::{in_bypass_region, Tier1Options};
+use crate::STRIPE_HEIGHT;
+use pj2k_mq::{CtxState, MqDecoder, RawDecoder};
+
+/// The per-pass entropy source: MQ codeword or raw segment.
+enum Source<'a> {
+    Mq(MqDecoder<'a>),
+    Raw(RawDecoder<'a>),
+}
+
+impl Source<'_> {
+    #[inline]
+    fn decision(&mut self, ctx: &mut CtxState) -> u8 {
+        match self {
+            Source::Mq(m) => m.decode(ctx),
+            Source::Raw(r) => r.get(),
+        }
+    }
+
+    /// Sign decoding: MQ uses the context/XOR scheme, raw reads the bit.
+    #[inline]
+    fn sign(&mut self, ctx: &mut CtxState, xor: u8) -> u8 {
+        match self {
+            Source::Mq(m) => m.decode(ctx) ^ xor,
+            Source::Raw(r) => r.get(),
+        }
+    }
+}
+
+struct BlockDecoder {
+    grid: FlagGrid,
+    band: BandCtx,
+    ctx: [CtxState; NUM_CTX],
+    /// Decoded magnitude bits so far.
+    mag: Vec<u32>,
+    /// Lowest plane whose bit is known per coefficient (for midpoint
+    /// reconstruction of truncated streams).
+    known_plane: Vec<u8>,
+    opts: Tier1Options,
+}
+
+impl BlockDecoder {
+    #[inline]
+    fn skip_south(&self, y: usize) -> bool {
+        self.opts.stripe_causal && (y + 1).is_multiple_of(STRIPE_HEIGHT)
+    }
+
+    fn decode_significance(&mut self, mq: &mut Source, x: usize, y: usize, plane: u8) {
+        let i = self.grid.idx(x, y);
+        let ss = self.skip_south(y);
+        let (h, v, d) = (
+            self.grid.h_count(i),
+            self.grid.v_count(i, ss),
+            self.grid.d_count(i, ss),
+        );
+        let zc = zc_context(self.band, h, v, d);
+        let bit = mq.decision(&mut self.ctx[zc]);
+        if bit == 1 {
+            self.decode_sign_and_mark(mq, x, y, plane);
+        }
+    }
+
+    fn decode_sign_and_mark(&mut self, mq: &mut Source, x: usize, y: usize, plane: u8) {
+        let i = self.grid.idx(x, y);
+        let ss = self.skip_south(y);
+        let (sc, xor) = sc_context(self.grid.hc(i), self.grid.vc(i, ss));
+        let neg = mq.sign(&mut self.ctx[sc], xor);
+        self.grid
+            .set(i, SIG | NEWSIG | if neg == 1 { NEG } else { 0 });
+        let k = y * self.grid.w + x;
+        self.mag[k] = 1u32 << plane;
+        self.known_plane[k] = plane;
+    }
+}
+
+/// Decode a code-block with default coding style (see
+/// [`decode_block_with`]).
+///
+/// # Panics
+/// Panics on an empty block or more segments than the plane structure
+/// admits.
+pub fn decode_block(
+    w: usize,
+    h: usize,
+    band: BandCtx,
+    msb_planes: u8,
+    segments: &[&[u8]],
+) -> Vec<i32> {
+    decode_block_with(w, h, band, msb_planes, segments, Tier1Options::default())
+}
+
+/// Decode a code-block from its pass segments under the given coding
+/// style (must match the encoder's).
+///
+/// `segments` holds the first `n` coding passes' terminated MQ segments in
+/// coding order (any prefix of the encoder's passes). Returns the
+/// midpoint-reconstructed signed coefficients, row-major.
+///
+/// # Panics
+/// Panics on an empty block or more segments than the plane structure
+/// admits.
+pub fn decode_block_with(
+    w: usize,
+    h: usize,
+    band: BandCtx,
+    msb_planes: u8,
+    segments: &[&[u8]],
+    opts: Tier1Options,
+) -> Vec<i32> {
+    assert!(w > 0 && h > 0, "empty code-block");
+    if msb_planes == 0 {
+        assert!(segments.is_empty(), "zero-plane block cannot carry passes");
+        return vec![0; w * h];
+    }
+    let max_passes = 1 + 3 * (usize::from(msb_planes) - 1);
+    assert!(
+        segments.len() <= max_passes,
+        "{} passes exceeds plane structure ({max_passes})",
+        segments.len()
+    );
+    let mut dec = BlockDecoder {
+        grid: FlagGrid::new(w, h),
+        band,
+        ctx: initial_states(),
+        mag: vec![0; w * h],
+        known_plane: vec![0; w * h],
+        opts,
+    };
+    let mut seg_iter = segments.iter();
+    let mut remaining = segments.len();
+
+    'outer: for plane in (0..msb_planes).rev() {
+        dec.grid.clear_plane_flags();
+        let first_plane = plane + 1 == msb_planes;
+        let bypassed = opts.bypass && in_bypass_region(plane, msb_planes);
+        if !first_plane {
+            for kind in 0..2 {
+                if remaining == 0 {
+                    break 'outer;
+                }
+                remaining -= 1;
+                let seg: &[u8] = seg_iter.next().unwrap();
+                let mut mq = if bypassed {
+                    Source::Raw(RawDecoder::new(seg))
+                } else {
+                    Source::Mq(MqDecoder::new(seg))
+                };
+                if kind == 0 {
+                    sig_prop_pass(&mut dec, &mut mq, plane);
+                } else {
+                    mag_ref_pass(&mut dec, &mut mq, plane);
+                }
+                if opts.reset_contexts {
+                    dec.ctx = initial_states();
+                }
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        remaining -= 1;
+        let mut mq = Source::Mq(MqDecoder::new(seg_iter.next().unwrap()));
+        cleanup_pass(&mut dec, &mut mq, plane);
+        if opts.reset_contexts {
+            dec.ctx = initial_states();
+        }
+    }
+
+    // Midpoint reconstruction with sign.
+    (0..w * h)
+        .map(|k| {
+            let m = dec.mag[k];
+            if m == 0 {
+                return 0;
+            }
+            let p = dec.known_plane[k];
+            let half = if p == 0 { 0 } else { 1i64 << (p - 1) };
+            let v = i64::from(m) + half;
+            let (x, y) = (k % w, k / w);
+            if dec.grid.get(dec.grid.idx(x, y)) & NEG != 0 {
+                -(v as i32)
+            } else {
+                v as i32
+            }
+        })
+        .collect()
+}
+
+fn sig_prop_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
+    let (w, h) = (dec.grid.w, dec.grid.h);
+    let mut y0 = 0;
+    while y0 < h {
+        let ymax = (y0 + STRIPE_HEIGHT).min(h);
+        for x in 0..w {
+            for y in y0..ymax {
+                let i = dec.grid.idx(x, y);
+                let f = dec.grid.get(i);
+                if f & SIG == 0 && dec.grid.any_sig_neighbor(i, dec.skip_south(y)) {
+                    dec.decode_significance(mq, x, y, plane);
+                    dec.grid.set(i, VISITED);
+                }
+            }
+        }
+        y0 = ymax;
+    }
+}
+
+fn mag_ref_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
+    let (w, h) = (dec.grid.w, dec.grid.h);
+    let mut y0 = 0;
+    while y0 < h {
+        let ymax = (y0 + STRIPE_HEIGHT).min(h);
+        for x in 0..w {
+            for y in y0..ymax {
+                let i = dec.grid.idx(x, y);
+                let f = dec.grid.get(i);
+                if f & SIG != 0 && f & NEWSIG == 0 {
+                    let first = f & REFINED == 0;
+                    let mr = mr_context(first, dec.grid.any_sig_neighbor(i, dec.skip_south(y)));
+                    let bit = mq.decision(&mut dec.ctx[mr]);
+                    dec.grid.set(i, REFINED);
+                    let k = y * w + x;
+                    dec.mag[k] |= u32::from(bit) << plane;
+                    dec.known_plane[k] = plane;
+                }
+            }
+        }
+        y0 = ymax;
+    }
+}
+
+fn cleanup_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
+    let (w, h) = (dec.grid.w, dec.grid.h);
+    let mut y0 = 0;
+    while y0 < h {
+        let ymax = (y0 + STRIPE_HEIGHT).min(h);
+        for x in 0..w {
+            let full_stripe = ymax - y0 == STRIPE_HEIGHT;
+            let rl_applicable = full_stripe
+                && (y0..ymax).all(|y| {
+                    let i = dec.grid.idx(x, y);
+                    dec.grid.get(i) & (SIG | VISITED) == 0
+                        && !dec.grid.any_sig_neighbor(i, dec.skip_south(y))
+                });
+            let mut y = y0;
+            if rl_applicable {
+                if mq.decision(&mut dec.ctx[CTX_RL]) == 0 {
+                    continue; // all four stay zero
+                }
+                let hi = mq.decision(&mut dec.ctx[CTX_UNI]);
+                let lo = mq.decision(&mut dec.ctx[CTX_UNI]);
+                let r = usize::from((hi << 1) | lo);
+                let ys = y0 + r;
+                dec.decode_sign_and_mark(mq, x, ys, plane);
+                y = ys + 1;
+            }
+            for yy in y..ymax {
+                let i = dec.grid.idx(x, yy);
+                let f = dec.grid.get(i);
+                if f & (SIG | VISITED) == 0 {
+                    dec.decode_significance(mq, x, yy, plane);
+                }
+            }
+        }
+        y0 = ymax;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::encode_block;
+
+    fn roundtrip_exact(coeffs: &[i32], w: usize, h: usize, band: BandCtx) {
+        let blk = encode_block(coeffs, w, h, band);
+        let segments: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
+        let got = decode_block(w, h, band, blk.msb_planes, &segments);
+        assert_eq!(got, coeffs, "{w}x{h} {band:?}");
+    }
+
+    #[test]
+    fn all_zero_roundtrip() {
+        roundtrip_exact(&[0; 35], 7, 5, BandCtx::LlLh);
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let mut c = vec![0i32; 64];
+        c[0] = 1;
+        c[63] = -1;
+        c[20] = 100;
+        c[21] = -100;
+        roundtrip_exact(&c, 8, 8, BandCtx::Hh);
+    }
+
+    #[test]
+    fn dense_roundtrip_all_bands() {
+        let coeffs: Vec<i32> = (0..256)
+            .map(|i| {
+                let v = ((i * 37 + 11) % 127) - 63;
+                if i % 13 == 0 {
+                    0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        for band in [BandCtx::LlLh, BandCtx::Hl, BandCtx::Hh] {
+            roundtrip_exact(&coeffs, 16, 16, band);
+        }
+    }
+
+    #[test]
+    fn non_multiple_of_stripe_heights() {
+        for h in [1usize, 2, 3, 5, 6, 7, 9] {
+            let w = 5;
+            let coeffs: Vec<i32> = (0..w * h).map(|i| (i as i32 % 9) - 4).collect();
+            roundtrip_exact(&coeffs, w, h, BandCtx::LlLh);
+        }
+    }
+
+    #[test]
+    fn wide_magnitudes_roundtrip() {
+        let coeffs: Vec<i32> = (0..64)
+            .map(|i| if i % 2 == 0 { 1 << (i % 20) } else { -(1 << (i % 18)) })
+            .collect();
+        roundtrip_exact(&coeffs, 8, 8, BandCtx::Hl);
+    }
+
+    #[test]
+    fn truncated_prefixes_decode_with_decreasing_error() {
+        let coeffs: Vec<i32> = (0..256)
+            .map(|i| (((i * 29) % 255) - 127) / (1 + (i % 3)))
+            .collect();
+        let blk = encode_block(&coeffs, 16, 16, BandCtx::LlLh);
+        let all: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
+        let mut prev_err = f64::INFINITY;
+        for n in 0..=blk.passes.len() {
+            let got = decode_block(16, 16, BandCtx::LlLh, blk.msb_planes, &all[..n]);
+            let err: f64 = got
+                .iter()
+                .zip(&coeffs)
+                .map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2))
+                .sum();
+            // Error is non-increasing at pass granularity up to rounding in
+            // the midpoint model; allow tiny slack.
+            assert!(err <= prev_err + 1e-9, "pass {n}: {err} > {prev_err}");
+            // And the encoder's distortion bookkeeping must match exactly.
+            if n > 0 || blk.passes.is_empty() {
+                let predicted = blk.distortion_after(n);
+                assert!(
+                    (predicted - err).abs() < 1e-6,
+                    "pass {n}: predicted {predicted} vs actual {err}"
+                );
+            }
+            prev_err = err;
+        }
+        assert_eq!(
+            decode_block(16, 16, BandCtx::LlLh, blk.msb_planes, &all),
+            coeffs
+        );
+    }
+
+    #[test]
+    fn zero_plane_block_decodes_to_zeros() {
+        let got = decode_block(4, 4, BandCtx::Hh, 0, &[]);
+        assert_eq!(got, vec![0; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds plane structure")]
+    fn too_many_segments_panics() {
+        let seg: &[u8] = &[0u8];
+        let _ = decode_block(2, 2, BandCtx::LlLh, 1, &[seg, seg]);
+    }
+
+    #[test]
+    fn single_row_and_column_blocks() {
+        let coeffs: Vec<i32> = (0..17).map(|i| (i - 8) * 5).collect();
+        roundtrip_exact(&coeffs, 17, 1, BandCtx::LlLh);
+        roundtrip_exact(&coeffs, 1, 17, BandCtx::Hh);
+    }
+
+    #[test]
+    fn checkerboard_block_roundtrip() {
+        let coeffs: Vec<i32> = (0..144)
+            .map(|i| {
+                let (x, y) = (i % 12, i / 12);
+                if (x + y) % 2 == 0 {
+                    37
+                } else {
+                    -37
+                }
+            })
+            .collect();
+        roundtrip_exact(&coeffs, 12, 12, BandCtx::Hh);
+    }
+}

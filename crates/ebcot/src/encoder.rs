@@ -1,0 +1,534 @@
+//! Tier-1 block encoder.
+
+use crate::context::{
+    initial_states, mr_context, sc_context, zc_context, BandCtx, CTX_RL, CTX_UNI, NUM_CTX,
+};
+use crate::state::{FlagGrid, NEG, NEWSIG, REFINED, SIG, VISITED};
+use crate::{MAX_PLANES, STRIPE_HEIGHT};
+use pj2k_mq::{CtxState, MqEncoder, RawEncoder};
+
+/// Optional Tier-1 coding-style switches (ISO 15444-1 COD flags).
+///
+/// Both default to off, the configuration the paper's era used. Either
+/// changes the produced bitstream, so they are signalled in the
+/// codestream header by `pj2k-core`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tier1Options {
+    /// Vertically stripe-causal context formation: contexts never consult
+    /// coefficients of the next stripe, enabling stripe-pipelined
+    /// hardware/software decoders.
+    pub stripe_causal: bool,
+    /// Reset all MQ contexts at every coding-pass boundary, making the
+    /// passes independently decodable at the cost of slower adaptation.
+    pub reset_contexts: bool,
+    /// Selective arithmetic bypass ("lazy" coding): from the fifth
+    /// most-significant bit-plane on, significance-propagation and
+    /// refinement passes emit raw bits instead of MQ decisions — faster,
+    /// slightly larger. Cleanup passes stay MQ-coded.
+    pub bypass: bool,
+}
+
+/// Whether `plane` of a block with `msb_planes` coded planes is in the
+/// bypass region (fifth most-significant plane and below).
+#[inline]
+pub(crate) fn in_bypass_region(plane: u8, msb_planes: u8) -> bool {
+    plane + 5 <= msb_planes
+}
+
+/// The per-pass entropy sink: MQ codeword or raw segment.
+enum Sink {
+    Mq(MqEncoder),
+    Raw(RawEncoder),
+}
+
+impl Sink {
+    #[inline]
+    fn decision(&mut self, ctx: &mut CtxState, bit: u8) {
+        match self {
+            Sink::Mq(m) => m.encode(ctx, bit),
+            Sink::Raw(r) => r.put(bit),
+        }
+    }
+
+    /// Sign coding: MQ uses the context/XOR scheme, raw emits the sign bit.
+    #[inline]
+    fn sign(&mut self, ctx: &mut CtxState, xor: u8, neg: u8) {
+        match self {
+            Sink::Mq(m) => m.encode(ctx, neg ^ xor),
+            Sink::Raw(r) => r.put(neg),
+        }
+    }
+
+    fn flush(self) -> Vec<u8> {
+        match self {
+            Sink::Mq(m) => m.flush(),
+            Sink::Raw(r) => r.flush(),
+        }
+    }
+}
+
+/// Which of the three coding passes produced a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassKind {
+    /// Significance propagation (predicts new significance near existing).
+    SigProp,
+    /// Magnitude refinement (next bit of already-significant coefficients).
+    MagRef,
+    /// Cleanup (everything the other passes skipped; run-length coded).
+    Cleanup,
+}
+
+/// Rate/distortion record of one coding pass.
+#[derive(Debug, Clone, Copy)]
+pub struct PassInfo {
+    /// Pass type.
+    pub kind: PassKind,
+    /// Bit-plane index this pass coded (0 = LSB).
+    pub plane: u8,
+    /// Length in bytes of this pass's terminated MQ segment.
+    pub len: usize,
+    /// Squared-error reduction contributed by this pass, in units of the
+    /// block's integer coefficient domain (scale by the subband's
+    /// `(step * gain)^2` for pixel-domain MSE).
+    pub delta_distortion: f64,
+}
+
+/// A fully coded code-block: per-pass terminated segments plus the
+/// rate/distortion bookkeeping PCRD needs.
+#[derive(Debug, Clone)]
+pub struct EncodedBlock {
+    /// Block width in coefficients.
+    pub width: usize,
+    /// Block height in coefficients.
+    pub height: usize,
+    /// Number of coded magnitude bit-planes (0 = all-zero block).
+    pub msb_planes: u8,
+    /// Per-pass metadata, in coding order.
+    pub passes: Vec<PassInfo>,
+    /// Concatenated pass segments (pass `i` occupies `passes[..i]`'s summed
+    /// lengths onward).
+    pub data: Vec<u8>,
+    /// Squared error of the all-zero reconstruction (sum of squared
+    /// magnitudes), same units as `delta_distortion`.
+    pub initial_distortion: f64,
+}
+
+impl EncodedBlock {
+    /// Cumulative byte count after including the first `n` passes.
+    pub fn rate_after(&self, n: usize) -> usize {
+        self.passes[..n].iter().map(|p| p.len).sum()
+    }
+
+    /// Remaining squared error after including the first `n` passes.
+    pub fn distortion_after(&self, n: usize) -> f64 {
+        self.initial_distortion - self.passes[..n].iter().map(|p| p.delta_distortion).sum::<f64>()
+    }
+
+    /// Byte ranges (into `data`) of the first `n` passes.
+    pub fn segment(&self, pass: usize) -> &[u8] {
+        let start = self.rate_after(pass);
+        let end = start + self.passes[pass].len;
+        &self.data[start..end]
+    }
+}
+
+/// Internal encoder state shared by the three passes.
+struct BlockEncoder<'a> {
+    mag: &'a [u32],
+    grid: FlagGrid,
+    band: BandCtx,
+    ctx: [CtxState; NUM_CTX],
+    sink: Sink,
+    opts: Tier1Options,
+}
+
+impl BlockEncoder<'_> {
+    #[inline]
+    fn bit(&self, x: usize, y: usize, plane: u8) -> u8 {
+        ((self.mag[y * self.grid.w + x] >> plane) & 1) as u8
+    }
+
+    /// Whether (x, y)'s southern neighbors are causally invisible.
+    #[inline]
+    fn skip_south(&self, y: usize) -> bool {
+        self.opts.stripe_causal && (y + 1).is_multiple_of(crate::STRIPE_HEIGHT)
+    }
+
+    /// Code significance (ZC) + possible sign (SC) of one coefficient at
+    /// `plane`; returns the distortion reduction if it became significant.
+    #[inline]
+    fn code_significance(&mut self, x: usize, y: usize, plane: u8) -> f64 {
+        let i = self.grid.idx(x, y);
+        let ss = self.skip_south(y);
+        let (h, v, d) = (
+            self.grid.h_count(i),
+            self.grid.v_count(i, ss),
+            self.grid.d_count(i, ss),
+        );
+        let zc = zc_context(self.band, h, v, d);
+        let bit = self.bit(x, y, plane);
+        self.sink.decision(&mut self.ctx[zc], bit);
+        if bit == 1 {
+            self.code_sign_and_mark(x, y, plane)
+        } else {
+            0.0
+        }
+    }
+
+    /// Sign coding and significance marking for a coefficient whose bit at
+    /// `plane` is 1. Returns the distortion reduction.
+    #[inline]
+    fn code_sign_and_mark(&mut self, x: usize, y: usize, plane: u8) -> f64 {
+        let i = self.grid.idx(x, y);
+        let ss = self.skip_south(y);
+        let (sc, xor) = sc_context(self.grid.hc(i), self.grid.vc(i, ss));
+        let m = self.mag[y * self.grid.w + x];
+        let neg = u8::from(self.neg(x, y));
+        self.sink.sign(&mut self.ctx[sc], xor, neg);
+        self.grid
+            .set(i, SIG | NEWSIG | if neg == 1 { NEG } else { 0 });
+        sig_distortion_gain(m, plane)
+    }
+
+    #[inline]
+    fn neg(&self, x: usize, y: usize) -> bool {
+        self.grid.get(self.grid.idx(x, y)) & NEG != 0
+    }
+}
+
+/// Distortion reduction when a coefficient of magnitude `m` becomes
+/// significant at `plane`: error drops from `m^2` to `(m - r)^2` with the
+/// midpoint reconstruction `r = base + 2^plane / 2`.
+#[inline]
+fn sig_distortion_gain(m: u32, plane: u8) -> f64 {
+    let base = (m >> plane) << plane;
+    let r = f64::from(base) + half_step(plane);
+    let e0 = f64::from(m) * f64::from(m);
+    let e1 = (f64::from(m) - r) * (f64::from(m) - r);
+    e0 - e1
+}
+
+/// Distortion reduction when a significant coefficient is refined at
+/// `plane`.
+#[inline]
+fn ref_distortion_gain(m: u32, plane: u8) -> f64 {
+    let base0 = (m >> (plane + 1)) << (plane + 1);
+    let r0 = f64::from(base0) + half_step(plane + 1);
+    let base1 = (m >> plane) << plane;
+    let r1 = f64::from(base1) + half_step(plane);
+    let e0 = (f64::from(m) - r0) * (f64::from(m) - r0);
+    let e1 = (f64::from(m) - r1) * (f64::from(m) - r1);
+    e0 - e1
+}
+
+/// Decoder-side midpoint offset for magnitudes known down to `plane`.
+#[inline]
+pub(crate) fn half_step(plane: u8) -> f64 {
+    if plane == 0 {
+        0.0
+    } else {
+        f64::from(1u32 << (plane - 1))
+    }
+}
+
+/// Encode one code-block with default coding style (see
+/// [`encode_block_with`]).
+///
+/// # Panics
+/// Panics if `coeffs.len() != w * h`, the block is empty, or a magnitude
+/// needs more than [`MAX_PLANES`] bit-planes.
+pub fn encode_block(coeffs: &[i32], w: usize, h: usize, band: BandCtx) -> EncodedBlock {
+    encode_block_with(coeffs, w, h, band, Tier1Options::default())
+}
+
+/// Encode one code-block of signed quantized coefficients (row-major,
+/// `w * h` entries) from subband class `band` under the given coding
+/// style.
+///
+/// # Panics
+/// Panics if `coeffs.len() != w * h`, the block is empty, or a magnitude
+/// needs more than [`MAX_PLANES`] bit-planes.
+pub fn encode_block_with(
+    coeffs: &[i32],
+    w: usize,
+    h: usize,
+    band: BandCtx,
+    opts: Tier1Options,
+) -> EncodedBlock {
+    assert!(w > 0 && h > 0, "empty code-block");
+    assert_eq!(coeffs.len(), w * h, "coefficient count mismatch");
+    let mut mag = vec![0u32; w * h];
+    let mut grid = FlagGrid::new(w, h);
+    let mut max_mag = 0u32;
+    let mut initial_distortion = 0.0f64;
+    for (k, &c) in coeffs.iter().enumerate() {
+        let m = c.unsigned_abs();
+        mag[k] = m;
+        max_mag = max_mag.max(m);
+        initial_distortion += f64::from(m) * f64::from(m);
+        if c < 0 {
+            let (x, y) = (k % w, k / w);
+            grid.set(grid.idx(x, y), NEG);
+        }
+    }
+    let msb_planes = (32 - max_mag.leading_zeros()) as u8;
+    assert!(msb_planes <= MAX_PLANES, "coefficient magnitude too large");
+    if msb_planes == 0 {
+        return EncodedBlock {
+            width: w,
+            height: h,
+            msb_planes: 0,
+            passes: Vec::new(),
+            data: Vec::new(),
+            initial_distortion,
+        };
+    }
+
+    let mut enc = BlockEncoder {
+        mag: &mag,
+        grid,
+        band,
+        ctx: initial_states(),
+        sink: Sink::Mq(MqEncoder::new()),
+        opts,
+    };
+    let mut passes = Vec::new();
+    let mut data = Vec::new();
+
+    let mut emit = |enc: &mut BlockEncoder, kind, plane, dd: f64, data: &mut Vec<u8>, next_raw: bool| {
+        let sink = std::mem::replace(
+            &mut enc.sink,
+            if next_raw {
+                Sink::Raw(RawEncoder::new())
+            } else {
+                Sink::Mq(MqEncoder::new())
+            },
+        );
+        if enc.opts.reset_contexts {
+            enc.ctx = initial_states();
+        }
+        let seg = sink.flush();
+        passes.push(PassInfo {
+            kind,
+            plane,
+            len: seg.len().max(1),
+            delta_distortion: dd,
+        });
+        if seg.is_empty() {
+            data.push(0); // keep every terminated pass at least one byte
+        } else {
+            data.extend_from_slice(&seg);
+        }
+    };
+
+    for plane in (0..msb_planes).rev() {
+        enc.grid.clear_plane_flags();
+        let first_plane = plane + 1 == msb_planes;
+        let bypassed = opts.bypass && in_bypass_region(plane, msb_planes);
+        if !first_plane {
+            // SPP of this plane: raw when bypassed (the previous emit set
+            // the sink accordingly).
+            let dd = sig_prop_pass(&mut enc, plane);
+            emit(&mut enc, PassKind::SigProp, plane, dd, &mut data, bypassed);
+            let dd = mag_ref_pass(&mut enc, plane);
+            emit(&mut enc, PassKind::MagRef, plane, dd, &mut data, false);
+        }
+        let dd = cleanup_pass(&mut enc, plane);
+        // Next pass is the SPP of the plane below: raw iff that plane is
+        // bypassed.
+        let next_raw = opts.bypass && plane > 0 && in_bypass_region(plane - 1, msb_planes);
+        emit(&mut enc, PassKind::Cleanup, plane, dd, &mut data, next_raw);
+    }
+
+    EncodedBlock {
+        width: w,
+        height: h,
+        msb_planes,
+        passes,
+        data,
+        initial_distortion,
+    }
+}
+
+/// Significance-propagation pass: insignificant coefficients with at least
+/// one significant neighbor.
+fn sig_prop_pass(enc: &mut BlockEncoder, plane: u8) -> f64 {
+    let (w, h) = (enc.grid.w, enc.grid.h);
+    let mut dd = 0.0;
+    let mut y0 = 0;
+    while y0 < h {
+        let ymax = (y0 + STRIPE_HEIGHT).min(h);
+        for x in 0..w {
+            for y in y0..ymax {
+                let i = enc.grid.idx(x, y);
+                let f = enc.grid.get(i);
+                if f & SIG == 0 && enc.grid.any_sig_neighbor(i, enc.skip_south(y)) {
+                    dd += enc.code_significance(x, y, plane);
+                    enc.grid.set(i, VISITED);
+                }
+            }
+        }
+        y0 = ymax;
+    }
+    dd
+}
+
+/// Magnitude-refinement pass: coefficients significant before this plane.
+fn mag_ref_pass(enc: &mut BlockEncoder, plane: u8) -> f64 {
+    let (w, h) = (enc.grid.w, enc.grid.h);
+    let mut dd = 0.0;
+    let mut y0 = 0;
+    while y0 < h {
+        let ymax = (y0 + STRIPE_HEIGHT).min(h);
+        for x in 0..w {
+            for y in y0..ymax {
+                let i = enc.grid.idx(x, y);
+                let f = enc.grid.get(i);
+                if f & SIG != 0 && f & NEWSIG == 0 {
+                    let first = f & REFINED == 0;
+                    let mr = mr_context(first, enc.grid.any_sig_neighbor(i, enc.skip_south(y)));
+                    let bit = enc.bit(x, y, plane);
+                    enc.sink.decision(&mut enc.ctx[mr], bit);
+                    enc.grid.set(i, REFINED);
+                    dd += ref_distortion_gain(enc.mag[y * w + x], plane);
+                }
+            }
+        }
+        y0 = ymax;
+    }
+    dd
+}
+
+/// Cleanup pass: everything still uncoded at this plane, with run-length
+/// shortcuts on all-quiet stripe columns.
+fn cleanup_pass(enc: &mut BlockEncoder, plane: u8) -> f64 {
+    let (w, h) = (enc.grid.w, enc.grid.h);
+    let mut dd = 0.0;
+    let mut y0 = 0;
+    while y0 < h {
+        let ymax = (y0 + STRIPE_HEIGHT).min(h);
+        for x in 0..w {
+            let full_stripe = ymax - y0 == STRIPE_HEIGHT;
+            // Run-length mode: the whole 4-column is insignificant,
+            // unvisited, and context-free.
+            let rl_applicable = full_stripe
+                && (y0..ymax).all(|y| {
+                    let i = enc.grid.idx(x, y);
+                    enc.grid.get(i) & (SIG | VISITED) == 0
+                        && !enc.grid.any_sig_neighbor(i, enc.skip_south(y))
+                });
+            let mut y = y0;
+            if rl_applicable {
+                let first_sig = (y0..ymax).find(|&yy| enc.bit(x, yy, plane) == 1);
+                match first_sig {
+                    None => {
+                        enc.sink.decision(&mut enc.ctx[CTX_RL], 0);
+                        continue; // whole column stays zero
+                    }
+                    Some(ys) => {
+                        enc.sink.decision(&mut enc.ctx[CTX_RL], 1);
+                        let r = (ys - y0) as u8;
+                        enc.sink.decision(&mut enc.ctx[CTX_UNI], (r >> 1) & 1);
+                        enc.sink.decision(&mut enc.ctx[CTX_UNI], r & 1);
+                        dd += enc.code_sign_and_mark(x, ys, plane);
+                        y = ys + 1;
+                    }
+                }
+            }
+            for yy in y..ymax {
+                let i = enc.grid.idx(x, yy);
+                let f = enc.grid.get(i);
+                if f & (SIG | VISITED) == 0 {
+                    dd += enc.code_significance(x, yy, plane);
+                }
+            }
+        }
+        y0 = ymax;
+    }
+    dd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_block_codes_to_nothing() {
+        let blk = encode_block(&[0; 16], 4, 4, BandCtx::LlLh);
+        assert_eq!(blk.msb_planes, 0);
+        assert!(blk.passes.is_empty());
+        assert!(blk.data.is_empty());
+        assert_eq!(blk.initial_distortion, 0.0);
+    }
+
+    #[test]
+    fn pass_structure_matches_planes() {
+        // Max magnitude 5 -> 3 planes -> 1 + 3*2 = 7 passes.
+        let mut coeffs = vec![0i32; 64];
+        coeffs[10] = 5;
+        coeffs[30] = -3;
+        let blk = encode_block(&coeffs, 8, 8, BandCtx::Hh);
+        assert_eq!(blk.msb_planes, 3);
+        assert_eq!(blk.passes.len(), 7);
+        assert_eq!(blk.passes[0].kind, PassKind::Cleanup);
+        assert_eq!(blk.passes[0].plane, 2);
+        assert_eq!(blk.passes[1].kind, PassKind::SigProp);
+        assert_eq!(blk.passes[2].kind, PassKind::MagRef);
+        assert_eq!(blk.passes[3].kind, PassKind::Cleanup);
+        assert_eq!(blk.passes[6].plane, 0);
+    }
+
+    #[test]
+    fn rates_are_cumulative_and_match_data() {
+        let coeffs: Vec<i32> = (0..256).map(|i| ((i * 17) % 64) - 32).collect();
+        let blk = encode_block(&coeffs, 16, 16, BandCtx::LlLh);
+        let total: usize = blk.passes.iter().map(|p| p.len).sum();
+        assert_eq!(total, blk.data.len());
+        assert_eq!(blk.rate_after(blk.passes.len()), blk.data.len());
+        assert_eq!(blk.rate_after(0), 0);
+    }
+
+    #[test]
+    fn distortion_decreases_monotonically_to_zero() {
+        let coeffs: Vec<i32> = (0..64).map(|i| (i - 32) * 3).collect();
+        let blk = encode_block(&coeffs, 8, 8, BandCtx::Hl);
+        let mut prev = blk.initial_distortion;
+        for n in 1..=blk.passes.len() {
+            let d = blk.distortion_after(n);
+            assert!(d <= prev + 1e-9, "pass {n}: {d} > {prev}");
+            prev = d;
+        }
+        // All passes included => full precision => zero residual error.
+        assert!(prev.abs() < 1e-6, "final distortion {prev}");
+    }
+
+    #[test]
+    fn distortion_gain_helpers() {
+        // m=5, plane 2: base=4, r=4+2=6, e0=25, e1=1 -> gain 24.
+        assert!((sig_distortion_gain(5, 2) - 24.0).abs() < 1e-12);
+        // m=5 refined at plane 0: r0=4+1=5? base0=(5>>1)<<1=4, half(1)=1 -> r0=5, e0=0
+        // r1=5+0=5, e1=0 -> gain 0.
+        assert!((ref_distortion_gain(5, 0) - 0.0).abs() < 1e-12);
+        // m=7 refined at plane 1: base0=4,r0=4+2=6,e0=1; base1=6,r1=6+1=7,e1=0 -> 1.
+        assert!((ref_distortion_gain(7, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_coefficient_block() {
+        let blk = encode_block(&[-9], 1, 1, BandCtx::LlLh);
+        assert_eq!(blk.msb_planes, 4);
+        assert_eq!(blk.passes.len(), 10);
+        assert!(blk.initial_distortion == 81.0);
+    }
+
+    #[test]
+    fn segments_are_individually_addressable() {
+        let coeffs: Vec<i32> = (0..64).map(|i| if i % 7 == 0 { 12 } else { 0 }).collect();
+        let blk = encode_block(&coeffs, 8, 8, BandCtx::Hh);
+        let mut reassembled = Vec::new();
+        for p in 0..blk.passes.len() {
+            reassembled.extend_from_slice(blk.segment(p));
+        }
+        assert_eq!(reassembled, blk.data);
+    }
+}

@@ -1,0 +1,33 @@
+//! EBCOT Tier-1: embedded block coding of quantized wavelet coefficients
+//! (ISO/IEC 15444-1 Annex D; Taubman, *High performance scalable image
+//! compression with EBCOT*, IEEE TIP 2000).
+//!
+//! Each code-block (paper default 64x64) is coded independently — this
+//! independence is exactly what the reproduced paper exploits: *"In the
+//! encoding stage ... no synchronisation is necessary due to the processing
+//! of independent code-blocks"*. The block's sign-magnitude coefficients are
+//! coded bit-plane by bit-plane in three passes per plane (significance
+//! propagation, magnitude refinement, cleanup) against 19 adaptive MQ
+//! contexts.
+//!
+//! Termination: every coding pass ends with an MQ flush (the standard's
+//! per-pass termination mode), so any pass boundary is an exactly decodable
+//! truncation point. Each pass also records its exact distortion reduction,
+//! giving Tier-2's PCRD optimizer true rate/distortion points.
+
+pub mod context;
+pub(crate) mod state;
+pub mod decoder;
+pub mod encoder;
+
+pub use context::BandCtx;
+pub use decoder::{decode_block, decode_block_with};
+pub use encoder::{encode_block, encode_block_with, EncodedBlock, PassInfo, PassKind, Tier1Options};
+
+/// Code-block scan geometry: stripes of 4 rows, columns left-to-right,
+/// 4 coefficients top-to-bottom per column.
+pub const STRIPE_HEIGHT: usize = 4;
+
+/// Maximum coded magnitude bit-planes (`u32` magnitudes minus sign handling
+/// headroom).
+pub const MAX_PLANES: u8 = 31;

@@ -1,0 +1,188 @@
+//! Tests for the optional Tier-1 coding styles (stripe-causal context
+//! formation, per-pass context reset).
+
+use pj2k_ebcot::{decode_block_with, encode_block_with, BandCtx, Tier1Options};
+use proptest::prelude::*;
+
+const ALL_OPTS: [Tier1Options; 6] = [
+    Tier1Options {
+        stripe_causal: false,
+        reset_contexts: false,
+        bypass: false,
+    },
+    Tier1Options {
+        stripe_causal: true,
+        reset_contexts: false,
+        bypass: false,
+    },
+    Tier1Options {
+        stripe_causal: false,
+        reset_contexts: true,
+        bypass: false,
+    },
+    Tier1Options {
+        stripe_causal: true,
+        reset_contexts: true,
+        bypass: false,
+    },
+    Tier1Options {
+        stripe_causal: false,
+        reset_contexts: false,
+        bypass: true,
+    },
+    Tier1Options {
+        stripe_causal: true,
+        reset_contexts: true,
+        bypass: true,
+    },
+];
+
+fn sample_block(w: usize, h: usize, seed: u64) -> Vec<i32> {
+    let mut state = seed | 1;
+    (0..w * h)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if state.is_multiple_of(3) {
+                0
+            } else {
+                ((state >> 40) as i32 % 2000) - 1000
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn every_style_roundtrips_exactly() {
+    let (w, h) = (20, 19);
+    let coeffs = sample_block(w, h, 7);
+    for opts in ALL_OPTS {
+        for band in [BandCtx::LlLh, BandCtx::Hl, BandCtx::Hh] {
+            let blk = encode_block_with(&coeffs, w, h, band, opts);
+            let segs: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
+            let got = decode_block_with(w, h, band, blk.msb_planes, &segs, opts);
+            assert_eq!(got, coeffs, "{opts:?} {band:?}");
+        }
+    }
+}
+
+#[test]
+fn styles_change_the_bitstream() {
+    // The options are not no-ops: streams differ (so they must be
+    // signalled, which pj2k-core does in the COD segment).
+    let (w, h) = (16, 16);
+    let coeffs = sample_block(w, h, 3);
+    let base = encode_block_with(&coeffs, w, h, BandCtx::LlLh, ALL_OPTS[0]);
+    let causal = encode_block_with(&coeffs, w, h, BandCtx::LlLh, ALL_OPTS[1]);
+    let reset = encode_block_with(&coeffs, w, h, BandCtx::LlLh, ALL_OPTS[2]);
+    assert_ne!(base.data, causal.data, "stripe-causal must alter the stream");
+    assert_ne!(base.data, reset.data, "context reset must alter the stream");
+}
+
+#[test]
+fn bypass_trades_rate_for_simpler_coding() {
+    // Bypassed passes are raw bits: the stream may grow, never shrink much,
+    // and must still round-trip exactly (deep planes => bypass kicks in).
+    let (w, h) = (32, 32);
+    let coeffs: Vec<i32> = sample_block(w, h, 21).iter().map(|v| v * 16).collect();
+    let base = encode_block_with(&coeffs, w, h, BandCtx::LlLh, ALL_OPTS[0]);
+    let lazy = encode_block_with(
+        &coeffs,
+        w,
+        h,
+        BandCtx::LlLh,
+        Tier1Options {
+            bypass: true,
+            ..Tier1Options::default()
+        },
+    );
+    assert!(base.msb_planes >= 6, "need deep planes: {}", base.msb_planes);
+    assert_ne!(base.data, lazy.data, "bypass must alter the stream");
+    let segs: Vec<&[u8]> = (0..lazy.passes.len()).map(|p| lazy.segment(p)).collect();
+    let got = pj2k_ebcot::decode_block_with(
+        w,
+        h,
+        BandCtx::LlLh,
+        lazy.msb_planes,
+        &segs,
+        Tier1Options {
+            bypass: true,
+            ..Tier1Options::default()
+        },
+    );
+    assert_eq!(got, coeffs);
+    // Rate penalty is bounded (it is content-dependent: random blocks are
+    // the worst case for raw significance coding; natural imagery pays a
+    // few percent).
+    assert!(
+        (lazy.data.len() as f64) < base.data.len() as f64 * 1.8,
+        "bypass blew up the rate: {} vs {}",
+        lazy.data.len(),
+        base.data.len()
+    );
+}
+
+#[test]
+fn reset_contexts_costs_rate() {
+    // Fresh contexts every pass adapt slower: the stream should not shrink.
+    let (w, h) = (32, 32);
+    let coeffs = sample_block(w, h, 11);
+    let base = encode_block_with(&coeffs, w, h, BandCtx::Hh, ALL_OPTS[0]);
+    let reset = encode_block_with(&coeffs, w, h, BandCtx::Hh, ALL_OPTS[2]);
+    assert!(
+        reset.data.len() >= base.data.len(),
+        "reset {} < base {}",
+        reset.data.len(),
+        base.data.len()
+    );
+}
+
+#[test]
+fn causal_only_differs_when_stripes_interact() {
+    // A block a single stripe tall has no next stripe: stripe-causal
+    // context formation is then a no-op and streams must match.
+    let coeffs = sample_block(24, 4, 5);
+    let base = encode_block_with(&coeffs, 24, 4, BandCtx::LlLh, ALL_OPTS[0]);
+    let causal = encode_block_with(&coeffs, 24, 4, BandCtx::LlLh, ALL_OPTS[1]);
+    assert_eq!(base.data, causal.data);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn styles_roundtrip_arbitrary_blocks(
+        w in 1usize..20,
+        h in 1usize..20,
+        seed in any::<u64>(),
+        causal in any::<bool>(),
+        reset in any::<bool>(),
+        bypass in any::<bool>(),
+    ) {
+        let opts = Tier1Options { stripe_causal: causal, reset_contexts: reset, bypass };
+        let coeffs = sample_block(w, h, seed);
+        let blk = encode_block_with(&coeffs, w, h, BandCtx::Hl, opts);
+        let segs: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
+        prop_assert_eq!(decode_block_with(w, h, BandCtx::Hl, blk.msb_planes, &segs, opts), coeffs);
+    }
+
+    /// Truncated decodes still match the encoder's distortion bookkeeping
+    /// under every style.
+    #[test]
+    fn styles_keep_rd_contract(seed in any::<u64>(), causal in any::<bool>(), reset in any::<bool>(), bypass in any::<bool>()) {
+        let opts = Tier1Options { stripe_causal: causal, reset_contexts: reset, bypass };
+        let (w, h) = (12, 10);
+        let coeffs = sample_block(w, h, seed);
+        let blk = encode_block_with(&coeffs, w, h, BandCtx::Hh, opts);
+        for n in 0..=blk.passes.len() {
+            let segs: Vec<&[u8]> = (0..n).map(|p| blk.segment(p)).collect();
+            let got = decode_block_with(w, h, BandCtx::Hh, blk.msb_planes, &segs, opts);
+            let actual: f64 = got
+                .iter()
+                .zip(&coeffs)
+                .map(|(a, b)| (f64::from(*a) - f64::from(*b)).powi(2))
+                .sum();
+            let predicted = blk.distortion_after(n);
+            prop_assert!((actual - predicted).abs() < 1e-6 * (1.0 + predicted), "pass {}", n);
+        }
+    }
+}

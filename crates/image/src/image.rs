@@ -1,0 +1,175 @@
+//! Multi-component image container.
+
+use crate::plane::Plane;
+
+/// A multi-component raster image with integer samples.
+///
+/// Samples are stored as `i32` regardless of the declared `bit_depth` so the
+/// same container can hold unshifted pixels, DC-level-shifted pixels, and
+/// reversible-transform residuals without conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    components: Vec<Plane<i32>>,
+    bit_depth: u8,
+    signed: bool,
+}
+
+impl Image {
+    /// Build an image from component planes.
+    ///
+    /// # Panics
+    /// Panics if `components` is empty, the planes disagree in size, or
+    /// `bit_depth` is outside `1..=16`.
+    pub fn new(components: Vec<Plane<i32>>, bit_depth: u8, signed: bool) -> Self {
+        assert!(!components.is_empty(), "image needs at least one component");
+        assert!((1..=16).contains(&bit_depth), "bit depth {bit_depth} unsupported");
+        let (w, h) = (components[0].width(), components[0].height());
+        assert!(
+            components.iter().all(|c| c.width() == w && c.height() == h),
+            "all components must share dimensions"
+        );
+        Self {
+            components,
+            bit_depth,
+            signed,
+        }
+    }
+
+    /// Single-component (grayscale) 8-bit image.
+    pub fn gray8(plane: Plane<i32>) -> Self {
+        Self::new(vec![plane], 8, false)
+    }
+
+    /// Three-component (RGB) 8-bit image.
+    pub fn rgb8(r: Plane<i32>, g: Plane<i32>, b: Plane<i32>) -> Self {
+        Self::new(vec![r, g, b], 8, false)
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.components[0].width()
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.components[0].height()
+    }
+
+    /// Total pixel count (`width * height`).
+    pub fn pixels(&self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// Number of components (1 = gray, 3 = RGB, ...).
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Declared sample precision in bits.
+    pub fn bit_depth(&self) -> u8 {
+        self.bit_depth
+    }
+
+    /// Whether samples are declared signed.
+    pub fn signed(&self) -> bool {
+        self.signed
+    }
+
+    /// Component plane `c`.
+    pub fn component(&self, c: usize) -> &Plane<i32> {
+        &self.components[c]
+    }
+
+    /// Mutable component plane `c`.
+    pub fn component_mut(&mut self, c: usize) -> &mut Plane<i32> {
+        &mut self.components[c]
+    }
+
+    /// All component planes.
+    pub fn components(&self) -> &[Plane<i32>] {
+        &self.components
+    }
+
+    /// Consume the image, yielding its planes.
+    pub fn into_components(self) -> Vec<Plane<i32>> {
+        self.components
+    }
+
+    /// Clamp every sample into the representable range for the declared
+    /// precision (`0..2^bits-1` unsigned, symmetric for signed). Used after
+    /// lossy reconstruction.
+    pub fn clamp_to_depth(&mut self) {
+        let (lo, hi) = self.sample_range();
+        for plane in &mut self.components {
+            for v in plane.raw_mut() {
+                *v = (*v).clamp(lo, hi);
+            }
+        }
+    }
+
+    /// Representable sample range for the declared precision.
+    pub fn sample_range(&self) -> (i32, i32) {
+        if self.signed {
+            let half = 1i32 << (self.bit_depth - 1);
+            (-half, half - 1)
+        } else {
+            (0, (1i32 << self.bit_depth) - 1)
+        }
+    }
+
+    /// Extract the pixel rectangle `[x0, x0+w) x [y0, y0+h)` from every
+    /// component as a new image.
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Self {
+        Self {
+            components: self.components.iter().map(|c| c.crop(x0, y0, w, h)).collect(),
+            bit_depth: self.bit_depth,
+            signed: self.signed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_checks_dimensions() {
+        let img = Image::gray8(Plane::new(8, 4));
+        assert_eq!(img.width(), 8);
+        assert_eq!(img.height(), 4);
+        assert_eq!(img.pixels(), 32);
+        assert_eq!(img.num_components(), 1);
+        assert_eq!(img.sample_range(), (0, 255));
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn mismatched_planes_panic() {
+        let _ = Image::rgb8(Plane::new(4, 4), Plane::new(4, 4), Plane::new(4, 5));
+    }
+
+    #[test]
+    fn signed_range() {
+        let img = Image::new(vec![Plane::new(2, 2)], 10, true);
+        assert_eq!(img.sample_range(), (-512, 511));
+    }
+
+    #[test]
+    fn clamp_to_depth_clamps() {
+        let mut img = Image::gray8(Plane::from_vec(2, 1, vec![-5, 300]));
+        img.clamp_to_depth();
+        assert_eq!(img.component(0).row(0), &[0, 255]);
+    }
+
+    #[test]
+    fn crop_applies_to_all_components() {
+        let r = Plane::from_fn(4, 4, |x, _| x as i32);
+        let g = Plane::from_fn(4, 4, |_, y| y as i32);
+        let b = Plane::from_fn(4, 4, |x, y| (x + y) as i32);
+        let img = Image::rgb8(r, g, b).crop(1, 2, 2, 2);
+        assert_eq!(img.width(), 2);
+        assert_eq!(img.component(0).row(0), &[1, 2]);
+        assert_eq!(img.component(1).row(0), &[2, 2]);
+        assert_eq!(img.component(2).row(1), &[4, 5]);
+    }
+}

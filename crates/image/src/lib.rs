@@ -1,0 +1,24 @@
+//! Image substrate for the pj2k workspace.
+//!
+//! Provides the containers and utilities every codec in this reproduction
+//! shares: a strided 2-D sample plane ([`Plane`]), a multi-component
+//! [`Image`], PGM/PPM I/O ([`pnm`]), deterministic synthetic test imagery
+//! ([`synth`] — the stand-in for the paper's photographic test set, see
+//! DESIGN.md §2), quality metrics ([`metrics`]), the JPEG2000 component
+//! transforms ([`transform`]) and tiling ([`tile`]).
+//!
+//! The [`Plane`] type carries an explicit row stride so the paper's
+//! "pad the image width off a power of two" cache fix (§3.2) can be
+//! expressed without copying: samples stay at their logical coordinates
+//! while rows are laid out `stride` elements apart.
+
+pub mod image;
+pub mod metrics;
+pub mod plane;
+pub mod pnm;
+pub mod synth;
+pub mod tile;
+pub mod transform;
+
+pub use image::Image;
+pub use plane::Plane;

@@ -1,0 +1,123 @@
+//! Image quality metrics: MSE, PSNR, maximum absolute error.
+//!
+//! PSNR here matches the paper's Fig. 5 convention: peak = `2^bits - 1`
+//! (255 for 8-bit material), distortion averaged over all pixels of all
+//! components.
+
+use crate::image::Image;
+use crate::plane::Plane;
+
+/// Mean squared error between two planes.
+///
+/// # Panics
+/// Panics if the planes differ in size.
+pub fn mse_plane(a: &Plane<i32>, b: &Plane<i32>) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "plane size mismatch"
+    );
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0f64;
+    for y in 0..a.height() {
+        for (&va, &vb) in a.row(y).iter().zip(b.row(y)) {
+            let d = f64::from(va - vb);
+            acc += d * d;
+        }
+    }
+    acc / a.len() as f64
+}
+
+/// Mean squared error across all components of two images.
+///
+/// # Panics
+/// Panics if the images differ in geometry or component count.
+pub fn mse(a: &Image, b: &Image) -> f64 {
+    assert_eq!(a.num_components(), b.num_components(), "component count mismatch");
+    let mut acc = 0.0;
+    for c in 0..a.num_components() {
+        acc += mse_plane(a.component(c), b.component(c));
+    }
+    acc / a.num_components() as f64
+}
+
+/// PSNR in dB for a given peak value. Returns `f64::INFINITY` when the
+/// images are identical.
+pub fn psnr_with_peak(mse: f64, peak: f64) -> f64 {
+    if mse <= 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * ((peak * peak) / mse).log10()
+    }
+}
+
+/// PSNR between two images using the first image's declared bit depth for
+/// the peak value.
+pub fn psnr(a: &Image, b: &Image) -> f64 {
+    let peak = f64::from((1i64 << a.bit_depth()) as i32 - 1);
+    psnr_with_peak(mse(a, b), peak)
+}
+
+/// Largest absolute sample difference; 0 means bit-exact.
+pub fn max_abs_error(a: &Image, b: &Image) -> i32 {
+    assert_eq!(a.num_components(), b.num_components(), "component count mismatch");
+    let mut worst = 0;
+    for c in 0..a.num_components() {
+        let (pa, pb) = (a.component(c), b.component(c));
+        assert_eq!((pa.width(), pa.height()), (pb.width(), pb.height()));
+        for y in 0..pa.height() {
+            for (&va, &vb) in pa.row(y).iter().zip(pb.row(y)) {
+                worst = worst.max((va - vb).abs());
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(vals: &[i32], w: usize) -> Plane<i32> {
+        Plane::from_vec(w, vals.len() / w, vals.to_vec())
+    }
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let img = Image::gray8(plane(&[1, 2, 3, 4], 2));
+        assert_eq!(mse(&img, &img), 0.0);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+        assert_eq!(max_abs_error(&img, &img), 0);
+    }
+
+    #[test]
+    fn mse_hand_computed() {
+        let a = Image::gray8(plane(&[0, 0, 0, 0], 2));
+        let b = Image::gray8(plane(&[1, 1, 3, 1], 2));
+        // (1 + 1 + 9 + 1) / 4 = 3
+        assert!((mse(&a, &b) - 3.0).abs() < 1e-12);
+        assert_eq!(max_abs_error(&a, &b), 3);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE such that PSNR = 20*log10(255) - 10*log10(mse)
+        let got = psnr_with_peak(255.0 * 255.0 / 100.0, 255.0);
+        assert!((got - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_component_averages() {
+        let a = Image::rgb8(plane(&[0], 1), plane(&[0], 1), plane(&[0], 1));
+        let b = Image::rgb8(plane(&[3], 1), plane(&[0], 1), plane(&[0], 1));
+        assert!((mse(&a, &b) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let _ = mse_plane(&Plane::new(2, 2), &Plane::new(3, 2));
+    }
+}

@@ -1,0 +1,205 @@
+//! Minimal PGM (P5/P2) and PPM (P6/P3) image I/O.
+//!
+//! Supports 8-bit maxval (<= 255). This is the on-disk interchange format of
+//! the harness: the paper's Fig. 4 visual comparison is emitted as PGM crops,
+//! and users can feed their own photographic material through these readers.
+
+use crate::image::Image;
+use crate::plane::Plane;
+use std::io::{self, BufRead, Write};
+
+/// Read a PGM or PPM image (binary or ASCII variant) from `r`.
+///
+/// # Errors
+/// Returns `InvalidData` on malformed headers, unsupported magic numbers,
+/// maxval > 255, or truncated pixel data.
+pub fn read(r: &mut impl BufRead) -> io::Result<Image> {
+    let magic = read_token(r)?;
+    let (components, binary) = match magic.as_str() {
+        "P5" => (1, true),
+        "P2" => (1, false),
+        "P6" => (3, true),
+        "P3" => (3, false),
+        other => {
+            return Err(invalid(format!("unsupported PNM magic {other:?}")));
+        }
+    };
+    let width: usize = parse_token(r, "width")?;
+    let height: usize = parse_token(r, "height")?;
+    let maxval: usize = parse_token(r, "maxval")?;
+    if width == 0 || height == 0 {
+        return Err(invalid("zero image dimension".into()));
+    }
+    if maxval == 0 || maxval > 255 {
+        return Err(invalid(format!("unsupported maxval {maxval}")));
+    }
+    let n = width * height;
+    let mut planes = vec![Plane::<i32>::new(width, height); components];
+    if binary {
+        let mut buf = vec![0u8; n * components];
+        r.read_exact(&mut buf)?;
+        for y in 0..height {
+            for x in 0..width {
+                let base = (y * width + x) * components;
+                for (c, plane) in planes.iter_mut().enumerate() {
+                    plane.set(x, y, i32::from(buf[base + c]));
+                }
+            }
+        }
+    } else {
+        for y in 0..height {
+            for x in 0..width {
+                for plane in planes.iter_mut() {
+                    let v: i32 = parse_token(r, "pixel")?;
+                    if !(0..=maxval as i32).contains(&v) {
+                        return Err(invalid(format!("sample {v} out of range")));
+                    }
+                    plane.set(x, y, v);
+                }
+            }
+        }
+    }
+    Ok(Image::new(planes, 8, false))
+}
+
+/// Write `img` as binary PGM (1 component) or PPM (3 components).
+///
+/// Samples are clamped to `0..=255`.
+///
+/// # Errors
+/// Propagates I/O errors; returns `InvalidInput` for component counts other
+/// than 1 or 3.
+pub fn write(w: &mut impl Write, img: &Image) -> io::Result<()> {
+    let magic = match img.num_components() {
+        1 => "P5",
+        3 => "P6",
+        n => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cannot write {n}-component image as PNM"),
+            ));
+        }
+    };
+    writeln!(w, "{magic}")?;
+    writeln!(w, "{} {}", img.width(), img.height())?;
+    writeln!(w, "255")?;
+    let mut buf = Vec::with_capacity(img.pixels() * img.num_components());
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            for c in 0..img.num_components() {
+                buf.push(img.component(c).get(x, y).clamp(0, 255) as u8);
+            }
+        }
+    }
+    w.write_all(&buf)
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Read the next whitespace-separated token, skipping `#` comments.
+fn read_token(r: &mut impl BufRead) -> io::Result<String> {
+    let mut tok = String::new();
+    let mut in_comment = false;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte)? {
+            0 => {
+                if tok.is_empty() {
+                    return Err(invalid("unexpected end of PNM header".into()));
+                }
+                return Ok(tok);
+            }
+            _ => {
+                let ch = byte[0] as char;
+                if in_comment {
+                    if ch == '\n' {
+                        in_comment = false;
+                    }
+                } else if ch == '#' && tok.is_empty() {
+                    in_comment = true;
+                } else if ch.is_ascii_whitespace() {
+                    if !tok.is_empty() {
+                        return Ok(tok);
+                    }
+                } else {
+                    tok.push(ch);
+                }
+            }
+        }
+    }
+}
+
+fn parse_token<T: std::str::FromStr>(r: &mut impl BufRead, what: &str) -> io::Result<T> {
+    let tok = read_token(r)?;
+    tok.parse()
+        .map_err(|_| invalid(format!("bad {what} token {tok:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(img: &Image) -> Image {
+        let mut buf = Vec::new();
+        write(&mut buf, img).unwrap();
+        read(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = Image::gray8(Plane::from_fn(5, 3, |x, y| ((x * 50 + y * 17) % 256) as i32));
+        assert_eq!(roundtrip(&img), img);
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let img = Image::rgb8(
+            Plane::from_fn(4, 2, |x, _| (x * 60) as i32),
+            Plane::from_fn(4, 2, |_, y| (y * 100) as i32),
+            Plane::from_fn(4, 2, |x, y| ((x + y) * 30) as i32),
+        );
+        assert_eq!(roundtrip(&img), img);
+    }
+
+    #[test]
+    fn ascii_pgm_with_comments() {
+        let text = "P2\n# a comment\n3 2\n# another\n255\n0 1 2\n10 11 12\n";
+        let img = read(&mut Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(img.component(0).row(0), &[0, 1, 2]);
+        assert_eq!(img.component(0).row(1), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn ascii_ppm() {
+        let text = "P3 2 1 255  1 2 3  4 5 6";
+        let img = read(&mut Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(img.num_components(), 3);
+        assert_eq!(img.component(0).row(0), &[1, 4]);
+        assert_eq!(img.component(2).row(0), &[3, 6]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(read(&mut Cursor::new(b"P9 1 1 255 0".as_slice())).is_err());
+    }
+
+    #[test]
+    fn rejects_big_maxval() {
+        assert!(read(&mut Cursor::new(b"P5 1 1 65535 ".as_slice())).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_binary() {
+        assert!(read(&mut Cursor::new(b"P5 4 4 255 \x00\x01".as_slice())).is_err());
+    }
+
+    #[test]
+    fn write_clamps_out_of_range() {
+        let img = Image::gray8(Plane::from_vec(2, 1, vec![-20, 999]));
+        let out = roundtrip(&img);
+        assert_eq!(out.component(0).row(0), &[0, 255]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Image tiling.
+//!
+//! JPEG2000 optionally partitions the image into a regular grid of tiles that
+//! are transformed and coded independently. The paper's §3.1 evaluates (and
+//! rejects) tiling as a parallelization strategy because independent per-tile
+//! wavelet transforms create blocking artifacts (Figs. 4, 5); the harness
+//! reproduces that experiment through this module.
+
+use crate::image::Image;
+
+/// A regular tile grid over an image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGrid {
+    image_w: usize,
+    image_h: usize,
+    tile_w: usize,
+    tile_h: usize,
+}
+
+/// Position and size of one tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileRect {
+    /// Tile index in raster order.
+    pub index: usize,
+    /// Left pixel column.
+    pub x0: usize,
+    /// Top pixel row.
+    pub y0: usize,
+    /// Tile width (may be smaller than the nominal size at the right edge).
+    pub w: usize,
+    /// Tile height (may be smaller at the bottom edge).
+    pub h: usize,
+}
+
+impl TileGrid {
+    /// Grid of `tile_w x tile_h` tiles over a `image_w x image_h` image.
+    ///
+    /// # Panics
+    /// Panics on zero-sized tiles or image.
+    pub fn new(image_w: usize, image_h: usize, tile_w: usize, tile_h: usize) -> Self {
+        assert!(image_w > 0 && image_h > 0, "empty image");
+        assert!(tile_w > 0 && tile_h > 0, "empty tile");
+        Self {
+            image_w,
+            image_h,
+            tile_w,
+            tile_h,
+        }
+    }
+
+    /// Grid with a single tile covering the whole image (tiling disabled).
+    pub fn single(image_w: usize, image_h: usize) -> Self {
+        Self::new(image_w, image_h, image_w, image_h)
+    }
+
+    /// Tiles per row.
+    pub fn cols(&self) -> usize {
+        self.image_w.div_ceil(self.tile_w)
+    }
+
+    /// Tiles per column.
+    pub fn rows(&self) -> usize {
+        self.image_h.div_ceil(self.tile_h)
+    }
+
+    /// Total number of tiles.
+    pub fn len(&self) -> usize {
+        self.cols() * self.rows()
+    }
+
+    /// Always false: a grid covers at least one tile (construction rejects
+    /// empty images/tiles). Present for `len`/`is_empty` symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if the grid is a single whole-image tile.
+    pub fn is_single(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Rectangle of tile `index` (raster order).
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    pub fn rect(&self, index: usize) -> TileRect {
+        assert!(index < self.len(), "tile index out of range");
+        let tx = index % self.cols();
+        let ty = index / self.cols();
+        let x0 = tx * self.tile_w;
+        let y0 = ty * self.tile_h;
+        TileRect {
+            index,
+            x0,
+            y0,
+            w: (self.image_w - x0).min(self.tile_w),
+            h: (self.image_h - y0).min(self.tile_h),
+        }
+    }
+
+    /// Iterate over all tile rectangles in raster order.
+    pub fn iter(&self) -> impl Iterator<Item = TileRect> + '_ {
+        (0..self.len()).map(|i| self.rect(i))
+    }
+}
+
+/// Cut `img` into per-tile images following `grid`.
+pub fn split(img: &Image, grid: &TileGrid) -> Vec<Image> {
+    grid.iter()
+        .map(|t| img.crop(t.x0, t.y0, t.w, t.h))
+        .collect()
+}
+
+/// Reassemble tile images produced by [`split`] into one image.
+///
+/// # Panics
+/// Panics if the tile list does not match the grid.
+pub fn assemble(tiles: &[Image], grid: &TileGrid, bit_depth: u8, signed: bool) -> Image {
+    assert_eq!(tiles.len(), grid.len(), "tile count mismatch");
+    let comps = tiles[0].num_components();
+    let mut planes = vec![crate::plane::Plane::<i32>::new(grid.image_w, grid.image_h); comps];
+    for (tile, rect) in tiles.iter().zip(grid.iter()) {
+        assert_eq!(tile.num_components(), comps, "tile component mismatch");
+        assert_eq!((tile.width(), tile.height()), (rect.w, rect.h), "tile size mismatch");
+        for (c, plane) in planes.iter_mut().enumerate() {
+            plane.blit(tile.component(c), rect.x0, rect.y0);
+        }
+    }
+    Image::new(planes, bit_depth, signed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::Plane;
+
+    #[test]
+    fn grid_geometry_even_split() {
+        let g = TileGrid::new(512, 512, 128, 128);
+        assert_eq!(g.cols(), 4);
+        assert_eq!(g.rows(), 4);
+        assert_eq!(g.len(), 16);
+        let t5 = g.rect(5);
+        assert_eq!((t5.x0, t5.y0, t5.w, t5.h), (128, 128, 128, 128));
+    }
+
+    #[test]
+    fn grid_geometry_ragged_edges() {
+        let g = TileGrid::new(100, 70, 64, 64);
+        assert_eq!(g.cols(), 2);
+        assert_eq!(g.rows(), 2);
+        let t1 = g.rect(1);
+        assert_eq!((t1.w, t1.h), (36, 64));
+        let t3 = g.rect(3);
+        assert_eq!((t3.w, t3.h), (36, 6));
+    }
+
+    #[test]
+    fn split_assemble_roundtrip() {
+        let img = Image::gray8(Plane::from_fn(37, 23, |x, y| ((x * 7 + y * 13) % 256) as i32));
+        for (tw, th) in [(8, 8), (16, 10), (37, 23), (64, 64)] {
+            let grid = TileGrid::new(37, 23, tw, th);
+            let tiles = split(&img, &grid);
+            let back = assemble(&tiles, &grid, 8, false);
+            assert_eq!(back, img, "tile {tw}x{th}");
+        }
+    }
+
+    #[test]
+    fn single_grid() {
+        let g = TileGrid::single(33, 44);
+        assert!(g.is_single());
+        assert_eq!(g.rect(0).w, 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rect_oob_panics() {
+        let _ = TileGrid::new(10, 10, 10, 10).rect(1);
+    }
+}

@@ -1,0 +1,201 @@
+//! DC level shift and inter-component transforms (ISO 15444-1 Annex G).
+//!
+//! JPEG2000 applies, before the wavelet stage:
+//!
+//! * a **DC level shift** of unsigned components by `2^(bits-1)`, and
+//! * for 3-component images, either the **reversible color transform**
+//!   (RCT, integer, used with the 5/3 wavelet for lossless coding) or the
+//!   **irreversible color transform** (ICT, the floating-point RGB→YCbCr
+//!   matrix, used with the 9/7 wavelet).
+//!
+//! This is the "inter-component transform" stage of the paper's Fig. 3
+//! runtime breakdown.
+
+use crate::image::Image;
+use crate::plane::Plane;
+
+/// Subtract `2^(bits-1)` from every sample of an unsigned image (in place).
+/// No-op for signed images.
+pub fn dc_level_shift_forward(img: &mut Image) {
+    if img.signed() {
+        return;
+    }
+    let shift = 1i32 << (img.bit_depth() - 1);
+    for c in 0..img.num_components() {
+        for v in img.component_mut(c).raw_mut() {
+            *v -= shift;
+        }
+    }
+}
+
+/// Undo [`dc_level_shift_forward`].
+pub fn dc_level_shift_inverse(img: &mut Image) {
+    if img.signed() {
+        return;
+    }
+    let shift = 1i32 << (img.bit_depth() - 1);
+    for c in 0..img.num_components() {
+        for v in img.component_mut(c).raw_mut() {
+            *v += shift;
+        }
+    }
+}
+
+/// Forward reversible color transform on (R, G, B) planes, in place:
+/// `Y = floor((R + 2G + B)/4)`, `U = B - G`, `V = R - G`.
+///
+/// # Panics
+/// Panics if the planes differ in size.
+pub fn rct_forward(r: &mut Plane<i32>, g: &mut Plane<i32>, b: &mut Plane<i32>) {
+    let (w, h) = (r.width(), r.height());
+    assert!(
+        g.width() == w && g.height() == h && b.width() == w && b.height() == h,
+        "RCT plane size mismatch"
+    );
+    for y in 0..h {
+        for x in 0..w {
+            let (rv, gv, bv) = (r.get(x, y), g.get(x, y), b.get(x, y));
+            let yv = (rv + 2 * gv + bv) >> 2; // floor division for the sum
+            let uv = bv - gv;
+            let vv = rv - gv;
+            r.set(x, y, yv);
+            g.set(x, y, uv);
+            b.set(x, y, vv);
+        }
+    }
+}
+
+/// Inverse reversible color transform, exactly undoing [`rct_forward`]:
+/// `G = Y - floor((U + V)/4)`, `R = V + G`, `B = U + G`.
+pub fn rct_inverse(y_p: &mut Plane<i32>, u_p: &mut Plane<i32>, v_p: &mut Plane<i32>) {
+    let (w, h) = (y_p.width(), y_p.height());
+    for yy in 0..h {
+        for x in 0..w {
+            let (yv, uv, vv) = (y_p.get(x, yy), u_p.get(x, yy), v_p.get(x, yy));
+            let g = yv - ((uv + vv) >> 2);
+            let r = vv + g;
+            let b = uv + g;
+            y_p.set(x, yy, r);
+            u_p.set(x, yy, g);
+            v_p.set(x, yy, b);
+        }
+    }
+}
+
+/// Forward irreversible color transform (RGB→YCbCr) on float planes,
+/// in place. Coefficients from ISO 15444-1 Table G.3.
+pub fn ict_forward(r: &mut Plane<f32>, g: &mut Plane<f32>, b: &mut Plane<f32>) {
+    let (w, h) = (r.width(), r.height());
+    for y in 0..h {
+        for x in 0..w {
+            let (rv, gv, bv) = (r.get(x, y), g.get(x, y), b.get(x, y));
+            let yv = 0.299 * rv + 0.587 * gv + 0.114 * bv;
+            let cb = -0.168_736 * rv - 0.331_264 * gv + 0.5 * bv;
+            let cr = 0.5 * rv - 0.418_688 * gv - 0.081_312 * bv;
+            r.set(x, y, yv);
+            g.set(x, y, cb);
+            b.set(x, y, cr);
+        }
+    }
+}
+
+/// Inverse irreversible color transform (YCbCr→RGB), in place.
+pub fn ict_inverse(y_p: &mut Plane<f32>, cb_p: &mut Plane<f32>, cr_p: &mut Plane<f32>) {
+    let (w, h) = (y_p.width(), y_p.height());
+    for yy in 0..h {
+        for x in 0..w {
+            let (yv, cb, cr) = (y_p.get(x, yy), cb_p.get(x, yy), cr_p.get(x, yy));
+            let r = yv + 1.402 * cr;
+            let g = yv - 0.344_136 * cb - 0.714_136 * cr;
+            let b = yv + 1.772 * cb;
+            y_p.set(x, yy, r);
+            cb_p.set(x, yy, g);
+            cr_p.set(x, yy, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_shift_roundtrip() {
+        let mut img = Image::gray8(Plane::from_vec(2, 1, vec![0, 255]));
+        dc_level_shift_forward(&mut img);
+        assert_eq!(img.component(0).row(0), &[-128, 127]);
+        dc_level_shift_inverse(&mut img);
+        assert_eq!(img.component(0).row(0), &[0, 255]);
+    }
+
+    #[test]
+    fn dc_shift_skips_signed() {
+        let mut img = Image::new(vec![Plane::from_vec(1, 1, vec![-3])], 8, true);
+        dc_level_shift_forward(&mut img);
+        assert_eq!(img.component(0).get(0, 0), -3);
+    }
+
+    #[test]
+    fn rct_is_exactly_reversible() {
+        // Exhaustive-ish sweep over tricky values including negatives
+        // (post-DC-shift samples are signed).
+        let vals = [-128, -127, -64, -1, 0, 1, 63, 127];
+        let mut triples = Vec::new();
+        for &r in &vals {
+            for &g in &vals {
+                for &b in &vals {
+                    triples.push((r, g, b));
+                }
+            }
+        }
+        let n = triples.len();
+        let mut rp = Plane::from_vec(n, 1, triples.iter().map(|t| t.0).collect());
+        let mut gp = Plane::from_vec(n, 1, triples.iter().map(|t| t.1).collect());
+        let mut bp = Plane::from_vec(n, 1, triples.iter().map(|t| t.2).collect());
+        let (r0, g0, b0) = (rp.clone(), gp.clone(), bp.clone());
+        rct_forward(&mut rp, &mut gp, &mut bp);
+        rct_inverse(&mut rp, &mut gp, &mut bp);
+        assert_eq!(rp, r0);
+        assert_eq!(gp, g0);
+        assert_eq!(bp, b0);
+    }
+
+    #[test]
+    fn rct_known_values() {
+        let mut r = Plane::from_vec(1, 1, vec![100]);
+        let mut g = Plane::from_vec(1, 1, vec![50]);
+        let mut b = Plane::from_vec(1, 1, vec![25]);
+        rct_forward(&mut r, &mut g, &mut b);
+        assert_eq!(r.get(0, 0), (100 + 100 + 25) / 4); // Y = 56
+        assert_eq!(g.get(0, 0), 25 - 50); // U = -25
+        assert_eq!(b.get(0, 0), 100 - 50); // V = 50
+    }
+
+    #[test]
+    fn ict_roundtrip_close() {
+        let mut y = Plane::from_fn(8, 8, |x, yy| (x * 20 + yy) as f32 - 100.0);
+        let mut cb = Plane::from_fn(8, 8, |x, yy| (yy * 15 + x) as f32 - 60.0);
+        let mut cr = Plane::from_fn(8, 8, |x, yy| ((x + yy) * 9) as f32 - 50.0);
+        let (y0, cb0, cr0) = (y.clone(), cb.clone(), cr.clone());
+        ict_forward(&mut y, &mut cb, &mut cr);
+        ict_inverse(&mut y, &mut cb, &mut cr);
+        for yy in 0..8 {
+            for x in 0..8 {
+                assert!((y.get(x, yy) - y0.get(x, yy)).abs() < 1e-3);
+                assert!((cb.get(x, yy) - cb0.get(x, yy)).abs() < 1e-3);
+                assert!((cr.get(x, yy) - cr0.get(x, yy)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn ict_gray_input_has_zero_chroma() {
+        let mut r = Plane::from_vec(1, 1, vec![77.0f32]);
+        let mut g = r.clone();
+        let mut b = r.clone();
+        ict_forward(&mut r, &mut g, &mut b);
+        assert!((r.get(0, 0) - 77.0).abs() < 1e-3);
+        assert!(g.get(0, 0).abs() < 1e-3);
+        assert!(b.get(0, 0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the image substrate.
+
+use pj2k_image::transform::{
+    dc_level_shift_forward, dc_level_shift_inverse, ict_forward, ict_inverse, rct_forward,
+    rct_inverse,
+};
+use pj2k_image::{pnm, tile, Image, Plane};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn arb_gray() -> impl Strategy<Value = Image> {
+    (1usize..40, 1usize..40, any::<u64>()).prop_map(|(w, h, seed)| {
+        let mut state = seed | 1;
+        Image::gray8(Plane::from_fn(w, h, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 256) as i32
+        }))
+    })
+}
+
+fn arb_rgb() -> impl Strategy<Value = Image> {
+    (1usize..24, 1usize..24, any::<u64>()).prop_map(|(w, h, seed)| {
+        let mut state = seed | 1;
+        let mut gen = move || {
+            let mut mk = |_x: usize, _y: usize| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % 256) as i32
+            };
+            Plane::from_fn(w, h, &mut mk)
+        };
+        Image::rgb8(gen(), gen(), gen())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pnm_roundtrip_gray(img in arb_gray()) {
+        let mut buf = Vec::new();
+        pnm::write(&mut buf, &img).unwrap();
+        let back = pnm::read(&mut Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pnm_roundtrip_rgb(img in arb_rgb()) {
+        let mut buf = Vec::new();
+        pnm::write(&mut buf, &img).unwrap();
+        let back = pnm::read(&mut Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    /// The reversible color transform is exactly invertible on the full
+    /// post-DC-shift range.
+    #[test]
+    fn rct_roundtrip(img in arb_rgb()) {
+        let mut work = img.clone();
+        dc_level_shift_forward(&mut work);
+        let planes = work.into_components();
+        let (mut r, mut g, mut b) = (planes[0].clone(), planes[1].clone(), planes[2].clone());
+        let (r0, g0, b0) = (r.clone(), g.clone(), b.clone());
+        rct_forward(&mut r, &mut g, &mut b);
+        rct_inverse(&mut r, &mut g, &mut b);
+        prop_assert_eq!(r, r0);
+        prop_assert_eq!(g, g0);
+        prop_assert_eq!(b, b0);
+    }
+
+    /// The irreversible color transform round-trips within float noise.
+    #[test]
+    fn ict_roundtrip(img in arb_rgb()) {
+        let planes = img.components();
+        let mut r = planes[0].map(|v| v as f32);
+        let mut g = planes[1].map(|v| v as f32);
+        let mut b = planes[2].map(|v| v as f32);
+        let (r0, g0, b0) = (r.clone(), g.clone(), b.clone());
+        ict_forward(&mut r, &mut g, &mut b);
+        ict_inverse(&mut r, &mut g, &mut b);
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                prop_assert!((r.get(x, y) - r0.get(x, y)).abs() < 1e-2);
+                prop_assert!((g.get(x, y) - g0.get(x, y)).abs() < 1e-2);
+                prop_assert!((b.get(x, y) - b0.get(x, y)).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_shift_roundtrip(img in arb_gray()) {
+        let mut work = img.clone();
+        dc_level_shift_forward(&mut work);
+        dc_level_shift_inverse(&mut work);
+        prop_assert_eq!(work, img);
+    }
+
+    /// Any tile grid splits and reassembles losslessly.
+    #[test]
+    fn tiling_roundtrip(img in arb_gray(), tw in 1usize..48, th in 1usize..48) {
+        let grid = tile::TileGrid::new(img.width(), img.height(), tw, th);
+        let tiles = tile::split(&img, &grid);
+        prop_assert_eq!(tiles.len(), grid.len());
+        let back = tile::assemble(&tiles, &grid, 8, false);
+        prop_assert_eq!(back, img);
+    }
+
+    /// Crop then blit restores the region; restride preserves samples.
+    #[test]
+    fn plane_geometry_ops(img in arb_gray(), pad in 0usize..9) {
+        let p = img.component(0);
+        let restrided = p.restride(p.width() + pad);
+        for y in 0..p.height() {
+            prop_assert_eq!(restrided.row(y), p.row(y));
+        }
+        let (w, h) = (p.width(), p.height());
+        let crop = p.crop(w / 4, h / 4, w - w / 2, h - h / 2);
+        let mut canvas = Plane::<i32>::new(w, h);
+        canvas.blit(&crop, w / 4, h / 4);
+        for y in h / 4..h / 4 + crop.height() {
+            for x in w / 4..w / 4 + crop.width() {
+                prop_assert_eq!(canvas.get(x, y), p.get(x, y));
+            }
+        }
+    }
+
+    /// PNM reader is total on arbitrary bytes (errors, never panics).
+    #[test]
+    fn pnm_reader_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = pnm::read(&mut Cursor::new(bytes));
+    }
+}

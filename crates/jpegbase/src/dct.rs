@@ -1,0 +1,139 @@
+//! 8x8 type-II DCT and its inverse (orthonormal, separable).
+
+/// Transform block size.
+pub const N: usize = 8;
+
+/// Precomputed cosine basis: `BASIS[u][x] = c(u) * cos((2x+1) u π / 16)`
+/// with `c(0) = sqrt(1/8)`, `c(u) = sqrt(2/8)`.
+fn basis() -> &'static [[f32; N]; N] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; N]; N]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0f32; N]; N];
+        for (u, row) in b.iter_mut().enumerate() {
+            let c = if u == 0 {
+                (1.0 / N as f64).sqrt()
+            } else {
+                (2.0 / N as f64).sqrt()
+            };
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = (c * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos())
+                    as f32;
+            }
+        }
+        b
+    })
+}
+
+/// Forward 8x8 DCT, row-major `block` in place.
+pub fn forward(block: &mut [f32; N * N]) {
+    let b = basis();
+    let mut tmp = [0f32; N * N];
+    // rows
+    for y in 0..N {
+        for u in 0..N {
+            let mut acc = 0.0;
+            for x in 0..N {
+                acc += block[y * N + x] * b[u][x];
+            }
+            tmp[y * N + u] = acc;
+        }
+    }
+    // columns
+    for u in 0..N {
+        for v in 0..N {
+            let mut acc = 0.0;
+            for y in 0..N {
+                acc += tmp[y * N + u] * b[v][y];
+            }
+            block[v * N + u] = acc;
+        }
+    }
+}
+
+/// Inverse 8x8 DCT, row-major `block` in place.
+pub fn inverse(block: &mut [f32; N * N]) {
+    let b = basis();
+    let mut tmp = [0f32; N * N];
+    // columns
+    for u in 0..N {
+        for y in 0..N {
+            let mut acc = 0.0;
+            for v in 0..N {
+                acc += block[v * N + u] * b[v][y];
+            }
+            tmp[y * N + u] = acc;
+        }
+    }
+    // rows
+    for y in 0..N {
+        for x in 0..N {
+            let mut acc = 0.0;
+            for u in 0..N {
+                acc += tmp[y * N + u] * b[u][x];
+            }
+            block[y * N + x] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_near_exact() {
+        let mut block = [0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37) % 255) as f32 - 127.0;
+        }
+        let orig = block;
+        forward(&mut block);
+        inverse(&mut block);
+        for i in 0..64 {
+            assert!((block[i] - orig[i]).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn dc_of_constant_block() {
+        let mut block = [100f32; 64];
+        forward(&mut block);
+        // Orthonormal: DC = 100 * 8 = 800, all AC ~ 0.
+        assert!((block[0] - 800.0).abs() < 1e-2, "{}", block[0]);
+        for (i, &v) in block.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-3, "AC {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let mut block = [0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 13 + 7) % 101) as f32 - 50.0;
+        }
+        let e0: f64 = block.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        forward(&mut block);
+        let e1: f64 = block.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        assert!((e0 - e1).abs() / e0 < 1e-5, "{e0} vs {e1}");
+    }
+
+    #[test]
+    fn horizontal_cosine_hits_single_coefficient() {
+        let mut block = [0f32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                block[y * 8 + x] =
+                    ((2 * x + 1) as f32 * 3.0 * std::f32::consts::PI / 16.0).cos();
+            }
+        }
+        forward(&mut block);
+        // Energy should concentrate at (u=3, v=0).
+        let peak = block[3].abs();
+        for (i, &v) in block.iter().enumerate() {
+            if i != 3 {
+                assert!(v.abs() < peak * 1e-3 + 1e-4, "leak at {i}: {v}");
+            }
+        }
+    }
+}

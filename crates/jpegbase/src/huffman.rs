@@ -1,0 +1,338 @@
+//! Canonical Huffman coding in the JPEG style: tables are described by a
+//! `BITS` array (code count per length 1..=16) plus the symbol list in code
+//! order, exactly the DHT wire format. Tables are built per image from
+//! symbol frequencies (JPEG's optimized-coding mode) with the spec's K.3
+//! length-limiting adjustment.
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// Maximum code length (JPEG limit).
+pub const MAX_LEN: usize = 16;
+
+/// A Huffman table in DHT form plus derived encode/decode structures.
+#[derive(Debug, Clone)]
+pub struct HuffTable {
+    /// `bits[l]` = number of codes of length `l` (index 0 unused).
+    pub bits: [u8; MAX_LEN + 1],
+    /// Symbols in canonical code order.
+    pub values: Vec<u8>,
+    /// Per-symbol (code, length); length 0 = symbol absent.
+    enc: Vec<(u16, u8)>,
+    /// Canonical decode acceleration: min/max code and value pointer per
+    /// length.
+    mincode: [i32; MAX_LEN + 1],
+    maxcode: [i32; MAX_LEN + 1],
+    valptr: [usize; MAX_LEN + 1],
+}
+
+impl HuffTable {
+    /// Build the derived structures from `bits` + `values`.
+    ///
+    /// # Panics
+    /// Panics if the description is inconsistent (more codes than fit, or
+    /// count mismatch); see [`HuffTable::try_from_spec`] for the fallible
+    /// variant used when parsing untrusted streams.
+    pub fn from_spec(bits: [u8; MAX_LEN + 1], values: Vec<u8>) -> Self {
+        Self::try_from_spec(bits, values).expect("inconsistent Huffman spec")
+    }
+
+    /// Fallible [`HuffTable::from_spec`]: `None` on inconsistent specs
+    /// (count mismatch, canonical code overflow).
+    pub fn try_from_spec(bits: [u8; MAX_LEN + 1], values: Vec<u8>) -> Option<Self> {
+        let total: usize = bits[1..].iter().map(|&b| b as usize).sum();
+        if total != values.len() {
+            return None;
+        }
+        let mut enc = vec![(0u16, 0u8); 256];
+        let mut mincode = [0i32; MAX_LEN + 1];
+        let mut maxcode = [-1i32; MAX_LEN + 1];
+        let mut valptr = [0usize; MAX_LEN + 1];
+        let mut code: u32 = 0;
+        let mut k = 0usize;
+        for l in 1..=MAX_LEN {
+            if code + u32::from(bits[l]) > (1 << l) {
+                return None; // canonical code space exhausted
+            }
+            valptr[l] = k;
+            mincode[l] = code as i32;
+            for _ in 0..bits[l] {
+                enc[values[k] as usize] = (code as u16, l as u8);
+                code += 1;
+                k += 1;
+            }
+            maxcode[l] = code as i32 - 1;
+            code <<= 1;
+        }
+        Some(Self {
+            bits,
+            values,
+            enc,
+            mincode,
+            maxcode,
+            valptr,
+        })
+    }
+
+    /// Build an optimal (length-limited) table for `freq` (256 symbol
+    /// frequencies). Symbols with zero frequency get no code. Implements
+    /// the JPEG K.2/K.3 procedure, including the reserved all-ones
+    /// codepoint.
+    pub fn optimized(freq: &[u64; 256]) -> Self {
+        // K.2 uses an extra pseudo-symbol (index 256) with frequency 1 to
+        // reserve the all-ones code.
+        let mut f = [0u64; 257];
+        f[..256].copy_from_slice(freq);
+        f[256] = 1;
+        let mut others = [-1i32; 257];
+        let mut codesize = [0u32; 257];
+
+        loop {
+            // find v1: least nonzero freq, ties to larger index
+            let mut v1: i32 = -1;
+            let mut v2: i32 = -1;
+            for (i, &fi) in f.iter().enumerate() {
+                if fi == 0 {
+                    continue;
+                }
+                if v1 < 0 || fi < f[v1 as usize] || (fi == f[v1 as usize] && i as i32 > v1) {
+                    v2 = v1;
+                    v1 = i as i32;
+                } else if v2 < 0 || fi < f[v2 as usize] || (fi == f[v2 as usize] && i as i32 > v2)
+                {
+                    v2 = i as i32;
+                }
+            }
+            if v2 < 0 {
+                break; // single tree remains
+            }
+            let (v1u, v2u) = (v1 as usize, v2 as usize);
+            f[v1u] += f[v2u];
+            f[v2u] = 0;
+            codesize[v1u] += 1;
+            let mut i = v1u;
+            while others[i] >= 0 {
+                i = others[i] as usize;
+                codesize[i] += 1;
+            }
+            others[i] = v2;
+            codesize[v2u] += 1;
+            let mut i = v2u;
+            while others[i] >= 0 {
+                i = others[i] as usize;
+                codesize[i] += 1;
+            }
+        }
+
+        // Count codes per size (can exceed 16; also size 0 for unused).
+        let mut counts = vec![0u32; 260];
+        for &cs in codesize.iter() {
+            if cs > 0 {
+                counts[cs as usize] += 1;
+            }
+        }
+        // K.3 Adjust_BITS: fold over-long codes back to <= 16.
+        let mut i = counts.len() - 1;
+        while i > MAX_LEN {
+            while counts[i] > 0 {
+                let mut j = i - 2;
+                while counts[j] == 0 {
+                    j -= 1;
+                }
+                counts[i] -= 2;
+                counts[i - 1] += 1;
+                counts[j + 1] += 2;
+                counts[j] -= 1;
+            }
+            i -= 1;
+        }
+        // Remove the reserved pseudo-symbol from the longest used length.
+        let mut l = MAX_LEN;
+        while l > 0 && counts[l] == 0 {
+            l -= 1;
+        }
+        if l > 0 {
+            counts[l] -= 1;
+        }
+
+        // Sort symbols by (codesize, symbol) — canonical order.
+        let mut order: Vec<usize> = (0..256).filter(|&s| codesize[s] > 0).collect();
+        order.sort_by_key(|&s| (codesize[s], s));
+        let mut bits = [0u8; MAX_LEN + 1];
+        for (idx, c) in counts.iter().enumerate().take(MAX_LEN + 1).skip(1) {
+            bits[idx] = *c as u8;
+        }
+        let values: Vec<u8> = order.iter().map(|&s| s as u8).collect();
+        Self::from_spec(bits, values)
+    }
+
+    /// Emit symbol `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` has no code (zero training frequency).
+    pub fn encode(&self, w: &mut BitWriter, s: u8) {
+        let (code, len) = self.enc[s as usize];
+        assert!(len > 0, "symbol {s} has no code");
+        w.put(u32::from(code), u32::from(len));
+    }
+
+    /// Decode one symbol.
+    pub fn decode(&self, r: &mut BitReader) -> u8 {
+        let mut code = 0i32;
+        for l in 1..=MAX_LEN {
+            code = (code << 1) | r.bit() as i32;
+            if self.maxcode[l] >= code && code >= self.mincode[l] {
+                return self.values[self.valptr[l] + (code - self.mincode[l]) as usize];
+            }
+        }
+        // Corrupt stream: return the last symbol to stay total.
+        *self.values.last().unwrap_or(&0)
+    }
+
+    /// Serialize as DHT-style bytes: 16 count bytes then the values.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.values.len());
+        out.extend_from_slice(&self.bits[1..]);
+        out.extend_from_slice(&self.values);
+        out
+    }
+
+    /// Parse a DHT-style description.
+    ///
+    /// # Panics
+    /// Panics on truncated input; see [`HuffTable::try_from_bytes`] for the
+    /// fallible variant.
+    pub fn from_bytes(data: &[u8]) -> (Self, usize) {
+        Self::try_from_bytes(data).expect("malformed Huffman description")
+    }
+
+    /// Fallible [`HuffTable::from_bytes`]: `None` on truncation or
+    /// inconsistency.
+    pub fn try_from_bytes(data: &[u8]) -> Option<(Self, usize)> {
+        if data.len() < 16 {
+            return None;
+        }
+        let mut bits = [0u8; MAX_LEN + 1];
+        bits[1..].copy_from_slice(&data[..16]);
+        let n: usize = bits[1..].iter().map(|&b| b as usize).sum();
+        if data.len() < 16 + n {
+            return None;
+        }
+        let values = data[16..16 + n].to_vec();
+        Some((Self::try_from_spec(bits, values)?, 16 + n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freq_of(symbols: &[u8]) -> [u64; 256] {
+        let mut f = [0u64; 256];
+        for &s in symbols {
+            f[s as usize] += 1;
+        }
+        f
+    }
+
+    #[test]
+    fn roundtrip_skewed_alphabet() {
+        let mut syms = Vec::new();
+        for i in 0..2000u32 {
+            syms.push(match i % 16 {
+                0..=7 => 0u8,
+                8..=11 => 1,
+                12..=13 => 2,
+                14 => 3,
+                _ => (4 + (i % 5)) as u8,
+            });
+        }
+        let table = HuffTable::optimized(&freq_of(&syms));
+        let mut w = BitWriter::new();
+        for &s in &syms {
+            table.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (i, &s) in syms.iter().enumerate() {
+            assert_eq!(table.decode(&mut r), s, "symbol {i}");
+        }
+        // skewed alphabet should compress: < 4 bits/symbol here
+        assert!(bytes.len() * 8 < syms.len() * 4, "{} bytes", bytes.len());
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let f = freq_of(&[42u8; 10]);
+        let table = HuffTable::optimized(&f);
+        let mut w = BitWriter::new();
+        for _ in 0..10 {
+            table.encode(&mut w, 42);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for _ in 0..10 {
+            assert_eq!(table.decode(&mut r), 42);
+        }
+    }
+
+    #[test]
+    fn dht_serialization_roundtrip() {
+        let syms: Vec<u8> = (0..200).map(|i| (i * 7 % 40) as u8).collect();
+        let table = HuffTable::optimized(&freq_of(&syms));
+        let bytes = table.to_bytes();
+        let (table2, consumed) = HuffTable::from_bytes(&bytes);
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(table.bits, table2.bits);
+        assert_eq!(table.values, table2.values);
+        // Encoding agrees.
+        let mut w1 = BitWriter::new();
+        let mut w2 = BitWriter::new();
+        for &s in &syms {
+            table.encode(&mut w1, s);
+            table2.encode(&mut w2, s);
+        }
+        assert_eq!(w1.finish(), w2.finish());
+    }
+
+    #[test]
+    fn codes_never_exceed_16_bits_under_extreme_skew() {
+        // Exponential frequencies force deep trees; K.3 must cap at 16.
+        let mut f = [0u64; 256];
+        for (i, fi) in f.iter_mut().enumerate().take(40) {
+            *fi = 1u64 << (40 - i).min(50);
+        }
+        let table = HuffTable::optimized(&f);
+        let total: usize = table.bits[1..].iter().map(|&b| b as usize).sum();
+        assert_eq!(total, 40);
+        // all-ones code must remain unused: max code of max length fits
+        for l in (1..=MAX_LEN).rev() {
+            if table.bits[l] > 0 {
+                assert!(table.maxcode[l] < (1 << l) - 1, "all-ones used at {l}");
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn full_byte_alphabet_roundtrip() {
+        let syms: Vec<u8> = (0..=255u8).flat_map(|s| vec![s; (s as usize % 7) + 1]).collect();
+        let table = HuffTable::optimized(&freq_of(&syms));
+        let mut w = BitWriter::new();
+        for &s in &syms {
+            table.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &syms {
+            assert_eq!(table.decode(&mut r), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no code")]
+    fn unknown_symbol_panics() {
+        let table = HuffTable::optimized(&freq_of(&[1, 1, 2]));
+        let mut w = BitWriter::new();
+        table.encode(&mut w, 99);
+    }
+}

@@ -1,0 +1,22 @@
+//! Baseline JPEG comparator codec (DCT + Huffman).
+//!
+//! The paper's Fig. 2 compares JPEG2000 encode times against DCT-based JPEG
+//! (and SPIHT), and Fig. 4 contrasts their artifacts at low bit rates. This
+//! crate implements the baseline JPEG coding chain from scratch: 8x8
+//! forward/inverse DCT, Annex-K quantization tables with IJG quality
+//! scaling, zig-zag ordering, and canonical Huffman entropy coding with
+//! per-image optimized tables (JPEG's "optimized coding" mode, with the
+//! table transmitted in the header).
+//!
+//! The marker container is pj2k's own (no JFIF interop is claimed — the
+//! experiments need the *computational shape* of JPEG: cheap transform,
+//! cheap entropy coding, independent 8x8 blocks, blocking artifacts at low
+//! rates).
+
+pub mod bitstream;
+pub mod codec;
+pub mod dct;
+pub mod huffman;
+pub mod tables;
+
+pub use codec::{decode, encode, JpegError};

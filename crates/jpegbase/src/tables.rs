@@ -1,0 +1,105 @@
+//! Quantization tables (ISO/IEC 10918-1 Annex K) with IJG quality scaling,
+//! and the zig-zag scan order.
+
+/// Annex K.1 luminance quantization table (quality 50), row-major.
+pub const LUMA_Q50: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Annex K.2 chrominance quantization table (quality 50), row-major.
+pub const CHROMA_Q50: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Zig-zag scan order: `ZIGZAG[k]` is the row-major index of the `k`-th
+/// coefficient in scan order.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, //
+    17, 24, 32, 25, 18, 11, 4, 5, //
+    12, 19, 26, 33, 40, 48, 41, 34, //
+    27, 20, 13, 6, 7, 14, 21, 28, //
+    35, 42, 49, 56, 57, 50, 43, 36, //
+    29, 22, 15, 23, 30, 37, 44, 51, //
+    58, 59, 52, 45, 38, 31, 39, 46, //
+    53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Scale a base table by JPEG quality `q` in `1..=100` (IJG formula).
+pub fn scaled(base: &[u16; 64], quality: u8) -> [u16; 64] {
+    let q = quality.clamp(1, 100) as i32;
+    let scale = if q < 50 { 5000 / q } else { 200 - 2 * q };
+    let mut out = [0u16; 64];
+    for (o, &b) in out.iter_mut().zip(base) {
+        *o = (((i32::from(b) * scale + 50) / 100).clamp(1, 255)) as u16;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // First few entries follow the canonical diagonal walk.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn zigzag_walks_antidiagonals() {
+        // Indices along the scan never jump more than one diagonal.
+        let diag = |i: usize| (i / 8) + (i % 8);
+        for k in 1..64 {
+            let d = diag(ZIGZAG[k]) as i32 - diag(ZIGZAG[k - 1]) as i32;
+            assert!(d.abs() <= 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn quality_50_is_identity() {
+        assert_eq!(scaled(&LUMA_Q50, 50), LUMA_Q50);
+    }
+
+    #[test]
+    fn quality_scaling_monotone() {
+        let q25 = scaled(&LUMA_Q50, 25);
+        let q75 = scaled(&LUMA_Q50, 75);
+        let q100 = scaled(&LUMA_Q50, 100);
+        for i in 0..64 {
+            assert!(q25[i] >= LUMA_Q50[i], "i={i}");
+            assert!(q75[i] <= LUMA_Q50[i], "i={i}");
+            assert_eq!(q100[i].max(1), q100[i]);
+            assert!(q100[i] <= 2, "q100 nearly lossless: {}", q100[i]);
+        }
+    }
+
+    #[test]
+    fn steps_never_zero() {
+        for q in [1u8, 2, 10, 99, 100] {
+            for &v in scaled(&CHROMA_Q50, q).iter() {
+                assert!(v >= 1);
+            }
+        }
+    }
+}

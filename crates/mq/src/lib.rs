@@ -1,0 +1,502 @@
+//! MQ arithmetic coder (ISO/IEC 15444-1 Annex C).
+//!
+//! The MQ coder is the binary adaptive arithmetic coder at the bottom of
+//! JPEG2000's Tier-1 entropy coding stage. Decisions are coded against one
+//! of a set of adaptive contexts; each context tracks an index into the
+//! 47-row probability state machine ([`QE_TABLE`]) and the current
+//! most-probable-symbol (MPS) sense.
+//!
+//! The implementation follows the Annex C software conventions (also used
+//! by the reference implementations the paper parallelizes): 16-bit `A`
+//! interval register, 28-bit `C` code register, byte stuffing after `0xFF`,
+//! and the optional-trailing-`0xFF` discarding flush.
+
+mod raw;
+mod table;
+
+pub use raw::{RawDecoder, RawEncoder};
+pub use table::{QeEntry, QE_TABLE};
+
+/// Adaptive state of one coding context: probability-table index plus the
+/// current most-probable-symbol sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtxState {
+    index: u8,
+    mps: u8,
+}
+
+impl CtxState {
+    /// Context starting at table row `index` with MPS = 0.
+    ///
+    /// # Panics
+    /// Panics if `index >= 47`.
+    pub fn new(index: u8) -> Self {
+        assert!((index as usize) < QE_TABLE.len(), "invalid Qe index {index}");
+        Self { index, mps: 0 }
+    }
+
+    /// Current table row.
+    pub fn index(&self) -> u8 {
+        self.index
+    }
+
+    /// Current most probable symbol (0 or 1).
+    pub fn mps(&self) -> u8 {
+        self.mps
+    }
+}
+
+impl Default for CtxState {
+    /// Fresh context: row 0, MPS 0 (the standard's default initialization
+    /// for most Tier-1 contexts).
+    fn default() -> Self {
+        Self { index: 0, mps: 0 }
+    }
+}
+
+/// MQ encoder producing one terminated codeword segment.
+///
+/// Typical use: [`MqEncoder::encode`] decisions, then [`MqEncoder::flush`]
+/// to obtain the segment bytes. `pj2k` Tier-1 terminates the coder at every
+/// coding pass, so pass boundaries are exact truncation points (see
+/// DESIGN.md §5).
+#[derive(Debug, Clone)]
+pub struct MqEncoder {
+    c: u32,
+    a: u32,
+    ct: i32,
+    /// `buf[0]` is a sentinel standing for the byte "before" the stream;
+    /// `bp` indexes the current byte `B`.
+    buf: Vec<u8>,
+    bp: usize,
+}
+
+impl Default for MqEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MqEncoder {
+    /// Fresh encoder (INITENC).
+    pub fn new() -> Self {
+        Self {
+            c: 0,
+            a: 0x8000,
+            ct: 12, // sentinel byte is 0x00, not 0xFF
+            buf: vec![0],
+            bp: 0,
+        }
+    }
+
+    /// Encode binary `decision` (0 or 1) in context `ctx`.
+    #[inline]
+    pub fn encode(&mut self, ctx: &mut CtxState, decision: u8) {
+        debug_assert!(decision <= 1);
+        if decision == ctx.mps {
+            self.code_mps(ctx);
+        } else {
+            self.code_lps(ctx);
+        }
+    }
+
+    #[inline]
+    fn code_mps(&mut self, ctx: &mut CtxState) {
+        let row = &QE_TABLE[ctx.index as usize];
+        let qe = u32::from(row.qe);
+        self.a -= qe;
+        if self.a & 0x8000 == 0 {
+            // Conditional exchange: the MPS interval became the smaller one.
+            if self.a < qe {
+                self.a = qe;
+            } else {
+                self.c += qe;
+            }
+            ctx.index = row.nmps;
+            self.renorm();
+        } else {
+            self.c += qe;
+        }
+    }
+
+    #[inline]
+    fn code_lps(&mut self, ctx: &mut CtxState) {
+        let row = &QE_TABLE[ctx.index as usize];
+        let qe = u32::from(row.qe);
+        self.a -= qe;
+        if self.a < qe {
+            self.c += qe;
+        } else {
+            self.a = qe;
+        }
+        if row.switch {
+            ctx.mps ^= 1;
+        }
+        ctx.index = row.nlps;
+        self.renorm();
+    }
+
+    #[inline]
+    fn renorm(&mut self) {
+        loop {
+            self.a <<= 1;
+            self.c <<= 1;
+            self.ct -= 1;
+            if self.ct == 0 {
+                self.byte_out();
+            }
+            if self.a & 0x8000 != 0 {
+                break;
+            }
+        }
+    }
+
+    fn byte_out(&mut self) {
+        if self.buf[self.bp] == 0xFF {
+            // Stuffing: only 7 bits follow a 0xFF byte.
+            self.push((self.c >> 20) as u8);
+            self.c &= 0xF_FFFF;
+            self.ct = 7;
+        } else if self.c < 0x800_0000 {
+            self.push((self.c >> 19) as u8);
+            self.c &= 0x7_FFFF;
+            self.ct = 8;
+        } else {
+            // Carry into the previous byte.
+            self.buf[self.bp] += 1;
+            if self.buf[self.bp] == 0xFF {
+                self.c &= 0x7FF_FFFF;
+                self.push((self.c >> 20) as u8);
+                self.c &= 0xF_FFFF;
+                self.ct = 7;
+            } else {
+                self.push((self.c >> 19) as u8);
+                self.c &= 0x7_FFFF;
+                self.ct = 8;
+            }
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, b: u8) {
+        self.buf.push(b);
+        self.bp += 1;
+    }
+
+    /// Number of bytes the segment would occupy if flushed now (an upper
+    /// bound used for conservative rate estimates before termination).
+    pub fn bytes_upper_bound(&self) -> usize {
+        // bp bytes committed (minus sentinel) + flush emits at most 2 more.
+        self.bp + 2
+    }
+
+    /// Terminate the codeword (FLUSH) and return the segment bytes.
+    pub fn flush(mut self) -> Vec<u8> {
+        // SETBITS: maximize C within the final interval.
+        let temp = self.c + self.a;
+        self.c |= 0xFFFF;
+        if self.c >= temp {
+            self.c -= 0x8000;
+        }
+        self.c <<= self.ct;
+        self.byte_out();
+        self.c <<= self.ct;
+        self.byte_out();
+        if self.buf[self.bp] != 0xFF {
+            self.bp += 1;
+        }
+        // Bytes 1..bp (exclusive of sentinel; a trailing 0xFF is dropped).
+        let end = self.bp.min(self.buf.len());
+        self.buf.truncate(end);
+        self.buf.remove(0);
+        self.buf
+    }
+}
+
+/// MQ decoder over one terminated codeword segment.
+///
+/// Reading past the end of the segment feeds `1` bits, per the standard, so
+/// truncated-but-terminated segments decode cleanly.
+#[derive(Debug, Clone)]
+pub struct MqDecoder<'a> {
+    data: &'a [u8],
+    bp: usize,
+    c: u32,
+    a: u32,
+    ct: i32,
+}
+
+impl<'a> MqDecoder<'a> {
+    /// Initialize over `data` (INITDEC).
+    pub fn new(data: &'a [u8]) -> Self {
+        let mut d = Self {
+            data,
+            bp: 0,
+            c: 0,
+            a: 0,
+            ct: 0,
+        };
+        let b0 = d.byte_at(0);
+        d.c = u32::from(b0) << 16;
+        d.byte_in();
+        d.c <<= 7;
+        d.ct -= 7;
+        d.a = 0x8000;
+        d
+    }
+
+    #[inline]
+    fn byte_at(&self, i: usize) -> u8 {
+        self.data.get(i).copied().unwrap_or(0xFF)
+    }
+
+    fn byte_in(&mut self) {
+        if self.bp < self.data.len() && self.data[self.bp] == 0xFF {
+            if self.byte_at(self.bp + 1) > 0x8F {
+                // Marker (or end of data): feed 1-bits from now on.
+                self.c += 0xFF00;
+                self.ct = 8;
+            } else {
+                self.bp += 1;
+                self.c += u32::from(self.byte_at(self.bp)) << 9;
+                self.ct = 7;
+            }
+        } else if self.bp < self.data.len() {
+            self.bp += 1;
+            self.c += u32::from(self.byte_at(self.bp)) << 8;
+            self.ct = 8;
+        } else {
+            self.c += 0xFF00;
+            self.ct = 8;
+        }
+    }
+
+    /// Decode one binary decision in context `ctx`.
+    #[inline]
+    pub fn decode(&mut self, ctx: &mut CtxState) -> u8 {
+        let row = &QE_TABLE[ctx.index as usize];
+        let qe = u32::from(row.qe);
+        self.a -= qe;
+        let d;
+        if (self.c >> 16) < qe {
+            // LPS exchange path.
+            if self.a < qe {
+                self.a = qe;
+                d = ctx.mps;
+                ctx.index = row.nmps;
+            } else {
+                self.a = qe;
+                d = 1 - ctx.mps;
+                if row.switch {
+                    ctx.mps ^= 1;
+                }
+                ctx.index = row.nlps;
+            }
+            self.renorm();
+        } else {
+            self.c -= qe << 16;
+            if self.a & 0x8000 == 0 {
+                // MPS exchange path.
+                if self.a < qe {
+                    d = 1 - ctx.mps;
+                    if row.switch {
+                        ctx.mps ^= 1;
+                    }
+                    ctx.index = row.nlps;
+                } else {
+                    d = ctx.mps;
+                    ctx.index = row.nmps;
+                }
+                self.renorm();
+            } else {
+                d = ctx.mps;
+            }
+        }
+        d
+    }
+
+    #[inline]
+    fn renorm(&mut self) {
+        loop {
+            if self.ct == 0 {
+                self.byte_in();
+            }
+            self.a <<= 1;
+            self.c <<= 1;
+            self.ct -= 1;
+            if self.a & 0x8000 != 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(decisions: &[(usize, u8)], n_ctx: usize) {
+        let mut enc_ctx = vec![CtxState::default(); n_ctx];
+        let mut enc = MqEncoder::new();
+        for &(ctx, d) in decisions {
+            enc.encode(&mut enc_ctx[ctx], d);
+        }
+        let bytes = enc.flush();
+        let mut dec_ctx = vec![CtxState::default(); n_ctx];
+        let mut dec = MqDecoder::new(&bytes);
+        for (i, &(ctx, d)) in decisions.iter().enumerate() {
+            let got = dec.decode(&mut dec_ctx[ctx]);
+            assert_eq!(got, d, "decision {i} (ctx {ctx}) of {}", decisions.len());
+        }
+    }
+
+    #[test]
+    fn empty_stream_flushes() {
+        let enc = MqEncoder::new();
+        let bytes = enc.flush();
+        // Flushing an empty codeword yields a tiny, valid segment.
+        assert!(bytes.len() <= 3, "{bytes:?}");
+    }
+
+    #[test]
+    fn all_zeros_roundtrip() {
+        let decisions: Vec<(usize, u8)> = (0..1000).map(|_| (0, 0)).collect();
+        roundtrip(&decisions, 1);
+    }
+
+    #[test]
+    fn all_ones_roundtrip() {
+        let decisions: Vec<(usize, u8)> = (0..1000).map(|_| (0, 1)).collect();
+        roundtrip(&decisions, 1);
+    }
+
+    #[test]
+    fn alternating_roundtrip() {
+        let decisions: Vec<(usize, u8)> = (0..2000).map(|i| (0, (i % 2) as u8)).collect();
+        roundtrip(&decisions, 1);
+    }
+
+    #[test]
+    fn multi_context_roundtrip() {
+        let decisions: Vec<(usize, u8)> = (0..5000)
+            .map(|i| ((i * 7) % 19, ((i * i + i / 3) % 2) as u8))
+            .collect();
+        roundtrip(&decisions, 19);
+    }
+
+    #[test]
+    fn pseudorandom_streams_roundtrip() {
+        // xorshift-based deterministic pseudo-random decision streams with
+        // biased distributions (the adaptive states must track).
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for bias in [1u64, 3, 7, 15, 63] {
+            let decisions: Vec<(usize, u8)> = (0..3000)
+                .map(|_| {
+                    let r = next();
+                    ((r % 5) as usize, u8::from(r % (bias + 1) == 0))
+                })
+                .collect();
+            roundtrip(&decisions, 5);
+        }
+    }
+
+    #[test]
+    fn compresses_biased_stream() {
+        // 10k heavily biased decisions should code far below 10k bits.
+        let mut enc = MqEncoder::new();
+        let mut ctx = CtxState::default();
+        for i in 0..10_000 {
+            enc.encode(&mut ctx, u8::from(i % 100 == 0));
+        }
+        let bytes = enc.flush();
+        assert!(bytes.len() < 300, "biased stream should compress, got {}", bytes.len());
+    }
+
+    #[test]
+    fn random_stream_does_not_compress_much() {
+        let mut state = 0x9E37_79B9_u64;
+        let mut enc = MqEncoder::new();
+        let mut ctx = CtxState::default();
+        let n = 8000;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            enc.encode(&mut ctx, ((state >> 33) & 1) as u8);
+        }
+        let bytes = enc.flush();
+        assert!(bytes.len() * 8 > n * 9 / 10, "random stream: {} bytes for {n} bits", bytes.len());
+    }
+
+    #[test]
+    fn bytes_upper_bound_is_an_upper_bound() {
+        let mut enc = MqEncoder::new();
+        let mut ctx = CtxState::default();
+        for i in 0..777 {
+            enc.encode(&mut ctx, (i % 3 == 0) as u8);
+        }
+        let bound = enc.bytes_upper_bound();
+        let actual = enc.flush().len();
+        assert!(actual <= bound, "{actual} > {bound}");
+    }
+
+    #[test]
+    fn stuffing_never_produces_ff_above_8f() {
+        // After any 0xFF, the next byte must be <= 0x8F inside a segment
+        // (marker range is reserved).
+        let mut state = 7u64;
+        let mut enc = MqEncoder::new();
+        let mut ctxs = [CtxState::default(); 3];
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let c = (state >> 60) as usize % 3;
+            enc.encode(&mut ctxs[c], ((state >> 31) & 1) as u8);
+        }
+        let bytes = enc.flush();
+        for pair in bytes.windows(2) {
+            if pair[0] == 0xFF {
+                assert!(pair[1] <= 0x8F, "marker emitted inside segment: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_decoding_is_independent_of_trailing_garbage() {
+        // Termination must protect the decoded prefix even if extra bytes
+        // follow (packets concatenate segments).
+        let decisions: Vec<(usize, u8)> = (0..500).map(|i| (0, (i % 5 == 0) as u8)).collect();
+        let mut ctx = [CtxState::default()];
+        let mut enc = MqEncoder::new();
+        for &(c, d) in &decisions {
+            enc.encode(&mut ctx[c], d);
+        }
+        let bytes = enc.flush();
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+        let mut d1 = MqDecoder::new(&bytes);
+        let mut d2 = MqDecoder::new(&extended[..bytes.len()]);
+        let mut c1 = [CtxState::default()];
+        let mut c2 = [CtxState::default()];
+        for &(c, d) in &decisions {
+            assert_eq!(d1.decode(&mut c1[c]), d);
+            assert_eq!(d2.decode(&mut c2[c]), d);
+        }
+    }
+
+    #[test]
+    fn context_state_accessors() {
+        let ctx = CtxState::new(46);
+        assert_eq!(ctx.index(), 46);
+        assert_eq!(ctx.mps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Qe index")]
+    fn invalid_index_panics() {
+        let _ = CtxState::new(47);
+    }
+}

@@ -1,0 +1,185 @@
+//! Raw (uncoded) bit segments for the selective-bypass mode.
+//!
+//! In "lazy" / bypass coding, the significance-propagation and
+//! magnitude-refinement passes of the lower bit-planes skip the MQ coder
+//! entirely: decisions are emitted as raw bits, with the same
+//! marker-avoidance rule as everywhere else in the codestream (a byte of
+//! `0xFF` is followed by a 7-bit byte whose MSB is 0).
+
+/// Raw bit writer with `0xFF` stuffing.
+#[derive(Debug, Default)]
+pub struct RawEncoder {
+    out: Vec<u8>,
+    acc: u8,
+    filled: u8,
+    nbits: u8,
+}
+
+impl RawEncoder {
+    /// Fresh raw segment.
+    pub fn new() -> Self {
+        Self {
+            out: Vec::new(),
+            acc: 0,
+            filled: 0,
+            nbits: 8,
+        }
+    }
+
+    /// Append one raw bit.
+    pub fn put(&mut self, bit: u8) {
+        debug_assert!(bit <= 1);
+        self.acc = (self.acc << 1) | (bit & 1);
+        self.filled += 1;
+        if self.filled == self.nbits {
+            // A 7-bit byte after 0xFF keeps its MSB stuffed to zero.
+            let byte = self.acc;
+            self.out.push(byte);
+            self.nbits = if byte == 0xFF { 7 } else { 8 };
+            self.acc = 0;
+            self.filled = 0;
+        }
+    }
+
+    /// Terminate the segment: zero-pad to a byte, append a stuffing byte if
+    /// the segment would otherwise end in `0xFF`.
+    pub fn flush(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            let pad = self.nbits - self.filled;
+            self.out.push(self.acc << pad);
+            if self.nbits == 7 {
+                // this byte is the 7-bit follower; MSB already zero
+                let last = self.out.last_mut().expect("just pushed");
+                *last &= 0x7F;
+            }
+        }
+        if self.out.last() == Some(&0xFF) {
+            self.out.push(0);
+        }
+        self.out
+    }
+
+    /// Bytes the segment would occupy if flushed now (upper bound).
+    pub fn bytes_upper_bound(&self) -> usize {
+        self.out.len() + 2
+    }
+}
+
+/// Raw bit reader matching [`RawEncoder`].
+#[derive(Debug)]
+pub struct RawDecoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u8,
+    left: u8,
+    prev_ff: bool,
+}
+
+impl<'a> RawDecoder<'a> {
+    /// Read raw bits from `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            left: 0,
+            prev_ff: false,
+        }
+    }
+
+    /// Next raw bit (0 past the end — the decoder never reads more symbols
+    /// than the encoder wrote).
+    pub fn get(&mut self) -> u8 {
+        if self.left == 0 {
+            let byte = self.data.get(self.pos).copied().unwrap_or(0);
+            self.pos += 1;
+            if self.prev_ff {
+                self.left = 7;
+                self.acc = byte << 1;
+            } else {
+                self.left = 8;
+                self.acc = byte;
+            }
+            self.prev_ff = byte == 0xFF;
+        }
+        let bit = (self.acc >> 7) & 1;
+        self.acc <<= 1;
+        self.left -= 1;
+        bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_patterns() {
+        for seed in [1u64, 7, 42, 0xFFFF_FFFF] {
+            let mut state = seed;
+            let bits: Vec<u8> = (0..500)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((state >> 40) & 1) as u8
+                })
+                .collect();
+            let mut w = RawEncoder::new();
+            for &b in &bits {
+                w.put(b);
+            }
+            let bytes = w.flush();
+            let mut r = RawDecoder::new(&bytes);
+            for (i, &b) in bits.iter().enumerate() {
+                assert_eq!(r.get(), b, "seed {seed} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_ones_never_forms_marker() {
+        let mut w = RawEncoder::new();
+        for _ in 0..100 {
+            w.put(1);
+        }
+        let bytes = w.flush();
+        for pair in bytes.windows(2) {
+            if pair[0] == 0xFF {
+                assert!(pair[1] < 0x80, "{pair:?}");
+            }
+        }
+        assert_ne!(bytes.last(), Some(&0xFF));
+        // and it still round-trips
+        let mut r = RawDecoder::new(&bytes);
+        for _ in 0..100 {
+            assert_eq!(r.get(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_segment() {
+        assert!(RawEncoder::new().flush().is_empty());
+    }
+
+    #[test]
+    fn stuffed_byte_boundary() {
+        // Write exactly 8 ones (0xFF), then 7 more bits: the follower byte
+        // carries only 7 payload bits.
+        let mut w = RawEncoder::new();
+        for _ in 0..8 {
+            w.put(1);
+        }
+        for b in [1u8, 0, 1, 0, 1, 0, 1] {
+            w.put(b);
+        }
+        let bytes = w.flush();
+        assert_eq!(bytes[0], 0xFF);
+        assert_eq!(bytes[1] & 0x80, 0);
+        let mut r = RawDecoder::new(&bytes);
+        for _ in 0..8 {
+            assert_eq!(r.get(), 1);
+        }
+        for b in [1u8, 0, 1, 0, 1, 0, 1] {
+            assert_eq!(r.get(), b);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The MQ-coder probability state machine (ISO/IEC 15444-1 Table C.2).
+
+/// One row of the Qe probability table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QeEntry {
+    /// LPS probability estimate (16-bit fixed point).
+    pub qe: u16,
+    /// Next state after an MPS renormalization.
+    pub nmps: u8,
+    /// Next state after an LPS renormalization.
+    pub nlps: u8,
+    /// Whether an LPS flips the MPS sense.
+    pub switch: bool,
+}
+
+const fn e(qe: u16, nmps: u8, nlps: u8, switch: u8) -> QeEntry {
+    QeEntry {
+        qe,
+        nmps,
+        nlps,
+        switch: switch != 0,
+    }
+}
+
+/// The 47-state adaptation table.
+pub const QE_TABLE: [QeEntry; 47] = [
+    e(0x5601, 1, 1, 1),
+    e(0x3401, 2, 6, 0),
+    e(0x1801, 3, 9, 0),
+    e(0x0AC1, 4, 12, 0),
+    e(0x0521, 5, 29, 0),
+    e(0x0221, 38, 33, 0),
+    e(0x5601, 7, 6, 1),
+    e(0x5401, 8, 14, 0),
+    e(0x4801, 9, 14, 0),
+    e(0x3801, 10, 14, 0),
+    e(0x3001, 11, 17, 0),
+    e(0x2401, 12, 18, 0),
+    e(0x1C01, 13, 20, 0),
+    e(0x1601, 29, 21, 0),
+    e(0x5601, 15, 14, 1),
+    e(0x5401, 16, 14, 0),
+    e(0x5101, 17, 15, 0),
+    e(0x4801, 18, 16, 0),
+    e(0x3801, 19, 17, 0),
+    e(0x3401, 20, 18, 0),
+    e(0x3001, 21, 19, 0),
+    e(0x2801, 22, 19, 0),
+    e(0x2401, 23, 20, 0),
+    e(0x2201, 24, 21, 0),
+    e(0x1C01, 25, 22, 0),
+    e(0x1801, 26, 23, 0),
+    e(0x1601, 27, 24, 0),
+    e(0x1401, 28, 25, 0),
+    e(0x1201, 29, 26, 0),
+    e(0x1101, 30, 27, 0),
+    e(0x0AC1, 31, 28, 0),
+    e(0x09C1, 32, 29, 0),
+    e(0x08A1, 33, 30, 0),
+    e(0x0521, 34, 31, 0),
+    e(0x0441, 35, 32, 0),
+    e(0x02A1, 36, 33, 0),
+    e(0x0221, 37, 34, 0),
+    e(0x0141, 38, 35, 0),
+    e(0x0111, 39, 36, 0),
+    e(0x0085, 40, 37, 0),
+    e(0x0049, 41, 38, 0),
+    e(0x0025, 42, 39, 0),
+    e(0x0015, 43, 40, 0),
+    e(0x0009, 44, 41, 0),
+    e(0x0005, 45, 42, 0),
+    e(0x0001, 45, 43, 0),
+    e(0x5601, 46, 46, 0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_stay_in_table() {
+        for (i, row) in QE_TABLE.iter().enumerate() {
+            assert!((row.nmps as usize) < QE_TABLE.len(), "row {i}");
+            assert!((row.nlps as usize) < QE_TABLE.len(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        for (i, row) in QE_TABLE.iter().enumerate() {
+            assert!(row.qe >= 1, "row {i} qe must be positive");
+            assert!(row.qe <= 0x5601, "row {i} LPS estimate above half");
+        }
+    }
+
+    #[test]
+    fn switch_rows_match_standard() {
+        let switch_rows: Vec<usize> = QE_TABLE
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.switch)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(switch_rows, [0, 6, 14]);
+    }
+
+    #[test]
+    fn terminal_fast_state_self_loops() {
+        // Row 46 is the non-adaptive state used by the UNIFORM context.
+        assert_eq!(QE_TABLE[46].nmps, 46);
+        assert_eq!(QE_TABLE[46].nlps, 46);
+        // Row 45 self-loops on MPS at minimal Qe.
+        assert_eq!(QE_TABLE[45].nmps, 45);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the MQ coder must round-trip any decision stream over
+//! any context usage pattern, and its output must be marker-free.
+
+use pj2k_mq::{CtxState, MqDecoder, MqEncoder};
+use proptest::prelude::*;
+
+fn arb_stream() -> impl Strategy<Value = Vec<(usize, u8)>> {
+    proptest::collection::vec((0usize..19, 0u8..2), 0..4000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_any_stream(stream in arb_stream()) {
+        let mut enc_ctx = [CtxState::default(); 19];
+        let mut enc = MqEncoder::new();
+        for &(c, d) in &stream {
+            enc.encode(&mut enc_ctx[c], d);
+        }
+        let bytes = enc.flush();
+        let mut dec_ctx = [CtxState::default(); 19];
+        let mut dec = MqDecoder::new(&bytes);
+        for (i, &(c, d)) in stream.iter().enumerate() {
+            prop_assert_eq!(dec.decode(&mut dec_ctx[c]), d, "decision {}", i);
+        }
+    }
+
+    /// Initial context index choices must not break the roundtrip.
+    #[test]
+    fn roundtrip_with_custom_initial_states(
+        stream in proptest::collection::vec((0usize..3, 0u8..2), 0..1500),
+        idx in proptest::array::uniform3(0u8..47),
+    ) {
+        let init = [CtxState::new(idx[0]), CtxState::new(idx[1]), CtxState::new(idx[2])];
+        let mut enc_ctx = init;
+        let mut enc = MqEncoder::new();
+        for &(c, d) in &stream {
+            enc.encode(&mut enc_ctx[c], d);
+        }
+        let bytes = enc.flush();
+        let mut dec_ctx = init;
+        let mut dec = MqDecoder::new(&bytes);
+        for &(c, d) in &stream {
+            prop_assert_eq!(dec.decode(&mut dec_ctx[c]), d);
+        }
+    }
+
+    /// A terminated segment never contains a marker-range byte pair
+    /// (0xFF followed by > 0x8F), so segments can be concatenated in
+    /// packets safely.
+    #[test]
+    fn no_marker_pairs(stream in arb_stream()) {
+        let mut ctx = [CtxState::default(); 19];
+        let mut enc = MqEncoder::new();
+        for &(c, d) in &stream {
+            enc.encode(&mut ctx[c], d);
+        }
+        let bytes = enc.flush();
+        for pair in bytes.windows(2) {
+            if pair[0] == 0xFF {
+                prop_assert!(pair[1] <= 0x8F, "marker {:02X}{:02X}", pair[0], pair[1]);
+            }
+        }
+        prop_assert_ne!(bytes.last().copied(), Some(0xFF), "no trailing 0xFF");
+    }
+
+    /// The upper bound estimate never undershoots the flushed size.
+    #[test]
+    fn bytes_upper_bound_holds(stream in arb_stream()) {
+        let mut ctx = [CtxState::default(); 19];
+        let mut enc = MqEncoder::new();
+        for &(c, d) in &stream {
+            enc.encode(&mut ctx[c], d);
+        }
+        let bound = enc.bytes_upper_bound();
+        prop_assert!(enc.flush().len() <= bound);
+    }
+
+    /// Decoding with the wrong byte stream must not panic (garbage in,
+    /// garbage out — but total).
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut ctx = CtxState::default();
+        let mut dec = MqDecoder::new(&bytes);
+        for _ in 0..1000 {
+            let d = dec.decode(&mut ctx);
+            prop_assert!(d <= 1);
+        }
+    }
+
+    /// Context adaptation compresses a biased stream below 1 bit/decision.
+    #[test]
+    fn biased_streams_compress(bias in 4u32..64) {
+        let n = 4000u32;
+        let mut ctx = CtxState::default();
+        let mut enc = MqEncoder::new();
+        for i in 0..n {
+            enc.encode(&mut ctx, u8::from(i % bias == 0));
+        }
+        let bytes = enc.flush();
+        prop_assert!((bytes.len() as u32) * 8 < n, "{} bytes for {} biased decisions", bytes.len(), n);
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared-memory parallel execution utilities for the pj2k workspace.
+//!
+//! The paper (Meerwald, Norcen, Uhl — IPPS 2002) parallelizes two JPEG2000
+//! reference implementations with two mechanisms:
+//!
+//! * **JJ2000 / Java threads**: an explicit pool of worker threads; the
+//!   independent code-blocks of the Tier-1 coding stage are handed to the
+//!   workers in a *staggered round-robin* order to balance the load, and the
+//!   wavelet transform splits its row/column ranges statically among threads
+//!   with a barrier between the vertical and horizontal filtering of each
+//!   decomposition level.
+//! * **Jasper / OpenMP**: `#pragma omp parallel for` loop splitting, which in
+//!   this workspace is represented by [rayon] data parallelism.
+//!
+//! This crate provides the pieces shared by both: work schedules
+//! ([`Schedule`], [`assign`]), a scoped fork-join executor over those
+//! schedules ([`pool_map`], [`pool_run`]), a persistent [`WorkerPool`]
+//! mirroring the paper's long-lived thread pool, and the per-stage wall-clock
+//! instrumentation ([`StageTimes`]) used to regenerate the paper's runtime
+//! breakdown charts (Figs. 3, 6, 9).
+
+pub mod exec;
+pub mod pool;
+pub mod schedule;
+pub mod timing;
+
+pub use exec::{Backend, Exec, SendPtr};
+pub use pool::{pool_map, pool_run, WorkerPool};
+pub use schedule::{assign, chunk_ranges, Schedule};
+pub use timing::{StageClock, StageTimes};

@@ -1,0 +1,178 @@
+//! Work-to-worker assignment policies.
+//!
+//! The policies correspond to the allocation strategies discussed in the
+//! paper: deterministic static splits for the wavelet transform (the
+//! workload per row/column is uniform, so a static allocation suffices) and
+//! round-robin variants for the code-block coding stage (per-block runtime
+//! varies, so blocks are interleaved across workers).
+
+/// How a list of independent work items is distributed over `p` workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// Contiguous blocks: worker `w` receives items
+    /// `[w*ceil(n/p), (w+1)*ceil(n/p))`. Used for the DWT row/column split
+    /// where the per-item cost is uniform and locality matters.
+    StaticBlock,
+    /// Plain round robin: item `i` goes to worker `i % p`.
+    RoundRobin,
+    /// Staggered round robin, the paper's Tier-1 policy: in round `r`
+    /// (items `r*p .. (r+1)*p`), the mapping of items to workers is rotated
+    /// by `r`, so that systematic cost gradients along the item list (e.g.
+    /// code-blocks ordered by resolution level, whose coding cost shrinks
+    /// with depth) do not always penalize the same worker.
+    StaggeredRoundRobin,
+}
+
+/// Compute the item indices assigned to each of `p` workers.
+///
+/// Returns a vector of length `p`; entry `w` lists the indices owned by
+/// worker `w`, in increasing order of processing. Every index in `0..n`
+/// appears exactly once across all workers.
+///
+/// # Panics
+/// Panics if `p == 0`.
+pub fn assign(n: usize, p: usize, schedule: Schedule) -> Vec<Vec<usize>> {
+    assert!(p > 0, "worker count must be positive");
+    let mut out = vec![Vec::with_capacity(n.div_ceil(p)); p];
+    match schedule {
+        Schedule::StaticBlock => {
+            for (w, range) in chunk_ranges(n, p).into_iter().enumerate() {
+                out[w].extend(range);
+            }
+        }
+        Schedule::RoundRobin => {
+            for i in 0..n {
+                out[i % p].push(i);
+            }
+        }
+        Schedule::StaggeredRoundRobin => {
+            for i in 0..n {
+                let round = i / p;
+                let lane = i % p;
+                out[(lane + round) % p].push(i);
+            }
+        }
+    }
+    out
+}
+
+/// Split `0..n` into `p` contiguous ranges whose lengths differ by at most 1.
+///
+/// The first `n % p` ranges are one longer than the rest, matching the
+/// canonical static loop split of OpenMP's `schedule(static)`.
+pub fn chunk_ranges(n: usize, p: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(p > 0, "worker count must be positive");
+    let base = n / p;
+    let extra = n % p;
+    let mut ranges = Vec::with_capacity(p);
+    let mut start = 0;
+    for w in 0..p {
+        let len = base + usize::from(w < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn flatten_sorted(parts: &[Vec<usize>]) -> Vec<usize> {
+        let mut v: Vec<usize> = parts.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn static_block_is_contiguous_and_complete() {
+        for n in [0, 1, 7, 64, 65] {
+            for p in [1, 2, 3, 4, 16] {
+                let parts = assign(n, p, Schedule::StaticBlock);
+                assert_eq!(parts.len(), p);
+                assert_eq!(flatten_sorted(&parts), (0..n).collect::<Vec<_>>());
+                for part in &parts {
+                    for pair in part.windows(2) {
+                        assert_eq!(pair[1], pair[0] + 1, "static parts must be contiguous");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let parts = assign(10, 3, Schedule::RoundRobin);
+        assert_eq!(parts[0], vec![0, 3, 6, 9]);
+        assert_eq!(parts[1], vec![1, 4, 7]);
+        assert_eq!(parts[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn staggered_rotates_by_round() {
+        // p=3: round 0 keeps lanes, round 1 rotates by one, round 2 by two.
+        let parts = assign(9, 3, Schedule::StaggeredRoundRobin);
+        assert_eq!(parts[0], vec![0, 5, 7]);
+        assert_eq!(parts[1], vec![1, 3, 8]);
+        assert_eq!(parts[2], vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn staggered_is_a_partition() {
+        for n in [0, 1, 5, 31, 100] {
+            for p in [1, 2, 4, 7] {
+                let parts = assign(n, p, Schedule::StaggeredRoundRobin);
+                let all: BTreeSet<usize> = parts.iter().flatten().copied().collect();
+                assert_eq!(all.len(), n);
+                assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn staggered_balances_linear_cost_gradient() {
+        // Cost of item i is i; staggering should spread the gradient so the
+        // max/min worker cost ratio stays close to 1.
+        let n = 64;
+        let p = 4;
+        let parts = assign(n, p, Schedule::StaggeredRoundRobin);
+        let costs: Vec<usize> = parts
+            .iter()
+            .map(|idxs| idxs.iter().copied().sum::<usize>())
+            .collect();
+        let max = *costs.iter().max().unwrap();
+        let min = *costs.iter().min().unwrap();
+        assert!(
+            max - min <= n,
+            "staggered RR should balance linear gradients: {costs:?}"
+        );
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0, 1, 10, 17] {
+            for p in [1, 2, 3, 5] {
+                let ranges = chunk_ranges(n, p);
+                assert_eq!(ranges.len(), p);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+                assert_eq!(expect, n);
+                let lens: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+                let maxl = lens.iter().max().unwrap();
+                let minl = lens.iter().min().unwrap();
+                assert!(maxl - minl <= 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count")]
+    fn zero_workers_panics() {
+        let _ = assign(4, 0, Schedule::RoundRobin);
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-stage wall-clock accounting.
+//!
+//! The paper's runtime-analysis charts (Figs. 3, 6, 9) break the coding time
+//! into named pipeline stages (image I/O, pipeline setup, inter-component
+//! transform, intra-component transform, quantization, tier-1 coding, tier-2
+//! coding, bitstream I/O). [`StageTimes`] accumulates durations under stage
+//! names while preserving first-seen order so the harness can print the same
+//! stacked rows as the paper.
+
+use std::time::{Duration, Instant};
+
+/// Ordered accumulator of named stage durations.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimes {
+    entries: Vec<(String, Duration)>,
+}
+
+impl StageTimes {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `d` to stage `name`, creating the stage on first use.
+    pub fn add(&mut self, name: &str, d: Duration) {
+        if let Some(entry) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += d;
+        } else {
+            self.entries.push((name.to_owned(), d));
+        }
+    }
+
+    /// Time the closure and charge its duration to stage `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(name, start.elapsed());
+        out
+    }
+
+    /// Duration recorded for `name` (zero if never recorded).
+    pub fn get(&self, name: &str) -> Duration {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(Duration::ZERO, |(_, d)| *d)
+    }
+
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Stages in first-recorded order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.entries.iter().map(|(n, d)| (n.as_str(), *d))
+    }
+
+    /// Merge another accumulator into this one (used to combine per-tile or
+    /// per-run timings).
+    pub fn merge(&mut self, other: &StageTimes) {
+        for (name, d) in other.iter() {
+            self.add(name, d);
+        }
+    }
+
+    /// Fraction of the total spent in `name`; 0 when the total is zero.
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.get(name).as_secs_f64() / total
+        }
+    }
+
+    /// True when no stage has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// RAII helper that charges the time between construction and `stop` (or
+/// drop) to a [`StageTimes`] entry captured by name.
+pub struct StageClock {
+    start: Instant,
+}
+
+impl StageClock {
+    /// Start a clock now.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stop and charge the elapsed time to `times` under `name`.
+    pub fn stop(self, times: &mut StageTimes, name: &str) {
+        times.add(name, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_preserves_order() {
+        let mut t = StageTimes::new();
+        t.add("dwt", Duration::from_millis(5));
+        t.add("tier-1", Duration::from_millis(7));
+        t.add("dwt", Duration::from_millis(3));
+        let names: Vec<&str> = t.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["dwt", "tier-1"]);
+        assert_eq!(t.get("dwt"), Duration::from_millis(8));
+        assert_eq!(t.total(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn time_charges_closure() {
+        let mut t = StageTimes::new();
+        let v = t.time("work", || 21 * 2);
+        assert_eq!(v, 42);
+        assert!(t.get("work") > Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = StageTimes::new();
+        a.add("x", Duration::from_millis(1));
+        let mut b = StageTimes::new();
+        b.add("x", Duration::from_millis(2));
+        b.add("y", Duration::from_millis(4));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Duration::from_millis(3));
+        assert_eq!(a.get("y"), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn fraction_is_normalized() {
+        let mut t = StageTimes::new();
+        assert_eq!(t.fraction("missing"), 0.0);
+        t.add("a", Duration::from_millis(30));
+        t.add("b", Duration::from_millis(10));
+        assert!((t.fraction("a") - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_clock_records() {
+        let mut t = StageTimes::new();
+        let clock = StageClock::new();
+        std::hint::black_box(1 + 1);
+        clock.stop(&mut t, "tick");
+        assert!(t.get("tick") > Duration::ZERO);
+    }
+}

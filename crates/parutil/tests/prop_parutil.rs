@@ -1,0 +1,77 @@
+//! Property tests for the schedulers and executors.
+
+use pj2k_parutil::{assign, chunk_ranges, pool_map, Exec, Schedule, SendPtr};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn schedules() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::StaticBlock),
+        Just(Schedule::RoundRobin),
+        Just(Schedule::StaggeredRoundRobin),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every schedule partitions the item set exactly.
+    #[test]
+    fn assign_is_a_partition(n in 0usize..500, p in 1usize..17, s in schedules()) {
+        let parts = assign(n, p, s);
+        prop_assert_eq!(parts.len(), p);
+        let mut all = BTreeSet::new();
+        for part in &parts {
+            for &i in part {
+                prop_assert!(i < n);
+                prop_assert!(all.insert(i), "duplicate {}", i);
+            }
+        }
+        prop_assert_eq!(all.len(), n);
+    }
+
+    /// Round-robin family balances counts to within one item.
+    #[test]
+    fn rr_counts_balanced(n in 0usize..500, p in 1usize..17) {
+        for s in [Schedule::RoundRobin, Schedule::StaggeredRoundRobin] {
+            let parts = assign(n, p, s);
+            let max = parts.iter().map(Vec::len).max().unwrap();
+            let min = parts.iter().map(Vec::len).min().unwrap();
+            prop_assert!(max - min <= 1, "{:?}: {} vs {}", s, max, min);
+        }
+    }
+
+    /// chunk_ranges is contiguous, ordered, and covering.
+    #[test]
+    fn chunks_cover(n in 0usize..1000, p in 1usize..17) {
+        let ranges = chunk_ranges(n, p);
+        let mut expect = 0;
+        for r in &ranges {
+            prop_assert_eq!(r.start, expect);
+            expect = r.end;
+        }
+        prop_assert_eq!(expect, n);
+    }
+
+    /// pool_map equals the sequential map for any worker count/schedule.
+    #[test]
+    fn pool_map_matches_map(n in 0usize..200, p in 1usize..9, s in schedules()) {
+        let got = pool_map(n, p, s, |i| i * 3 + 1);
+        let want: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Exec::run_ranges writes every slot exactly once via SendPtr.
+    #[test]
+    fn run_ranges_disjoint_writes(n in 1usize..300, workers in 1usize..9) {
+        let mut buf = vec![0u32; n];
+        let ptr = SendPtr::new(&mut buf);
+        Exec::threads(workers).run_ranges(n, |range| {
+            for i in range {
+                // SAFETY: ranges are disjoint.
+                unsafe { ptr.write(i, ptr.read(i) + 1) };
+            }
+        });
+        prop_assert!(buf.iter().all(|&v| v == 1));
+    }
+}

@@ -1,0 +1,82 @@
+//! Amdahl's law (paper §3.4).
+//!
+//! The paper writes the bound as `S = (s + p) / (s + p/n)` where `s` is the
+//! runtime of the inherently sequential code, `p` of the parallelizable
+//! code, and `n` the CPU count, and derives theoretical 4-CPU speedups of
+//! ~2.1 (JJ2000) and ~2.4 (filtering-optimized Jasper) against measured
+//! 1.75/1.85.
+
+/// Amdahl speedup bound for sequential time `s`, parallel time `p`, and
+/// `n` CPUs (any consistent time unit).
+///
+/// # Panics
+/// Panics for `n == 0` or negative times.
+pub fn amdahl_speedup(s: f64, p: f64, n: usize) -> f64 {
+    assert!(n > 0, "need at least one CPU");
+    assert!(s >= 0.0 && p >= 0.0, "times must be non-negative");
+    let total = s + p;
+    if total == 0.0 {
+        return 1.0;
+    }
+    total / (s + p / n as f64)
+}
+
+/// Sequential fraction `s / (s + p)` from stage timings: `serial` = the sum
+/// of inherently sequential stage times, `parallel` = the sum of
+/// parallelizable stage times.
+pub fn serial_fraction(serial: f64, parallel: f64) -> f64 {
+    let total = serial + parallel;
+    if total == 0.0 {
+        0.0
+    } else {
+        serial / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits() {
+        // No sequential part: perfect scaling.
+        assert!((amdahl_speedup(0.0, 10.0, 8) - 8.0).abs() < 1e-12);
+        // No parallel part: no speedup.
+        assert!((amdahl_speedup(10.0, 0.0, 8) - 1.0).abs() < 1e-12);
+        // One CPU: no speedup.
+        assert!((amdahl_speedup(3.0, 7.0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_magnitudes() {
+        // ~40% sequential (paper: "intrinsically sequential stages
+        // contribute already about 40%") on 4 CPUs gives ~1.8x.
+        let s = amdahl_speedup(0.4, 0.6, 4);
+        assert!(s > 1.7 && s < 1.9, "{s}");
+        // ~25% sequential gives ~2.3x on 4 CPUs.
+        let s = amdahl_speedup(0.25, 0.75, 4);
+        assert!(s > 2.1 && s < 2.4, "{s}");
+    }
+
+    #[test]
+    fn infinite_cpu_limit_is_inverse_serial_fraction() {
+        let s = amdahl_speedup(0.25, 0.75, 1_000_000);
+        assert!((s - 4.0).abs() < 0.01, "{s}");
+    }
+
+    #[test]
+    fn monotone_in_cpus() {
+        let mut prev = 0.0;
+        for n in 1..=32 {
+            let s = amdahl_speedup(1.0, 9.0, n);
+            assert!(s > prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn serial_fraction_basics() {
+        assert_eq!(serial_fraction(0.0, 0.0), 0.0);
+        assert!((serial_fraction(2.0, 8.0) - 0.2).abs() < 1e-12);
+    }
+}

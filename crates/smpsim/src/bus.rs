@@ -1,0 +1,142 @@
+//! Shared-bus contention model.
+//!
+//! The paper explains the constrained speedup of naive vertical filtering
+//! as *"the congestion of the bus caused by the high number of cache
+//! misses"* (§3.2). First-order model: each work item splits into pure
+//! compute time and per-CPU memory-stall time (cache-miss latency). One
+//! CPU's stalls are latency-bound — they do not saturate the bus — but the
+//! bus can only sustain about [`BusParams::overlap`] CPUs' worth of
+//! concurrent miss traffic, so
+//!
+//! ```text
+//! T(p) = max( makespan_p(compute_i + stall_i),  Σ stall_i / overlap )
+//! ```
+//!
+//! At `p = 1` the left term is the plain serial time; as `p` grows,
+//! memory-bound work stops scaling once the aggregate stall time hits the
+//! bus floor. `overlap = 1.6` reproduces the paper's naive-vertical
+//! 4-CPU speedup of ~1.9 given its measured serial cache gap.
+
+use crate::makespan::makespan;
+use pj2k_parutil::Schedule;
+
+/// One schedulable work item.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkItem {
+    /// Pure compute seconds (scales perfectly with CPUs).
+    pub compute: f64,
+    /// Per-CPU memory-stall seconds (cache-miss latency, unshared).
+    pub stall: f64,
+}
+
+/// Bus characteristics.
+#[derive(Debug, Clone, Copy)]
+pub struct BusParams {
+    /// How many CPUs' worth of concurrent miss traffic the shared bus
+    /// sustains before it saturates (>= 1).
+    pub overlap: f64,
+}
+
+impl BusParams {
+    /// A Pentium II-era front-side bus: miss latency dominates a single
+    /// CPU; the bus sustains roughly 1.6 CPUs' concurrent miss streams.
+    pub const PENTIUM2_FSB: BusParams = BusParams { overlap: 1.6 };
+
+    /// The SGI Power Challenge's slower, wider shared bus feeding many
+    /// CPUs: a little more concurrency headroom.
+    pub const SGI_POWER_CHALLENGE: BusParams = BusParams { overlap: 2.5 };
+}
+
+/// Completion time of `items` on `p` CPUs under `schedule` with a shared
+/// bus.
+///
+/// # Panics
+/// Panics if `p == 0` or `overlap < 1`.
+pub fn bus_makespan(items: &[WorkItem], p: usize, schedule: Schedule, bus: BusParams) -> f64 {
+    assert!(p > 0, "need at least one CPU");
+    assert!(bus.overlap >= 1.0, "overlap must be at least 1");
+    let per_item: Vec<f64> = items.iter().map(|it| it.compute + it.stall).collect();
+    let critical_path = makespan(&per_item, p, schedule);
+    if p == 1 {
+        return critical_path;
+    }
+    let bus_floor: f64 = items.iter().map(|it| it.stall).sum::<f64>() / bus.overlap;
+    critical_path.max(bus_floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUS: BusParams = BusParams { overlap: 1.6 };
+
+    fn uniform(n: usize, compute: f64, stall: f64) -> Vec<WorkItem> {
+        vec![WorkItem { compute, stall }; n]
+    }
+
+    #[test]
+    fn compute_bound_scales_linearly() {
+        let items = uniform(64, 1.0, 0.0);
+        let t1 = bus_makespan(&items, 1, Schedule::StaticBlock, BUS);
+        let t8 = bus_makespan(&items, 8, Schedule::StaticBlock, BUS);
+        assert!((t1 / t8 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_saturates_at_overlap() {
+        // stall:compute = 10:1 — speedup caps near (c+s)/(s/overlap).
+        let items = uniform(64, 1.0e-3, 10.0e-3);
+        let t1 = bus_makespan(&items, 1, Schedule::StaticBlock, BUS);
+        let t4 = bus_makespan(&items, 4, Schedule::StaticBlock, BUS);
+        let t16 = bus_makespan(&items, 16, Schedule::StaticBlock, BUS);
+        let s4 = t1 / t4;
+        let s16 = t1 / t16;
+        let cap = 11.0 / (10.0 / 1.6);
+        assert!((s4 - cap).abs() < 0.1, "expected ~{cap}, got {s4}");
+        assert!((s16 - s4).abs() < 1e-9, "extra CPUs cannot help: {s4} vs {s16}");
+    }
+
+    #[test]
+    fn paper_naive_vertical_shape() {
+        // Calibration check: serial cache gap ~6.7x (paper Fig. 7:
+        // 32.1 s naive vs 4.8 s improved) => naive 4-CPU speedup ~1.9.
+        let compute = 4.8 / 64.0;
+        let stall = (32.1 - 4.8) / 64.0;
+        let items = uniform(64, compute, stall);
+        let t1 = bus_makespan(&items, 1, Schedule::StaticBlock, BUS);
+        let t4 = bus_makespan(&items, 4, Schedule::StaticBlock, BUS);
+        let s = t1 / t4;
+        assert!(s > 1.6 && s < 2.2, "paper-like naive speedup, got {s}");
+    }
+
+    #[test]
+    fn low_stall_items_scale_like_the_paper_improved_filtering() {
+        // Improved filtering: ~25% stall — close to linear at 4 CPUs.
+        let items = uniform(256, 3.0e-3, 1.0e-3);
+        let t1 = bus_makespan(&items, 1, Schedule::StaticBlock, BUS);
+        let t4 = bus_makespan(&items, 4, Schedule::StaticBlock, BUS);
+        let s = t1 / t4;
+        assert!(s > 3.0, "expected near-linear, got {s}");
+    }
+
+    #[test]
+    fn single_cpu_has_no_contention_penalty() {
+        let items = uniform(10, 0.5, 0.9);
+        let t1 = bus_makespan(&items, 1, Schedule::RoundRobin, BUS);
+        assert!((t1 - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sgi_overlap_helps_memory_bound_work() {
+        let items = uniform(64, 1.0e-3, 6.0e-3);
+        let intel = bus_makespan(&items, 8, Schedule::StaticBlock, BusParams::PENTIUM2_FSB);
+        let sgi = bus_makespan(&items, 8, Schedule::StaticBlock, BusParams::SGI_POWER_CHALLENGE);
+        assert!(sgi < intel, "more bus headroom must help: {sgi} vs {intel}");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlap_below_one_panics() {
+        let _ = bus_makespan(&[], 2, Schedule::StaticBlock, BusParams { overlap: 0.5 });
+    }
+}

@@ -1,0 +1,100 @@
+//! Schedule makespan: completion time of a fixed item-to-CPU assignment.
+
+use pj2k_parutil::Schedule;
+
+/// Completion time of `costs` (seconds per item, in submission order) on
+/// `p` virtual CPUs under `schedule`: the maximum per-CPU cost sum.
+///
+/// # Panics
+/// Panics if `p == 0`.
+pub fn makespan(costs: &[f64], p: usize, schedule: Schedule) -> f64 {
+    assert!(p > 0, "need at least one CPU");
+    pj2k_parutil::assign(costs.len(), p, schedule)
+        .into_iter()
+        .map(|items| items.into_iter().map(|i| costs[i]).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Speedup of the schedule over sequential execution for each CPU count in
+/// `cpus`: `sum(costs) / makespan(p)`.
+pub fn speedup_curve(costs: &[f64], cpus: &[usize], schedule: Schedule) -> Vec<f64> {
+    let total: f64 = costs.iter().sum();
+    cpus.iter()
+        .map(|&p| {
+            let m = makespan(costs, p, schedule);
+            if m == 0.0 {
+                1.0
+            } else {
+                total / m
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_items_scale_linearly() {
+        let costs = vec![1.0; 64];
+        for p in [1, 2, 4, 8] {
+            for s in [
+                Schedule::StaticBlock,
+                Schedule::RoundRobin,
+                Schedule::StaggeredRoundRobin,
+            ] {
+                let m = makespan(&costs, p, s);
+                assert!((m - 64.0 / p as f64).abs() < 1e-12, "p={p} {s:?}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_cpu_is_total() {
+        let costs = vec![0.5, 1.5, 3.0];
+        assert!((makespan(&costs, 1, Schedule::StaticBlock) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staggered_beats_static_on_gradient() {
+        // Linearly decreasing costs (like code-blocks ordered coarse to
+        // fine): a static block split gives one CPU all the cheap items.
+        let costs: Vec<f64> = (0..64).map(|i| 64.0 - i as f64).collect();
+        let p = 4;
+        let stat = makespan(&costs, p, Schedule::StaticBlock);
+        let stag = makespan(&costs, p, Schedule::StaggeredRoundRobin);
+        assert!(
+            stag < stat,
+            "staggered ({stag}) should balance the gradient better than static ({stat})"
+        );
+        // And staggered should be near-perfect here.
+        let ideal = costs.iter().sum::<f64>() / p as f64;
+        assert!(stag < ideal * 1.05, "stag={stag} ideal={ideal}");
+    }
+
+    #[test]
+    fn speedup_curve_monotone_for_many_uniform_items() {
+        let costs = vec![2.0; 1024];
+        let curve = speedup_curve(&costs, &[1, 2, 4, 8, 16], Schedule::StaggeredRoundRobin);
+        assert!((curve[0] - 1.0).abs() < 1e-12);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((curve[4] - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_huge_item_caps_speedup() {
+        let mut costs = vec![0.01; 100];
+        costs[0] = 10.0;
+        let curve = speedup_curve(&costs, &[16], Schedule::StaggeredRoundRobin);
+        assert!(curve[0] < 1.2, "dominated by the big item: {curve:?}");
+    }
+
+    #[test]
+    fn empty_costs() {
+        assert_eq!(makespan(&[], 4, Schedule::RoundRobin), 0.0);
+        assert_eq!(speedup_curve(&[], &[2], Schedule::RoundRobin), vec![1.0]);
+    }
+}

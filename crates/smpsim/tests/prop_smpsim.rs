@@ -1,0 +1,80 @@
+//! Property tests for the SMP execution model.
+
+use pj2k_smpsim::{amdahl_speedup, bus_makespan, makespan, BusParams, Schedule, WorkItem};
+use proptest::prelude::*;
+
+fn schedules() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::StaticBlock),
+        Just(Schedule::RoundRobin),
+        Just(Schedule::StaggeredRoundRobin),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Makespan bounds: total/p <= makespan <= total, and the single-CPU
+    /// makespan is exactly the total.
+    #[test]
+    fn makespan_bounds(
+        costs in proptest::collection::vec(0.0f64..10.0, 1..200),
+        p in 1usize..17,
+        s in schedules(),
+    ) {
+        let total: f64 = costs.iter().sum();
+        let m = makespan(&costs, p, s);
+        prop_assert!(m <= total + 1e-9);
+        prop_assert!(m >= total / p as f64 - 1e-9);
+        prop_assert!(m >= costs.iter().cloned().fold(0.0, f64::max) - 1e-9,
+            "makespan below the largest item");
+        let m1 = makespan(&costs, 1, s);
+        prop_assert!((m1 - total).abs() < 1e-9);
+    }
+
+    /// Parallel execution never exceeds serial execution (note: makespans
+    /// of *fixed* assignments are not strictly monotone in the CPU count —
+    /// adding a CPU reshuffles round-robin lanes and can lengthen the
+    /// worst one — so only the serial bound is a law).
+    #[test]
+    fn never_worse_than_serial(costs in proptest::collection::vec(0.0f64..5.0, 1..100), s in schedules()) {
+        let serial = makespan(&costs, 1, s);
+        for p in 2..=16 {
+            let m = makespan(&costs, p, s);
+            prop_assert!(m <= serial + 1e-9, "p={}: {} > serial {}", p, m, serial);
+        }
+    }
+
+    /// Bus model: the single-CPU time is contention-free; multi-CPU time is
+    /// bounded below by both the critical path and the bus floor.
+    #[test]
+    fn bus_model_bounds(
+        items_raw in proptest::collection::vec((0.0f64..5.0, 0.0f64..5.0), 1..100),
+        p in 2usize..17,
+        overlap in 1.0f64..8.0,
+    ) {
+        let items: Vec<WorkItem> = items_raw
+            .iter()
+            .map(|&(compute, stall)| WorkItem { compute, stall })
+            .collect();
+        let bus = BusParams { overlap };
+        let serial: f64 = items.iter().map(|i| i.compute + i.stall).sum();
+        let t1 = bus_makespan(&items, 1, Schedule::StaticBlock, bus);
+        prop_assert!((t1 - serial).abs() < 1e-9);
+        let tp = bus_makespan(&items, p, Schedule::StaticBlock, bus);
+        let stall_total: f64 = items.iter().map(|i| i.stall).sum();
+        prop_assert!(tp + 1e-9 >= stall_total / overlap, "below bus floor");
+        prop_assert!(tp <= t1 + 1e-9, "parallel worse than serial");
+    }
+
+    /// Amdahl: bounded by n and by total/serial, exact at the extremes.
+    #[test]
+    fn amdahl_bounds(s in 0.0f64..100.0, par in 0.0f64..100.0, n in 1usize..64) {
+        let sp = amdahl_speedup(s, par, n);
+        prop_assert!(sp >= 1.0 - 1e-12);
+        prop_assert!(sp <= n as f64 + 1e-9);
+        if s > 0.0 {
+            prop_assert!(sp <= (s + par) / s + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Budgeted bit I/O for the embedded SPIHT stream.
+
+/// Bit writer that refuses to exceed a bit budget, so the encoder can stop
+/// mid-pass exactly at the rate target.
+#[derive(Debug)]
+pub struct BudgetBitWriter {
+    out: Vec<u8>,
+    acc: u8,
+    filled: u8,
+    written: u64,
+    budget: u64,
+}
+
+impl BudgetBitWriter {
+    /// Writer that accepts at most `budget_bits` bits.
+    pub fn new(budget_bits: u64) -> Self {
+        Self {
+            out: Vec::new(),
+            acc: 0,
+            filled: 0,
+            written: 0,
+            budget: budget_bits,
+        }
+    }
+
+    /// Append one bit; returns `false` (without writing) once the budget is
+    /// exhausted.
+    #[must_use]
+    pub fn put(&mut self, bit: u8) -> bool {
+        if self.written >= self.budget {
+            return false;
+        }
+        self.acc = (self.acc << 1) | (bit & 1);
+        self.filled += 1;
+        self.written += 1;
+        if self.filled == 8 {
+            self.out.push(self.acc);
+            self.acc = 0;
+            self.filled = 0;
+        }
+        true
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush (zero-padding the last byte) and return the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.out.push(self.acc << (8 - self.filled));
+        }
+        self.out
+    }
+}
+
+/// Bit reader that knows the exact payload bit count and reports exhaustion.
+#[derive(Debug)]
+pub struct ExactBitReader<'a> {
+    data: &'a [u8],
+    pos: u64,
+    len_bits: u64,
+}
+
+impl<'a> ExactBitReader<'a> {
+    /// Read `len_bits` bits from `data`.
+    pub fn new(data: &'a [u8], len_bits: u64) -> Self {
+        Self {
+            data,
+            pos: 0,
+            len_bits: len_bits.min(data.len() as u64 * 8),
+        }
+    }
+
+    /// Next bit, or `None` when the stream is exhausted.
+    pub fn get(&mut self) -> Option<u8> {
+        if self.pos >= self.len_bits {
+            return None;
+        }
+        let byte = self.data[(self.pos / 8) as usize];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Some(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let pattern: Vec<u8> = (0..77).map(|i| ((i * 5 + 2) % 3 == 0) as u8).collect();
+        let mut w = BudgetBitWriter::new(1000);
+        for &b in &pattern {
+            assert!(w.put(b));
+        }
+        let n = w.bit_len();
+        let bytes = w.finish();
+        let mut r = ExactBitReader::new(&bytes, n);
+        for &b in &pattern {
+            assert_eq!(r.get(), Some(b));
+        }
+        assert_eq!(r.get(), None);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut w = BudgetBitWriter::new(5);
+        for _ in 0..5 {
+            assert!(w.put(1));
+        }
+        assert!(!w.put(1));
+        assert_eq!(w.bit_len(), 5);
+        assert_eq!(w.finish(), vec![0b1111_1000]);
+    }
+
+    #[test]
+    fn reader_clamps_to_data() {
+        let mut r = ExactBitReader::new(&[0xFF], 100);
+        for _ in 0..8 {
+            assert_eq!(r.get(), Some(1));
+        }
+        assert_eq!(r.get(), None);
+    }
+}

@@ -1,0 +1,19 @@
+//! SPIHT comparator codec (Said & Pearlman, IEEE TCSVT 1996).
+//!
+//! The paper's Fig. 2 places SPIHT between JPEG (fastest) and the JPEG2000
+//! implementations (slowest). This crate implements the original algorithm:
+//! a wavelet transform (the shared reversible 5/3 from [`pj2k_dwt`]),
+//! spatial-orientation trees across subbands, and the
+//! LIP/LIS/LSP set-partitioning sorting + refinement passes producing a
+//! fully embedded bitstream (no arithmetic coder, as in the original
+//! "binary-uncoded" SPIHT).
+//!
+//! Restriction: square power-of-two images (the paper's test sizes are all
+//! dyadic squares). The set-partitioning parent/child relations assume the
+//! dyadic Mallat layout.
+
+pub mod bitio;
+pub mod codec;
+pub mod tree;
+
+pub use codec::{decode, encode, SpihtError};

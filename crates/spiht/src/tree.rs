@@ -1,0 +1,223 @@
+//! Spatial-orientation trees over the dyadic Mallat layout.
+//!
+//! For a `n x n` plane decomposed `L` levels, the deepest `LL` band is
+//! `s x s` with `s = n >> L`. Tree roots are the `LL` coefficients; in each
+//! 2x2 `LL` group the top-left member has no descendants and the other
+//! three root the trees of the `HL_L`, `LH_L`, `HH_L` bands. Below `LL`,
+//! the children of `(x, y)` are the 2x2 block at `(2x, 2y)`.
+
+/// Children of coefficient `(x, y)`, if any.
+///
+/// `n` is the plane side, `s` the deepest-LL side.
+pub fn children(x: usize, y: usize, n: usize, s: usize) -> Option<[(usize, usize); 4]> {
+    if x < s && y < s {
+        // LL root.
+        let (gx, gy) = (x & !1, y & !1);
+        let (ox, oy) = (x - gx, y - gy);
+        if (ox, oy) == (0, 0) {
+            return None;
+        }
+        if s < 2 {
+            return None; // degenerate 1x1 LL has no sibling structure
+        }
+        let (bx0, by0) = (ox * s, oy * s);
+        let (cx, cy) = (bx0 + gx, by0 + gy);
+        Some([(cx, cy), (cx + 1, cy), (cx, cy + 1), (cx + 1, cy + 1)])
+    } else {
+        // Detail coefficient: children at (2x, 2y) while inside the plane.
+        if 2 * x >= n || 2 * y >= n {
+            return None;
+        }
+        Some([
+            (2 * x, 2 * y),
+            (2 * x + 1, 2 * y),
+            (2 * x, 2 * y + 1),
+            (2 * x + 1, 2 * y + 1),
+        ])
+    }
+}
+
+/// Bottom-up maxima used by the encoder to answer set-significance queries
+/// in O(1):
+///
+/// * `dmax[(x, y)]` — max magnitude over **all** descendants of `(x, y)`
+///   (excluding the coefficient itself),
+/// * `lmax[(x, y)]` — max magnitude over descendants **excluding children**
+///   (the `L(x, y)` set).
+pub struct DescendantMax {
+    n: usize,
+    dmax: Vec<u32>,
+    lmax: Vec<u32>,
+}
+
+impl DescendantMax {
+    /// Build from magnitudes (row-major `n x n`), for LL side `s`.
+    pub fn build(mag: &[u32], n: usize, s: usize) -> Self {
+        let mut dm = DescendantMax {
+            n,
+            dmax: vec![0; n * n],
+            lmax: vec![0; n * n],
+        };
+        // Process coefficients from finest to coarsest: simply iterate in
+        // decreasing "pyramid order" by processing coordinates whose
+        // children are already done. A reverse raster over the plane works
+        // because children always have strictly larger max(x, y)... except
+        // LL roots whose children live in same-range bands; handle LL in a
+        // second pass.
+        let mut order: Vec<(usize, usize)> = (0..n * n).map(|i| (i % n, i / n)).collect();
+        order.sort_by_key(|&(x, y)| std::cmp::Reverse(x.max(y)));
+        for (x, y) in order {
+            if x < s && y < s {
+                continue; // LL handled after all detail bands
+            }
+            dm.fill_node(mag, x, y, s);
+        }
+        for y in 0..s.min(n) {
+            for x in 0..s.min(n) {
+                dm.fill_node(mag, x, y, s);
+            }
+        }
+        dm
+    }
+
+    fn fill_node(&mut self, mag: &[u32], x: usize, y: usize, s: usize) {
+        if let Some(kids) = children(x, y, self.n, s) {
+            let mut d = 0u32;
+            let mut l = 0u32;
+            for (cx, cy) in kids {
+                let ci = cy * self.n + cx;
+                d = d.max(mag[ci]).max(self.dmax[ci]);
+                l = l.max(self.dmax[ci]);
+            }
+            self.dmax[y * self.n + x] = d;
+            self.lmax[y * self.n + x] = l;
+        }
+    }
+
+    /// Max magnitude among all descendants of `(x, y)`.
+    pub fn d(&self, x: usize, y: usize) -> u32 {
+        self.dmax[y * self.n + x]
+    }
+
+    /// Max magnitude among descendants excluding direct children.
+    pub fn l(&self, x: usize, y: usize) -> u32 {
+        self.lmax[y * self.n + x]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ll_group_structure() {
+        // 8x8 plane, 2 levels -> s = 2.
+        let (n, s) = (8, 2);
+        assert_eq!(children(0, 0, n, s), None, "top-left of the group");
+        assert_eq!(
+            children(1, 0, n, s),
+            Some([(2, 0), (3, 0), (2, 1), (3, 1)]),
+            "HL root"
+        );
+        assert_eq!(
+            children(0, 1, n, s),
+            Some([(0, 2), (1, 2), (0, 3), (1, 3)]),
+            "LH root"
+        );
+        assert_eq!(
+            children(1, 1, n, s),
+            Some([(2, 2), (3, 2), (2, 3), (3, 3)]),
+            "HH root"
+        );
+    }
+
+    #[test]
+    fn detail_children_double() {
+        let (n, s) = (8, 2);
+        assert_eq!(
+            children(2, 0, n, s),
+            Some([(4, 0), (5, 0), (4, 1), (5, 1)])
+        );
+        // Finest band has no children.
+        assert_eq!(children(4, 0, n, s), None);
+        assert_eq!(children(7, 7, n, s), None);
+    }
+
+    #[test]
+    fn every_non_root_has_exactly_one_parent() {
+        let (n, s) = (16, 4);
+        let mut parent_count = vec![0u32; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                if let Some(kids) = children(x, y, n, s) {
+                    for (cx, cy) in kids {
+                        parent_count[cy * n + cx] += 1;
+                    }
+                }
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let expected = u32::from(!(x < s && y < s));
+                assert_eq!(
+                    parent_count[y * n + x],
+                    expected,
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_max_is_true_max() {
+        let (n, s) = (8, 2);
+        let mut mag = vec![0u32; 64];
+        mag[7 * 8 + 7] = 42; // deepest corner (HH, finest)
+        let dm = DescendantMax::build(&mag, n, s);
+        // Its ancestors: (3,3) HH_2 -> root (1,1).
+        assert_eq!(dm.d(3, 3), 42);
+        assert_eq!(dm.d(1, 1), 42);
+        assert_eq!(dm.l(1, 1), 42, "grandchild, so in L(1,1)");
+        assert_eq!(dm.d(0, 0), 0);
+        assert_eq!(dm.d(1, 0), 0, "HL tree does not see HH leaf");
+    }
+
+    #[test]
+    fn lmax_excludes_children() {
+        let (n, s) = (8, 2);
+        let mut mag = vec![0u32; 64];
+        mag[8 * 2 + 2] = 9; // (2,2): child of root (1,1)
+        let dm = DescendantMax::build(&mag, n, s);
+        assert_eq!(dm.d(1, 1), 9);
+        assert_eq!(dm.l(1, 1), 0, "child magnitude not in L");
+    }
+
+    #[test]
+    fn brute_force_cross_check() {
+        let (n, s) = (16, 2);
+        let mag: Vec<u32> = (0..n * n).map(|i| ((i * 2654435761usize) % 97) as u32).collect();
+        let dm = DescendantMax::build(&mag, n, s);
+        // recursive reference
+        fn desc_max(mag: &[u32], x: usize, y: usize, n: usize, s: usize, skip_children: bool) -> u32 {
+            match children(x, y, n, s) {
+                None => 0,
+                Some(kids) => {
+                    let mut m = 0;
+                    for (cx, cy) in kids {
+                        if !skip_children {
+                            m = m.max(mag[cy * n + cx]);
+                        }
+                        m = m.max(desc_max(mag, cx, cy, n, s, false));
+                    }
+                    m
+                }
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                assert_eq!(dm.d(x, y), desc_max(&mag, x, y, n, s, false), "d({x},{y})");
+                assert_eq!(dm.l(x, y), desc_max(&mag, x, y, n, s, true), "l({x},{y})");
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the SPIHT comparator.
+
+use pj2k_image::{metrics, Image, Plane};
+use pj2k_spiht::{decode, encode};
+use proptest::prelude::*;
+
+fn arb_dyadic_image() -> impl Strategy<Value = Image> {
+    (2u32..7, any::<u64>()).prop_map(|(p, seed)| {
+        let n = 1usize << p; // 4..64
+        let mut state = seed | 1;
+        Image::gray8(Plane::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 256) as i32
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With an unlimited budget the (5/3-based) coder is lossless.
+    #[test]
+    fn unlimited_budget_is_lossless(img in arb_dyadic_image(), levels in 1u8..5) {
+        let bytes = encode(&img, levels, 64.0).unwrap();
+        let out = decode(&bytes).unwrap();
+        prop_assert_eq!(metrics::max_abs_error(&img, &out), 0);
+    }
+
+    /// Rate budgets are respected (header + ceil slack only).
+    #[test]
+    fn budget_respected(img in arb_dyadic_image(), bpp in 0.05f64..4.0) {
+        let bytes = encode(&img, 3, bpp).unwrap();
+        let budget = (bpp * (img.pixels()) as f64 / 8.0) as usize;
+        prop_assert!(bytes.len() <= budget + 24, "{} vs {}", bytes.len(), budget);
+        // and it decodes
+        let out = decode(&bytes).unwrap();
+        prop_assert_eq!(out.width(), img.width());
+    }
+
+    /// Decoding any truncation of a valid stream is total, and quality is
+    /// near-monotone in the received prefix. Exact monotonicity does not
+    /// hold at arbitrary byte cuts: the decoder reconstructs to the bin
+    /// midpoint of the last *fully received* plane, and a mid-pass cut can
+    /// land individual coefficients on luckier midpoints — so a modest
+    /// tolerance is part of the property, not a defect.
+    #[test]
+    fn truncations_are_total(img in arb_dyadic_image(), frac in 0.1f64..1.0) {
+        let bytes = encode(&img, 3, 8.0).unwrap();
+        let cut = 19 + (((bytes.len() - 19) as f64) * frac) as usize;
+        let truncated = decode(&bytes[..cut]).unwrap();
+        let full = decode(&bytes).unwrap();
+        let mse_trunc = metrics::mse(&img, &truncated);
+        let mse_full = metrics::mse(&img, &full);
+        prop_assert!(
+            mse_full <= mse_trunc * 1.5 + 1.0,
+            "{} vs {}",
+            mse_full,
+            mse_trunc
+        );
+    }
+
+    /// Garbage input errors, never panics.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Corrupted payloads (valid header) never panic.
+    #[test]
+    fn decoder_survives_payload_corruption(img in arb_dyadic_image(), seed in any::<u64>(), xor in 1u8..=255) {
+        let mut bytes = encode(&img, 3, 2.0).unwrap();
+        if bytes.len() > 19 {
+            let pos = 19 + (seed % (bytes.len() as u64 - 19)) as usize;
+            bytes[pos] ^= xor;
+            let _ = decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate: owns the repository-level `examples/` and `tests/`
+//! targets and re-exports the whole pj2k workspace under one roof so the
+//! examples can `use pj2k_suite::prelude::*`.
+
+pub use pj2k_cachesim as cachesim;
+pub use pj2k_core as core;
+pub use pj2k_dwt as dwt;
+pub use pj2k_ebcot as ebcot;
+pub use pj2k_image as image;
+pub use pj2k_jpegbase as jpegbase;
+pub use pj2k_mq as mq;
+pub use pj2k_parutil as parutil;
+pub use pj2k_smpsim as smpsim;
+pub use pj2k_spiht as spiht;
+pub use pj2k_tier2 as tier2;
+
+/// Everything an application typically needs.
+pub mod prelude {
+    pub use pj2k_core::{
+        Decoder, Encoder, EncoderConfig, FilterStrategy, ParallelMode, RateControl, Wavelet,
+    };
+    pub use pj2k_image::metrics::{mse, psnr};
+    pub use pj2k_image::{synth, Image, Plane};
+}

@@ -1,0 +1,323 @@
+//! Codestream container: marker segments and payload (de)serialization.
+//!
+//! The container borrows the ISO 15444-1 marker architecture — a `SOC`
+//! start marker, parameter marker segments with explicit big-endian
+//! lengths, tile-part data after `SOD`, and a trailing `EOC` — but the
+//! payload layouts are pj2k's own (see DESIGN.md §5: no byte-level ISO
+//! interop is claimed). Marker codes reuse the standard values so
+//! hex-dumped streams look familiar.
+
+/// Start of codestream.
+pub const SOC: u16 = 0xFF4F;
+/// Image and tile size parameters.
+pub const SIZ: u16 = 0xFF51;
+/// Coding style (wavelet, levels, code-block size, layers).
+pub const COD: u16 = 0xFF52;
+/// Quantization parameters.
+pub const QCD: u16 = 0xFF5C;
+/// Start of tile-part header.
+pub const SOT: u16 = 0xFF90;
+/// Start of tile data (followed by raw packet bytes with explicit length).
+pub const SOD: u16 = 0xFF93;
+/// Comment segment.
+pub const COM: u16 = 0xFF64;
+/// End of codestream.
+pub const EOC: u16 = 0xFFD9;
+
+/// Error raised while parsing a codestream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codestream parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializer for marker segments and their payloads.
+#[derive(Debug, Default)]
+pub struct MarkerWriter {
+    out: Vec<u8>,
+}
+
+impl MarkerWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit a bare marker (no length, no payload): `SOC`, `EOC`.
+    pub fn marker(&mut self, code: u16) {
+        self.out.extend_from_slice(&code.to_be_bytes());
+    }
+
+    /// Emit a marker segment: marker, 2-byte length (payload + 2), payload.
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds the 16-bit length field.
+    pub fn segment(&mut self, code: u16, payload: &[u8]) {
+        assert!(payload.len() + 2 <= u16::MAX as usize, "marker payload too long");
+        self.marker(code);
+        self.out
+            .extend_from_slice(&((payload.len() as u16 + 2).to_be_bytes()));
+        self.out.extend_from_slice(payload);
+    }
+
+    /// Emit raw bytes (tile body data after `SOD`).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Finish and return the stream.
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Bytes emitted so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Parser for marker streams written by [`MarkerWriter`].
+#[derive(Debug)]
+pub struct MarkerReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MarkerReader<'a> {
+    /// Parse from `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Peek the next marker code without consuming it.
+    pub fn peek_marker(&self) -> Result<u16, ParseError> {
+        if self.pos + 2 > self.data.len() {
+            return Err(ParseError("truncated marker".into()));
+        }
+        Ok(u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]))
+    }
+
+    /// Consume a bare marker, checking it equals `expect`.
+    pub fn expect_marker(&mut self, expect: u16) -> Result<(), ParseError> {
+        let got = self.peek_marker()?;
+        if got != expect {
+            return Err(ParseError(format!("expected marker {expect:#06X}, got {got:#06X}")));
+        }
+        self.pos += 2;
+        Ok(())
+    }
+
+    /// Consume a marker segment, checking the marker code, returning the
+    /// payload.
+    pub fn expect_segment(&mut self, expect: u16) -> Result<&'a [u8], ParseError> {
+        self.expect_marker(expect)?;
+        if self.pos + 2 > self.data.len() {
+            return Err(ParseError("truncated segment length".into()));
+        }
+        let len = u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]) as usize;
+        if len < 2 || self.pos + len > self.data.len() {
+            return Err(ParseError(format!("bad segment length {len}")));
+        }
+        let payload = &self.data[self.pos + 2..self.pos + len];
+        self.pos += len;
+        Ok(payload)
+    }
+
+    /// Consume `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        if self.pos + n > self.data.len() {
+            return Err(ParseError(format!("truncated body: wanted {n} bytes")));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+/// Growable big-endian payload builder.
+#[derive(Debug, Default)]
+pub struct PayloadWriter {
+    out: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a byte.
+    pub fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    /// Append a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append an f64 (IEEE-754 bits, big-endian).
+    pub fn f64(&mut self, v: f64) {
+        self.out.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+
+    /// Finish the payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+/// Cursor over a payload written by [`PayloadWriter`].
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Read from `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ParseError> {
+        if self.pos + n > self.data.len() {
+            return Err(ParseError("truncated payload".into()));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a byte.
+    pub fn u8(&mut self) -> Result<u8, ParseError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, ParseError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, ParseError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64, ParseError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an f64.
+    pub fn f64(&mut self) -> Result<f64, ParseError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// True when the whole payload has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_segment_roundtrip() {
+        let mut w = MarkerWriter::new();
+        w.marker(SOC);
+        w.segment(SIZ, &[1, 2, 3, 4]);
+        w.segment(COM, b"pj2k");
+        w.raw(&[9, 9, 9]);
+        w.marker(EOC);
+        let bytes = w.finish();
+
+        let mut r = MarkerReader::new(&bytes);
+        r.expect_marker(SOC).unwrap();
+        assert_eq!(r.expect_segment(SIZ).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(r.expect_segment(COM).unwrap(), b"pj2k");
+        assert_eq!(r.raw(3).unwrap(), &[9, 9, 9]);
+        r.expect_marker(EOC).unwrap();
+    }
+
+    #[test]
+    fn wrong_marker_is_error() {
+        let mut w = MarkerWriter::new();
+        w.marker(SOC);
+        let bytes = w.finish();
+        let mut r = MarkerReader::new(&bytes);
+        let err = r.expect_marker(EOC).unwrap_err();
+        assert!(err.0.contains("expected marker"));
+    }
+
+    #[test]
+    fn truncated_stream_is_error() {
+        let r = MarkerReader::new(&[0xFF]);
+        assert!(r.peek_marker().is_err());
+        let mut r2 = MarkerReader::new(&[0xFF, 0x51, 0x00]);
+        assert!(r2.expect_segment(SIZ).is_err());
+    }
+
+    #[test]
+    fn oversized_raw_is_error() {
+        let mut r = MarkerReader::new(&[1, 2]);
+        assert!(r.raw(3).is_err());
+        assert_eq!(r.raw(2).unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let mut p = PayloadWriter::new();
+        p.u8(7);
+        p.u16(65535);
+        p.u32(123_456_789);
+        p.u64(1 << 40);
+        p.f64(-0.125);
+        let bytes = p.finish();
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65535);
+        assert_eq!(r.u32().unwrap(), 123_456_789);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert!(r.is_done());
+        assert!(r.u8().is_err());
+    }
+
+    #[test]
+    fn segment_length_includes_itself() {
+        let mut w = MarkerWriter::new();
+        w.segment(COD, &[0xAA; 10]);
+        let bytes = w.finish();
+        // marker (2) + length (2) + payload (10)
+        assert_eq!(bytes.len(), 14);
+        assert_eq!(u16::from_be_bytes([bytes[2], bytes[3]]), 12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests: tag trees, packet headers and PCRD under arbitrary
+//! inputs.
+
+use pj2k_tier2::bitio::{HeaderBitReader, HeaderBitWriter};
+use pj2k_tier2::pcrd::BlockRd;
+use pj2k_tier2::{allocate_layers, decode_packet, encode_packet, PrecinctState, TagTree};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Header bit I/O round-trips arbitrary bit sequences through the
+    /// stuffing rule.
+    #[test]
+    fn bitio_roundtrip(bits in proptest::collection::vec(0u8..2, 0..500)) {
+        let mut w = HeaderBitWriter::new();
+        for &b in &bits {
+            w.put_bit(b);
+        }
+        let bytes = w.finish();
+        // stuffing invariant
+        for pair in bytes.windows(2) {
+            if pair[0] == 0xFF {
+                prop_assert!(pair[1] < 0x80);
+            }
+        }
+        let mut r = HeaderBitReader::new(&bytes);
+        for &b in &bits {
+            prop_assert_eq!(r.get_bit(), b);
+        }
+    }
+
+    /// Tag trees reveal every leaf value exactly, for arbitrary grids.
+    #[test]
+    fn tagtree_roundtrip(
+        w in 1usize..9,
+        h in 1usize..9,
+        seed in any::<u64>(),
+        max_v in 1u32..12,
+    ) {
+        let mut state = seed | 1;
+        let values: Vec<u32> = (0..w * h)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 40) as u32 % max_v
+            })
+            .collect();
+        let mut enc = TagTree::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                enc.set_value(x, y, values[y * w + x]);
+            }
+        }
+        enc.finalize();
+        let mut writer = HeaderBitWriter::new();
+        for y in 0..h {
+            for x in 0..w {
+                for t in 1..=values[y * w + x] + 1 {
+                    enc.encode(x, y, t, &mut writer);
+                }
+            }
+        }
+        let bytes = writer.finish();
+        let mut dec = TagTree::new(w, h);
+        let mut reader = HeaderBitReader::new(&bytes);
+        for y in 0..h {
+            for x in 0..w {
+                let mut t = 1;
+                while !dec.decode(x, y, t, &mut reader) {
+                    t += 1;
+                    prop_assert!(t <= max_v + 2);
+                }
+                prop_assert_eq!(dec.leaf_value(x, y), values[y * w + x]);
+            }
+        }
+    }
+
+    /// PCRD hulls have strictly decreasing slopes and allocations respect
+    /// budgets, for arbitrary monotone trajectories.
+    #[test]
+    fn pcrd_invariants(
+        blocks_raw in proptest::collection::vec(
+            proptest::collection::vec((1usize..60, 0.0f64..100.0), 0..8),
+            1..6,
+        ),
+        budget in 0usize..600,
+    ) {
+        let blocks: Vec<BlockRd> = blocks_raw
+            .iter()
+            .map(|steps| {
+                let mut r = 0usize;
+                let mut d = 0f64;
+                let mut rates = Vec::new();
+                let mut dists = Vec::new();
+                for &(dr, dd) in steps {
+                    r += dr;
+                    d += dd;
+                    rates.push(r);
+                    dists.push(d);
+                }
+                BlockRd { rates, dists }
+            })
+            .collect();
+        // Hull slopes strictly decrease.
+        for b in &blocks {
+            let hull = b.hull();
+            let mut prev_slope = f64::INFINITY;
+            let (mut pr, mut pd) = (0.0, 0.0);
+            for &n in &hull {
+                let (r, d) = (b.rates[n - 1] as f64, b.dists[n - 1]);
+                let s = (d - pd) / (r - pr);
+                prop_assert!(s < prev_slope + 1e-12, "slope {} after {}", s, prev_slope);
+                prop_assert!(s > 0.0);
+                prev_slope = s;
+                pr = r;
+                pd = d;
+            }
+        }
+        // Allocation respects the budget and only uses hull points.
+        let alloc = &allocate_layers(&blocks, &[budget])[0];
+        let mut spent = 0;
+        for (b, &n) in alloc.iter().enumerate() {
+            if n > 0 {
+                prop_assert!(blocks[b].hull().contains(&n), "non-hull point {}", n);
+                spent += blocks[b].rates[n - 1];
+            }
+        }
+        prop_assert!(spent <= budget, "spent {} > {}", spent, budget);
+    }
+
+    /// Multi-layer packet headers round-trip arbitrary (monotone)
+    /// allocations.
+    #[test]
+    fn packet_roundtrip(
+        gw in 1usize..4,
+        gh in 1usize..4,
+        seed in any::<u64>(),
+        n_layers in 1usize..4,
+    ) {
+        let n = gw * gh;
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        // Per block: total passes and their segment lengths.
+        let pass_lens: Vec<Vec<usize>> = (0..n)
+            .map(|_| {
+                let total = rng() % 12;
+                (0..total).map(|_| 1 + rng() % 300).collect()
+            })
+            .collect();
+        // Monotone cumulative allocation per layer.
+        let mut alloc = vec![vec![0usize; n]; n_layers];
+        for b in 0..n {
+            let mut cur = 0;
+            for layer in alloc.iter_mut() {
+                cur = (cur + rng() % 4).min(pass_lens[b].len());
+                layer[b] = cur;
+            }
+        }
+        let zbp: Vec<u32> = (0..n).map(|_| (rng() % 10) as u32).collect();
+        let first_layer: Vec<u32> = (0..n)
+            .map(|b| {
+                alloc
+                    .iter()
+                    .position(|l| l[b] > 0)
+                    .map_or(n_layers as u32, |p| p as u32)
+            })
+            .collect();
+        let mut enc = PrecinctState::for_encoder(gw, gh, &first_layer, &zbp);
+        let mut dec = PrecinctState::for_decoder(gw, gh);
+        for (l, upto) in alloc.iter().enumerate() {
+            let hdr = encode_packet(&mut enc, l, upto, &pass_lens);
+            let (results, _) = decode_packet(&mut dec, l, &hdr);
+            for (b, res) in results.iter().enumerate() {
+                let prev = if l == 0 { 0 } else { alloc[l - 1][b] };
+                prop_assert_eq!(res.prev_passes, prev, "layer {} block {}", l, b);
+                prop_assert_eq!(res.new_passes, upto[b] - prev, "layer {} block {}", l, b);
+                prop_assert_eq!(
+                    &res.seg_lens[..],
+                    &pass_lens[b][prev..upto[b]],
+                    "layer {} block {}", l, b
+                );
+                if upto[b] > 0 {
+                    prop_assert_eq!(res.zero_bitplanes, zbp[b]);
+                }
+            }
+        }
+    }
+}
