@@ -42,7 +42,9 @@ fn bench(c: &mut Criterion) {
         ..EncoderConfig::default()
     })
     .unwrap();
-    group.bench_function("full_encode_256", |b| b.iter(|| encoder.encode(black_box(&img))));
+    group.bench_function("full_encode_256", |b| {
+        b.iter(|| encoder.encode(black_box(&img)))
+    });
     group.finish();
 }
 

@@ -7,9 +7,7 @@
 //! cargo run --release -p pj2k-bench --bin cache_analysis
 //! ```
 
-use pj2k_cachesim::{
-    vertical_naive_trace, vertical_strip_trace, CacheConfig, FilterTraceParams,
-};
+use pj2k_cachesim::{vertical_naive_trace, vertical_strip_trace, CacheConfig, FilterTraceParams};
 
 fn main() {
     let cfg = CacheConfig::PENTIUM2_L1D;

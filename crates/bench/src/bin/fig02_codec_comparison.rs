@@ -28,10 +28,7 @@ fn main() {
         };
         let encoder = Encoder::new(cfg).expect("config");
         let (_, t_j2k) = time(|| encoder.encode(&img));
-        row(
-            &format!("{kpx}"),
-            &[ms(t_jpeg), ms(t_spiht), ms(t_j2k)],
-        );
+        row(&format!("{kpx}"), &[ms(t_jpeg), ms(t_spiht), ms(t_j2k)]);
     }
     println!(
         "\nExpected shape (paper): JPEG fastest by a wide margin, JPEG2000\n\

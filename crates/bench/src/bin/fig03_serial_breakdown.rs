@@ -52,7 +52,10 @@ fn main() {
             .iter()
             .map(|s| report.stages.get(s).as_secs_f64())
             .sum();
-        print!(" {:>9.0}%", 100.0 * par / report.stages.total().as_secs_f64());
+        print!(
+            " {:>9.0}%",
+            100.0 * par / report.stages.total().as_secs_f64()
+        );
     }
     println!();
     println!(

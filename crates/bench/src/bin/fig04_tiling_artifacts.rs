@@ -37,7 +37,11 @@ fn main() {
     )];
     for (tiles, file, label) in [
         (None, "fig4b_jpeg2000.pgm", "JPEG2000 no tiling"),
-        (Some((128, 128)), "fig4c_jpeg2000_tiled.pgm", "JPEG2000 128x128 tiles"),
+        (
+            Some((128, 128)),
+            "fig4c_jpeg2000_tiled.pgm",
+            "JPEG2000 128x128 tiles",
+        ),
     ] {
         let cfg = EncoderConfig {
             rate: RateControl::TargetBpp(vec![bpp]),

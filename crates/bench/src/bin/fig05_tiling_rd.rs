@@ -32,7 +32,11 @@ fn main() {
         for &(tile, _) in &tiles {
             let cfg = EncoderConfig {
                 rate: RateControl::TargetBpp(vec![bpp]),
-                tiles: if tile == side { None } else { Some((tile, tile)) },
+                tiles: if tile == side {
+                    None
+                } else {
+                    Some((tile, tile))
+                },
                 ..EncoderConfig::default()
             };
             let (bytes, _) = Encoder::new(cfg).expect("config").encode(&img);

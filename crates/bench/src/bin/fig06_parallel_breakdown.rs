@@ -13,7 +13,11 @@
 use pj2k_core::FilterStrategy;
 
 fn main() {
-    pj2k_bench::parallel_breakdown(FilterStrategy::Naive, "Fig. 6", "naive (original) filtering");
+    pj2k_bench::parallel_breakdown(
+        FilterStrategy::Naive,
+        "Fig. 6",
+        "naive (original) filtering",
+    );
     println!(
         "\nExpected shape (paper Fig. 6): with naive filtering the DWT stage\n\
          shrinks only modestly (cache/bus bound) while tier-1 scales well;\n\

@@ -22,10 +22,7 @@ fn main() {
         "Fig. 11 — vertical filtering speedup vs ORIGINAL serial filtering\n\
          ({side}x{side} image)\n"
     );
-    row(
-        "#CPUs",
-        &["orig vertical".into(), "mod vertical".into()],
-    );
+    row("#CPUs", &["orig vertical".into(), "mod vertical".into()]);
     for p in [1usize, 2, 4, 6, 8, 10, 12, 14, 16] {
         row(
             &format!("{p}"),

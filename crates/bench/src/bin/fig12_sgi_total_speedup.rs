@@ -22,9 +22,7 @@ fn main() {
     let bus = BusParams::SGI_POWER_CHALLENGE;
     let profile = encode_profile(&img, FilterStrategy::Naive, 5);
     let (orig_serial, _) = project_encode(&profile, 1, false, bus);
-    println!(
-        "Fig. 12 — total speedup vs ORIGINAL serial coder ({kpx} Kpixel)\n"
-    );
+    println!("Fig. 12 — total speedup vs ORIGINAL serial coder ({kpx} Kpixel)\n");
     row(
         "#CPUs",
         &["OpenMP".into(), "OpenMP + mod. filtering".into()],

@@ -263,9 +263,8 @@ pub fn project_encode(
     } else {
         1.0
     };
-    let dwt_p = (project_filtering(v_items, p, bus)
-        + project_filtering(&fp.horiz_items, p, bus))
-        * scale;
+    let dwt_p =
+        (project_filtering(v_items, p, bus) + project_filtering(&fp.horiz_items, p, bus)) * scale;
 
     let tier1_p = pj2k_smpsim::makespan(&profile.block_times, p, Schedule::StaggeredRoundRobin);
     let mut total = 0.0;

@@ -32,8 +32,14 @@ impl CacheConfig {
     pub fn validate(&self) {
         assert!(self.line_bytes.is_power_of_two() && self.line_bytes > 0);
         assert!(self.ways > 0);
-        assert!(self.size_bytes.is_multiple_of(self.line_bytes * self.ways), "ragged sets");
-        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            self.size_bytes.is_multiple_of(self.line_bytes * self.ways),
+            "ragged sets"
+        );
+        assert!(
+            self.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
     }
 
     /// How many distinct cache sets the lines of one image column touch,
@@ -210,7 +216,11 @@ mod tests {
         // 4096-wide f32 image: stride 16384 bytes, multiple of
         // sets*line = 4096 => a column hits exactly one set.
         assert_eq!(cfg.column_sets(4096 * 4, 64), 1);
-        assert_eq!(cfg.column_sets(2048 * 4, 64), 1, "any multiple of sets*line");
+        assert_eq!(
+            cfg.column_sets(2048 * 4, 64),
+            1,
+            "any multiple of sets*line"
+        );
         // 512-wide f32 rows (2 KiB pitch) alternate between two sets.
         assert_eq!(cfg.column_sets(512 * 4, 64), 2);
         // Padding the width by 8 samples spreads the column over many sets.

@@ -54,7 +54,14 @@ struct Opts<'a> {
 }
 
 const VALUE_OPTS: [&str; 9] = [
-    "--bpp", "--levels", "--block", "--tiles", "--filter", "--threads", "--backend", "--layers",
+    "--bpp",
+    "--levels",
+    "--block",
+    "--tiles",
+    "--filter",
+    "--threads",
+    "--backend",
+    "--layers",
     "--roi",
 ];
 
@@ -299,16 +306,28 @@ fn describe(bytes: &[u8]) -> Result<String, codestream::ParseError> {
     let step = PayloadReader::new(qcd).f64()?;
     let mut out = String::new();
     let _ = writeln!(out, "pj2k codestream, {} bytes", bytes.len());
-    let _ = writeln!(out, "  image:      {w}x{h}, {ncomp} component(s), {depth}-bit{}", if signed { " signed" } else { "" });
+    let _ = writeln!(
+        out,
+        "  image:      {w}x{h}, {ncomp} component(s), {depth}-bit{}",
+        if signed { " signed" } else { "" }
+    );
     let _ = writeln!(
         out,
         "  tiles:      {}",
-        if tw == 0 { "none (single tile)".to_string() } else { format!("{tw}x{th}") }
+        if tw == 0 {
+            "none (single tile)".to_string()
+        } else {
+            format!("{tw}x{th}")
+        }
     );
     let _ = writeln!(
         out,
         "  wavelet:    {} ({levels} levels)",
-        if wavelet == 0 { "reversible 5/3" } else { "irreversible 9/7" }
+        if wavelet == 0 {
+            "reversible 5/3"
+        } else {
+            "irreversible 9/7"
+        }
     );
     let _ = writeln!(out, "  code-block: {cbw}x{cbh}");
     let _ = writeln!(out, "  layers:     {layers}");

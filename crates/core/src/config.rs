@@ -188,7 +188,9 @@ impl EncoderConfig {
             )));
         }
         if !(4..=1024).contains(&cw) || !(4..=1024).contains(&ch) {
-            return Err(ConfigError(format!("code-block side out of range: {cw}x{ch}")));
+            return Err(ConfigError(format!(
+                "code-block side out of range: {cw}x{ch}"
+            )));
         }
         if cw * ch > 4096 {
             return Err(ConfigError(format!(
@@ -196,10 +198,16 @@ impl EncoderConfig {
             )));
         }
         if self.levels > 12 {
-            return Err(ConfigError(format!("{} decomposition levels (max 12)", self.levels)));
+            return Err(ConfigError(format!(
+                "{} decomposition levels (max 12)",
+                self.levels
+            )));
         }
         if !(self.base_step.is_finite() && self.base_step > 0.0) {
-            return Err(ConfigError(format!("base_step must be positive, got {}", self.base_step)));
+            return Err(ConfigError(format!(
+                "base_step must be positive, got {}",
+                self.base_step
+            )));
         }
         if let Some((tw, th)) = self.tiles {
             if tw == 0 || th == 0 {

@@ -130,7 +130,9 @@ impl Decoder {
         let n_layers = p.u16()? as usize;
         let t1flags = p.u8()?;
         if t1flags > 7 {
-            return Err(CodecError::Invalid(format!("unknown tier-1 flags {t1flags:#x}")));
+            return Err(CodecError::Invalid(format!(
+                "unknown tier-1 flags {t1flags:#x}"
+            )));
         }
         let tier1 = Tier1Options {
             stripe_causal: t1flags & 1 != 0,
@@ -290,7 +292,9 @@ impl Decoder {
             }
         }
 
-        let decode_layers = self.max_layers.map_or(hdr.n_layers, |m| m.min(hdr.n_layers));
+        let decode_layers = self
+            .max_layers
+            .map_or(hdr.n_layers, |m| m.min(hdr.n_layers));
         for layer in 0..hdr.n_layers {
             for prec in precincts.iter_mut() {
                 if prec.blocks.is_empty() {
@@ -349,7 +353,11 @@ impl Decoder {
                     )));
                 }
                 let msb = ceiling - zbp as u8;
-                let max_passes = if msb == 0 { 0 } else { 1 + 3 * (usize::from(msb) - 1) };
+                let max_passes = if msb == 0 {
+                    0
+                } else {
+                    1 + 3 * (usize::from(msb) - 1)
+                };
                 if prec.segs[b].len() > max_passes {
                     return Err(CodecError::Invalid(format!(
                         "{} passes exceed the {max_passes} the plane structure admits",
@@ -385,8 +393,7 @@ impl Decoder {
             let plane = &mut planes_q[j.comp];
             for dy in 0..j.geom.h {
                 let row = &coeffs[dy * j.geom.w..(dy + 1) * j.geom.w];
-                plane.row_mut(j.geom.y0 + dy)[j.geom.x0..j.geom.x0 + j.geom.w]
-                    .copy_from_slice(row);
+                plane.row_mut(j.geom.y0 + dy)[j.geom.x0..j.geom.x0 + j.geom.w].copy_from_slice(row);
             }
         }
         // --- inverse ROI scaling ---------------------------------------------

@@ -214,7 +214,10 @@ mod tests {
             h: 8,
         };
         let (s, d) = apply_roi_shift(&mut planes, &deco, small);
-        assert!(s > 0 && d > 0, "expected background downshift, got s={s} d={d}");
+        assert!(
+            s > 0 && d > 0,
+            "expected background downshift, got s={s} d={d}"
+        );
         // Separation holds: every magnitude is either >= 2^s (ROI) or the
         // downshifted background, which stays below 2^(s-1).
         let threshold = 1u32 << s;

@@ -231,8 +231,14 @@ mod tests {
         let mut buf = vec![77i32; 16];
         let mut scratch = Vec::new();
         fwd_row_53(&mut buf, &mut scratch);
-        assert!(buf[..8].iter().all(|&v| v == 77), "lowpass preserves DC: {buf:?}");
-        assert!(buf[8..].iter().all(|&v| v == 0), "highpass kills DC: {buf:?}");
+        assert!(
+            buf[..8].iter().all(|&v| v == 77),
+            "lowpass preserves DC: {buf:?}"
+        );
+        assert!(
+            buf[8..].iter().all(|&v| v == 0),
+            "highpass kills DC: {buf:?}"
+        );
     }
 
     #[test]
@@ -276,7 +282,9 @@ mod tests {
 
     #[test]
     fn dwt97_nyquist_gain_is_unity() {
-        let mut buf: Vec<f32> = (0..64).map(|i| if i % 2 == 0 { 50.0 } else { -50.0 }).collect();
+        let mut buf: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 50.0 } else { -50.0 })
+            .collect();
         let mut scratch = Vec::new();
         fwd_row_97(&mut buf, &mut scratch);
         // interior coefficients: lowpass ~0, highpass magnitude ~50
@@ -284,7 +292,10 @@ mod tests {
             assert!(v.abs() < 0.1, "lowpass Nyquist response should vanish: {v}");
         }
         for &v in &buf[36..60] {
-            assert!((v.abs() - 50.0).abs() < 0.5, "highpass Nyquist gain should be 1: {v}");
+            assert!(
+                (v.abs() - 50.0).abs() < 0.5,
+                "highpass Nyquist gain should be 1: {v}"
+            );
         }
     }
 

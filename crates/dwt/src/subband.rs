@@ -161,7 +161,13 @@ mod tests {
 
     #[test]
     fn subbands_tile_the_plane_exactly() {
-        for (w, h, l) in [(64, 64, 5), (33, 17, 3), (5, 7, 2), (512, 512, 5), (1, 1, 1)] {
+        for (w, h, l) in [
+            (64, 64, 5),
+            (33, 17, 3),
+            (5, 7, 2),
+            (512, 512, 5),
+            (1, 1, 1),
+        ] {
             let d = Decomposition::new(w, h, l);
             let bands = d.subbands();
             assert_eq!(bands.len(), 1 + 3 * l as usize);

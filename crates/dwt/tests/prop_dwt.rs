@@ -1,8 +1,6 @@
 //! Property tests: the transform invariants every other crate builds on.
 
-use pj2k_dwt::{
-    forward_53, forward_97, inverse_53, inverse_97, Decomposition, VerticalStrategy,
-};
+use pj2k_dwt::{forward_53, forward_97, inverse_53, inverse_97, Decomposition, VerticalStrategy};
 use pj2k_image::Plane;
 use pj2k_parutil::Exec;
 use proptest::prelude::*;
@@ -13,7 +11,9 @@ fn arb_plane_i32() -> impl Strategy<Value = Plane<i32>> {
         let mut state = seed | 1;
         for y in 0..h {
             for x in 0..w {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 p.set(x, y, ((state >> 33) as i32 % 511) - 255);
             }
         }

@@ -121,7 +121,11 @@ impl EncodedBlock {
 
     /// Remaining squared error after including the first `n` passes.
     pub fn distortion_after(&self, n: usize) -> f64 {
-        self.initial_distortion - self.passes[..n].iter().map(|p| p.delta_distortion).sum::<f64>()
+        self.initial_distortion
+            - self.passes[..n]
+                .iter()
+                .map(|p| p.delta_distortion)
+                .sum::<f64>()
     }
 
     /// Byte ranges (into `data`) of the first `n` passes.
@@ -295,31 +299,32 @@ pub fn encode_block_with(
     let mut passes = Vec::new();
     let mut data = Vec::new();
 
-    let mut emit = |enc: &mut BlockEncoder, kind, plane, dd: f64, data: &mut Vec<u8>, next_raw: bool| {
-        let sink = std::mem::replace(
-            &mut enc.sink,
-            if next_raw {
-                Sink::Raw(RawEncoder::new())
+    let mut emit =
+        |enc: &mut BlockEncoder, kind, plane, dd: f64, data: &mut Vec<u8>, next_raw: bool| {
+            let sink = std::mem::replace(
+                &mut enc.sink,
+                if next_raw {
+                    Sink::Raw(RawEncoder::new())
+                } else {
+                    Sink::Mq(MqEncoder::new())
+                },
+            );
+            if enc.opts.reset_contexts {
+                enc.ctx = initial_states();
+            }
+            let seg = sink.flush();
+            passes.push(PassInfo {
+                kind,
+                plane,
+                len: seg.len().max(1),
+                delta_distortion: dd,
+            });
+            if seg.is_empty() {
+                data.push(0); // keep every terminated pass at least one byte
             } else {
-                Sink::Mq(MqEncoder::new())
-            },
-        );
-        if enc.opts.reset_contexts {
-            enc.ctx = initial_states();
-        }
-        let seg = sink.flush();
-        passes.push(PassInfo {
-            kind,
-            plane,
-            len: seg.len().max(1),
-            delta_distortion: dd,
-        });
-        if seg.is_empty() {
-            data.push(0); // keep every terminated pass at least one byte
-        } else {
-            data.extend_from_slice(&seg);
-        }
-    };
+                data.extend_from_slice(&seg);
+            }
+        };
 
     for plane in (0..msb_planes).rev() {
         enc.grid.clear_plane_flags();

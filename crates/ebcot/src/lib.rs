@@ -16,13 +16,15 @@
 //! giving Tier-2's PCRD optimizer true rate/distortion points.
 
 pub mod context;
-pub(crate) mod state;
 pub mod decoder;
 pub mod encoder;
+pub(crate) mod state;
 
 pub use context::BandCtx;
 pub use decoder::{decode_block, decode_block_with};
-pub use encoder::{encode_block, encode_block_with, EncodedBlock, PassInfo, PassKind, Tier1Options};
+pub use encoder::{
+    encode_block, encode_block_with, EncodedBlock, PassInfo, PassKind, Tier1Options,
+};
 
 /// Code-block scan geometry: stripes of 4 rows, columns left-to-right,
 /// 4 coefficients top-to-bottom per column.

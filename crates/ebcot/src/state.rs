@@ -65,7 +65,12 @@ impl FlagGrid {
     /// neighbor is treated as insignificant.
     #[inline]
     pub fn v_count(&self, i: usize, skip_south: bool) -> u32 {
-        self.sig(i - self.stride) + if skip_south { 0 } else { self.sig(i + self.stride) }
+        self.sig(i - self.stride)
+            + if skip_south {
+                0
+            } else {
+                self.sig(i + self.stride)
+            }
     }
 
     /// Diagonal significant-neighbor count (0..=4), optionally ignoring the

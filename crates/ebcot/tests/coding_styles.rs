@@ -74,7 +74,10 @@ fn styles_change_the_bitstream() {
     let base = encode_block_with(&coeffs, w, h, BandCtx::LlLh, ALL_OPTS[0]);
     let causal = encode_block_with(&coeffs, w, h, BandCtx::LlLh, ALL_OPTS[1]);
     let reset = encode_block_with(&coeffs, w, h, BandCtx::LlLh, ALL_OPTS[2]);
-    assert_ne!(base.data, causal.data, "stripe-causal must alter the stream");
+    assert_ne!(
+        base.data, causal.data,
+        "stripe-causal must alter the stream"
+    );
     assert_ne!(base.data, reset.data, "context reset must alter the stream");
 }
 
@@ -95,7 +98,11 @@ fn bypass_trades_rate_for_simpler_coding() {
             ..Tier1Options::default()
         },
     );
-    assert!(base.msb_planes >= 6, "need deep planes: {}", base.msb_planes);
+    assert!(
+        base.msb_planes >= 6,
+        "need deep planes: {}",
+        base.msb_planes
+    );
     assert_ne!(base.data, lazy.data, "bypass must alter the stream");
     let segs: Vec<&[u8]> = (0..lazy.passes.len()).map(|p| lazy.segment(p)).collect();
     let got = pj2k_ebcot::decode_block_with(

@@ -22,7 +22,10 @@ impl Image {
     /// `bit_depth` is outside `1..=16`.
     pub fn new(components: Vec<Plane<i32>>, bit_depth: u8, signed: bool) -> Self {
         assert!(!components.is_empty(), "image needs at least one component");
-        assert!((1..=16).contains(&bit_depth), "bit depth {bit_depth} unsupported");
+        assert!(
+            (1..=16).contains(&bit_depth),
+            "bit depth {bit_depth} unsupported"
+        );
         let (w, h) = (components[0].width(), components[0].height());
         assert!(
             components.iter().all(|c| c.width() == w && c.height() == h),
@@ -121,7 +124,11 @@ impl Image {
     /// component as a new image.
     pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Self {
         Self {
-            components: self.components.iter().map(|c| c.crop(x0, y0, w, h)).collect(),
+            components: self
+                .components
+                .iter()
+                .map(|c| c.crop(x0, y0, w, h))
+                .collect(),
             bit_depth: self.bit_depth,
             signed: self.signed,
         }

@@ -35,7 +35,11 @@ pub fn mse_plane(a: &Plane<i32>, b: &Plane<i32>) -> f64 {
 /// # Panics
 /// Panics if the images differ in geometry or component count.
 pub fn mse(a: &Image, b: &Image) -> f64 {
-    assert_eq!(a.num_components(), b.num_components(), "component count mismatch");
+    assert_eq!(
+        a.num_components(),
+        b.num_components(),
+        "component count mismatch"
+    );
     let mut acc = 0.0;
     for c in 0..a.num_components() {
         acc += mse_plane(a.component(c), b.component(c));
@@ -62,7 +66,11 @@ pub fn psnr(a: &Image, b: &Image) -> f64 {
 
 /// Largest absolute sample difference; 0 means bit-exact.
 pub fn max_abs_error(a: &Image, b: &Image) -> i32 {
-    assert_eq!(a.num_components(), b.num_components(), "component count mismatch");
+    assert_eq!(
+        a.num_components(),
+        b.num_components(),
+        "component count mismatch"
+    );
     let mut worst = 0;
     for c in 0..a.num_components() {
         let (pa, pb) = (a.component(c), b.component(c));

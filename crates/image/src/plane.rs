@@ -76,7 +76,10 @@ impl<T: Copy + Default> Plane<T> {
     /// # Panics
     /// Panics if the rectangle exceeds the plane bounds.
     pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Self {
-        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop out of bounds"
+        );
         let mut out = Self::new(w, h);
         for y in 0..h {
             out.row_mut(y)
@@ -193,7 +196,11 @@ impl<T: Copy> Plane<T> {
     /// `bands` lists row counts; they must sum to `height`. Used to hand
     /// disjoint row ranges to worker threads during horizontal filtering.
     pub fn split_rows_mut(&mut self, bands: &[usize]) -> Vec<PlaneRowsMut<'_, T>> {
-        assert_eq!(bands.iter().sum::<usize>(), self.height, "bands must cover height");
+        assert_eq!(
+            bands.iter().sum::<usize>(),
+            self.height,
+            "bands must cover height"
+        );
         let width = self.width;
         let stride = self.stride;
         let mut out = Vec::with_capacity(bands.len());

@@ -150,7 +150,9 @@ mod tests {
 
     #[test]
     fn pgm_roundtrip() {
-        let img = Image::gray8(Plane::from_fn(5, 3, |x, y| ((x * 50 + y * 17) % 256) as i32));
+        let img = Image::gray8(Plane::from_fn(5, 3, |x, y| {
+            ((x * 50 + y * 17) % 256) as i32
+        }));
         assert_eq!(roundtrip(&img), img);
     }
 

@@ -217,7 +217,10 @@ mod tests {
             max = max.max(v);
         }
         assert!(min >= 0 && max <= 255);
-        assert!(max - min > 50, "image should have contrast, got {min}..{max}");
+        assert!(
+            max - min > 50,
+            "image should have contrast, got {min}..{max}"
+        );
     }
 
     #[test]
@@ -236,7 +239,10 @@ mod tests {
             }
         }
         let mean_diff = diff_sum as f64 / n as f64;
-        assert!(mean_diff < 20.0, "mean |dx| {mean_diff} too large for natural-like");
+        assert!(
+            mean_diff < 20.0,
+            "mean |dx| {mean_diff} too large for natural-like"
+        );
     }
 
     #[test]

@@ -121,7 +121,11 @@ pub fn assemble(tiles: &[Image], grid: &TileGrid, bit_depth: u8, signed: bool) -
     let mut planes = vec![crate::plane::Plane::<i32>::new(grid.image_w, grid.image_h); comps];
     for (tile, rect) in tiles.iter().zip(grid.iter()) {
         assert_eq!(tile.num_components(), comps, "tile component mismatch");
-        assert_eq!((tile.width(), tile.height()), (rect.w, rect.h), "tile size mismatch");
+        assert_eq!(
+            (tile.width(), tile.height()),
+            (rect.w, rect.h),
+            "tile size mismatch"
+        );
         for (c, plane) in planes.iter_mut().enumerate() {
             plane.blit(tile.component(c), rect.x0, rect.y0);
         }
@@ -157,7 +161,9 @@ mod tests {
 
     #[test]
     fn split_assemble_roundtrip() {
-        let img = Image::gray8(Plane::from_fn(37, 23, |x, y| ((x * 7 + y * 13) % 256) as i32));
+        let img = Image::gray8(Plane::from_fn(37, 23, |x, y| {
+            ((x * 7 + y * 13) % 256) as i32
+        }));
         for (tw, th) in [(8, 8), (16, 10), (37, 23), (64, 64)] {
             let grid = TileGrid::new(37, 23, tw, th);
             let tiles = split(&img, &grid);

@@ -170,8 +170,12 @@ pub fn encode(img: &Image, quality: u8) -> Result<Vec<u8>, JpegError> {
         streams.push((class, dc, ac));
     }
     let n_classes = if ncomp == 1 { 1 } else { 2 };
-    let dc_tables: Vec<HuffTable> = (0..n_classes).map(|k| HuffTable::optimized(&dc_freq[k])).collect();
-    let ac_tables: Vec<HuffTable> = (0..n_classes).map(|k| HuffTable::optimized(&ac_freq[k])).collect();
+    let dc_tables: Vec<HuffTable> = (0..n_classes)
+        .map(|k| HuffTable::optimized(&dc_freq[k]))
+        .collect();
+    let ac_tables: Vec<HuffTable> = (0..n_classes)
+        .map(|k| HuffTable::optimized(&ac_freq[k]))
+        .collect();
 
     // Entropy-coded segment: components sequentially, DC/AC interleaved per
     // block within a component.

@@ -123,8 +123,7 @@ mod tests {
         let mut block = [0f32; 64];
         for y in 0..8 {
             for x in 0..8 {
-                block[y * 8 + x] =
-                    ((2 * x + 1) as f32 * 3.0 * std::f32::consts::PI / 16.0).cos();
+                block[y * 8 + x] = ((2 * x + 1) as f32 * 3.0 * std::f32::consts::PI / 16.0).cos();
             }
         }
         forward(&mut block);

@@ -97,8 +97,7 @@ impl HuffTable {
                 if v1 < 0 || fi < f[v1 as usize] || (fi == f[v1 as usize] && i as i32 > v1) {
                     v2 = v1;
                     v1 = i as i32;
-                } else if v2 < 0 || fi < f[v2 as usize] || (fi == f[v2 as usize] && i as i32 > v2)
-                {
+                } else if v2 < 0 || fi < f[v2 as usize] || (fi == f[v2 as usize] && i as i32 > v2) {
                     v2 = i as i32;
                 }
             }
@@ -315,7 +314,9 @@ mod tests {
 
     #[test]
     fn full_byte_alphabet_roundtrip() {
-        let syms: Vec<u8> = (0..=255u8).flat_map(|s| vec![s; (s as usize % 7) + 1]).collect();
+        let syms: Vec<u8> = (0..=255u8)
+            .flat_map(|s| vec![s; (s as usize % 7) + 1])
+            .collect();
         let table = HuffTable::optimized(&freq_of(&syms));
         let mut w = BitWriter::new();
         for &s in &syms {

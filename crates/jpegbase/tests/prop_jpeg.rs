@@ -1,9 +1,9 @@
 //! Property tests for the baseline JPEG comparator.
 
+use pj2k_image::{Image, Plane};
 use pj2k_jpegbase::bitstream::{BitReader, BitWriter};
 use pj2k_jpegbase::huffman::HuffTable;
 use pj2k_jpegbase::{decode, encode};
-use pj2k_image::{Image, Plane};
 use proptest::prelude::*;
 
 fn arb_image() -> impl Strategy<Value = Image> {

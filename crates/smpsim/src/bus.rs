@@ -93,7 +93,10 @@ mod tests {
         let s16 = t1 / t16;
         let cap = 11.0 / (10.0 / 1.6);
         assert!((s4 - cap).abs() < 0.1, "expected ~{cap}, got {s4}");
-        assert!((s16 - s4).abs() < 1e-9, "extra CPUs cannot help: {s4} vs {s16}");
+        assert!(
+            (s16 - s4).abs() < 1e-9,
+            "extra CPUs cannot help: {s4} vs {s16}"
+        );
     }
 
     #[test]
@@ -130,7 +133,12 @@ mod tests {
     fn sgi_overlap_helps_memory_bound_work() {
         let items = uniform(64, 1.0e-3, 6.0e-3);
         let intel = bus_makespan(&items, 8, Schedule::StaticBlock, BusParams::PENTIUM2_FSB);
-        let sgi = bus_makespan(&items, 8, Schedule::StaticBlock, BusParams::SGI_POWER_CHALLENGE);
+        let sgi = bus_makespan(
+            &items,
+            8,
+            Schedule::StaticBlock,
+            BusParams::SGI_POWER_CHALLENGE,
+        );
         assert!(sgi < intel, "more bus headroom must help: {sgi} vs {intel}");
     }
 

@@ -51,7 +51,12 @@ pub fn encode(img: &Image, levels: u8, bpp: f64) -> Result<Vec<u8>, SpihtError> 
     let mut work = img.clone();
     dc_level_shift_forward(&mut work);
     let mut plane = work.component(0).clone();
-    forward_53(&mut plane, levels, VerticalStrategy::DEFAULT_STRIP, &Exec::SEQ);
+    forward_53(
+        &mut plane,
+        levels,
+        VerticalStrategy::DEFAULT_STRIP,
+        &Exec::SEQ,
+    );
 
     let mag: Vec<u32> = (0..n * n)
         .map(|i| plane.get(i % n, i / n).unsigned_abs())
@@ -143,7 +148,10 @@ pub fn encode(img: &Image, levels: u8, bpp: f64) -> Result<Vec<u8>, SpihtError> 
                             break 'outer;
                         }
                         // L(x, y) nonempty iff grandchildren exist.
-                        if kids.iter().any(|&(cx, cy)| children(cx, cy, n, s).is_some()) {
+                        if kids
+                            .iter()
+                            .any(|&(cx, cy)| children(cx, cy, n, s).is_some())
+                        {
                             lis.push((x, y, SetKind::B));
                         }
                     } else {
@@ -295,7 +303,10 @@ pub fn decode(data: &[u8]) -> Result<Image, SpihtError> {
                             exhausted = true;
                             break;
                         }
-                        if kids.iter().any(|&(cx, cy)| children(cx, cy, n, s).is_some()) {
+                        if kids
+                            .iter()
+                            .any(|&(cx, cy)| children(cx, cy, n, s).is_some())
+                        {
                             lis.push((x, y, SetKind::B));
                         }
                     } else {
@@ -349,7 +360,12 @@ pub fn decode(data: &[u8]) -> Result<Image, SpihtError> {
             }
         }
     }
-    inverse_53(&mut plane, levels, VerticalStrategy::DEFAULT_STRIP, &Exec::SEQ);
+    inverse_53(
+        &mut plane,
+        levels,
+        VerticalStrategy::DEFAULT_STRIP,
+        &Exec::SEQ,
+    );
     let mut img = Image::gray8(plane);
     dc_level_shift_inverse(&mut img);
     img.clamp_to_depth();

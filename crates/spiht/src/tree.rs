@@ -134,10 +134,7 @@ mod tests {
     #[test]
     fn detail_children_double() {
         let (n, s) = (8, 2);
-        assert_eq!(
-            children(2, 0, n, s),
-            Some([(4, 0), (5, 0), (4, 1), (5, 1)])
-        );
+        assert_eq!(children(2, 0, n, s), Some([(4, 0), (5, 0), (4, 1), (5, 1)]));
         // Finest band has no children.
         assert_eq!(children(4, 0, n, s), None);
         assert_eq!(children(7, 7, n, s), None);
@@ -159,11 +156,7 @@ mod tests {
         for y in 0..n {
             for x in 0..n {
                 let expected = u32::from(!(x < s && y < s));
-                assert_eq!(
-                    parent_count[y * n + x],
-                    expected,
-                    "({x},{y})"
-                );
+                assert_eq!(parent_count[y * n + x], expected, "({x},{y})");
             }
         }
     }
@@ -195,10 +188,19 @@ mod tests {
     #[test]
     fn brute_force_cross_check() {
         let (n, s) = (16, 2);
-        let mag: Vec<u32> = (0..n * n).map(|i| ((i * 2654435761usize) % 97) as u32).collect();
+        let mag: Vec<u32> = (0..n * n)
+            .map(|i| ((i * 2654435761usize) % 97) as u32)
+            .collect();
         let dm = DescendantMax::build(&mag, n, s);
         // recursive reference
-        fn desc_max(mag: &[u32], x: usize, y: usize, n: usize, s: usize, skip_children: bool) -> u32 {
+        fn desc_max(
+            mag: &[u32],
+            x: usize,
+            y: usize,
+            n: usize,
+            s: usize,
+            skip_children: bool,
+        ) -> u32 {
             match children(x, y, n, s) {
                 None => 0,
                 Some(kids) => {

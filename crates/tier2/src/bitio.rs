@@ -164,7 +164,15 @@ mod tests {
 
     #[test]
     fn multibit_values_roundtrip() {
-        let vals: Vec<(u32, u8)> = vec![(5, 3), (0xFFFF, 16), (1, 1), (0, 4), (123456, 20), (0xFF, 8), (0x7F, 7)];
+        let vals: Vec<(u32, u8)> = vec![
+            (5, 3),
+            (0xFFFF, 16),
+            (1, 1),
+            (0, 4),
+            (123456, 20),
+            (0xFF, 8),
+            (0x7F, 7),
+        ];
         let mut w = HeaderBitWriter::new();
         for &(v, n) in &vals {
             w.put_bits(v, n);

@@ -40,7 +40,11 @@ impl BlockRd {
     /// Panics if `rates` and `dists` differ in length or rates are not
     /// strictly increasing.
     pub fn hull(&self) -> Vec<usize> {
-        assert_eq!(self.rates.len(), self.dists.len(), "rate/dist length mismatch");
+        assert_eq!(
+            self.rates.len(),
+            self.dists.len(),
+            "rate/dist length mismatch"
+        );
         for w in self.rates.windows(2) {
             assert!(w[0] < w[1], "pass rates must strictly increase");
         }
@@ -265,7 +269,11 @@ mod tests {
         // Block 0's first increment: slope 10; block 1's: slope 11.25.
         let blocks = vec![blk(&[(10, 100.0)]), blk(&[(8, 90.0)])];
         let alloc = allocate_layers(&blocks, &[9]);
-        assert_eq!(alloc[0], vec![0, 1], "should pick the steeper, cheaper block");
+        assert_eq!(
+            alloc[0],
+            vec![0, 1],
+            "should pick the steeper, cheaper block"
+        );
     }
 
     #[test]

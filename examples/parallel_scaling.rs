@@ -29,7 +29,10 @@ fn main() {
 
     let modes: Vec<(&str, ParallelMode)> = vec![
         ("sequential", ParallelMode::Sequential),
-        ("worker-pool", ParallelMode::WorkerPool { workers: host_cpus }),
+        (
+            "worker-pool",
+            ParallelMode::WorkerPool { workers: host_cpus },
+        ),
         ("rayon", ParallelMode::Rayon { workers: host_cpus }),
     ];
     let filters = [

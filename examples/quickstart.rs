@@ -43,7 +43,9 @@ fn main() {
     }
 
     // 3. Decode and measure quality.
-    let (decoded, _) = Decoder::default().decode(&bytes).expect("own stream decodes");
+    let (decoded, _) = Decoder::default()
+        .decode(&bytes)
+        .expect("own stream decodes");
     println!("PSNR: {:.2} dB", psnr(&img, &decoded));
 
     // Bonus: write the reconstruction next to the input for inspection.

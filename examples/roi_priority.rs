@@ -23,7 +23,10 @@ fn main() {
         h: 128,
     };
     let bpp = 0.2;
-    println!("frame: {side}x{side}, budget {bpp} bpp, ROI {}x{} at ({}, {})\n", roi.w, roi.h, roi.x0, roi.y0);
+    println!(
+        "frame: {side}x{side}, budget {bpp} bpp, ROI {}x{} at ({}, {})\n",
+        roi.w, roi.h, roi.x0, roi.y0
+    );
 
     let encode = |with_roi: bool| {
         let cfg = EncoderConfig {

@@ -57,7 +57,12 @@ fn main() {
             None => "JPEG2000 (no tiling)".to_string(),
             Some(t) => format!("JPEG2000 ({t}x{t} tiles)"),
         };
-        println!("{:<28} {:>12} {:>10.2}", label, bytes.len(), psnr(&img, &out));
+        println!(
+            "{:<28} {:>12} {:>10.2}",
+            label,
+            bytes.len(),
+            psnr(&img, &out)
+        );
         match tiles {
             None => crops.push(("fig4_jpeg2000.pgm".into(), out)),
             Some(128) => crops.push(("fig4_jpeg2000_tiled.pgm".into(), out)),

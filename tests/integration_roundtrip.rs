@@ -16,7 +16,15 @@ fn lossless_cfg() -> EncoderConfig {
 #[test]
 fn lossless_gray_all_shapes() {
     // Odd sizes, tiny sizes, non-square, sizes smaller than a code-block.
-    for (w, h) in [(64, 64), (65, 63), (33, 97), (16, 16), (7, 5), (257, 128), (1, 64)] {
+    for (w, h) in [
+        (64, 64),
+        (65, 63),
+        (33, 97),
+        (16, 16),
+        (7, 5),
+        (257, 128),
+        (1, 64),
+    ] {
         let img = synth::natural_gray(w, h, (w * 31 + h) as u64);
         let (bytes, _) = Encoder::new(lossless_cfg()).unwrap().encode(&img);
         let (out, _) = Decoder::default().decode(&bytes).unwrap();
