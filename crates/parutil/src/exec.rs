@@ -125,7 +125,8 @@ impl<T> SendPtr<T> {
     where
         T: Copy,
     {
-        *self.0.add(i)
+        // SAFETY: `i` in bounds is the caller's contract.
+        unsafe { *self.0.add(i) }
     }
 
     /// Write element `i`.
@@ -134,7 +135,9 @@ impl<T> SendPtr<T> {
     /// `i` must be in bounds and owned exclusively by the calling worker.
     #[inline]
     pub unsafe fn write(&self, i: usize, v: T) {
-        *self.0.add(i) = v;
+        // SAFETY: `i` in bounds and exclusively owned is the caller's
+        // contract.
+        unsafe { *self.0.add(i) = v };
     }
 
     /// Reborrow a sub-slice `[start, start+len)`.
@@ -145,7 +148,9 @@ impl<T> SendPtr<T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
-        std::slice::from_raw_parts_mut(self.0.add(start), len)
+        // SAFETY: the range being in bounds and disjoint from other
+        // threads' ranges is the caller's contract.
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(start), len) }
     }
 }
 

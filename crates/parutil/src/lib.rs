@@ -19,11 +19,16 @@
 //! instrumentation ([`StageTimes`]) used to regenerate the paper's runtime
 //! breakdown charts (Figs. 3, 6, 9).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(unused_must_use)]
+
+pub mod disjoint;
 pub mod exec;
 pub mod pool;
 pub mod schedule;
 pub mod timing;
 
+pub use disjoint::{DisjointClaim, DisjointWriter};
 pub use exec::{Backend, Exec, SendPtr};
 pub use pool::{pool_map, pool_run, WorkerPool};
 pub use schedule::{assign, chunk_ranges, Schedule};

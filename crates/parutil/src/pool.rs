@@ -7,6 +7,7 @@
 //! [`WorkerPool`] keeps `p` threads alive across submissions, mirroring the
 //! long-lived thread pool the paper uses for the Tier-1 coding stage.
 
+use crate::disjoint::DisjointWriter;
 use crate::schedule::{assign, Schedule};
 use crossbeam_channel::{unbounded, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -29,40 +30,35 @@ where
     let parts = assign(n, p, schedule);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    // Each worker owns a disjoint set of slot indices; hand out raw slice
-    // access through a helper that checks disjointness in debug builds.
-    let slots_ptr = SlotsPtr(slots.as_mut_ptr());
+    // Each worker claims its slot indices through the checked disjoint-
+    // access layer: a schedule bug that assigned one index to two workers
+    // panics deterministically in debug builds instead of racing.
+    let writer = DisjointWriter::new(&mut slots);
     thread::scope(|scope| {
         for part in &parts {
             let f = &f;
+            let writer = &writer;
             scope.spawn(move || {
-                let slots_ptr = slots_ptr; // capture the Send wrapper, not the raw field
+                let claim = writer.claim_indices(part);
                 for &i in part {
                     // SAFETY: `assign` partitions 0..n, so no two workers
-                    // ever receive the same index, and `slots` outlives the
-                    // scope. Each slot is written exactly once.
-                    unsafe { std::ptr::write(slots_ptr.0.add(i), Some(f(i))) };
+                    // ever receive the same index (checked by the claim in
+                    // debug builds), and `slots` outlives the scope. Every
+                    // slot starts as an initialized `None`, so the plain
+                    // store only drops a `None`.
+                    unsafe { claim.write(i, Some(f(i))) };
                 }
             });
         }
     });
+    // `assign` must also be a *cover* of 0..n — every slot written.
+    writer.debug_assert_fully_claimed();
+    drop(writer);
     slots
         .into_iter()
         .map(|s| s.expect("every slot written by its owning worker"))
         .collect()
 }
-
-struct SlotsPtr<R>(*mut Option<R>);
-impl<R> Clone for SlotsPtr<R> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<R> Copy for SlotsPtr<R> {}
-// SAFETY: the pointer is only used to write disjoint indices from within a
-// thread::scope whose lifetime is bounded by the owning Vec.
-unsafe impl<R: Send> Send for SlotsPtr<R> {}
-unsafe impl<R: Send> Sync for SlotsPtr<R> {}
 
 /// Run `f(i)` for every `i in 0..n` on `p` scoped worker threads, discarding
 /// results. Like [`pool_map`] but for side-effecting work (e.g. in-place
@@ -205,7 +201,10 @@ mod tests {
 
     #[test]
     fn pool_map_empty_and_single() {
-        assert_eq!(pool_map(0, 4, Schedule::RoundRobin, |i| i), Vec::<usize>::new());
+        assert_eq!(
+            pool_map(0, 4, Schedule::RoundRobin, |i| i),
+            Vec::<usize>::new()
+        );
         assert_eq!(pool_map(1, 4, Schedule::StaticBlock, |i| i + 5), vec![5]);
     }
 
@@ -241,5 +240,101 @@ mod tests {
     fn worker_pool_zero_jobs_returns_immediately() {
         let pool = WorkerPool::new(2);
         pool.run_batch(0, Schedule::RoundRobin, |_| || ());
+    }
+
+    #[test]
+    fn worker_pool_fewer_jobs_than_workers() {
+        // n < p leaves some workers idle; every job must still run exactly
+        // once and run_batch must not wait on the idle workers.
+        let pool = WorkerPool::new(8);
+        for schedule in [
+            Schedule::StaticBlock,
+            Schedule::RoundRobin,
+            Schedule::StaggeredRoundRobin,
+        ] {
+            let counters: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+            let counters = Arc::new(counters);
+            pool.run_batch(3, schedule, |i| {
+                let counters = Arc::clone(&counters);
+                move || {
+                    counters[i].fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            for (i, c) in counters.iter().enumerate() {
+                assert_eq!(c.load(Ordering::SeqCst), 1, "{schedule:?} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_pool_reusable_after_empty_batch() {
+        // An empty batch must leave the outstanding-job counter at zero so
+        // the next (non-empty) batch still blocks until completion.
+        let pool = WorkerPool::new(3);
+        pool.run_batch(0, Schedule::StaticBlock, |_| || ());
+        let sum = Arc::new(AtomicU64::new(0));
+        pool.run_batch(40, Schedule::RoundRobin, |i| {
+            let sum = Arc::clone(&sum);
+            move || {
+                sum.fetch_add(i as u64, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), (0..40u64).sum());
+    }
+
+    #[test]
+    fn worker_pool_counter_survives_interleaved_submissions() {
+        // Several threads submit batches to one pool concurrently. The
+        // shared outstanding counter must never underflow (that would
+        // panic the workers) and every job must run exactly once; each
+        // run_batch call may conservatively wait for jobs of concurrent
+        // batches, but must never return before its own jobs finished.
+        let pool = Arc::new(WorkerPool::new(4));
+        let ran = Arc::new(AtomicUsize::new(0));
+        thread::scope(|scope| {
+            for t in 0..4 {
+                let pool = Arc::clone(&pool);
+                let ran = Arc::clone(&ran);
+                scope.spawn(move || {
+                    for round in 0..5 {
+                        let before = Arc::new(AtomicUsize::new(0));
+                        let mine = Arc::clone(&before);
+                        pool.run_batch(25, Schedule::StaggeredRoundRobin, |_| {
+                            let ran = Arc::clone(&ran);
+                            let mine = Arc::clone(&mine);
+                            move || {
+                                ran.fetch_add(1, Ordering::SeqCst);
+                                mine.fetch_add(1, Ordering::SeqCst);
+                            }
+                        });
+                        assert_eq!(
+                            before.load(Ordering::SeqCst),
+                            25,
+                            "thread {t} round {round} returned early"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 4 * 5 * 25);
+    }
+
+    /// Regression test for the checked disjoint-access adoption: a buggy
+    /// schedule that hands the same slot to two workers must panic
+    /// deterministically in debug builds (instead of silently racing), at
+    /// claim time, exactly as `pool_map`'s workers would.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "overlapping claim")]
+    fn overlapping_partition_panics_in_debug() {
+        let mut slots = vec![0u32; 8];
+        let writer = DisjointWriter::new(&mut slots);
+        // A corrupted "partition": slot 3 assigned to both workers. The
+        // claim table is shared and mutex-guarded, so the second claim
+        // panics at claim time no matter which thread issues it (the
+        // cross-thread case is exercised in `disjoint::tests`); claiming
+        // from the test thread keeps the panic message observable.
+        let parts: Vec<Vec<usize>> = vec![vec![0, 1, 2, 3], vec![3, 4, 5, 6, 7]];
+        let _claims: Vec<_> = parts.iter().map(|p| writer.claim_indices(p)).collect();
     }
 }

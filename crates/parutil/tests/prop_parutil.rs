@@ -1,6 +1,6 @@
 //! Property tests for the schedulers and executors.
 
-use pj2k_parutil::{assign, chunk_ranges, pool_map, Exec, Schedule, SendPtr};
+use pj2k_parutil::{assign, chunk_ranges, pool_map, DisjointWriter, Exec, Schedule, SendPtr};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -28,6 +28,33 @@ proptest! {
             }
         }
         prop_assert_eq!(all.len(), n);
+    }
+
+    /// Claiming every part of every schedule through the checked
+    /// disjoint-access layer succeeds and exactly covers the buffer: the
+    /// claim table (which panics on any overlap) acts as an independent
+    /// oracle for the partition property above.
+    #[test]
+    fn assign_claims_are_disjoint_and_covering(
+        n in 0usize..300,
+        p in 1usize..17,
+        s in schedules(),
+    ) {
+        let parts = assign(n, p, s);
+        let mut buf = vec![0u8; n];
+        let writer = DisjointWriter::new(&mut buf);
+        let _claims: Vec<_> = parts.iter().map(|part| writer.claim_indices(part)).collect();
+        writer.debug_assert_fully_claimed();
+    }
+
+    /// chunk_ranges parts claimed as ranges are likewise disjoint+covering.
+    #[test]
+    fn chunk_range_claims_cover(n in 0usize..1000, p in 1usize..17) {
+        let ranges = chunk_ranges(n, p);
+        let mut buf = vec![0u8; n];
+        let writer = DisjointWriter::new(&mut buf);
+        let _claims: Vec<_> = ranges.iter().map(|r| writer.claim_range(r.clone())).collect();
+        writer.debug_assert_fully_claimed();
     }
 
     /// Round-robin family balances counts to within one item.
