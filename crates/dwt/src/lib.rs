@@ -22,6 +22,9 @@
 //! pass — exactly the paper's scheme), and per-pass wall-clock is reported
 //! through [`DwtStats`] so the harness can regenerate Figs. 7, 8, 10, 11.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(unused_must_use)]
+
 pub mod gains;
 pub mod lift;
 pub mod subband;
@@ -29,9 +32,7 @@ pub mod transform2d;
 pub mod vertical;
 
 pub use subband::{Band, Decomposition, Subband};
-pub use transform2d::{
-    forward_53, forward_97, inverse_53, inverse_97, DwtStats, VerticalStrategy,
-};
+pub use transform2d::{forward_53, forward_97, inverse_53, inverse_97, DwtStats, VerticalStrategy};
 
 /// 9/7 lifting constant α (first predict step).
 pub const ALPHA: f32 = -1.586_134_3;

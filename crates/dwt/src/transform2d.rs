@@ -15,7 +15,7 @@ use crate::lift::{fwd_row_53, fwd_row_97, inv_row_53, inv_row_97};
 use crate::subband::Decomposition;
 use crate::vertical;
 use pj2k_image::Plane;
-use pj2k_parutil::{Exec, SendPtr};
+use pj2k_parutil::{DisjointWriter, Exec};
 use std::time::{Duration, Instant};
 
 /// How the vertical (column) filtering pass traverses memory.
@@ -77,36 +77,44 @@ macro_rules! define_2d {
             let deco = Decomposition::new(plane.width(), plane.height(), levels);
             let stride = plane.stride();
             let mut stats = DwtStats::default();
-            let ptr = SendPtr::new(plane.raw_mut());
             for l in 0..levels {
                 let (wl, hl) = deco.ll_size(l);
                 // Horizontal pass over the rows of the current LL region.
+                // Each worker claims its row range through the checked
+                // disjoint-access layer; debug builds verify the ranges are
+                // pairwise disjoint and exactly cover the LL region.
                 let t0 = Instant::now();
                 if wl > 1 {
+                    let writer = DisjointWriter::new(plane.raw_mut());
                     exec.run_ranges(hl, |rows| {
+                        let claim = writer.claim_rect(0..wl, rows.clone(), stride);
                         let mut scratch = Vec::with_capacity(wl);
                         for y in rows {
-                            // SAFETY: rows are disjoint across workers and
-                            // `y * stride + wl <= stride * height`.
-                            let row = unsafe { ptr.slice_mut(y * stride, wl) };
+                            // SAFETY: the claim covers rows `rows` of the LL
+                            // region and `y * stride + wl <= stride * height`.
+                            let row = unsafe { claim.slice_mut(y * stride, wl) };
                             $fwd_row(row, &mut scratch);
                         }
                     });
+                    writer.debug_assert_claimed(wl * hl);
                 }
                 stats.horizontal += t0.elapsed();
                 // Vertical pass over the columns of the current LL region.
                 let t1 = Instant::now();
                 if hl > 1 {
+                    let writer = DisjointWriter::new(plane.raw_mut());
                     exec.run_ranges(wl, |cols| {
+                        let claim = writer.claim_rect(cols.clone(), 0..hl, stride);
                         let mut scratch = Vec::new();
-                        // SAFETY: column ranges are disjoint across workers.
+                        // SAFETY: the claim covers exactly the columns this
+                        // worker filters; overlap panics in debug builds.
                         unsafe {
                             match strategy {
                                 VerticalStrategy::Naive => {
-                                    vertical::$fwd_naive(ptr, stride, cols, hl, &mut scratch)
+                                    vertical::$fwd_naive(&claim, stride, cols, hl, &mut scratch)
                                 }
                                 VerticalStrategy::Strip { width } => vertical::$fwd_strip(
-                                    ptr,
+                                    &claim,
                                     stride,
                                     cols,
                                     hl,
@@ -116,6 +124,7 @@ macro_rules! define_2d {
                             }
                         }
                     });
+                    writer.debug_assert_claimed(wl * hl);
                 }
                 stats.vertical += t1.elapsed();
             }
@@ -133,22 +142,24 @@ macro_rules! define_2d {
             let deco = Decomposition::new(plane.width(), plane.height(), levels);
             let stride = plane.stride();
             let mut stats = DwtStats::default();
-            let ptr = SendPtr::new(plane.raw_mut());
             for l in (0..levels).rev() {
                 let (wl, hl) = deco.ll_size(l);
                 // Vertical first (reverse of the forward pass order).
                 let t0 = Instant::now();
                 if hl > 1 {
+                    let writer = DisjointWriter::new(plane.raw_mut());
                     exec.run_ranges(wl, |cols| {
+                        let claim = writer.claim_rect(cols.clone(), 0..hl, stride);
                         let mut scratch = Vec::new();
-                        // SAFETY: column ranges are disjoint across workers.
+                        // SAFETY: the claim covers exactly the columns this
+                        // worker filters; overlap panics in debug builds.
                         unsafe {
                             match strategy {
                                 VerticalStrategy::Naive => {
-                                    vertical::$inv_naive(ptr, stride, cols, hl, &mut scratch)
+                                    vertical::$inv_naive(&claim, stride, cols, hl, &mut scratch)
                                 }
                                 VerticalStrategy::Strip { width } => vertical::$inv_strip(
-                                    ptr,
+                                    &claim,
                                     stride,
                                     cols,
                                     hl,
@@ -158,18 +169,23 @@ macro_rules! define_2d {
                             }
                         }
                     });
+                    writer.debug_assert_claimed(wl * hl);
                 }
                 stats.vertical += t0.elapsed();
                 let t1 = Instant::now();
                 if wl > 1 {
+                    let writer = DisjointWriter::new(plane.raw_mut());
                     exec.run_ranges(hl, |rows| {
+                        let claim = writer.claim_rect(0..wl, rows.clone(), stride);
                         let mut scratch = Vec::with_capacity(wl);
                         for y in rows {
-                            // SAFETY: rows are disjoint across workers.
-                            let row = unsafe { ptr.slice_mut(y * stride, wl) };
+                            // SAFETY: the claim covers rows `rows` of the LL
+                            // region.
+                            let row = unsafe { claim.slice_mut(y * stride, wl) };
                             $inv_row(row, &mut scratch);
                         }
                     });
+                    writer.debug_assert_claimed(wl * hl);
                 }
                 stats.horizontal += t1.elapsed();
             }
@@ -218,7 +234,9 @@ mod tests {
     }
 
     fn test_plane_f32(w: usize, h: usize) -> Plane<f32> {
-        Plane::from_fn(w, h, |x, y| ((x * 31 + y * 17 + x * y) % 255) as f32 - 127.0)
+        Plane::from_fn(w, h, |x, y| {
+            ((x * 31 + y * 17 + x * y) % 255) as f32 - 127.0
+        })
     }
 
     #[test]
@@ -235,6 +253,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // large planes: too slow under the interpreter
     fn forward97_inverse97_close_roundtrip() {
         for (w, h) in [(8, 8), (17, 33), (64, 64)] {
             let orig = test_plane_f32(w, h);
@@ -275,21 +294,21 @@ mod tests {
         forward_97(&mut strip, 2, VerticalStrategy::DEFAULT_STRIP, &Exec::SEQ);
         for y in 0..24 {
             for x in 0..40 {
-                assert!((naive.get(x, y) - strip.get(x, y)).abs() < 1e-4, "({x},{y})");
+                assert!(
+                    (naive.get(x, y) - strip.get(x, y)).abs() < 1e-4,
+                    "({x},{y})"
+                );
             }
         }
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // large planes: too slow under the interpreter
     fn parallel_backends_are_bit_identical_to_sequential_53() {
         let orig = test_plane_i32(50, 38, 50);
         let mut seq = orig.clone();
         forward_53(&mut seq, 3, VerticalStrategy::DEFAULT_STRIP, &Exec::SEQ);
-        for exec in [
-            Exec::threads(2),
-            Exec::threads(4),
-            Exec::rayon(3),
-        ] {
+        for exec in [Exec::threads(2), Exec::threads(4), Exec::rayon(3)] {
             let mut par = orig.clone();
             forward_53(&mut par, 3, VerticalStrategy::DEFAULT_STRIP, &exec);
             assert_eq!(par, seq, "{:?}", exec.backend);
@@ -300,6 +319,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // large planes: too slow under the interpreter
     fn parallel_backends_are_bit_identical_to_sequential_97() {
         let orig = test_plane_f32(48, 48);
         let mut seq = orig.clone();
@@ -317,7 +337,11 @@ mod tests {
         // Static split + identical kernels => bit-identical floats.
         for y in 0..48 {
             for x in 0..48 {
-                assert_eq!(par.get(x, y).to_bits(), seq.get(x, y).to_bits(), "({x},{y})");
+                assert_eq!(
+                    par.get(x, y).to_bits(),
+                    seq.get(x, y).to_bits(),
+                    "({x},{y})"
+                );
             }
         }
     }
@@ -360,6 +384,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // large planes: too slow under the interpreter
     fn stats_record_time() {
         let mut p = test_plane_f32(128, 128);
         let (_, stats) = forward_97(&mut p, 5, VerticalStrategy::Naive, &Exec::SEQ);

@@ -13,12 +13,13 @@
 //!   coefficients per row, so each fetched cache line is fully used. This is
 //!   the paper's "improved vertical filtering".
 //!
-//! All functions operate on a raw strided buffer through
-//! [`pj2k_parutil::SendPtr`] so that parallel drivers can hand disjoint
-//! column ranges to different workers.
+//! All functions operate on a strided buffer through a
+//! [`pj2k_parutil::DisjointClaim`] — the checked disjoint-access layer —
+//! so that parallel drivers can hand disjoint column ranges to different
+//! workers and have the disjointness enforced in debug builds.
 
 use crate::{ALPHA, BETA, DELTA, GAMMA, KAPPA};
-use pj2k_parutil::SendPtr;
+use pj2k_parutil::DisjointClaim;
 use std::ops::Range;
 
 #[inline]
@@ -38,34 +39,38 @@ fn mirror_y(y: isize, h: usize) -> usize {
 /// `cols` must be in bounds and disjoint from ranges given to other threads;
 /// `h * stride` elements must be allocated.
 unsafe fn deinterleave_cols<T: Copy + Default>(
-    ptr: SendPtr<T>,
+    ptr: &DisjointClaim<T>,
     stride: usize,
     cols: Range<usize>,
     h: usize,
     strip: usize,
     scratch: &mut Vec<T>,
 ) {
-    if h <= 1 {
-        return;
-    }
-    let ce = h.div_ceil(2);
-    let mut x0 = cols.start;
-    while x0 < cols.end {
-        let s = strip.min(cols.end - x0);
-        scratch.clear();
-        scratch.resize(h * s, T::default());
-        for y in 0..h {
-            let dst_row = if y % 2 == 0 { y / 2 } else { ce + y / 2 };
-            for dx in 0..s {
-                scratch[dst_row * s + dx] = ptr.read(y * stride + x0 + dx);
-            }
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
         }
-        for y in 0..h {
-            for dx in 0..s {
-                ptr.write(y * stride + x0 + dx, scratch[y * s + dx]);
+        let ce = h.div_ceil(2);
+        let mut x0 = cols.start;
+        while x0 < cols.end {
+            let s = strip.min(cols.end - x0);
+            scratch.clear();
+            scratch.resize(h * s, T::default());
+            for y in 0..h {
+                let dst_row = if y % 2 == 0 { y / 2 } else { ce + y / 2 };
+                for dx in 0..s {
+                    scratch[dst_row * s + dx] = ptr.read(y * stride + x0 + dx);
+                }
             }
+            for y in 0..h {
+                for dx in 0..s {
+                    ptr.write(y * stride + x0 + dx, scratch[y * s + dx]);
+                }
+            }
+            x0 += s;
         }
-        x0 += s;
     }
 }
 
@@ -74,34 +79,38 @@ unsafe fn deinterleave_cols<T: Copy + Default>(
 /// # Safety
 /// Same contract as [`deinterleave_cols`].
 unsafe fn interleave_cols<T: Copy + Default>(
-    ptr: SendPtr<T>,
+    ptr: &DisjointClaim<T>,
     stride: usize,
     cols: Range<usize>,
     h: usize,
     strip: usize,
     scratch: &mut Vec<T>,
 ) {
-    if h <= 1 {
-        return;
-    }
-    let ce = h.div_ceil(2);
-    let mut x0 = cols.start;
-    while x0 < cols.end {
-        let s = strip.min(cols.end - x0);
-        scratch.clear();
-        scratch.resize(h * s, T::default());
-        for y in 0..h {
-            let src_row = if y % 2 == 0 { y / 2 } else { ce + y / 2 };
-            for dx in 0..s {
-                scratch[y * s + dx] = ptr.read(src_row * stride + x0 + dx);
-            }
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
         }
-        for y in 0..h {
-            for dx in 0..s {
-                ptr.write(y * stride + x0 + dx, scratch[y * s + dx]);
+        let ce = h.div_ceil(2);
+        let mut x0 = cols.start;
+        while x0 < cols.end {
+            let s = strip.min(cols.end - x0);
+            scratch.clear();
+            scratch.resize(h * s, T::default());
+            for y in 0..h {
+                let src_row = if y % 2 == 0 { y / 2 } else { ce + y / 2 };
+                for dx in 0..s {
+                    scratch[y * s + dx] = ptr.read(src_row * stride + x0 + dx);
+                }
             }
+            for y in 0..h {
+                for dx in 0..s {
+                    ptr.write(y * stride + x0 + dx, scratch[y * s + dx]);
+                }
+            }
+            x0 += s;
         }
-        x0 += s;
     }
 }
 
@@ -114,35 +123,39 @@ unsafe fn interleave_cols<T: Copy + Default>(
 /// # Safety
 /// `cols` in bounds, disjoint across threads, `h * stride` elements valid.
 pub unsafe fn fwd_naive_53_cols(
-    ptr: SendPtr<i32>,
+    ptr: &DisjointClaim<i32>,
     stride: usize,
     cols: Range<usize>,
     h: usize,
     scratch: &mut Vec<i32>,
 ) {
-    if h <= 1 {
-        return;
-    }
-    for x in cols.clone() {
-        let at = |y: usize| y * stride + x;
-        // predict odd rows
-        let mut y = 1;
-        while y < h {
-            let l = ptr.read(at(y - 1));
-            let r = ptr.read(at(mirror_y(y as isize + 1, h)));
-            ptr.write(at(y), ptr.read(at(y)) - ((l + r) >> 1));
-            y += 2;
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
         }
-        // update even rows
-        let mut y = 0;
-        while y < h {
-            let l = ptr.read(at(mirror_y(y as isize - 1, h)));
-            let r = ptr.read(at(mirror_y(y as isize + 1, h)));
-            ptr.write(at(y), ptr.read(at(y)) + ((l + r + 2) >> 2));
-            y += 2;
+        for x in cols.clone() {
+            let at = |y: usize| y * stride + x;
+            // predict odd rows
+            let mut y = 1;
+            while y < h {
+                let l = ptr.read(at(y - 1));
+                let r = ptr.read(at(mirror_y(y as isize + 1, h)));
+                ptr.write(at(y), ptr.read(at(y)) - ((l + r) >> 1));
+                y += 2;
+            }
+            // update even rows
+            let mut y = 0;
+            while y < h {
+                let l = ptr.read(at(mirror_y(y as isize - 1, h)));
+                let r = ptr.read(at(mirror_y(y as isize + 1, h)));
+                ptr.write(at(y), ptr.read(at(y)) + ((l + r + 2) >> 2));
+                y += 2;
+            }
         }
+        deinterleave_cols(ptr, stride, cols, h, 1, scratch);
     }
-    deinterleave_cols(ptr, stride, cols, h, 1, scratch);
 }
 
 /// Inverse 5/3 vertical synthesis over columns `cols`, one column at a time.
@@ -150,31 +163,35 @@ pub unsafe fn fwd_naive_53_cols(
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
 pub unsafe fn inv_naive_53_cols(
-    ptr: SendPtr<i32>,
+    ptr: &DisjointClaim<i32>,
     stride: usize,
     cols: Range<usize>,
     h: usize,
     scratch: &mut Vec<i32>,
 ) {
-    if h <= 1 {
-        return;
-    }
-    interleave_cols(ptr, stride, cols.clone(), h, 1, scratch);
-    for x in cols {
-        let at = |y: usize| y * stride + x;
-        let mut y = 0;
-        while y < h {
-            let l = ptr.read(at(mirror_y(y as isize - 1, h)));
-            let r = ptr.read(at(mirror_y(y as isize + 1, h)));
-            ptr.write(at(y), ptr.read(at(y)) - ((l + r + 2) >> 2));
-            y += 2;
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
         }
-        let mut y = 1;
-        while y < h {
-            let l = ptr.read(at(y - 1));
-            let r = ptr.read(at(mirror_y(y as isize + 1, h)));
-            ptr.write(at(y), ptr.read(at(y)) + ((l + r) >> 1));
-            y += 2;
+        interleave_cols(ptr, stride, cols.clone(), h, 1, scratch);
+        for x in cols {
+            let at = |y: usize| y * stride + x;
+            let mut y = 0;
+            while y < h {
+                let l = ptr.read(at(mirror_y(y as isize - 1, h)));
+                let r = ptr.read(at(mirror_y(y as isize + 1, h)));
+                ptr.write(at(y), ptr.read(at(y)) - ((l + r + 2) >> 2));
+                y += 2;
+            }
+            let mut y = 1;
+            while y < h {
+                let l = ptr.read(at(y - 1));
+                let r = ptr.read(at(mirror_y(y as isize + 1, h)));
+                ptr.write(at(y), ptr.read(at(y)) + ((l + r) >> 1));
+                y += 2;
+            }
         }
     }
 }
@@ -189,49 +206,53 @@ pub unsafe fn inv_naive_53_cols(
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
 pub unsafe fn fwd_strip_53_cols(
-    ptr: SendPtr<i32>,
+    ptr: &DisjointClaim<i32>,
     stride: usize,
     cols: Range<usize>,
     h: usize,
     strip: usize,
     scratch: &mut Vec<i32>,
 ) {
-    if h <= 1 {
-        return;
-    }
-    let strip = strip.max(1);
-    let mut x0 = cols.start;
-    while x0 < cols.end {
-        let s = strip.min(cols.end - x0);
-        // predict odd rows
-        let mut y = 1;
-        while y < h {
-            let ly = (y - 1) * stride;
-            let ry = mirror_y(y as isize + 1, h) * stride;
-            let cy = y * stride;
-            for dx in 0..s {
-                let x = x0 + dx;
-                let v = ptr.read(cy + x) - ((ptr.read(ly + x) + ptr.read(ry + x)) >> 1);
-                ptr.write(cy + x, v);
-            }
-            y += 2;
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
         }
-        // update even rows
-        let mut y = 0;
-        while y < h {
-            let ly = mirror_y(y as isize - 1, h) * stride;
-            let ry = mirror_y(y as isize + 1, h) * stride;
-            let cy = y * stride;
-            for dx in 0..s {
-                let x = x0 + dx;
-                let v = ptr.read(cy + x) + ((ptr.read(ly + x) + ptr.read(ry + x) + 2) >> 2);
-                ptr.write(cy + x, v);
+        let strip = strip.max(1);
+        let mut x0 = cols.start;
+        while x0 < cols.end {
+            let s = strip.min(cols.end - x0);
+            // predict odd rows
+            let mut y = 1;
+            while y < h {
+                let ly = (y - 1) * stride;
+                let ry = mirror_y(y as isize + 1, h) * stride;
+                let cy = y * stride;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let v = ptr.read(cy + x) - ((ptr.read(ly + x) + ptr.read(ry + x)) >> 1);
+                    ptr.write(cy + x, v);
+                }
+                y += 2;
             }
-            y += 2;
+            // update even rows
+            let mut y = 0;
+            while y < h {
+                let ly = mirror_y(y as isize - 1, h) * stride;
+                let ry = mirror_y(y as isize + 1, h) * stride;
+                let cy = y * stride;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let v = ptr.read(cy + x) + ((ptr.read(ly + x) + ptr.read(ry + x) + 2) >> 2);
+                    ptr.write(cy + x, v);
+                }
+                y += 2;
+            }
+            x0 += s;
         }
-        x0 += s;
+        deinterleave_cols(ptr, stride, cols, h, strip, scratch);
     }
-    deinterleave_cols(ptr, stride, cols, h, strip, scratch);
 }
 
 /// Inverse 5/3 strip synthesis.
@@ -239,46 +260,50 @@ pub unsafe fn fwd_strip_53_cols(
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
 pub unsafe fn inv_strip_53_cols(
-    ptr: SendPtr<i32>,
+    ptr: &DisjointClaim<i32>,
     stride: usize,
     cols: Range<usize>,
     h: usize,
     strip: usize,
     scratch: &mut Vec<i32>,
 ) {
-    if h <= 1 {
-        return;
-    }
-    let strip = strip.max(1);
-    interleave_cols(ptr, stride, cols.clone(), h, strip, scratch);
-    let mut x0 = cols.start;
-    while x0 < cols.end {
-        let s = strip.min(cols.end - x0);
-        let mut y = 0;
-        while y < h {
-            let ly = mirror_y(y as isize - 1, h) * stride;
-            let ry = mirror_y(y as isize + 1, h) * stride;
-            let cy = y * stride;
-            for dx in 0..s {
-                let x = x0 + dx;
-                let v = ptr.read(cy + x) - ((ptr.read(ly + x) + ptr.read(ry + x) + 2) >> 2);
-                ptr.write(cy + x, v);
-            }
-            y += 2;
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
         }
-        let mut y = 1;
-        while y < h {
-            let ly = (y - 1) * stride;
-            let ry = mirror_y(y as isize + 1, h) * stride;
-            let cy = y * stride;
-            for dx in 0..s {
-                let x = x0 + dx;
-                let v = ptr.read(cy + x) + ((ptr.read(ly + x) + ptr.read(ry + x)) >> 1);
-                ptr.write(cy + x, v);
+        let strip = strip.max(1);
+        interleave_cols(ptr, stride, cols.clone(), h, strip, scratch);
+        let mut x0 = cols.start;
+        while x0 < cols.end {
+            let s = strip.min(cols.end - x0);
+            let mut y = 0;
+            while y < h {
+                let ly = mirror_y(y as isize - 1, h) * stride;
+                let ry = mirror_y(y as isize + 1, h) * stride;
+                let cy = y * stride;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let v = ptr.read(cy + x) - ((ptr.read(ly + x) + ptr.read(ry + x) + 2) >> 2);
+                    ptr.write(cy + x, v);
+                }
+                y += 2;
             }
-            y += 2;
+            let mut y = 1;
+            while y < h {
+                let ly = (y - 1) * stride;
+                let ry = mirror_y(y as isize + 1, h) * stride;
+                let cy = y * stride;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let v = ptr.read(cy + x) + ((ptr.read(ly + x) + ptr.read(ry + x)) >> 1);
+                    ptr.write(cy + x, v);
+                }
+                y += 2;
+            }
+            x0 += s;
         }
-        x0 += s;
     }
 }
 
@@ -291,14 +316,25 @@ pub unsafe fn inv_strip_53_cols(
 /// # Safety
 /// Column `x` in bounds; exclusive access to it.
 #[inline]
-unsafe fn lift_col_97(ptr: SendPtr<f32>, stride: usize, x: usize, h: usize, parity: usize, c: f32) {
-    let mut y = parity;
-    while y < h {
-        let l = ptr.read(mirror_y(y as isize - 1, h) * stride + x);
-        let r = ptr.read(mirror_y(y as isize + 1, h) * stride + x);
-        let i = y * stride + x;
-        ptr.write(i, ptr.read(i) + c * (l + r));
-        y += 2;
+unsafe fn lift_col_97(
+    ptr: &DisjointClaim<f32>,
+    stride: usize,
+    x: usize,
+    h: usize,
+    parity: usize,
+    c: f32,
+) {
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        let mut y = parity;
+        while y < h {
+            let l = ptr.read(mirror_y(y as isize - 1, h) * stride + x);
+            let r = ptr.read(mirror_y(y as isize + 1, h) * stride + x);
+            let i = y * stride + x;
+            ptr.write(i, ptr.read(i) + c * (l + r));
+            y += 2;
+        }
     }
 }
 
@@ -308,27 +344,31 @@ unsafe fn lift_col_97(ptr: SendPtr<f32>, stride: usize, x: usize, h: usize, pari
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
 pub unsafe fn fwd_naive_97_cols(
-    ptr: SendPtr<f32>,
+    ptr: &DisjointClaim<f32>,
     stride: usize,
     cols: Range<usize>,
     h: usize,
     scratch: &mut Vec<f32>,
 ) {
-    if h <= 1 {
-        return;
-    }
-    let (kl, kh) = (1.0 / KAPPA, KAPPA / 2.0);
-    for x in cols.clone() {
-        lift_col_97(ptr, stride, x, h, 1, ALPHA);
-        lift_col_97(ptr, stride, x, h, 0, BETA);
-        lift_col_97(ptr, stride, x, h, 1, GAMMA);
-        lift_col_97(ptr, stride, x, h, 0, DELTA);
-        for y in 0..h {
-            let i = y * stride + x;
-            ptr.write(i, ptr.read(i) * if y % 2 == 0 { kl } else { kh });
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
         }
+        let (kl, kh) = (1.0 / KAPPA, KAPPA / 2.0);
+        for x in cols.clone() {
+            lift_col_97(ptr, stride, x, h, 1, ALPHA);
+            lift_col_97(ptr, stride, x, h, 0, BETA);
+            lift_col_97(ptr, stride, x, h, 1, GAMMA);
+            lift_col_97(ptr, stride, x, h, 0, DELTA);
+            for y in 0..h {
+                let i = y * stride + x;
+                ptr.write(i, ptr.read(i) * if y % 2 == 0 { kl } else { kh });
+            }
+        }
+        deinterleave_cols(ptr, stride, cols, h, 1, scratch);
     }
-    deinterleave_cols(ptr, stride, cols, h, 1, scratch);
 }
 
 /// Inverse 9/7 vertical synthesis over columns `cols`, one column at a time.
@@ -336,26 +376,30 @@ pub unsafe fn fwd_naive_97_cols(
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
 pub unsafe fn inv_naive_97_cols(
-    ptr: SendPtr<f32>,
+    ptr: &DisjointClaim<f32>,
     stride: usize,
     cols: Range<usize>,
     h: usize,
     scratch: &mut Vec<f32>,
 ) {
-    if h <= 1 {
-        return;
-    }
-    interleave_cols(ptr, stride, cols.clone(), h, 1, scratch);
-    let (kl, kh) = (KAPPA, 2.0 / KAPPA);
-    for x in cols {
-        for y in 0..h {
-            let i = y * stride + x;
-            ptr.write(i, ptr.read(i) * if y % 2 == 0 { kl } else { kh });
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
         }
-        lift_col_97(ptr, stride, x, h, 0, -DELTA);
-        lift_col_97(ptr, stride, x, h, 1, -GAMMA);
-        lift_col_97(ptr, stride, x, h, 0, -BETA);
-        lift_col_97(ptr, stride, x, h, 1, -ALPHA);
+        interleave_cols(ptr, stride, cols.clone(), h, 1, scratch);
+        let (kl, kh) = (KAPPA, 2.0 / KAPPA);
+        for x in cols {
+            for y in 0..h {
+                let i = y * stride + x;
+                ptr.write(i, ptr.read(i) * if y % 2 == 0 { kl } else { kh });
+            }
+            lift_col_97(ptr, stride, x, h, 0, -DELTA);
+            lift_col_97(ptr, stride, x, h, 1, -GAMMA);
+            lift_col_97(ptr, stride, x, h, 0, -BETA);
+            lift_col_97(ptr, stride, x, h, 1, -ALPHA);
+        }
     }
 }
 
@@ -369,7 +413,7 @@ pub unsafe fn inv_naive_97_cols(
 /// Strip in bounds; exclusive access to its columns.
 #[inline]
 unsafe fn lift_strip_97(
-    ptr: SendPtr<f32>,
+    ptr: &DisjointClaim<f32>,
     stride: usize,
     x0: usize,
     s: usize,
@@ -377,16 +421,23 @@ unsafe fn lift_strip_97(
     parity: usize,
     c: f32,
 ) {
-    let mut y = parity;
-    while y < h {
-        let ly = mirror_y(y as isize - 1, h) * stride;
-        let ry = mirror_y(y as isize + 1, h) * stride;
-        let cy = y * stride;
-        for dx in 0..s {
-            let x = x0 + dx;
-            ptr.write(cy + x, ptr.read(cy + x) + c * (ptr.read(ly + x) + ptr.read(ry + x)));
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        let mut y = parity;
+        while y < h {
+            let ly = mirror_y(y as isize - 1, h) * stride;
+            let ry = mirror_y(y as isize + 1, h) * stride;
+            let cy = y * stride;
+            for dx in 0..s {
+                let x = x0 + dx;
+                ptr.write(
+                    cy + x,
+                    ptr.read(cy + x) + c * (ptr.read(ly + x) + ptr.read(ry + x)),
+                );
+            }
+            y += 2;
         }
-        y += 2;
     }
 }
 
@@ -396,36 +447,40 @@ unsafe fn lift_strip_97(
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
 pub unsafe fn fwd_strip_97_cols(
-    ptr: SendPtr<f32>,
+    ptr: &DisjointClaim<f32>,
     stride: usize,
     cols: Range<usize>,
     h: usize,
     strip: usize,
     scratch: &mut Vec<f32>,
 ) {
-    if h <= 1 {
-        return;
-    }
-    let strip = strip.max(1);
-    let (kl, kh) = (1.0 / KAPPA, KAPPA / 2.0);
-    let mut x0 = cols.start;
-    while x0 < cols.end {
-        let s = strip.min(cols.end - x0);
-        lift_strip_97(ptr, stride, x0, s, h, 1, ALPHA);
-        lift_strip_97(ptr, stride, x0, s, h, 0, BETA);
-        lift_strip_97(ptr, stride, x0, s, h, 1, GAMMA);
-        lift_strip_97(ptr, stride, x0, s, h, 0, DELTA);
-        for y in 0..h {
-            let k = if y % 2 == 0 { kl } else { kh };
-            let cy = y * stride;
-            for dx in 0..s {
-                let i = cy + x0 + dx;
-                ptr.write(i, ptr.read(i) * k);
-            }
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
         }
-        x0 += s;
+        let strip = strip.max(1);
+        let (kl, kh) = (1.0 / KAPPA, KAPPA / 2.0);
+        let mut x0 = cols.start;
+        while x0 < cols.end {
+            let s = strip.min(cols.end - x0);
+            lift_strip_97(ptr, stride, x0, s, h, 1, ALPHA);
+            lift_strip_97(ptr, stride, x0, s, h, 0, BETA);
+            lift_strip_97(ptr, stride, x0, s, h, 1, GAMMA);
+            lift_strip_97(ptr, stride, x0, s, h, 0, DELTA);
+            for y in 0..h {
+                let k = if y % 2 == 0 { kl } else { kh };
+                let cy = y * stride;
+                for dx in 0..s {
+                    let i = cy + x0 + dx;
+                    ptr.write(i, ptr.read(i) * k);
+                }
+            }
+            x0 += s;
+        }
+        deinterleave_cols(ptr, stride, cols, h, strip, scratch);
     }
-    deinterleave_cols(ptr, stride, cols, h, strip, scratch);
 }
 
 /// Inverse 9/7 strip synthesis.
@@ -433,42 +488,59 @@ pub unsafe fn fwd_strip_97_cols(
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
 pub unsafe fn inv_strip_97_cols(
-    ptr: SendPtr<f32>,
+    ptr: &DisjointClaim<f32>,
     stride: usize,
     cols: Range<usize>,
     h: usize,
     strip: usize,
     scratch: &mut Vec<f32>,
 ) {
-    if h <= 1 {
-        return;
-    }
-    let strip = strip.max(1);
-    interleave_cols(ptr, stride, cols.clone(), h, strip, scratch);
-    let (kl, kh) = (KAPPA, 2.0 / KAPPA);
-    let mut x0 = cols.start;
-    while x0 < cols.end {
-        let s = strip.min(cols.end - x0);
-        for y in 0..h {
-            let k = if y % 2 == 0 { kl } else { kh };
-            let cy = y * stride;
-            for dx in 0..s {
-                let i = cy + x0 + dx;
-                ptr.write(i, ptr.read(i) * k);
-            }
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
         }
-        lift_strip_97(ptr, stride, x0, s, h, 0, -DELTA);
-        lift_strip_97(ptr, stride, x0, s, h, 1, -GAMMA);
-        lift_strip_97(ptr, stride, x0, s, h, 0, -BETA);
-        lift_strip_97(ptr, stride, x0, s, h, 1, -ALPHA);
-        x0 += s;
+        let strip = strip.max(1);
+        interleave_cols(ptr, stride, cols.clone(), h, strip, scratch);
+        let (kl, kh) = (KAPPA, 2.0 / KAPPA);
+        let mut x0 = cols.start;
+        while x0 < cols.end {
+            let s = strip.min(cols.end - x0);
+            for y in 0..h {
+                let k = if y % 2 == 0 { kl } else { kh };
+                let cy = y * stride;
+                for dx in 0..s {
+                    let i = cy + x0 + dx;
+                    ptr.write(i, ptr.read(i) * k);
+                }
+            }
+            lift_strip_97(ptr, stride, x0, s, h, 0, -DELTA);
+            lift_strip_97(ptr, stride, x0, s, h, 1, -GAMMA);
+            lift_strip_97(ptr, stride, x0, s, h, 0, -BETA);
+            lift_strip_97(ptr, stride, x0, s, h, 1, -ALPHA);
+            x0 += s;
+        }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lift::{fwd_row_53, fwd_row_97};
+    use pj2k_parutil::DisjointWriter;
+
+    /// Run `f` with a claim over columns `cols` (all `h` rows) of `buf`.
+    fn with_claim<T: Send, R>(
+        buf: &mut [T],
+        cols: Range<usize>,
+        h: usize,
+        stride: usize,
+        f: impl FnOnce(&DisjointClaim<T>) -> R,
+    ) -> R {
+        let writer = DisjointWriter::new(buf);
+        let claim = writer.claim_rect(cols, 0..h, stride);
+        f(&claim)
+    }
 
     /// Transpose-check: vertical filtering of a column must equal the row
     /// kernel applied to the transposed data.
@@ -484,10 +556,10 @@ mod tests {
             buf[y * stride + 2] = v;
         }
         let mut scratch = Vec::new();
-        unsafe {
-            let ptr = SendPtr::new(&mut buf);
-            fwd_naive_53_cols(ptr, stride, 2..3, h, &mut scratch);
-        }
+        with_claim(&mut buf, 2..3, h, stride, |claim| {
+            // SAFETY: the claim covers column 2 for all rows.
+            unsafe { fwd_naive_53_cols(claim, stride, 2..3, h, &mut scratch) }
+        });
         let mut expect = col.clone();
         let mut s2 = Vec::new();
         fwd_row_53(&mut expect, &mut s2);
@@ -508,22 +580,24 @@ mod tests {
             buf
         };
         let mut a = mk();
-        let mut b = mk();
         let mut s = Vec::new();
-        unsafe {
-            fwd_naive_53_cols(SendPtr::new(&mut a), stride, 0..w, h, &mut s);
-            for strip in [1, 3, 8, 64] {
-                let mut bb = mk();
-                fwd_strip_53_cols(SendPtr::new(&mut bb), stride, 0..w, h, strip, &mut s);
-                b.copy_from_slice(&bb);
-                for y in 0..h {
-                    for x in 0..w {
-                        assert_eq!(
-                            a[y * stride + x],
-                            b[y * stride + x],
-                            "strip={strip} at ({x},{y})"
-                        );
-                    }
+        with_claim(&mut a, 0..w, h, stride, |claim| {
+            // SAFETY: the claim covers all filtered columns.
+            unsafe { fwd_naive_53_cols(claim, stride, 0..w, h, &mut s) }
+        });
+        for strip in [1, 3, 8, 64] {
+            let mut b = mk();
+            with_claim(&mut b, 0..w, h, stride, |claim| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { fwd_strip_53_cols(claim, stride, 0..w, h, strip, &mut s) }
+            });
+            for y in 0..h {
+                for x in 0..w {
+                    assert_eq!(
+                        a[y * stride + x],
+                        b[y * stride + x],
+                        "strip={strip} at ({x},{y})"
+                    );
                 }
             }
         }
@@ -539,9 +613,10 @@ mod tests {
             buf[y * stride + 1] = v;
         }
         let mut scratch = Vec::new();
-        unsafe {
-            fwd_naive_97_cols(SendPtr::new(&mut buf), stride, 1..2, h, &mut scratch);
-        }
+        with_claim(&mut buf, 1..2, h, stride, |claim| {
+            // SAFETY: the claim covers column 1 for all rows.
+            unsafe { fwd_naive_97_cols(claim, stride, 1..2, h, &mut scratch) }
+        });
         let mut expect = col.clone();
         let mut s2 = Vec::new();
         fwd_row_97(&mut expect, &mut s2);
@@ -564,14 +639,18 @@ mod tests {
         };
         let mut a = mk();
         let mut s = Vec::new();
-        unsafe {
-            fwd_naive_97_cols(SendPtr::new(&mut a), stride, 0..w, h, &mut s);
-            for strip in [2, 4, 16] {
-                let mut b = mk();
-                fwd_strip_97_cols(SendPtr::new(&mut b), stride, 0..w, h, strip, &mut s);
-                for i in 0..stride * h {
-                    assert!((a[i] - b[i]).abs() < 1e-4, "strip={strip} i={i}");
-                }
+        with_claim(&mut a, 0..w, h, stride, |claim| {
+            // SAFETY: the claim covers all filtered columns.
+            unsafe { fwd_naive_97_cols(claim, stride, 0..w, h, &mut s) }
+        });
+        for strip in [2, 4, 16] {
+            let mut b = mk();
+            with_claim(&mut b, 0..w, h, stride, |claim| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { fwd_strip_97_cols(claim, stride, 0..w, h, strip, &mut s) }
+            });
+            for i in 0..stride * h {
+                assert!((a[i] - b[i]).abs() < 1e-4, "strip={strip} i={i}");
             }
         }
     }
@@ -584,10 +663,15 @@ mod tests {
             let orig: Vec<i32> = (0..stride * h).map(|i| (i * 7 % 93) as i32 - 46).collect();
             let mut buf = orig.clone();
             let mut s = Vec::new();
-            unsafe {
-                fwd_naive_53_cols(SendPtr::new(&mut buf), stride, 0..w, h, &mut s);
-                inv_naive_53_cols(SendPtr::new(&mut buf), stride, 0..w, h, &mut s);
-            }
+            // A fresh writer per pass: each pass re-claims the same region.
+            with_claim(&mut buf, 0..w, h, stride, |claim| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { fwd_naive_53_cols(claim, stride, 0..w, h, &mut s) }
+            });
+            with_claim(&mut buf, 0..w, h, stride, |claim| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { inv_naive_53_cols(claim, stride, 0..w, h, &mut s) }
+            });
             for y in 0..h {
                 for x in 0..w {
                     assert_eq!(buf[y * stride + x], orig[y * stride + x], "h={h} ({x},{y})");
@@ -602,10 +686,14 @@ mod tests {
         let orig: Vec<f32> = (0..stride * h).map(|i| (i % 83) as f32 - 41.0).collect();
         let mut buf = orig.clone();
         let mut s = Vec::new();
-        unsafe {
-            fwd_strip_97_cols(SendPtr::new(&mut buf), stride, 0..w, h, 4, &mut s);
-            inv_strip_97_cols(SendPtr::new(&mut buf), stride, 0..w, h, 4, &mut s);
-        }
+        with_claim(&mut buf, 0..w, h, stride, |claim| {
+            // SAFETY: the claim covers all filtered columns.
+            unsafe { fwd_strip_97_cols(claim, stride, 0..w, h, 4, &mut s) }
+        });
+        with_claim(&mut buf, 0..w, h, stride, |claim| {
+            // SAFETY: the claim covers all filtered columns.
+            unsafe { inv_strip_97_cols(claim, stride, 0..w, h, 4, &mut s) }
+        });
         for y in 0..h {
             for x in 0..w {
                 let i = y * stride + x;
@@ -620,9 +708,11 @@ mod tests {
         let orig: Vec<i32> = (0..stride * h).map(|i| i as i32).collect();
         let mut buf = orig.clone();
         let mut s = Vec::new();
-        unsafe {
-            fwd_naive_53_cols(SendPtr::new(&mut buf), stride, 2..5, h, &mut s);
-        }
+        with_claim(&mut buf, 2..5, h, stride, |claim| {
+            // SAFETY: the claim covers exactly the filtered columns 2..5 —
+            // in debug builds any write outside them would panic.
+            unsafe { fwd_naive_53_cols(claim, stride, 2..5, h, &mut s) }
+        });
         for y in 0..h {
             for x in (0..2).chain(5..8) {
                 assert_eq!(buf[y * stride + x], orig[y * stride + x], "({x},{y})");

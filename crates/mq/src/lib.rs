@@ -11,6 +11,9 @@
 //! interval register, 28-bit `C` code register, byte stuffing after `0xFF`,
 //! and the optional-trailing-`0xFF` discarding flush.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(unused_must_use)]
+
 mod raw;
 mod table;
 
@@ -31,7 +34,10 @@ impl CtxState {
     /// # Panics
     /// Panics if `index >= 47`.
     pub fn new(index: u8) -> Self {
-        assert!((index as usize) < QE_TABLE.len(), "invalid Qe index {index}");
+        assert!(
+            (index as usize) < QE_TABLE.len(),
+            "invalid Qe index {index}"
+        );
         Self { index, mps: 0 }
     }
 
@@ -415,7 +421,11 @@ mod tests {
             enc.encode(&mut ctx, u8::from(i % 100 == 0));
         }
         let bytes = enc.flush();
-        assert!(bytes.len() < 300, "biased stream should compress, got {}", bytes.len());
+        assert!(
+            bytes.len() < 300,
+            "biased stream should compress, got {}",
+            bytes.len()
+        );
     }
 
     #[test]
@@ -425,11 +435,17 @@ mod tests {
         let mut ctx = CtxState::default();
         let n = 8000;
         for _ in 0..n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             enc.encode(&mut ctx, ((state >> 33) & 1) as u8);
         }
         let bytes = enc.flush();
-        assert!(bytes.len() * 8 > n * 9 / 10, "random stream: {} bytes for {n} bits", bytes.len());
+        assert!(
+            bytes.len() * 8 > n * 9 / 10,
+            "random stream: {} bytes for {n} bits",
+            bytes.len()
+        );
     }
 
     #[test]
@@ -452,7 +468,9 @@ mod tests {
         let mut enc = MqEncoder::new();
         let mut ctxs = [CtxState::default(); 3];
         for _ in 0..20_000 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let c = (state >> 60) as usize % 3;
             enc.encode(&mut ctxs[c], ((state >> 31) & 1) as u8);
         }
