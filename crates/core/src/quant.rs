@@ -36,7 +36,13 @@ pub fn distortion_scale(step: f64, level: u8, band: Band) -> f64 {
 
 /// Quantize an f32 coefficient plane into i32 indices, in place over rows
 /// split across `exec` workers: `q = sign(v) * floor(|v| / step)`.
-pub fn quantize_plane(src: &Plane<f32>, dst: &mut Plane<i32>, region: (usize, usize, usize, usize), step: f64, exec: &Exec) {
+pub fn quantize_plane(
+    src: &Plane<f32>,
+    dst: &mut Plane<i32>,
+    region: (usize, usize, usize, usize),
+    step: f64,
+    exec: &Exec,
+) {
     let (x0, y0, w, h) = region;
     debug_assert!(x0 + w <= src.width() && y0 + h <= src.height());
     let inv = 1.0 / step;
@@ -49,7 +55,10 @@ pub fn quantize_plane(src: &Plane<f32>, dst: &mut Plane<i32>, region: (usize, us
         for dy in rows {
             let y = y0 + dy;
             // SAFETY: rows are disjoint across workers; src is only read.
-            let src_row = unsafe { std::slice::from_raw_parts(src_ptr.0.add(y * src_stride + x0), w) };
+            let src_row =
+                unsafe { std::slice::from_raw_parts(src_ptr.0.add(y * src_stride + x0), w) };
+            // SAFETY: same disjoint row split; dst rows are exclusively
+            // owned by this worker and in bounds (debug-asserted above).
             let dst_row = unsafe { dst_ptr.slice_mut(y * dst_stride + x0, w) };
             for (d, &v) in dst_row.iter_mut().zip(src_row) {
                 let q = (f64::from(v).abs() * inv).floor() as i32;
@@ -61,7 +70,13 @@ pub fn quantize_plane(src: &Plane<f32>, dst: &mut Plane<i32>, region: (usize, us
 
 /// Dequantize i32 indices back to f32 coefficients (mid-bin), in place over
 /// rows split across `exec` workers.
-pub fn dequantize_plane(src: &Plane<i32>, dst: &mut Plane<f32>, region: (usize, usize, usize, usize), step: f64, exec: &Exec) {
+pub fn dequantize_plane(
+    src: &Plane<i32>,
+    dst: &mut Plane<f32>,
+    region: (usize, usize, usize, usize),
+    step: f64,
+    exec: &Exec,
+) {
     let (x0, y0, w, h) = region;
     debug_assert!(x0 + w <= src.width() && y0 + h <= src.height());
     let src_stride = src.stride();
@@ -73,7 +88,10 @@ pub fn dequantize_plane(src: &Plane<i32>, dst: &mut Plane<f32>, region: (usize, 
         for dy in rows {
             let y = y0 + dy;
             // SAFETY: rows are disjoint across workers; src is only read.
-            let src_row = unsafe { std::slice::from_raw_parts(src_ptr.0.add(y * src_stride + x0), w) };
+            let src_row =
+                unsafe { std::slice::from_raw_parts(src_ptr.0.add(y * src_stride + x0), w) };
+            // SAFETY: same disjoint row split; dst rows are exclusively
+            // owned by this worker and in bounds (debug-asserted above).
             let dst_row = unsafe { dst_ptr.slice_mut(y * dst_stride + x0, w) };
             for (d, &q) in dst_row.iter_mut().zip(src_row) {
                 *d = if q == 0 {

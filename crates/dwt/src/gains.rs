@@ -31,10 +31,13 @@ fn cache() -> &'static Mutex<HashMap<(u8, Band), f64>> {
 /// Panics if `level == 0`.
 pub fn l2_gain_97(level: u8, band: Band) -> f64 {
     assert!(level >= 1, "subband level is 1-based");
+    // lint:allow(hot_path_panic) -- lock() only fails if a holder panicked,
+    // and no code panics while holding this cache lock.
     if let Some(&g) = cache().lock().unwrap().get(&(level, band)) {
         return g;
     }
     let g = compute_gain(level, band);
+    // lint:allow(hot_path_panic) -- same poisoning argument as above.
     cache().lock().unwrap().insert((level, band), g);
     g
 }
@@ -50,6 +53,8 @@ fn compute_gain(level: u8, band: Band) -> f64 {
     let sb = bands
         .iter()
         .find(|s| s.band == band && (band == Band::LL || s.level == level))
+        // lint:allow(hot_path_panic) -- `Decomposition::subbands` always
+        // emits every band of every level, so the find cannot fail.
         .expect("requested band exists");
     // Impulse in the middle of the band, away from boundary effects.
     p.set(sb.x0 + sb.w / 2, sb.y0 + sb.h / 2, 1.0);
@@ -79,7 +84,10 @@ mod tests {
         let hl = l2_gain_97(1, Band::HL);
         let lh = l2_gain_97(1, Band::LH);
         let hh = l2_gain_97(1, Band::HH);
-        assert!((hl - lh).abs() < 1e-6, "HL and LH are symmetric: {hl} vs {lh}");
+        assert!(
+            (hl - lh).abs() < 1e-6,
+            "HL and LH are symmetric: {hl} vs {lh}"
+        );
         assert!(
             (hl * hl - ll * hh).abs() / (ll * hh) < 1e-3,
             "separability: HL^2={} vs LL*HH={}",

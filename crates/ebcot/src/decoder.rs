@@ -3,8 +3,8 @@
 use crate::context::{
     initial_states, mr_context, sc_context, zc_context, BandCtx, CTX_RL, CTX_UNI, NUM_CTX,
 };
-use crate::state::{FlagGrid, NEG, NEWSIG, REFINED, SIG, VISITED};
 use crate::encoder::{in_bypass_region, Tier1Options};
+use crate::state::{FlagGrid, NEG, NEWSIG, REFINED, SIG, VISITED};
 use crate::STRIPE_HEIGHT;
 use pj2k_mq::{CtxState, MqDecoder, RawDecoder};
 
@@ -145,6 +145,8 @@ pub fn decode_block_with(
                     break 'outer;
                 }
                 remaining -= 1;
+                // lint:allow(hot_path_panic) -- `remaining` mirrors the
+                // iterator length, so `next()` cannot be exhausted here.
                 let seg: &[u8] = seg_iter.next().unwrap();
                 let mut mq = if bypassed {
                     Source::Raw(RawDecoder::new(seg))
@@ -165,6 +167,8 @@ pub fn decode_block_with(
             break;
         }
         remaining -= 1;
+        // lint:allow(hot_path_panic) -- `remaining` mirrors the iterator
+        // length, so `next()` cannot be exhausted here.
         let mut mq = Source::Mq(MqDecoder::new(seg_iter.next().unwrap()));
         cleanup_pass(&mut dec, &mut mq, plane);
         if opts.reset_contexts {
@@ -328,7 +332,13 @@ mod tests {
     #[test]
     fn wide_magnitudes_roundtrip() {
         let coeffs: Vec<i32> = (0..64)
-            .map(|i| if i % 2 == 0 { 1 << (i % 20) } else { -(1 << (i % 18)) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    1 << (i % 20)
+                } else {
+                    -(1 << (i % 18))
+                }
+            })
             .collect();
         roundtrip_exact(&coeffs, 8, 8, BandCtx::Hl);
     }

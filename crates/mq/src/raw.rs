@@ -46,12 +46,9 @@ impl RawEncoder {
     pub fn flush(mut self) -> Vec<u8> {
         if self.filled > 0 {
             let pad = self.nbits - self.filled;
-            self.out.push(self.acc << pad);
-            if self.nbits == 7 {
-                // this byte is the 7-bit follower; MSB already zero
-                let last = self.out.last_mut().expect("just pushed");
-                *last &= 0x7F;
-            }
+            // A 7-bit follower byte keeps its MSB stuffed to zero.
+            let mask = if self.nbits == 7 { 0x7F } else { 0xFF };
+            self.out.push((self.acc << pad) & mask);
         }
         if self.out.last() == Some(&0xFF) {
             self.out.push(0);

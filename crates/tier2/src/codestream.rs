@@ -58,7 +58,10 @@ impl MarkerWriter {
     /// # Panics
     /// Panics if the payload exceeds the 16-bit length field.
     pub fn segment(&mut self, code: u16, payload: &[u8]) {
-        assert!(payload.len() + 2 <= u16::MAX as usize, "marker payload too long");
+        assert!(
+            payload.len() + 2 <= u16::MAX as usize,
+            "marker payload too long"
+        );
         self.marker(code);
         self.out
             .extend_from_slice(&((payload.len() as u16 + 2).to_be_bytes()));
@@ -109,14 +112,19 @@ impl<'a> MarkerReader<'a> {
         if self.pos + 2 > self.data.len() {
             return Err(ParseError("truncated marker".into()));
         }
-        Ok(u16::from_be_bytes([self.data[self.pos], self.data[self.pos + 1]]))
+        Ok(u16::from_be_bytes([
+            self.data[self.pos],
+            self.data[self.pos + 1],
+        ]))
     }
 
     /// Consume a bare marker, checking it equals `expect`.
     pub fn expect_marker(&mut self, expect: u16) -> Result<(), ParseError> {
         let got = self.peek_marker()?;
         if got != expect {
-            return Err(ParseError(format!("expected marker {expect:#06X}, got {got:#06X}")));
+            return Err(ParseError(format!(
+                "expected marker {expect:#06X}, got {got:#06X}"
+            )));
         }
         self.pos += 2;
         Ok(())
@@ -221,16 +229,22 @@ impl<'a> PayloadReader<'a> {
 
     /// Read a big-endian u16.
     pub fn u16(&mut self) -> Result<u16, ParseError> {
+        // lint:allow(hot_path_panic) -- `take` returned exactly 2 bytes,
+        // so the slice-to-array conversion is infallible.
         Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
     }
 
     /// Read a big-endian u32.
     pub fn u32(&mut self) -> Result<u32, ParseError> {
+        // lint:allow(hot_path_panic) -- `take` returned exactly 4 bytes,
+        // so the slice-to-array conversion is infallible.
         Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     /// Read a big-endian u64.
     pub fn u64(&mut self) -> Result<u64, ParseError> {
+        // lint:allow(hot_path_panic) -- `take` returned exactly 8 bytes,
+        // so the slice-to-array conversion is infallible.
         Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
     }
 

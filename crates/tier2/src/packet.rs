@@ -141,6 +141,9 @@ pub fn encode_packet(
         for x in 0..state.grid_w {
             let b = y * state.grid_w + x;
             let prev = state.included[b];
+            // lint:allow(hot_path_panic) -- layer contributions are
+            // monotone by construction (caller passes cumulative counts),
+            // so a regression is a programming error worth aborting on.
             let new = upto[b].checked_sub(prev).expect("pass count regressed");
             if prev == 0 {
                 // First-inclusion information via the tag tree.
@@ -265,6 +268,8 @@ fn encode_pass_count(w: &mut HeaderBitWriter, n: usize) {
             w.put_bits(0b11111, 5);
             w.put_bits((n - 37) as u32, 7);
         }
+        // lint:allow(hot_path_panic) -- 164 is the spec maximum number of
+        // coding passes; exceeding it is unrepresentable in the header.
         _ => panic!("pass count {n} out of range 1..=164"),
     }
 }
@@ -363,7 +368,12 @@ mod tests {
     #[test]
     fn empty_packet_is_one_byte() {
         let mut enc = PrecinctState::for_encoder(2, 2, &[1, 1, 1, 1], &[0, 0, 0, 0]);
-        let hdr = encode_packet(&mut enc, 0, &[0, 0, 0, 0], &[vec![], vec![], vec![], vec![]]);
+        let hdr = encode_packet(
+            &mut enc,
+            0,
+            &[0, 0, 0, 0],
+            &[vec![], vec![], vec![], vec![]],
+        );
         assert_eq!(hdr.len(), 1);
         let mut dec = PrecinctState::for_decoder(2, 2);
         let (results, consumed) = decode_packet(&mut dec, 0, &hdr);

@@ -43,6 +43,8 @@ impl TagTree {
         // root-first so parents precede children.
         let mut dims = vec![(w, h)];
         while dims.last() != Some(&(1, 1)) {
+            // lint:allow(hot_path_panic) -- `dims` is seeded with one entry
+            // and only ever grows, so `last()` is always `Some`.
             let &(lw, lh) = dims.last().unwrap();
             dims.push((lw.div_ceil(2), lh.div_ceil(2)));
         }
@@ -162,7 +164,13 @@ impl TagTree {
     /// Decode knowledge about leaf `(x, y)` up to `threshold`; returns
     /// `true` when the leaf's value is known to be `< threshold` (and then
     /// [`TagTree::leaf_value`] returns it).
-    pub fn decode(&mut self, x: usize, y: usize, threshold: u32, input: &mut HeaderBitReader) -> bool {
+    pub fn decode(
+        &mut self,
+        x: usize,
+        y: usize,
+        threshold: u32,
+        input: &mut HeaderBitReader,
+    ) -> bool {
         let leaf = self.leaf_index(x, y);
         let mut low = 0;
         for i in self.path_to(leaf) {
@@ -278,7 +286,10 @@ mod tests {
         }
         // Root codes the shared prefix once; leaves add little.
         let bits = writer.bit_len();
-        assert!(bits < 8 * 8 * 4, "tag tree should share prefixes: {bits} bits");
+        assert!(
+            bits < 8 * 8 * 4,
+            "tag tree should share prefixes: {bits} bits"
+        );
     }
 
     #[test]

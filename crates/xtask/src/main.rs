@@ -1,0 +1,110 @@
+//! Workspace automation for pj2k.
+//!
+//! * `cargo run -p xtask -- lint` — project-specific concurrency/safety
+//!   lint over every crate (see [`lint`] for the rules) plus a full
+//!   `unsafe` inventory report. Exits non-zero on any violation.
+//! * `cargo run -p xtask -- ci` — the full verification gate: fmt check,
+//!   clippy `-D warnings`, the custom lint, and the test suite.
+//!
+//! The binary is intentionally dependency-free so it builds anywhere the
+//! Rust toolchain exists, including offline CI runners.
+
+mod ci;
+mod lint;
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let quiet = args.iter().any(|a| a == "--quiet");
+            run_lint(&root, quiet)
+        }
+        Some("ci") => {
+            let opts = ci::CiOptions {
+                skip_fmt: args.iter().any(|a| a == "--skip-fmt"),
+                skip_clippy: args.iter().any(|a| a == "--skip-clippy"),
+                skip_tests: args.iter().any(|a| a == "--skip-tests"),
+            };
+            ExitCode::from(ci::run(&root, &opts) as u8)
+        }
+        Some("help") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint(root: &Path, quiet: bool) -> ExitCode {
+    match lint::lint_workspace(root) {
+        Ok(report) => {
+            if !quiet {
+                print!("{}", report.render_inventory());
+            } else {
+                println!(
+                    "unsafe inventory: {} sites across {} files",
+                    report.unsafe_sites.len(),
+                    report.files_scanned
+                );
+            }
+            if report.violations.is_empty() {
+                println!("lint: clean ({} files scanned)", report.files_scanned);
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("lint: {} violation(s)", report.violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("lint: io error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Locate the workspace root: walk up from the current directory to the
+/// first directory containing a `crates/` subdirectory and a `Cargo.toml`.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "xtask — pj2k workspace automation\n\
+         \n\
+         USAGE:\n\
+         \tcargo run -p xtask -- <command> [flags]\n\
+         \n\
+         COMMANDS:\n\
+         \tlint\trun the project lint rules + unsafe inventory\n\
+         \t\t--quiet\tsummarize the inventory instead of listing sites\n\
+         \tci\tfmt-check + clippy -D warnings + lint + tests\n\
+         \t\t--skip-fmt | --skip-clippy | --skip-tests\n\
+         \thelp\tthis message\n\
+         \n\
+         LINT RULES (suppress with `// lint:allow(<rule>) -- <reason>`):\n\
+         \tunsafe_needs_safety\tunsafe code must carry a SAFETY justification\n\
+         \thot_path_panic\tno unwrap/expect/panic! in mq, ebcot, dwt, tier2\n\
+         \traw_thread_spawn\tno raw thread creation outside parutil"
+    );
+}

@@ -1,0 +1,311 @@
+//! Line-oriented "lexer-lite" for Rust sources.
+//!
+//! The custom lint rules (see [`crate::lint`]) do not need a full AST: they
+//! key off tokens (`unsafe`, `.unwrap()`, `thread::spawn`) and comments
+//! (`// SAFETY:`, `// lint:allow(...)`). What they *do* need is to never
+//! confuse a token inside a string literal or a comment with real code, and
+//! to know which lines live inside `#[cfg(test)]` items. This module
+//! produces, per source line, the code text (string/char literals blanked
+//! out, comments removed), the comment text, and a test-region flag, by
+//! running a small character-level state machine that understands line
+//! comments, nested block comments, string/byte strings, raw strings, char
+//! literals vs. lifetimes, and brace depth.
+
+/// One classified source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code text with string and char literal *contents* blanked out and
+    /// comments removed. Token boundaries are preserved.
+    pub code: String,
+    /// Concatenated comment text of the line (line and block comments),
+    /// without the comment delimiters.
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]` item (test module or
+    /// test function) — such lines are exempt from most rules.
+    pub in_test_item: bool,
+}
+
+/// Lexer carry-over state between lines.
+enum Mode {
+    Code,
+    /// Inside a block comment at the given nesting depth.
+    BlockComment(u32),
+    /// Inside a normal (possibly multi-line) string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` followed by this many `#`.
+    RawStr(u32),
+}
+
+/// Classify a whole source file into lines. Never panics on malformed
+/// input: an unterminated literal simply swallows the rest of the file,
+/// which for lint purposes is a safe failure mode.
+pub fn classify(source: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for (idx, raw) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        let n = bytes.len();
+        while i < n {
+            match mode {
+                Mode::BlockComment(depth) => {
+                    if i + 1 < n && bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        if depth == 1 {
+                            mode = Mode::Code;
+                            comment.push(' ');
+                        } else {
+                            mode = Mode::BlockComment(depth - 1);
+                        }
+                    } else if i + 1 < n && bytes[i] == '/' && bytes[i + 1] == '*' {
+                        i += 2;
+                        mode = Mode::BlockComment(depth + 1);
+                    } else {
+                        comment.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if bytes[i] == '\\' {
+                        i += 2; // skip escaped char (may run past EOL harmlessly)
+                    } else if bytes[i] == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if bytes[i] == '"' {
+                        let closing =
+                            (0..hashes as usize).all(|k| i + 1 + k < n && bytes[i + 1 + k] == '#');
+                        if closing {
+                            code.push('"');
+                            mode = Mode::Code;
+                            i += 1 + hashes as usize;
+                        } else {
+                            i += 1;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    let c = bytes[i];
+                    if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+                        // Line comment (also covers /// and //!).
+                        let text: String = bytes[i + 2..].iter().collect();
+                        comment.push_str(text.trim_start_matches(['/', '!']));
+                        i = n;
+                    } else if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    } else if is_raw_string_start(&bytes, i) {
+                        // r"..."  r#"..."#  br#"..."# etc.
+                        let mut j = i;
+                        while bytes[j] != 'r' {
+                            j += 1; // skip the b prefix
+                        }
+                        j += 1;
+                        let mut hashes = 0u32;
+                        while j < n && bytes[j] == '#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i = j + 1;
+                    } else if c == '\'' {
+                        // Char literal or lifetime.
+                        if i + 2 < n && bytes[i + 1] == '\\' {
+                            // Escaped char literal: skip to closing quote.
+                            let mut j = i + 2;
+                            while j < n && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            code.push_str("' '");
+                            i = (j + 1).min(n);
+                        } else if i + 2 < n && bytes[i + 2] == '\'' {
+                            code.push_str("' '");
+                            i += 3;
+                        } else {
+                            // Lifetime — keep the tick, it separates tokens.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Note: plain string literals may contain literal newlines, so both
+        // Str and RawStr mode legitimately carry over to the next line.
+        out.push(Line {
+            number: idx + 1,
+            code,
+            comment,
+            in_test_item: false,
+        });
+    }
+    mark_test_items(&mut out);
+    out
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // Must not be preceded by an identifier character (e.g. `for r in ..`).
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if j >= n {
+            return false;
+        }
+    }
+    if j >= n || bytes[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < n && bytes[j] == '#' {
+        j += 1;
+    }
+    j < n && bytes[j] == '"'
+}
+
+/// Mark lines inside `#[cfg(test)]` items by tracking brace depth: after a
+/// `#[cfg(test)]` attribute, the next `{` opens a region that ends when its
+/// brace closes.
+fn mark_test_items(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    // Stack entry: depth *before* the region's opening brace.
+    let mut region_entry: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        if region_entry.is_some() {
+            line.in_test_item = true;
+        }
+        if code.contains("#[cfg(test)]") && region_entry.is_none() {
+            pending_attr = true;
+            line.in_test_item = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if pending_attr && region_entry.is_none() {
+                        region_entry = Some(depth);
+                        pending_attr = false;
+                        line.in_test_item = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(entry) = region_entry {
+                        if depth <= entry {
+                            region_entry = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let lines = classify("let x = 1; // unsafe here\n");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("unsafe here"));
+    }
+
+    #[test]
+    fn strips_string_contents() {
+        let lines = classify("let s = \"unsafe panic! thread::spawn\";\n");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(lines[0].code.contains("let s ="));
+    }
+
+    #[test]
+    fn handles_multiline_block_comment() {
+        let src = "a\n/* unsafe\n still comment\n*/ let b = 2;\n";
+        let lines = classify(src);
+        assert_eq!(lines[0].code.trim(), "a");
+        assert!(lines[1].code.is_empty());
+        assert!(lines[1].comment.contains("unsafe"));
+        assert!(lines[2].code.is_empty());
+        assert!(lines[3].code.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn handles_nested_block_comment() {
+        let src = "/* outer /* inner */ still */ code();\n";
+        let lines = classify(src);
+        assert!(lines[0].code.contains("code();"));
+        assert!(!lines[0].code.contains("outer"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"unsafe \" quote\"# ; done();\n";
+        let lines = classify(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("done();"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a u8) { let c = '{'; let d = '\\''; }\n";
+        let lines = classify(src);
+        // The brace inside the char literal must not appear in code.
+        let braces = lines[0].code.matches('{').count();
+        assert_eq!(braces, 1, "code: {}", lines[0].code);
+    }
+
+    #[test]
+    fn multiline_string_swallows_tokens() {
+        let src = "let s = \"line one\nunsafe panic!\nend\"; after();\n";
+        let lines = classify(src);
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[2].code.contains("after();"));
+    }
+
+    #[test]
+    fn cfg_test_module_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lines = classify(src);
+        assert!(!lines[0].in_test_item);
+        assert!(lines[1].in_test_item);
+        assert!(lines[2].in_test_item);
+        assert!(lines[3].in_test_item);
+        assert!(lines[4].in_test_item);
+        assert!(!lines[5].in_test_item);
+    }
+
+    #[test]
+    fn cfg_test_fn_marked() {
+        let src = "#[cfg(test)]\nfn helper() {\n    body();\n}\nfn real() {}\n";
+        let lines = classify(src);
+        assert!(lines[2].in_test_item);
+        assert!(!lines[4].in_test_item);
+    }
+}
