@@ -1,0 +1,342 @@
+//! Tier-1 throughput trajectory harness.
+//!
+//! Emits `BENCH_tier1.json` with three measurements that track this
+//! workspace's Tier-1 performance over time:
+//!
+//! 1. **Scratch-arena microbenchmark**: blocks/sec and heap allocations
+//!    per block for the seed path (a fresh coefficient buffer and a fresh
+//!    [`pj2k_ebcot::encode_block_with`] per block) versus the reused
+//!    [`pj2k_ebcot::BlockCoder`] per-worker arena.
+//! 2. **Whole-encoder schedule sweep**: wall-clock encode time at
+//!    p ∈ {1, 2, 4, 8} workers under the paper's staggered round-robin
+//!    schedule and under dynamic self-scheduling.
+//! 3. **Modeled makespans** from the measured per-block times, so the
+//!    wall-clock numbers can be compared against the scheduling model.
+//!
+//! ```sh
+//! cargo run --release -p pj2k-bench --bin bench_tier1 -- [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the workload for CI: it validates the harness and the
+//! JSON schema, not the performance numbers.
+
+use pj2k_bench::{test_image, time};
+use pj2k_core::{Encoder, EncoderConfig, ParallelMode, RateControl, Schedule};
+use pj2k_ebcot::{encode_block_with, BandCtx, BlockCoder, Tier1Options};
+use pj2k_smpsim::makespan;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Heap-allocation counter wrapped around the system allocator, so the
+/// microbenchmark can report real allocations avoided per block.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System` unchanged; the counter is a
+// relaxed atomic increment with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards to `System` with the caller's layout unchanged.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: forwards to `System`; every pointer we hand out came from it.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by `System` in `alloc`/`realloc`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: forwards to `System`; every pointer we hand out came from it.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` was produced by `System`; layout/new_size contract
+        // is our caller's.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Deterministic synthetic 64x64 code-blocks with subband-like sparsity.
+fn synth_blocks(n: usize) -> Vec<Vec<i32>> {
+    let mut state = 0x5DEECE66Du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    (0..n)
+        .map(|b| {
+            // Sparser, smaller coefficients for "finer" blocks, like a real
+            // resolution pyramid.
+            let keep = 16 + (b % 8) * 8; // percent * 1.28
+            (0..64 * 64)
+                .map(|_| {
+                    let r = next();
+                    if (r >> 32) % 128 < keep as u64 {
+                        (((r >> 40) & 0xFF) as i32) - 128
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn band_of(i: usize) -> BandCtx {
+    match i % 3 {
+        0 => BandCtx::LlLh,
+        1 => BandCtx::Hl,
+        _ => BandCtx::Hh,
+    }
+}
+
+struct MicroResult {
+    secs: f64,
+    blocks_per_sec: f64,
+    allocs_per_block: f64,
+}
+
+fn micro(blocks: &[Vec<i32>], reps: usize, scratch: bool) -> MicroResult {
+    let opts = Tier1Options::default();
+    let n = blocks.len() * reps;
+    // Best of three trials: per-block coding is ~ms-scale, so a single
+    // trial is at the mercy of the host scheduler.
+    const TRIALS: usize = 3;
+    let a0 = allocs();
+    let mut secs = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let (_, t) = time(|| {
+            let mut coder = BlockCoder::new();
+            let mut sink = 0usize;
+            for _ in 0..reps {
+                for (i, coeffs) in blocks.iter().enumerate() {
+                    let blk = if scratch {
+                        coder.coeff_scratch().extend_from_slice(coeffs);
+                        coder.encode_scratch(64, 64, band_of(i), opts)
+                    } else {
+                        // The seed path: a fresh coefficient buffer and a
+                        // fresh single-use encoder per block.
+                        let copy = coeffs.to_vec();
+                        encode_block_with(&copy, 64, 64, band_of(i), opts)
+                    };
+                    sink += blk.data.len();
+                }
+            }
+            sink
+        });
+        secs = secs.min(t);
+    }
+    let spent = (allocs() - a0) as f64;
+    MicroResult {
+        secs,
+        blocks_per_sec: if secs > 0.0 { n as f64 / secs } else { 0.0 },
+        allocs_per_block: spent / (n * TRIALS) as f64,
+    }
+}
+
+fn encoder_cfg(p: usize, schedule: Schedule) -> EncoderConfig {
+    EncoderConfig {
+        rate: RateControl::TargetBpp(vec![1.0]),
+        parallel: if p == 1 {
+            ParallelMode::Sequential
+        } else {
+            ParallelMode::WorkerPool { workers: p }
+        },
+        tier1_schedule: schedule,
+        ..EncoderConfig::default()
+    }
+}
+
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Keys the emitted document must contain; checked after writing so a
+/// refactor cannot silently change the schema consumers parse.
+const REQUIRED_KEYS: &[&str] = &[
+    "\"schema\"",
+    "\"smoke\"",
+    "\"microbench\"",
+    "\"seed_path\"",
+    "\"scratch_path\"",
+    "\"blocks_per_sec\"",
+    "\"allocs_per_block\"",
+    "\"scratch_speedup\"",
+    "\"allocs_avoided_per_block\"",
+    "\"encoder\"",
+    "\"staggered_secs\"",
+    "\"dynamic_secs\"",
+    "\"dynamic_over_staggered\"",
+    "\"modeled_staggered_speedup\"",
+    "\"modeled_dynamic_speedup\"",
+];
+
+fn validate(doc: &str) -> Result<(), String> {
+    for key in REQUIRED_KEYS {
+        if !doc.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    let opens = doc.matches('{').count();
+    let closes = doc.matches('}').count();
+    if opens == 0 || opens != closes {
+        return Err(format!("unbalanced braces: {opens} vs {closes}"));
+    }
+    if doc.matches('[').count() != doc.matches(']').count() {
+        return Err("unbalanced brackets".to_string());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_tier1.json".to_string());
+
+    let (n_blocks, reps, kpx) = if smoke { (8, 2, 64) } else { (96, 10, 1024) };
+
+    // --- microbenchmark: seed path vs scratch arenas ---------------------
+    let blocks = synth_blocks(n_blocks);
+    // Cross-check first: both paths must produce identical streams.
+    let mut coder = BlockCoder::new();
+    for (i, c) in blocks.iter().enumerate() {
+        let a = encode_block_with(c, 64, 64, band_of(i), Tier1Options::default());
+        let b = coder.encode_with(c, 64, 64, band_of(i), Tier1Options::default());
+        assert_eq!(a.data, b.data, "scratch arena changed the bitstream");
+    }
+    // Untimed warm-up of both paths, then measure.
+    let _ = micro(&blocks, 1, false);
+    let _ = micro(&blocks, 1, true);
+    let seed = micro(&blocks, reps, false);
+    let scratch = micro(&blocks, reps, true);
+    let speedup = if scratch.secs > 0.0 {
+        seed.secs / scratch.secs
+    } else {
+        1.0
+    };
+    let avoided = (seed.allocs_per_block - scratch.allocs_per_block).max(0.0);
+    println!(
+        "microbench: {n_blocks} blocks x {reps} reps — seed {:.1} blk/s ({:.1} allocs/blk), \
+         scratch {:.1} blk/s ({:.1} allocs/blk), speedup {speedup:.3}x",
+        seed.blocks_per_sec,
+        seed.allocs_per_block,
+        scratch.blocks_per_sec,
+        scratch.allocs_per_block
+    );
+
+    // --- whole-encoder schedule sweep ------------------------------------
+    let img = test_image(kpx);
+    // One sequential run supplies the per-block costs for the model.
+    let profile_enc = Encoder::new(encoder_cfg(1, Schedule::StaggeredRoundRobin)).expect("config");
+    let (_, profile) = profile_enc.encode(&img);
+    let costs = &profile.block_times;
+    let tier1_total: f64 = costs.iter().sum();
+
+    // Chunk 1: one atomic claim per ~ms-scale block is negligible
+    // traffic, and fine chunks give the best balance.
+    let dynamic = Schedule::Dynamic { chunk: 1 };
+    let mut rows = Vec::new();
+    for p in [1usize, 2, 4, 8] {
+        let stag_enc = Encoder::new(encoder_cfg(p, Schedule::StaggeredRoundRobin)).expect("config");
+        let (_, t_stag) = time(|| stag_enc.encode(&img));
+        let dyn_enc = Encoder::new(encoder_cfg(p, dynamic)).expect("config");
+        let (_, t_dyn) = time(|| dyn_enc.encode(&img));
+        let m_stag = makespan(costs, p, Schedule::StaggeredRoundRobin);
+        let m_dyn = makespan(costs, p, dynamic);
+        let row = (
+            p,
+            t_stag,
+            t_dyn,
+            t_stag / t_dyn,
+            if m_stag > 0.0 {
+                tier1_total / m_stag
+            } else {
+                1.0
+            },
+            if m_dyn > 0.0 {
+                tier1_total / m_dyn
+            } else {
+                1.0
+            },
+        );
+        println!(
+            "encoder p={}: staggered {:.1} ms, dynamic {:.1} ms (x{:.3}); modeled tier-1 \
+             speedup {:.2} vs {:.2}",
+            row.0,
+            row.1 * 1e3,
+            row.2 * 1e3,
+            row.3,
+            row.4,
+            row.5
+        );
+        rows.push(row);
+    }
+
+    // --- hand-rolled JSON -------------------------------------------------
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    doc.push_str("  \"schema\": \"pj2k.bench_tier1.v1\",\n");
+    doc.push_str(&format!("  \"smoke\": {smoke},\n"));
+    doc.push_str(&format!("  \"kpixels\": {kpx},\n"));
+    doc.push_str("  \"microbench\": {\n");
+    doc.push_str(&format!("    \"blocks\": {n_blocks},\n"));
+    doc.push_str(&format!("    \"reps\": {reps},\n"));
+    doc.push_str("    \"block_size\": [64, 64],\n");
+    for (name, m) in [("seed_path", &seed), ("scratch_path", &scratch)] {
+        doc.push_str(&format!(
+            "    \"{name}\": {{ \"secs\": {}, \"blocks_per_sec\": {}, \"allocs_per_block\": {} }},\n",
+            jf(m.secs),
+            jf(m.blocks_per_sec),
+            jf(m.allocs_per_block)
+        ));
+    }
+    doc.push_str(&format!("    \"scratch_speedup\": {},\n", jf(speedup)));
+    doc.push_str(&format!(
+        "    \"allocs_avoided_per_block\": {}\n",
+        jf(avoided)
+    ));
+    doc.push_str("  },\n");
+    doc.push_str("  \"dynamic_chunk\": 1,\n  \"encoder\": [\n");
+    for (i, (p, t_stag, t_dyn, rel, ms_stag, ms_dyn)) in rows.iter().enumerate() {
+        doc.push_str(&format!(
+            "    {{ \"p\": {p}, \"staggered_secs\": {}, \"dynamic_secs\": {}, \
+             \"dynamic_over_staggered\": {}, \"modeled_staggered_speedup\": {}, \
+             \"modeled_dynamic_speedup\": {} }}{}\n",
+            jf(*t_stag),
+            jf(*t_dyn),
+            jf(*rel),
+            jf(*ms_stag),
+            jf(*ms_dyn),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &doc).expect("write benchmark JSON");
+    let written = std::fs::read_to_string(&out_path).expect("re-read benchmark JSON");
+    if let Err(e) = validate(&written) {
+        eprintln!("BENCH_tier1 schema validation failed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} ({} bytes, schema OK)", written.len());
+}

@@ -16,14 +16,25 @@ pub fn band_ctx(band: Band) -> BandCtx {
 /// resolution `r >= 1` holds `HL/LH/HH` of decomposition level
 /// `levels - r + 1`. Index by `resolutions(deco)[r]`.
 pub fn resolutions(deco: &Decomposition) -> Vec<Vec<Subband>> {
+    indexed_resolutions(deco)
+        .into_iter()
+        .map(|bands| bands.into_iter().map(|(_, sb)| sb).collect())
+        .collect()
+}
+
+/// [`resolutions`], with each subband paired with its index in
+/// `Decomposition::subbands()` order — the index the per-band Kmax tables
+/// of the codestream are keyed by. Carrying it from here saves every
+/// consumer a fallible reverse lookup.
+pub fn indexed_resolutions(deco: &Decomposition) -> Vec<Vec<(usize, Subband)>> {
     let bands = deco.subbands();
-    let mut out: Vec<Vec<Subband>> = vec![Vec::new(); deco.levels as usize + 1];
-    for sb in bands {
+    let mut out: Vec<Vec<(usize, Subband)>> = vec![Vec::new(); deco.levels as usize + 1];
+    for (i, sb) in bands.into_iter().enumerate() {
         let r = match sb.band {
             Band::LL => 0,
             _ => (deco.levels - sb.level) as usize + 1,
         };
-        out[r].push(sb);
+        out[r].push((i, sb));
     }
     out
 }
@@ -85,6 +96,15 @@ mod tests {
             assert_eq!(bands.len(), 3, "resolution {r}");
             // resolution 1 = deepest detail level (5), resolution 5 = level 1
             assert!(bands.iter().all(|b| b.level == (6 - r) as u8));
+        }
+    }
+
+    #[test]
+    fn indexed_resolutions_carry_subband_order() {
+        let deco = Decomposition::new(200, 120, 4);
+        let flat = deco.subbands();
+        for (bidx, sb) in indexed_resolutions(&deco).into_iter().flatten() {
+            assert_eq!(flat[bidx], sb, "index {bidx} disagrees with subbands()");
         }
     }
 

@@ -4,6 +4,7 @@
 
 use pj2k_dwt::Wavelet;
 pub use pj2k_ebcot::Tier1Options;
+pub use pj2k_parutil::Schedule;
 
 /// How (and how wide) the codec runs in parallel.
 ///
@@ -140,6 +141,12 @@ pub struct EncoderConfig {
     /// Tier-1 coding-style options (stripe-causal contexts, per-pass
     /// context reset). Signalled in the codestream header.
     pub tier1: Tier1Options,
+    /// How [`ParallelMode::WorkerPool`] hands code-blocks to its workers:
+    /// the paper's staggered round-robin by default, or
+    /// [`Schedule::Dynamic`] self-scheduling where idle workers claim the
+    /// next unprocessed blocks at runtime. The produced codestream is
+    /// identical under every schedule; only the load balance changes.
+    pub tier1_schedule: Schedule,
     /// Optional region of interest, prioritized with MAXSHIFT scaling.
     pub roi: Option<Roi>,
 }
@@ -158,6 +165,7 @@ impl Default for EncoderConfig {
             parallel: ParallelMode::Sequential,
             filter: FilterStrategy::Naive,
             tier1: Tier1Options::default(),
+            tier1_schedule: Schedule::StaggeredRoundRobin,
             roi: None,
         }
     }
@@ -219,10 +227,10 @@ impl EncoderConfig {
                 return Err(ConfigError("ROI must have positive area".into()));
             }
         }
-        if let Some(roi) = self.roi {
-            if roi.w == 0 || roi.h == 0 {
-                return Err(ConfigError("ROI must have positive area".into()));
-            }
+        if let Schedule::Dynamic { chunk: 0 } = self.tier1_schedule {
+            return Err(ConfigError(
+                "dynamic tier-1 schedule needs a positive chunk size".into(),
+            ));
         }
         match &self.rate {
             RateControl::Lossless => {
@@ -315,6 +323,20 @@ mod tests {
             ..Default::default()
         };
         assert!(cfg2.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_chunk_dynamic_schedule() {
+        let cfg = EncoderConfig {
+            tier1_schedule: Schedule::Dynamic { chunk: 0 },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let ok = EncoderConfig {
+            tier1_schedule: Schedule::Dynamic { chunk: 4 },
+            ..Default::default()
+        };
+        ok.validate().unwrap();
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The decoding pipeline (mirror of [`crate::encode`]).
 
-use crate::blocks::{band_ctx, blocks_of, grid_dims, resolutions};
+use crate::blocks::{band_ctx, blocks_of, grid_dims, indexed_resolutions};
 use crate::config::ParallelMode;
 use crate::quant::{band_step, dequantize_plane};
 use crate::report::stage;
@@ -233,7 +233,7 @@ impl Decoder {
         let exec = self.parallel.exec();
         let reversible = hdr.wavelet == Wavelet::Reversible53;
         let deco = Decomposition::new(w, h, hdr.levels);
-        let res = resolutions(&deco);
+        let res = indexed_resolutions(&deco);
         let band_list = deco.subbands();
         let nbands = band_list.len();
 
@@ -265,7 +265,9 @@ impl Decoder {
         struct Prec {
             comp: usize,
             band: pj2k_dwt::Band,
-            level: u8,
+            /// Index of the subband in `Decomposition::subbands()` order
+            /// (the Kmax-table key).
+            band_idx: usize,
             blocks: Vec<crate::blocks::BlockGeom>,
             state: PrecinctState,
             /// Per block: segments gathered across layers.
@@ -275,14 +277,14 @@ impl Decoder {
         let mut precincts: Vec<Prec> = Vec::new();
         for comp in 0..hdr.ncomp {
             for bands in &res {
-                for sb in bands {
+                for (band_idx, sb) in bands {
                     let (gw, gh) = grid_dims(sb, hdr.code_block);
                     let blocks = blocks_of(sb, hdr.code_block);
                     let n = blocks.len();
                     precincts.push(Prec {
                         comp,
                         band: sb.band,
-                        level: sb.level,
+                        band_idx: *band_idx,
                         blocks,
                         state: PrecinctState::for_decoder(gw.max(1), gh.max(1)),
                         segs: vec![Vec::new(); n],
@@ -340,8 +342,7 @@ impl Decoder {
         }
         let mut jobs: Vec<DecJob> = Vec::new();
         for prec in &precincts {
-            let bidx = crate::encode::band_index(&band_list, prec.band, prec.level);
-            let ceiling = kmax[prec.comp * nbands + bidx];
+            let ceiling = kmax[prec.comp * nbands + prec.band_idx];
             for (b, geom) in prec.blocks.iter().enumerate() {
                 if prec.segs[b].is_empty() {
                     continue;

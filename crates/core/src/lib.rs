@@ -47,7 +47,9 @@ pub mod quant;
 pub mod report;
 pub mod roi;
 
-pub use config::{ConfigError, EncoderConfig, FilterStrategy, ParallelMode, RateControl, Roi};
+pub use config::{
+    ConfigError, EncoderConfig, FilterStrategy, ParallelMode, RateControl, Roi, Schedule,
+};
 pub use decode::{CodecError, DecodeReport, Decoder};
 pub use encode::{EncodeReport, Encoder};
 pub use pj2k_dwt::Wavelet;

@@ -139,7 +139,7 @@ impl EncodedBlock {
 /// Internal encoder state shared by the three passes.
 struct BlockEncoder<'a> {
     mag: &'a [u32],
-    grid: FlagGrid,
+    grid: &'a mut FlagGrid,
     band: BandCtx,
     ctx: [CtxState; NUM_CTX],
     sink: Sink,
@@ -259,56 +259,139 @@ pub fn encode_block_with(
     band: BandCtx,
     opts: Tier1Options,
 ) -> EncodedBlock {
-    assert!(w > 0 && h > 0, "empty code-block");
-    assert_eq!(coeffs.len(), w * h, "coefficient count mismatch");
-    let mut mag = vec![0u32; w * h];
-    let mut grid = FlagGrid::new(w, h);
-    let mut max_mag = 0u32;
-    let mut initial_distortion = 0.0f64;
-    for (k, &c) in coeffs.iter().enumerate() {
-        let m = c.unsigned_abs();
-        mag[k] = m;
-        max_mag = max_mag.max(m);
-        initial_distortion += f64::from(m) * f64::from(m);
-        if c < 0 {
-            let (x, y) = (k % w, k / w);
-            grid.set(grid.idx(x, y), NEG);
-        }
+    BlockCoder::new().encode_with(coeffs, w, h, band, opts)
+}
+
+/// Reusable Tier-1 block-coding scratch arena.
+///
+/// One `BlockCoder` owns every buffer the block-coding loop needs — the
+/// magnitude plane, the padded flag grid, the pass table, the concatenated
+/// segment bytes, a coefficient staging buffer, and the MQ/raw byte buffer
+/// that is recycled from each terminated pass into the next. Coding a block
+/// through a warm coder therefore costs only the two exact-size
+/// allocations of the returned [`EncodedBlock`] instead of the roughly
+/// `4 + passes` buffer allocations (plus their growth reallocations) of a
+/// cold [`encode_block_with`] call.
+///
+/// Workers in a parallel Tier-1 stage keep one coder each and feed it
+/// every block they claim; the produced bitstream is bit-identical to the
+/// single-use path.
+pub struct BlockCoder {
+    mag: Vec<u32>,
+    grid: FlagGrid,
+    coeffs: Vec<i32>,
+    passes: Vec<PassInfo>,
+    data: Vec<u8>,
+    seg_buf: Vec<u8>,
+}
+
+impl Default for BlockCoder {
+    fn default() -> Self {
+        Self::new()
     }
-    let msb_planes = (32 - max_mag.leading_zeros()) as u8;
-    assert!(msb_planes <= MAX_PLANES, "coefficient magnitude too large");
-    if msb_planes == 0 {
-        return EncodedBlock {
-            width: w,
-            height: h,
-            msb_planes: 0,
+}
+
+impl BlockCoder {
+    /// Fresh coder with empty scratch buffers.
+    pub fn new() -> Self {
+        Self {
+            mag: Vec::new(),
+            grid: FlagGrid::new(0, 0),
+            coeffs: Vec::new(),
             passes: Vec::new(),
             data: Vec::new(),
-            initial_distortion,
-        };
+            seg_buf: Vec::new(),
+        }
     }
 
-    let mut enc = BlockEncoder {
-        mag: &mag,
-        grid,
-        band,
-        ctx: initial_states(),
-        sink: Sink::Mq(MqEncoder::new()),
-        opts,
-    };
-    let mut passes = Vec::new();
-    let mut data = Vec::new();
+    /// Cleared coefficient staging buffer, for callers that assemble the
+    /// block's coefficients themselves (e.g. strided extraction from a
+    /// subband plane) before handing them to [`BlockCoder::encode_scratch`].
+    pub fn coeff_scratch(&mut self) -> &mut Vec<i32> {
+        self.coeffs.clear();
+        &mut self.coeffs
+    }
 
-    let mut emit =
-        |enc: &mut BlockEncoder, kind, plane, dd: f64, data: &mut Vec<u8>, next_raw: bool| {
-            let sink = std::mem::replace(
-                &mut enc.sink,
-                if next_raw {
-                    Sink::Raw(RawEncoder::new())
-                } else {
-                    Sink::Mq(MqEncoder::new())
-                },
-            );
+    /// Encode the block currently staged in [`BlockCoder::coeff_scratch`].
+    ///
+    /// # Panics
+    /// As [`BlockCoder::encode_with`], with the staged buffer as `coeffs`.
+    pub fn encode_scratch(
+        &mut self,
+        w: usize,
+        h: usize,
+        band: BandCtx,
+        opts: Tier1Options,
+    ) -> EncodedBlock {
+        let coeffs = std::mem::take(&mut self.coeffs);
+        let blk = self.encode_with(&coeffs, w, h, band, opts);
+        self.coeffs = coeffs;
+        blk
+    }
+
+    /// Encode one code-block of signed quantized coefficients (row-major,
+    /// `w * h` entries) from subband class `band` under the given coding
+    /// style, reusing this coder's scratch buffers.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != w * h`, the block is empty, or a
+    /// magnitude needs more than [`MAX_PLANES`] bit-planes.
+    pub fn encode_with(
+        &mut self,
+        coeffs: &[i32],
+        w: usize,
+        h: usize,
+        band: BandCtx,
+        opts: Tier1Options,
+    ) -> EncodedBlock {
+        assert!(w > 0 && h > 0, "empty code-block");
+        assert_eq!(coeffs.len(), w * h, "coefficient count mismatch");
+        self.mag.clear();
+        self.mag.resize(w * h, 0);
+        self.grid.reset(w, h);
+        let mut max_mag = 0u32;
+        let mut initial_distortion = 0.0f64;
+        for (k, &c) in coeffs.iter().enumerate() {
+            let m = c.unsigned_abs();
+            self.mag[k] = m;
+            max_mag = max_mag.max(m);
+            initial_distortion += f64::from(m) * f64::from(m);
+            if c < 0 {
+                let (x, y) = (k % w, k / w);
+                self.grid.set(self.grid.idx(x, y), NEG);
+            }
+        }
+        let msb_planes = (32 - max_mag.leading_zeros()) as u8;
+        assert!(msb_planes <= MAX_PLANES, "coefficient magnitude too large");
+        if msb_planes == 0 {
+            return EncodedBlock {
+                width: w,
+                height: h,
+                msb_planes: 0,
+                passes: Vec::new(),
+                data: Vec::new(),
+                initial_distortion,
+            };
+        }
+
+        self.passes.clear();
+        self.data.clear();
+        let passes = &mut self.passes;
+        let data = &mut self.data;
+        let mut enc = BlockEncoder {
+            mag: &self.mag,
+            grid: &mut self.grid,
+            band,
+            ctx: initial_states(),
+            sink: Sink::Mq(MqEncoder::from_recycled(std::mem::take(&mut self.seg_buf))),
+            opts,
+        };
+
+        let mut emit = |enc: &mut BlockEncoder, kind, plane, dd: f64, next_raw: bool| {
+            // Park an allocation-free placeholder in the encoder, flush the
+            // finished pass, then rebuild the next sink over the flushed
+            // segment's storage.
+            let sink = std::mem::replace(&mut enc.sink, Sink::Raw(RawEncoder::new()));
             if enc.opts.reset_contexts {
                 enc.ctx = initial_states();
             }
@@ -324,34 +407,45 @@ pub fn encode_block_with(
             } else {
                 data.extend_from_slice(&seg);
             }
+            enc.sink = if next_raw {
+                Sink::Raw(RawEncoder::from_recycled(seg))
+            } else {
+                Sink::Mq(MqEncoder::from_recycled(seg))
+            };
         };
 
-    for plane in (0..msb_planes).rev() {
-        enc.grid.clear_plane_flags();
-        let first_plane = plane + 1 == msb_planes;
-        let bypassed = opts.bypass && in_bypass_region(plane, msb_planes);
-        if !first_plane {
-            // SPP of this plane: raw when bypassed (the previous emit set
-            // the sink accordingly).
-            let dd = sig_prop_pass(&mut enc, plane);
-            emit(&mut enc, PassKind::SigProp, plane, dd, &mut data, bypassed);
-            let dd = mag_ref_pass(&mut enc, plane);
-            emit(&mut enc, PassKind::MagRef, plane, dd, &mut data, false);
+        for plane in (0..msb_planes).rev() {
+            enc.grid.clear_plane_flags();
+            let first_plane = plane + 1 == msb_planes;
+            let bypassed = opts.bypass && in_bypass_region(plane, msb_planes);
+            if !first_plane {
+                // SPP of this plane: raw when bypassed (the previous emit
+                // set the sink accordingly).
+                let dd = sig_prop_pass(&mut enc, plane);
+                emit(&mut enc, PassKind::SigProp, plane, dd, bypassed);
+                let dd = mag_ref_pass(&mut enc, plane);
+                emit(&mut enc, PassKind::MagRef, plane, dd, false);
+            }
+            let dd = cleanup_pass(&mut enc, plane);
+            // Next pass is the SPP of the plane below: raw iff that plane
+            // is bypassed.
+            let next_raw = opts.bypass && plane > 0 && in_bypass_region(plane - 1, msb_planes);
+            emit(&mut enc, PassKind::Cleanup, plane, dd, next_raw);
         }
-        let dd = cleanup_pass(&mut enc, plane);
-        // Next pass is the SPP of the plane below: raw iff that plane is
-        // bypassed.
-        let next_raw = opts.bypass && plane > 0 && in_bypass_region(plane - 1, msb_planes);
-        emit(&mut enc, PassKind::Cleanup, plane, dd, &mut data, next_raw);
-    }
 
-    EncodedBlock {
-        width: w,
-        height: h,
-        msb_planes,
-        passes,
-        data,
-        initial_distortion,
+        // The last emit armed a sink that never coded anything; reclaim its
+        // byte buffer for the next block.
+        let sink = enc.sink;
+        self.seg_buf = sink.flush();
+
+        EncodedBlock {
+            width: w,
+            height: h,
+            msb_planes,
+            passes: self.passes.clone(),
+            data: self.data.clone(),
+            initial_distortion,
+        }
     }
 }
 
@@ -524,6 +618,69 @@ mod tests {
         assert_eq!(blk.msb_planes, 4);
         assert_eq!(blk.passes.len(), 10);
         assert!(blk.initial_distortion == 81.0);
+    }
+
+    /// One coder reused across blocks of different sizes, bands, and
+    /// coding styles must reproduce the single-use encoder bit for bit —
+    /// the scratch arenas are an optimization, never a semantic change.
+    #[test]
+    fn reused_coder_matches_fresh_encoder() {
+        let blocks: Vec<(Vec<i32>, usize, usize, BandCtx)> = vec![
+            (
+                (0..64).map(|i| ((i * 29) % 41) - 20).collect(),
+                8,
+                8,
+                BandCtx::LlLh,
+            ),
+            (vec![0; 12], 4, 3, BandCtx::Hh), // all-zero block between real ones
+            (
+                (0..256).map(|i| ((i * 7919) % 513) - 256).collect(),
+                16,
+                16,
+                BandCtx::Hl,
+            ),
+            (vec![-9], 1, 1, BandCtx::LlLh),
+            (
+                (0..60)
+                    .map(|i| if i % 5 == 0 { 1000 - i } else { 0 })
+                    .collect(),
+                12,
+                5,
+                BandCtx::Hh,
+            ),
+        ];
+        let styles = [
+            Tier1Options::default(),
+            Tier1Options {
+                bypass: true,
+                ..Default::default()
+            },
+            Tier1Options {
+                stripe_causal: true,
+                reset_contexts: true,
+                bypass: true,
+            },
+        ];
+        let mut coder = BlockCoder::new();
+        for opts in styles {
+            for (coeffs, w, h, band) in &blocks {
+                let fresh = encode_block_with(coeffs, *w, *h, *band, opts);
+                let reused = coder.encode_with(coeffs, *w, *h, *band, opts);
+                assert_eq!(reused.data, fresh.data, "{opts:?} {w}x{h}");
+                assert_eq!(reused.msb_planes, fresh.msb_planes);
+                assert_eq!(reused.passes.len(), fresh.passes.len());
+                for (a, b) in reused.passes.iter().zip(&fresh.passes) {
+                    assert_eq!(a.kind, b.kind);
+                    assert_eq!(a.plane, b.plane);
+                    assert_eq!(a.len, b.len);
+                    assert!((a.delta_distortion - b.delta_distortion).abs() < 1e-9);
+                }
+                // The staged-coefficients entry point is the same encoder.
+                coder.coeff_scratch().extend_from_slice(coeffs);
+                let staged = coder.encode_scratch(*w, *h, *band, opts);
+                assert_eq!(staged.data, fresh.data);
+            }
+        }
     }
 
     #[test]

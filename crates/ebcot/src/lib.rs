@@ -23,7 +23,7 @@ pub(crate) mod state;
 pub use context::BandCtx;
 pub use decoder::{decode_block, decode_block_with};
 pub use encoder::{
-    encode_block, encode_block_with, EncodedBlock, PassInfo, PassKind, Tier1Options,
+    encode_block, encode_block_with, BlockCoder, EncodedBlock, PassInfo, PassKind, Tier1Options,
 };
 
 /// Code-block scan geometry: stripes of 4 rows, columns left-to-right,

@@ -18,12 +18,24 @@ pub(crate) struct FlagGrid {
 
 impl FlagGrid {
     pub fn new(w: usize, h: usize) -> Self {
-        Self {
-            w,
-            h,
-            stride: w + 2,
-            flags: vec![0; (w + 2) * (h + 2)],
-        }
+        let mut g = Self {
+            w: 0,
+            h: 0,
+            stride: 0,
+            flags: Vec::new(),
+        };
+        g.reset(w, h);
+        g
+    }
+
+    /// Re-dimension the grid for a new block and zero every flag, keeping
+    /// the previously allocated storage when it is large enough.
+    pub fn reset(&mut self, w: usize, h: usize) {
+        self.w = w;
+        self.h = h;
+        self.stride = w + 2;
+        self.flags.clear();
+        self.flags.resize((w + 2) * (h + 2), 0);
     }
 
     /// Padded index of coefficient `(x, y)`.

@@ -86,11 +86,22 @@ impl Default for MqEncoder {
 impl MqEncoder {
     /// Fresh encoder (INITENC).
     pub fn new() -> Self {
+        Self::from_recycled(Vec::with_capacity(1))
+    }
+
+    /// Fresh encoder (INITENC) writing into `buf`, whose contents are
+    /// discarded but whose capacity is kept. Coding loops that terminate
+    /// the coder once per pass (Tier-1 codes thousands of passes per image)
+    /// hand the [`MqEncoder::flush`]ed segment back here instead of paying
+    /// a heap allocation per pass.
+    pub fn from_recycled(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        buf.push(0);
         Self {
             c: 0,
             a: 0x8000,
             ct: 12, // sentinel byte is 0x00, not 0xFF
-            buf: vec![0],
+            buf,
             bp: 0,
         }
     }

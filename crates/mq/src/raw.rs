@@ -18,8 +18,15 @@ pub struct RawEncoder {
 impl RawEncoder {
     /// Fresh raw segment.
     pub fn new() -> Self {
+        Self::from_recycled(Vec::new())
+    }
+
+    /// Fresh raw segment writing into `out`, whose contents are discarded
+    /// but whose capacity is kept (see [`crate::MqEncoder::from_recycled`]).
+    pub fn from_recycled(mut out: Vec<u8>) -> Self {
+        out.clear();
         Self {
-            out: Vec::new(),
+            out,
             acc: 0,
             filled: 0,
             nbits: 8,

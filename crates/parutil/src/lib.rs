@@ -30,6 +30,6 @@ pub mod timing;
 
 pub use disjoint::{DisjointClaim, DisjointWriter};
 pub use exec::{Backend, Exec, SendPtr};
-pub use pool::{pool_map, pool_run, WorkerPool};
+pub use pool::{pool_map, pool_map_with_state, pool_run, WorkerPool};
 pub use schedule::{assign, chunk_ranges, Schedule};
 pub use timing::{StageClock, StageTimes};

@@ -10,6 +10,7 @@
 use crate::disjoint::DisjointWriter;
 use crate::schedule::{assign, Schedule};
 use crossbeam_channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
@@ -23,35 +24,102 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    pool_map_with_state(n, p, schedule, |_| (), |_state: &mut (), i| f(i))
+}
+
+/// Like [`pool_map`], but each worker carries a mutable per-thread state
+/// value: worker `w` starts with `init(w)` and every item it processes runs
+/// as `f(&mut state, i)`. The state is the natural home for reusable
+/// scratch buffers (Tier-1 coding arenas) that would otherwise be
+/// reallocated per item.
+///
+/// With `p == 1` (or fewer than two items) everything runs inline on one
+/// state, so sequential baselines carry neither threading nor extra-state
+/// overhead. Results are collected in item order regardless of schedule.
+///
+/// For static schedules each worker claims exactly the indices [`assign`]
+/// hands it; for [`Schedule::Dynamic`] workers claim consecutive chunks
+/// from a shared atomic cursor as they go idle. Either way every claimed
+/// region is routed through [`DisjointWriter`], so the debug-build claim
+/// table validates that the realized partition is disjoint and covering.
+pub fn pool_map_with_state<S, R, I, F>(
+    n: usize,
+    p: usize,
+    schedule: Schedule,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     assert!(p > 0, "worker count must be positive");
     if p == 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init(0);
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
-    let parts = assign(n, p, schedule);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     // Each worker claims its slot indices through the checked disjoint-
     // access layer: a schedule bug that assigned one index to two workers
     // panics deterministically in debug builds instead of racing.
     let writer = DisjointWriter::new(&mut slots);
-    thread::scope(|scope| {
-        for part in &parts {
-            let f = &f;
-            let writer = &writer;
-            scope.spawn(move || {
-                let claim = writer.claim_indices(part);
-                for &i in part {
-                    // SAFETY: `assign` partitions 0..n, so no two workers
-                    // ever receive the same index (checked by the claim in
-                    // debug builds), and `slots` outlives the scope. Every
-                    // slot starts as an initialized `None`, so the plain
-                    // store only drops a `None`.
-                    unsafe { claim.write(i, Some(f(i))) };
+    match schedule {
+        Schedule::Dynamic { chunk } => {
+            assert!(chunk > 0, "dynamic chunk size must be positive");
+            let next = AtomicUsize::new(0);
+            thread::scope(|scope| {
+                for w in 0..p {
+                    let (f, init) = (&f, &init);
+                    let (writer, next) = (&writer, &next);
+                    scope.spawn(move || {
+                        let mut state = init(w);
+                        loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + chunk).min(n);
+                            let claim = writer.claim_range(start..end);
+                            for i in start..end {
+                                // SAFETY: the atomic cursor hands each chunk
+                                // to exactly one worker (checked by the claim
+                                // in debug builds), and `slots` outlives the
+                                // scope. Every slot starts as an initialized
+                                // `None`, so the plain store only drops a
+                                // `None`.
+                                unsafe { claim.write(i, Some(f(&mut state, i))) };
+                            }
+                        }
+                    });
                 }
             });
         }
-    });
-    // `assign` must also be a *cover* of 0..n — every slot written.
+        _ => {
+            let parts = assign(n, p, schedule);
+            thread::scope(|scope| {
+                for (w, part) in parts.iter().enumerate() {
+                    let (f, init) = (&f, &init);
+                    let writer = &writer;
+                    scope.spawn(move || {
+                        let mut state = init(w);
+                        let claim = writer.claim_indices(part);
+                        for &i in part {
+                            // SAFETY: `assign` partitions 0..n, so no two
+                            // workers ever receive the same index (checked by
+                            // the claim in debug builds), and `slots` outlives
+                            // the scope. Every slot starts as an initialized
+                            // `None`, so the plain store only drops a `None`.
+                            unsafe { claim.write(i, Some(f(&mut state, i))) };
+                        }
+                    });
+                }
+            });
+        }
+    }
+    // The realized schedule must also be a *cover* of 0..n — every slot
+    // written.
     writer.debug_assert_fully_claimed();
     drop(writer);
     slots
@@ -70,6 +138,25 @@ where
     assert!(p > 0, "worker count must be positive");
     if p == 1 || n <= 1 {
         (0..n).for_each(f);
+        return;
+    }
+    if let Schedule::Dynamic { chunk } = schedule {
+        assert!(chunk > 0, "dynamic chunk size must be positive");
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..p {
+                let (f, next) = (&f, &next);
+                scope.spawn(move || loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        f(i);
+                    }
+                });
+            }
+        });
         return;
     }
     let parts = assign(n, p, schedule);
@@ -143,11 +230,20 @@ impl WorkerPool {
 
     /// Submit `n` jobs created by `make(i)` distributed per `schedule`, and
     /// block until all of them have completed.
+    ///
+    /// With a static schedule each job is bound to its worker at submission
+    /// time; with [`Schedule::Dynamic`] the jobs are materialized up front
+    /// and the workers claim consecutive chunks of the job list through a
+    /// shared atomic cursor as they go idle.
     pub fn run_batch<F, G>(&self, n: usize, schedule: Schedule, make: G)
     where
         F: FnOnce() + Send + 'static,
         G: Fn(usize) -> F,
     {
+        if let Schedule::Dynamic { chunk } = schedule {
+            self.run_batch_dynamic(n, chunk, make);
+            return;
+        }
         {
             let (lock, _) = &*self.outstanding;
             let mut cnt = lock.lock().expect("pool counter poisoned");
@@ -161,6 +257,56 @@ impl WorkerPool {
                     .send(Box::new(job))
                     .expect("worker thread terminated early");
             }
+        }
+        let (lock, cvar) = &*self.outstanding;
+        let mut cnt = lock.lock().expect("pool counter poisoned");
+        while *cnt != 0 {
+            cnt = cvar.wait(cnt).expect("pool counter poisoned");
+        }
+    }
+
+    /// Dynamic-schedule variant of [`WorkerPool::run_batch`]: one claiming
+    /// driver per worker, all counted by the shared outstanding counter.
+    fn run_batch_dynamic<F, G>(&self, n: usize, chunk: usize, make: G)
+    where
+        F: FnOnce() + Send + 'static,
+        G: Fn(usize) -> F,
+    {
+        assert!(chunk > 0, "dynamic chunk size must be positive");
+        if n == 0 {
+            return;
+        }
+        let p = self.workers();
+        // `make` need not be Send, so every job is created here on the
+        // submitting thread; workers only claim and run them.
+        let jobs: Vec<Mutex<Option<F>>> = (0..n).map(|i| Mutex::new(Some(make(i)))).collect();
+        let shared = Arc::new((jobs, AtomicUsize::new(0)));
+        {
+            let (lock, _) = &*self.outstanding;
+            let mut cnt = lock.lock().expect("pool counter poisoned");
+            *cnt += p;
+        }
+        for sender in &self.senders {
+            let shared = Arc::clone(&shared);
+            let driver: Job = Box::new(move || {
+                let (jobs, next) = &*shared;
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= jobs.len() {
+                        break;
+                    }
+                    for slot in &jobs[start..(start + chunk).min(jobs.len())] {
+                        // The atomic cursor hands each chunk to exactly one
+                        // driver, so the take always finds the job; the
+                        // mutex only exists to make the slot Sync.
+                        let job = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                        if let Some(job) = job {
+                            job();
+                        }
+                    }
+                }
+            });
+            sender.send(driver).expect("worker thread terminated early");
         }
         let (lock, cvar) = &*self.outstanding;
         let mut cnt = lock.lock().expect("pool counter poisoned");
@@ -184,19 +330,81 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+    const ALL_SCHEDULES: [Schedule; 6] = [
+        Schedule::StaticBlock,
+        Schedule::RoundRobin,
+        Schedule::StaggeredRoundRobin,
+        Schedule::Dynamic { chunk: 1 },
+        Schedule::Dynamic { chunk: 3 },
+        Schedule::Dynamic { chunk: 64 },
+    ];
+
     #[test]
     fn pool_map_matches_sequential() {
         for p in [1, 2, 4, 7] {
-            for schedule in [
-                Schedule::StaticBlock,
-                Schedule::RoundRobin,
-                Schedule::StaggeredRoundRobin,
-            ] {
+            for schedule in ALL_SCHEDULES {
                 let got = pool_map(100, p, schedule, |i| i * i);
                 let want: Vec<usize> = (0..100).map(|i| i * i).collect();
                 assert_eq!(got, want, "p={p} schedule={schedule:?}");
             }
         }
+    }
+
+    #[test]
+    fn pool_map_with_state_matches_sequential_and_isolates_state() {
+        // Each worker's state accumulates only its own items; the per-item
+        // results must still come back in item order, and the sum of all
+        // per-state item counts must equal n.
+        let inits = AtomicUsize::new(0);
+        let processed = AtomicUsize::new(0);
+        for p in [1, 2, 5] {
+            for schedule in ALL_SCHEDULES {
+                inits.store(0, Ordering::SeqCst);
+                processed.store(0, Ordering::SeqCst);
+                let got = pool_map_with_state(
+                    80,
+                    p,
+                    schedule,
+                    |_w| {
+                        inits.fetch_add(1, Ordering::SeqCst);
+                        0usize // items seen by this state
+                    },
+                    |count, i| {
+                        *count += 1;
+                        processed.fetch_add(1, Ordering::SeqCst);
+                        i
+                    },
+                );
+                let want: Vec<usize> = (0..80).collect();
+                assert_eq!(got, want, "p={p} schedule={schedule:?}");
+                assert_eq!(processed.load(Ordering::SeqCst), 80);
+                // One state per spawned worker at most (inline run: one).
+                let states = inits.load(Ordering::SeqCst);
+                assert!(
+                    (1..=p).contains(&states),
+                    "p={p} schedule={schedule:?}: {states} states"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_map_with_state_reuses_scratch_across_items() {
+        // The canonical use: a growable scratch buffer that is cleared, not
+        // reallocated, per item. Its capacity must survive between items.
+        let got = pool_map_with_state(
+            40,
+            3,
+            Schedule::Dynamic { chunk: 2 },
+            |_| Vec::<usize>::new(),
+            |scratch, i| {
+                scratch.clear();
+                scratch.extend(0..=i);
+                scratch.iter().sum::<usize>()
+            },
+        );
+        let want: Vec<usize> = (0..40).map(|i| i * (i + 1) / 2).collect();
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -210,12 +418,18 @@ mod tests {
 
     #[test]
     fn pool_run_touches_every_item_once() {
-        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
-        pool_run(64, 4, Schedule::StaggeredRoundRobin, |i| {
-            counters[i].fetch_add(1, Ordering::Relaxed);
-        });
-        for (i, c) in counters.iter().enumerate() {
-            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        for schedule in [
+            Schedule::StaggeredRoundRobin,
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Dynamic { chunk: 5 },
+        ] {
+            let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+            pool_run(64, 4, schedule, |i| {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counters.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "{schedule:?} item {i}");
+            }
         }
     }
 
@@ -237,6 +451,48 @@ mod tests {
     }
 
     #[test]
+    fn worker_pool_dynamic_runs_every_job_once_and_stays_reusable() {
+        let pool = WorkerPool::new(4);
+        for chunk in [1usize, 3, 100] {
+            let counters: Vec<AtomicUsize> = (0..57).map(|_| AtomicUsize::new(0)).collect();
+            let counters = Arc::new(counters);
+            pool.run_batch(57, Schedule::Dynamic { chunk }, |i| {
+                let counters = Arc::clone(&counters);
+                move || {
+                    counters[i].fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            for (i, c) in counters.iter().enumerate() {
+                assert_eq!(c.load(Ordering::SeqCst), 1, "chunk={chunk} item {i}");
+            }
+        }
+        // A static batch after dynamic ones must still work (counter clean).
+        let sum = Arc::new(AtomicU64::new(0));
+        pool.run_batch(20, Schedule::RoundRobin, |i| {
+            let sum = Arc::clone(&sum);
+            move || {
+                sum.fetch_add(i as u64, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), (0..20u64).sum());
+    }
+
+    #[test]
+    fn worker_pool_dynamic_zero_jobs_returns_immediately() {
+        let pool = WorkerPool::new(2);
+        pool.run_batch(0, Schedule::Dynamic { chunk: 4 }, |_| || ());
+        // And the pool remains usable.
+        let ran = Arc::new(AtomicUsize::new(0));
+        pool.run_batch(5, Schedule::Dynamic { chunk: 2 }, |_| {
+            let ran = Arc::clone(&ran);
+            move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
     fn worker_pool_zero_jobs_returns_immediately() {
         let pool = WorkerPool::new(2);
         pool.run_batch(0, Schedule::RoundRobin, |_| || ());
@@ -247,11 +503,7 @@ mod tests {
         // n < p leaves some workers idle; every job must still run exactly
         // once and run_batch must not wait on the idle workers.
         let pool = WorkerPool::new(8);
-        for schedule in [
-            Schedule::StaticBlock,
-            Schedule::RoundRobin,
-            Schedule::StaggeredRoundRobin,
-        ] {
+        for schedule in ALL_SCHEDULES {
             let counters: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
             let counters = Arc::new(counters);
             pool.run_batch(3, schedule, |i| {

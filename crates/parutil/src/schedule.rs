@@ -21,6 +21,19 @@ pub enum Schedule {
     /// code-blocks ordered by resolution level, whose coding cost shrinks
     /// with depth) do not always penalize the same worker.
     StaggeredRoundRobin,
+    /// Dynamic self-scheduling: items are grouped into consecutive chunks
+    /// of `chunk` items and workers *claim* the next unprocessed chunk from
+    /// a shared atomic counter whenever they go idle, so the partition
+    /// adapts to the measured per-item cost at runtime (OpenMP's
+    /// `schedule(dynamic, chunk)`). The executors in [`crate::pool`] claim
+    /// at runtime; [`assign`] returns the *nominal* contention-free
+    /// partition (chunk `c` to worker `c % p`) so schedule-shaped analyses
+    /// and the claim-table oracle still see a deterministic cover.
+    Dynamic {
+        /// Items claimed per grab (>= 1). Small chunks balance best;
+        /// larger chunks amortize the claim and improve locality.
+        chunk: usize,
+    },
 }
 
 /// Compute the item indices assigned to each of `p` workers.
@@ -29,8 +42,14 @@ pub enum Schedule {
 /// worker `w`, in increasing order of processing. Every index in `0..n`
 /// appears exactly once across all workers.
 ///
+/// For [`Schedule::Dynamic`] the returned partition is *nominal*: the
+/// chunk-cyclic assignment a contention-free run would produce (worker
+/// `c % p` claims chunk `c`). Real executors resolve the owner of each
+/// chunk at runtime.
+///
 /// # Panics
-/// Panics if `p == 0`.
+/// Panics if `p == 0`, or if `schedule` is [`Schedule::Dynamic`] with
+/// `chunk == 0`.
 pub fn assign(n: usize, p: usize, schedule: Schedule) -> Vec<Vec<usize>> {
     assert!(p > 0, "worker count must be positive");
     let mut out = vec![Vec::with_capacity(n.div_ceil(p)); p];
@@ -50,6 +69,12 @@ pub fn assign(n: usize, p: usize, schedule: Schedule) -> Vec<Vec<usize>> {
                 let round = i / p;
                 let lane = i % p;
                 out[(lane + round) % p].push(i);
+            }
+        }
+        Schedule::Dynamic { chunk } => {
+            assert!(chunk > 0, "dynamic chunk size must be positive");
+            for i in 0..n {
+                out[(i / chunk) % p].push(i);
             }
         }
     }
@@ -148,6 +173,34 @@ mod tests {
             max - min <= n,
             "staggered RR should balance linear gradients: {costs:?}"
         );
+    }
+
+    #[test]
+    fn dynamic_nominal_assignment_is_chunk_cyclic() {
+        let parts = assign(10, 3, Schedule::Dynamic { chunk: 2 });
+        assert_eq!(parts[0], vec![0, 1, 6, 7]);
+        assert_eq!(parts[1], vec![2, 3, 8, 9]);
+        assert_eq!(parts[2], vec![4, 5]);
+    }
+
+    #[test]
+    fn dynamic_nominal_assignment_is_a_partition() {
+        for n in [0, 1, 5, 31, 100] {
+            for p in [1, 2, 4, 7] {
+                for chunk in [1, 2, 3, 8, 200] {
+                    let parts = assign(n, p, Schedule::Dynamic { chunk });
+                    let all: BTreeSet<usize> = parts.iter().flatten().copied().collect();
+                    assert_eq!(all.len(), n, "n={n} p={p} chunk={chunk}");
+                    assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn dynamic_zero_chunk_panics() {
+        let _ = assign(4, 2, Schedule::Dynamic { chunk: 0 });
     }
 
     #[test]

@@ -1,14 +1,19 @@
 //! Property tests for the schedulers and executors.
 
-use pj2k_parutil::{assign, chunk_ranges, pool_map, DisjointWriter, Exec, Schedule, SendPtr};
+use pj2k_parutil::{
+    assign, chunk_ranges, pool_map, pool_map_with_state, pool_run, DisjointWriter, Exec, Schedule,
+    SendPtr,
+};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn schedules() -> impl Strategy<Value = Schedule> {
     prop_oneof![
         Just(Schedule::StaticBlock),
         Just(Schedule::RoundRobin),
         Just(Schedule::StaggeredRoundRobin),
+        (1usize..9).prop_map(|chunk| Schedule::Dynamic { chunk }),
     ]
 }
 
@@ -86,6 +91,59 @@ proptest! {
         let got = pool_map(n, p, s, |i| i * 3 + 1);
         let want: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// Dynamic self-scheduling processes every index exactly once under
+    /// real thread contention. Two independent oracles: per-item atomic
+    /// counters (observable effect), and the DisjointWriter claim table
+    /// inside `pool_map` itself, which panics if the workers' runtime
+    /// chunk claims ever overlapped or failed to cover 0..n.
+    #[test]
+    fn dynamic_processes_each_index_exactly_once(
+        n in 0usize..400,
+        p in 2usize..9,
+        chunk in 1usize..17,
+    ) {
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let results = pool_map(n, p, Schedule::Dynamic { chunk }, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        prop_assert_eq!(results, (0..n).collect::<Vec<_>>());
+        for (i, c) in counters.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "item {} not coded exactly once", i);
+        }
+        // Side-effect-only path claims nothing, so count independently.
+        for c in &counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        pool_run(n, p, Schedule::Dynamic { chunk }, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "pool_run item {} ran twice or never", i);
+        }
+    }
+
+    /// Per-worker state: worker-local item tallies must sum to n for every
+    /// schedule (no item is processed by two states or dropped).
+    #[test]
+    fn with_state_tallies_sum_to_n(n in 0usize..300, p in 1usize..9, s in schedules()) {
+        let processed = AtomicUsize::new(0);
+        let got = pool_map_with_state(
+            n,
+            p,
+            s,
+            |_| 0usize,
+            |tally, i| {
+                *tally += 1;
+                processed.fetch_add(1, Ordering::Relaxed);
+                i * 2
+            },
+        );
+        let want: Vec<usize> = (0..n).map(|i| i * 2).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(processed.load(Ordering::Relaxed), n);
     }
 
     /// Exec::run_ranges writes every slot exactly once via SendPtr.

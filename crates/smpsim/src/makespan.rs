@@ -5,10 +5,31 @@ use pj2k_parutil::Schedule;
 /// Completion time of `costs` (seconds per item, in submission order) on
 /// `p` virtual CPUs under `schedule`: the maximum per-CPU cost sum.
 ///
+/// Static schedules fix the item-to-CPU mapping up front, so the makespan
+/// is the worst per-CPU sum of [`pj2k_parutil::assign`]. The dynamic
+/// schedule is modeled by its runtime behavior instead: chunks are claimed
+/// in submission order by whichever CPU goes idle first (list scheduling),
+/// which is exactly what [`pj2k_parutil::pool_map`]'s atomic claim counter
+/// does when per-item costs dominate claim overhead.
+///
 /// # Panics
-/// Panics if `p == 0`.
+/// Panics if `p == 0` (or, for [`Schedule::Dynamic`], if `chunk == 0`).
 pub fn makespan(costs: &[f64], p: usize, schedule: Schedule) -> f64 {
     assert!(p > 0, "need at least one CPU");
+    if let Schedule::Dynamic { chunk } = schedule {
+        assert!(chunk > 0, "dynamic chunk size must be positive");
+        let mut loads = vec![0.0f64; p];
+        for chunk_costs in costs.chunks(chunk) {
+            let min = loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            loads[min] += chunk_costs.iter().sum::<f64>();
+        }
+        return loads.into_iter().fold(0.0, f64::max);
+    }
     pj2k_parutil::assign(costs.len(), p, schedule)
         .into_iter()
         .map(|items| items.into_iter().map(|i| costs[i]).sum::<f64>())
@@ -43,6 +64,8 @@ mod tests {
                 Schedule::StaticBlock,
                 Schedule::RoundRobin,
                 Schedule::StaggeredRoundRobin,
+                Schedule::Dynamic { chunk: 1 },
+                Schedule::Dynamic { chunk: 4 },
             ] {
                 let m = makespan(&costs, p, s);
                 assert!((m - 64.0 / p as f64).abs() < 1e-12, "p={p} {s:?}: {m}");
@@ -71,6 +94,35 @@ mod tests {
         // And staggered should be near-perfect here.
         let ideal = costs.iter().sum::<f64>() / p as f64;
         assert!(stag < ideal * 1.05, "stag={stag} ideal={ideal}");
+    }
+
+    #[test]
+    fn dynamic_never_loses_to_static_on_gradient() {
+        // On the coarse-to-fine cost gradient, runtime self-scheduling
+        // matches or beats every static split, and fine chunks beat coarse
+        // ones.
+        let costs: Vec<f64> = (0..64).map(|i| 64.0 - i as f64).collect();
+        for p in [2, 4, 8] {
+            let dyn1 = makespan(&costs, p, Schedule::Dynamic { chunk: 1 });
+            for s in [
+                Schedule::StaticBlock,
+                Schedule::RoundRobin,
+                Schedule::StaggeredRoundRobin,
+            ] {
+                let stat = makespan(&costs, p, s);
+                assert!(dyn1 <= stat + 1e-12, "p={p} {s:?}: dyn {dyn1} vs {stat}");
+            }
+            let dyn16 = makespan(&costs, p, Schedule::Dynamic { chunk: 16 });
+            assert!(dyn1 <= dyn16 + 1e-12, "p={p}: chunk 1 {dyn1} vs 16 {dyn16}");
+        }
+    }
+
+    #[test]
+    fn dynamic_single_cpu_is_total() {
+        let costs = vec![0.5, 1.5, 3.0];
+        let m = makespan(&costs, 1, Schedule::Dynamic { chunk: 2 });
+        assert!((m - 5.0).abs() < 1e-12);
+        assert_eq!(makespan(&[], 4, Schedule::Dynamic { chunk: 3 }), 0.0);
     }
 
     #[test]
