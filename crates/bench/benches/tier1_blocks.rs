@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
     let blk = encode_block(&dense, 64, 64, BandCtx::LlLh);
     let segs: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
     group.bench_function("decode_dense", |b| {
-        b.iter(|| decode_block(64, 64, BandCtx::LlLh, blk.msb_planes, black_box(&segs)))
+        b.iter(|| decode_block(64, 64, BandCtx::LlLh, blk.msb_planes, black_box(&segs)).unwrap())
     });
 
     group.bench_function("mq_encode_10k_decisions", |b| {

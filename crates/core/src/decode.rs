@@ -1,4 +1,13 @@
 //! The decoding pipeline (mirror of [`crate::encode`]).
+//!
+//! Everything in this module runs against untrusted bytes (DESIGN.md §9):
+//! parse failures carry marker/offset context through the structured
+//! [`CodecError`] hierarchy, every allocation derived from header fields is
+//! budget-capped *before* it happens, and all body reads are bounds-checked
+//! `get`s — a malformed or truncated stream must yield `Err`, never a
+//! panic or an out-of-memory abort.
+
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 
 use crate::blocks::{band_ctx, blocks_of, grid_dims, indexed_resolutions};
 use crate::config::ParallelMode;
@@ -11,14 +20,28 @@ use pj2k_image::transform::{dc_level_shift_inverse, ict_inverse, rct_inverse};
 use pj2k_image::{Image, Plane};
 use pj2k_parutil::{pool_map, Schedule, StageTimes};
 use pj2k_tier2::codestream::{self, MarkerReader, ParseError, PayloadReader};
-use pj2k_tier2::{decode_packet, PrecinctState};
+use pj2k_tier2::{decode_packet, PacketError, PrecinctState};
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// Largest number of code-blocks a single tile may instantiate decoder
+/// state for. Per-block state (tag trees, Lblock counters, segment lists)
+/// costs on the order of 100 bytes, so this bounds adversarial headers —
+/// tiny streams claiming huge dimensions with minimal code-blocks — to a
+/// modest worst-case allocation instead of multiple GiB.
+const MAX_BLOCKS_PER_TILE: usize = 1 << 20;
 
 /// Decoder-side failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CodecError {
-    /// Malformed codestream.
+    /// Malformed marker-segment container; carries the failing marker code
+    /// and byte offset.
+    Codestream(ParseError),
+    /// Malformed packet header inside a tile body.
+    Packet(PacketError),
+    /// Inconsistent tier-1 block parameters.
+    Tier1(pj2k_ebcot::DecodeError),
+    /// Malformed tile body outside the marker layer.
     Parse(String),
     /// Structurally valid but semantically impossible stream.
     Invalid(String),
@@ -27,6 +50,9 @@ pub enum CodecError {
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            CodecError::Codestream(e) => write!(f, "codestream error: {e}"),
+            CodecError::Packet(e) => write!(f, "packet error: {e}"),
+            CodecError::Tier1(e) => write!(f, "tier-1 error: {e}"),
             CodecError::Parse(m) => write!(f, "parse error: {m}"),
             CodecError::Invalid(m) => write!(f, "invalid codestream: {m}"),
         }
@@ -37,7 +63,19 @@ impl std::error::Error for CodecError {}
 
 impl From<ParseError> for CodecError {
     fn from(e: ParseError) -> Self {
-        CodecError::Parse(e.0)
+        CodecError::Codestream(e)
+    }
+}
+
+impl From<PacketError> for CodecError {
+    fn from(e: PacketError) -> Self {
+        CodecError::Packet(e)
+    }
+}
+
+impl From<pj2k_ebcot::DecodeError> for CodecError {
+    fn from(e: pj2k_ebcot::DecodeError) -> Self {
+        CodecError::Tier1(e)
     }
 }
 
@@ -96,6 +134,9 @@ impl Decoder {
                 let pool = rayon::ThreadPoolBuilder::new()
                     .num_threads(workers.max(1))
                     .build()
+                    // AUDIT: pool construction depends on the caller's
+                    // config and process resources, never on the untrusted
+                    // input bytes.
                     .expect("rayon pool");
                 pool.install(|| self.decode_inner(bytes))
             }
@@ -182,7 +223,7 @@ impl Decoder {
             || !cbh2.is_power_of_two()
             || !(4..=1024).contains(&cbw2)
             || !(4..=1024).contains(&cbh2)
-            || cbw2 * cbh2 > 4096
+            || cbw2.saturating_mul(cbh2) > 4096
         {
             return Err(CodecError::Invalid(format!("code-block {cbw2}x{cbh2}")));
         }
@@ -198,7 +239,11 @@ impl Decoder {
             Some((tw, th)) => TileGrid::new(width, height, tw, th),
             None => TileGrid::single(width, height),
         };
-        let mut tiles = Vec::with_capacity(grid.len());
+        // No pre-reservation: a corrupt header claiming 1x1 tiles over a
+        // maximal image would otherwise reserve hundreds of millions of
+        // slots before the first missing SOT segment is even noticed. Grown
+        // incrementally, a truncated stream fails after one tile's work.
+        let mut tiles = Vec::new();
         for i in 0..grid.len() {
             let t0 = Instant::now();
             let sot = r.expect_segment(codestream::SOT)?;
@@ -237,24 +282,44 @@ impl Decoder {
         let band_list = deco.subbands();
         let nbands = band_list.len();
 
+        // Budget the per-block decoder state BEFORE reading the tile body or
+        // allocating any of it: grid_dims is pure arithmetic over validated
+        // header fields, so a hostile header claiming a huge block count is
+        // rejected without touching the allocator.
+        let mut total_blocks = 0usize;
+        for bands in &res {
+            for (_bi, sb) in bands {
+                let (gw, gh) = grid_dims(sb, hdr.code_block);
+                total_blocks = total_blocks.saturating_add(gw.saturating_mul(gh));
+            }
+        }
+        total_blocks = total_blocks.saturating_mul(hdr.ncomp);
+        if total_blocks > MAX_BLOCKS_PER_TILE {
+            return Err(CodecError::Invalid(format!(
+                "tile requires state for {total_blocks} code-blocks \
+                 (cap {MAX_BLOCKS_PER_TILE})"
+            )));
+        }
+
         // --- tier-2: parse Kmax table and packet headers -------------------
         let t0 = Instant::now();
-        if body.len() < hdr.ncomp * nbands {
-            return Err(CodecError::Parse("truncated Kmax table".into()));
-        }
-        let kmax = &body[..hdr.ncomp * nbands];
+        // ncomp <= 4 and nbands <= 1 + 3 * levels <= 37, both validated.
+        let kmax_len = hdr.ncomp.saturating_mul(nbands);
+        let kmax = body
+            .get(..kmax_len)
+            .ok_or_else(|| CodecError::Parse("truncated Kmax table".into()))?;
         if let Some(&bad) = kmax.iter().find(|&&k| k > pj2k_ebcot::MAX_PLANES) {
             return Err(CodecError::Invalid(format!(
                 "Kmax {bad} exceeds the {} coded planes the coder supports",
                 pj2k_ebcot::MAX_PLANES
             )));
         }
-        let mut cursor = hdr.ncomp * nbands;
-        if body.len() < cursor + 2 {
-            return Err(CodecError::Parse("truncated ROI header".into()));
-        }
-        let (roi_s, roi_d) = (body[cursor], body[cursor + 1]);
-        cursor += 2;
+        let mut cursor = kmax_len;
+        let (roi_s, roi_d) = match body.get(cursor..cursor.saturating_add(2)) {
+            Some(&[s, d]) => (s, d),
+            _ => return Err(CodecError::Parse("truncated ROI header".into())),
+        };
+        cursor = cursor.saturating_add(2);
         if roi_s > 30 || roi_d > 30 {
             return Err(CodecError::Invalid(format!(
                 "implausible ROI shifts ({roi_s}, {roi_d})"
@@ -302,29 +367,36 @@ impl Decoder {
                 if prec.blocks.is_empty() {
                     continue;
                 }
-                if cursor + 2 > body.len() {
-                    return Err(CodecError::Parse("truncated packet length".into()));
-                }
-                let hlen = u16::from_be_bytes([body[cursor], body[cursor + 1]]) as usize;
-                cursor += 2;
-                if cursor + hlen > body.len() {
-                    return Err(CodecError::Parse("truncated packet header".into()));
-                }
-                let header = &body[cursor..cursor + hlen];
-                cursor += hlen;
-                let (results, _) = decode_packet(&mut prec.state, layer, header);
+                let hlen = match body.get(cursor..cursor.saturating_add(2)) {
+                    Some(&[a, b]) => u16::from_be_bytes([a, b]) as usize,
+                    _ => return Err(CodecError::Parse("truncated packet length".into())),
+                };
+                cursor = cursor.saturating_add(2);
+                let header = cursor
+                    .checked_add(hlen)
+                    .and_then(|end| body.get(cursor..end))
+                    .ok_or_else(|| CodecError::Parse("truncated packet header".into()))?;
+                cursor = cursor.saturating_add(hlen);
+                let (results, _) = decode_packet(&mut prec.state, layer, header)?;
                 for (b, resu) in results.iter().enumerate() {
                     for &len in &resu.seg_lens {
-                        if cursor + len > body.len() {
-                            return Err(CodecError::Parse("truncated pass segment".into()));
-                        }
+                        // A header may claim any 32-bit length; the segment
+                        // must actually be present in the body.
+                        let seg = cursor
+                            .checked_add(len)
+                            .and_then(|end| body.get(cursor..end))
+                            .ok_or_else(|| CodecError::Parse("truncated pass segment".into()))?;
                         if layer < decode_layers {
-                            prec.segs[b].push(body[cursor..cursor + len].to_vec());
+                            if let Some(slot) = prec.segs.get_mut(b) {
+                                slot.push(seg.to_vec());
+                            }
                         }
-                        cursor += len;
+                        cursor = cursor.saturating_add(len);
                     }
                     if resu.new_passes > 0 {
-                        prec.zbp[b] = resu.zero_bitplanes;
+                        if let Some(slot) = prec.zbp.get_mut(b) {
+                            *slot = resu.zero_bitplanes;
+                        }
                     }
                 }
             }
@@ -342,54 +414,84 @@ impl Decoder {
         }
         let mut jobs: Vec<DecJob> = Vec::new();
         for prec in &precincts {
-            let ceiling = kmax[prec.comp * nbands + prec.band_idx];
+            let ceiling = kmax
+                .get(
+                    prec.comp
+                        .saturating_mul(nbands)
+                        .saturating_add(prec.band_idx),
+                )
+                .copied()
+                .unwrap_or(0);
             for (b, geom) in prec.blocks.iter().enumerate() {
-                if prec.segs[b].is_empty() {
+                let segs = prec.segs.get(b).map(Vec::as_slice).unwrap_or(&[]);
+                if segs.is_empty() {
                     continue;
                 }
-                let zbp = prec.zbp[b];
+                let zbp = prec.zbp.get(b).copied().unwrap_or(0);
                 if zbp > u32::from(ceiling) {
                     return Err(CodecError::Invalid(format!(
                         "zero bitplanes {zbp} exceed band ceiling {ceiling}"
                     )));
                 }
+                // AUDIT(block): `zbp <= ceiling <= MAX_PLANES` was just
+                // checked, so the subtraction cannot wrap and `msb >= 1`
+                // holds in the max_passes arm.
+                #[allow(clippy::arithmetic_side_effects)]
                 let msb = ceiling - zbp as u8;
                 let max_passes = if msb == 0 {
                     0
                 } else {
-                    1 + 3 * (usize::from(msb) - 1)
+                    // AUDIT(block): `msb >= 1` in this arm; see above.
+                    #[allow(clippy::arithmetic_side_effects)]
+                    let mp = 1 + 3 * (usize::from(msb) - 1);
+                    mp
                 };
-                if prec.segs[b].len() > max_passes {
+                if segs.len() > max_passes {
                     return Err(CodecError::Invalid(format!(
                         "{} passes exceed the {max_passes} the plane structure admits",
-                        prec.segs[b].len()
+                        segs.len()
                     )));
                 }
                 jobs.push(DecJob {
                     comp: prec.comp,
                     geom: *geom,
                     ctx: band_ctx(prec.band),
-                    msb: ceiling - zbp as u8,
-                    segs: &prec.segs[b],
+                    msb,
+                    segs,
                 });
             }
         }
-        report.num_blocks += jobs.len();
-        let decode_one = |j: &DecJob| -> Vec<i32> {
+        report.num_blocks = report.num_blocks.saturating_add(jobs.len());
+        let decode_one = |j: &DecJob| -> Result<Vec<i32>, pj2k_ebcot::DecodeError> {
             let refs: Vec<&[u8]> = j.segs.iter().map(|s| s.as_slice()).collect();
             decode_block_with(j.geom.w, j.geom.h, j.ctx, j.msb, &refs, hdr.tier1)
         };
-        let decoded: Vec<Vec<i32>> = match self.parallel {
+        // The Kmax/zbp/max_passes validation above makes these block decodes
+        // infallible in practice, but the error path is still propagated —
+        // the tier-1 decoder is its own line of defense.
+        let attempted: Vec<Result<Vec<i32>, pj2k_ebcot::DecodeError>> = match self.parallel {
             ParallelMode::Sequential => jobs.iter().map(decode_one).collect(),
             ParallelMode::WorkerPool { workers } => pool_map(
                 jobs.len(),
                 workers.max(1),
                 Schedule::StaggeredRoundRobin,
+                // AUDIT(block): pool_map hands out indices `< jobs.len()`.
+                #[allow(clippy::indexing_slicing)]
                 |i| decode_one(&jobs[i]),
             ),
             ParallelMode::Rayon { .. } => jobs.par_iter().map(decode_one).collect(),
         };
+        let mut decoded: Vec<Vec<i32>> = Vec::with_capacity(attempted.len());
+        for a in attempted {
+            decoded.push(a?);
+        }
         let mut planes_q: Vec<Plane<i32>> = (0..hdr.ncomp).map(|_| Plane::new(w, h)).collect();
+        // AUDIT(block): job geometry comes from `blocks_of` over the tile's
+        // own decomposition, so every row range lies inside the `w x h`
+        // plane, each `coeffs` has exactly `geom.w * geom.h` elements
+        // (tier-1 contract), and `comp < ncomp` by construction. Untrusted
+        // bytes cannot reach any of these indices.
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         for (j, coeffs) in jobs.iter().zip(&decoded) {
             let plane = &mut planes_q[j.comp];
             for dy in 0..j.geom.h {
@@ -440,16 +542,24 @@ impl Decoder {
         let mut planes_out: Vec<Plane<i32>>;
         if reversible {
             if hdr.ncomp == 3 {
-                let (a, rest) = planes_q.split_at_mut(1);
-                let (b, c) = rest.split_at_mut(1);
-                rct_inverse(&mut a[0], &mut b[0], &mut c[0]);
+                // AUDIT(block): split_at_mut(1) on a 3-element vec.
+                #[allow(clippy::indexing_slicing)]
+                {
+                    let (a, rest) = planes_q.split_at_mut(1);
+                    let (b, c) = rest.split_at_mut(1);
+                    rct_inverse(&mut a[0], &mut b[0], &mut c[0]);
+                }
             }
             planes_out = planes_q;
         } else {
             if hdr.ncomp == 3 {
-                let (a, rest) = planes_f.split_at_mut(1);
-                let (b, c) = rest.split_at_mut(1);
-                ict_inverse(&mut a[0], &mut b[0], &mut c[0]);
+                // AUDIT(block): split_at_mut(1) on a 3-element vec.
+                #[allow(clippy::indexing_slicing)]
+                {
+                    let (a, rest) = planes_f.split_at_mut(1);
+                    let (b, c) = rest.split_at_mut(1);
+                    ict_inverse(&mut a[0], &mut b[0], &mut c[0]);
+                }
             }
             planes_out = Vec::with_capacity(hdr.ncomp);
             for f in &planes_f {
@@ -465,6 +575,7 @@ impl Decoder {
 }
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use crate::config::{EncoderConfig, FilterStrategy, RateControl};
@@ -642,6 +753,97 @@ mod tests {
         let mut v = vec![0xFF, 0x4F];
         v.extend_from_slice(&[0xFF; 32]);
         assert!(Decoder::default().decode(&v).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_marker_and_offset() {
+        // Missing SOC: the error names the marker found and where.
+        let err = Decoder::default().decode(&[0x00, 0x11]).unwrap_err();
+        match err {
+            CodecError::Codestream(pe) => {
+                assert_eq!(pe.offset(), 0);
+                assert_eq!(pe.marker(), Some(0x0011));
+            }
+            other => panic!("expected Codestream error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_stream_claiming_huge_tiles_is_rejected_cheaply() {
+        // SIZ claims the maximal pixel budget with 1x1 tiles; the stream
+        // then ends. The decoder must fail on the missing first SOT without
+        // reserving hundreds of millions of tile slots.
+        let mut w = pj2k_tier2::codestream::MarkerWriter::new();
+        w.marker(codestream::SOC);
+        let mut p = pj2k_tier2::codestream::PayloadWriter::new();
+        p.u32(16384);
+        p.u32(16384);
+        p.u8(1);
+        p.u8(8);
+        p.u8(0);
+        p.u32(1); // 1x1 tiles => 2^28 of them
+        p.u32(1);
+        w.segment(codestream::SIZ, &p.finish());
+        let mut p = pj2k_tier2::codestream::PayloadWriter::new();
+        p.u8(0); // 5/3
+        p.u8(2);
+        p.u16(64);
+        p.u16(64);
+        p.u16(1);
+        p.u8(0);
+        w.segment(codestream::COD, &p.finish());
+        let mut p = pj2k_tier2::codestream::PayloadWriter::new();
+        p.f64(0.5);
+        w.segment(codestream::QCD, &p.finish());
+        let bytes = w.finish();
+        assert!(matches!(
+            Decoder::default().decode(&bytes),
+            Err(CodecError::Codestream(_))
+        ));
+    }
+
+    #[test]
+    fn tiny_stream_claiming_many_blocks_is_rejected_before_allocation() {
+        // A maximal image with minimal 4x4 code-blocks wants state for
+        // 2^24 blocks; the block budget must reject it as soon as the tile
+        // is entered, long before per-block state exists.
+        let mut w = pj2k_tier2::codestream::MarkerWriter::new();
+        w.marker(codestream::SOC);
+        let mut p = pj2k_tier2::codestream::PayloadWriter::new();
+        p.u32(16384);
+        p.u32(16384);
+        p.u8(1);
+        p.u8(8);
+        p.u8(0);
+        p.u32(0); // untiled
+        p.u32(0);
+        w.segment(codestream::SIZ, &p.finish());
+        let mut p = pj2k_tier2::codestream::PayloadWriter::new();
+        p.u8(0);
+        p.u8(0); // no decomposition: one LL band
+        p.u16(4); // 4x4 blocks
+        p.u16(4);
+        p.u16(1);
+        p.u8(0);
+        w.segment(codestream::COD, &p.finish());
+        let mut p = pj2k_tier2::codestream::PayloadWriter::new();
+        p.f64(0.5);
+        w.segment(codestream::QCD, &p.finish());
+        // One tile-part with an empty body: tile parsing must fail on the
+        // block budget, not by allocating gigabytes first.
+        let mut p = pj2k_tier2::codestream::PayloadWriter::new();
+        p.u32(0);
+        p.u32(0);
+        w.segment(codestream::SOT, &p.finish());
+        w.marker(codestream::SOD);
+        w.marker(codestream::EOC);
+        let bytes = w.finish();
+        match Decoder::default().decode(&bytes) {
+            Err(CodecError::Invalid(m)) => {
+                assert!(m.contains("code-blocks"), "unexpected message: {m}")
+            }
+            other => panic!("expected block-budget rejection, got {other:?}"),
+        }
     }
 
     #[test]

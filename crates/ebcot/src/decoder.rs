@@ -1,12 +1,67 @@
 //! Tier-1 block decoder (exact mirror of the encoder's pass structure).
+//!
+//! The decoder sits on the untrusted-input boundary (DESIGN.md §9):
+//! inconsistent block parameters are reported through [`DecodeError`]
+//! rather than panics, a segment shortfall simply truncates the decode
+//! (every pass boundary is a valid truncation point), and the MQ/raw
+//! sources below never read out of bounds on any input.
+
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 
 use crate::context::{
     initial_states, mr_context, sc_context, zc_context, BandCtx, CTX_RL, CTX_UNI, NUM_CTX,
 };
 use crate::encoder::{in_bypass_region, Tier1Options};
 use crate::state::{FlagGrid, NEG, NEWSIG, REFINED, SIG, VISITED};
-use crate::STRIPE_HEIGHT;
+use crate::{MAX_PLANES, STRIPE_HEIGHT};
 use pj2k_mq::{CtxState, MqDecoder, RawDecoder};
+
+/// Error raised when a code-block's parameters are structurally
+/// inconsistent. Segment *content* can never error: corrupt entropy bytes
+/// decode to wrong coefficients, not to panics or reads out of bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Zero-area code-block.
+    EmptyBlock,
+    /// A block with zero magnitude planes cannot carry coding passes.
+    ZeroPlanePasses {
+        /// Number of pass segments supplied.
+        passes: usize,
+    },
+    /// More magnitude bit-planes than the coder supports.
+    TooManyPlanes {
+        /// Requested plane count.
+        planes: u8,
+        /// The coder's limit ([`MAX_PLANES`]).
+        max: u8,
+    },
+    /// More pass segments than the plane structure admits.
+    TooManyPasses {
+        /// Number of pass segments supplied.
+        passes: usize,
+        /// Maximum passes for the block's plane count.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DecodeError::EmptyBlock => write!(f, "empty code-block"),
+            DecodeError::ZeroPlanePasses { passes } => {
+                write!(f, "zero-plane block cannot carry {passes} passes")
+            }
+            DecodeError::TooManyPlanes { planes, max } => {
+                write!(f, "{planes} magnitude planes exceeds the coder limit {max}")
+            }
+            DecodeError::TooManyPasses { passes, max } => {
+                write!(f, "{passes} passes exceeds plane structure ({max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// The per-pass entropy source: MQ codeword or raw segment.
 enum Source<'a> {
@@ -46,11 +101,16 @@ struct BlockDecoder {
 }
 
 impl BlockDecoder {
+    // AUDIT(fn): `y < h` in every caller, so `y + 1` cannot overflow.
+    #[allow(clippy::arithmetic_side_effects)]
     #[inline]
     fn skip_south(&self, y: usize) -> bool {
         self.opts.stripe_causal && (y + 1).is_multiple_of(STRIPE_HEIGHT)
     }
 
+    // AUDIT(fn): context indices come from the context tables, whose
+    // contract is `< NUM_CTX`; input bits select branches, never indices.
+    #[allow(clippy::indexing_slicing)]
     fn decode_significance(&mut self, mq: &mut Source, x: usize, y: usize, plane: u8) {
         let i = self.grid.idx(x, y);
         let ss = self.skip_south(y);
@@ -66,6 +126,10 @@ impl BlockDecoder {
         }
     }
 
+    // AUDIT(fn): `(x, y)` comes from the scan over the validated `w x h`
+    // grid, so `k < w * h == mag.len()`; `plane < msb_planes <= 31` keeps
+    // the shift in range. Untrusted bits only pick the sign branch.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     fn decode_sign_and_mark(&mut self, mq: &mut Source, x: usize, y: usize, plane: u8) {
         let i = self.grid.idx(x, y);
         let ss = self.skip_south(y);
@@ -81,17 +145,13 @@ impl BlockDecoder {
 
 /// Decode a code-block with default coding style (see
 /// [`decode_block_with`]).
-///
-/// # Panics
-/// Panics on an empty block or more segments than the plane structure
-/// admits.
 pub fn decode_block(
     w: usize,
     h: usize,
     band: BandCtx,
     msb_planes: u8,
     segments: &[&[u8]],
-) -> Vec<i32> {
+) -> Result<Vec<i32>, DecodeError> {
     decode_block_with(w, h, band, msb_planes, segments, Tier1Options::default())
 }
 
@@ -100,11 +160,13 @@ pub fn decode_block(
 ///
 /// `segments` holds the first `n` coding passes' terminated MQ segments in
 /// coding order (any prefix of the encoder's passes). Returns the
-/// midpoint-reconstructed signed coefficients, row-major.
-///
-/// # Panics
-/// Panics on an empty block or more segments than the plane structure
-/// admits.
+/// midpoint-reconstructed signed coefficients, row-major, or a
+/// [`DecodeError`] when the block parameters are inconsistent.
+// AUDIT(fn): arithmetic and indexing run over the validated geometry —
+// `w * h > 0` (non-empty check above), `msb_planes <= 31` (bounds the
+// shifts and `max_passes`), and `k` scans `0..w * h` over vectors of
+// exactly that length. Untrusted segment bytes never influence an index.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn decode_block_with(
     w: usize,
     h: usize,
@@ -112,18 +174,31 @@ pub fn decode_block_with(
     msb_planes: u8,
     segments: &[&[u8]],
     opts: Tier1Options,
-) -> Vec<i32> {
-    assert!(w > 0 && h > 0, "empty code-block");
+) -> Result<Vec<i32>, DecodeError> {
+    if w == 0 || h == 0 {
+        return Err(DecodeError::EmptyBlock);
+    }
     if msb_planes == 0 {
-        assert!(segments.is_empty(), "zero-plane block cannot carry passes");
-        return vec![0; w * h];
+        if !segments.is_empty() {
+            return Err(DecodeError::ZeroPlanePasses {
+                passes: segments.len(),
+            });
+        }
+        return Ok(vec![0; w * h]);
+    }
+    if msb_planes > MAX_PLANES {
+        return Err(DecodeError::TooManyPlanes {
+            planes: msb_planes,
+            max: MAX_PLANES,
+        });
     }
     let max_passes = 1 + 3 * (usize::from(msb_planes) - 1);
-    assert!(
-        segments.len() <= max_passes,
-        "{} passes exceeds plane structure ({max_passes})",
-        segments.len()
-    );
+    if segments.len() > max_passes {
+        return Err(DecodeError::TooManyPasses {
+            passes: segments.len(),
+            max: max_passes,
+        });
+    }
     let mut dec = BlockDecoder {
         grid: FlagGrid::new(w, h),
         band,
@@ -133,7 +208,6 @@ pub fn decode_block_with(
         opts,
     };
     let mut seg_iter = segments.iter();
-    let mut remaining = segments.len();
 
     'outer: for plane in (0..msb_planes).rev() {
         dec.grid.clear_plane_flags();
@@ -141,13 +215,10 @@ pub fn decode_block_with(
         let bypassed = opts.bypass && in_bypass_region(plane, msb_planes);
         if !first_plane {
             for kind in 0..2 {
-                if remaining == 0 {
+                // A short prefix is a legal truncation point: stop cleanly.
+                let Some(&seg) = seg_iter.next() else {
                     break 'outer;
-                }
-                remaining -= 1;
-                // lint:allow(hot_path_panic) -- `remaining` mirrors the
-                // iterator length, so `next()` cannot be exhausted here.
-                let seg: &[u8] = seg_iter.next().unwrap();
+                };
                 let mut mq = if bypassed {
                     Source::Raw(RawDecoder::new(seg))
                 } else {
@@ -163,13 +234,10 @@ pub fn decode_block_with(
                 }
             }
         }
-        if remaining == 0 {
+        let Some(&seg) = seg_iter.next() else {
             break;
-        }
-        remaining -= 1;
-        // lint:allow(hot_path_panic) -- `remaining` mirrors the iterator
-        // length, so `next()` cannot be exhausted here.
-        let mut mq = Source::Mq(MqDecoder::new(seg_iter.next().unwrap()));
+        };
+        let mut mq = Source::Mq(MqDecoder::new(seg));
         cleanup_pass(&mut dec, &mut mq, plane);
         if opts.reset_contexts {
             dec.ctx = initial_states();
@@ -177,7 +245,7 @@ pub fn decode_block_with(
     }
 
     // Midpoint reconstruction with sign.
-    (0..w * h)
+    Ok((0..w * h)
         .map(|k| {
             let m = dec.mag[k];
             if m == 0 {
@@ -193,9 +261,12 @@ pub fn decode_block_with(
                 v as i32
             }
         })
-        .collect()
+        .collect())
 }
 
+// AUDIT(fn): stripe geometry over the validated grid (`ymax <= h`); all
+// indexing happens through the FlagGrid accessors on in-range (x, y).
+#[allow(clippy::arithmetic_side_effects)]
 fn sig_prop_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
     let (w, h) = (dec.grid.w, dec.grid.h);
     let mut y0 = 0;
@@ -215,6 +286,10 @@ fn sig_prop_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
     }
 }
 
+// AUDIT(fn): stripe geometry over the validated grid; `k = y * w + x` with
+// `x < w`, `y < h` stays below `mag.len() == w * h`, the context index is
+// `< NUM_CTX` by the table contract, and `plane <= 30` bounds the shift.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 fn mag_ref_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
     let (w, h) = (dec.grid.w, dec.grid.h);
     let mut y0 = 0;
@@ -239,6 +314,11 @@ fn mag_ref_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
     }
 }
 
+// AUDIT(fn): the run-length row offset is the only input-derived position
+// and it is two bits (`r <= 3`), applied only when the stripe is full
+// (`ymax - y0 == STRIPE_HEIGHT`), so `y0 + r < ymax <= h`; everything
+// else is validated-grid geometry and `< NUM_CTX` context indices.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 fn cleanup_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
     let (w, h) = (dec.grid.w, dec.grid.h);
     let mut y0 = 0;
@@ -277,6 +357,7 @@ fn cleanup_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
 }
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use crate::encoder::encode_block;
@@ -284,7 +365,7 @@ mod tests {
     fn roundtrip_exact(coeffs: &[i32], w: usize, h: usize, band: BandCtx) {
         let blk = encode_block(coeffs, w, h, band);
         let segments: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
-        let got = decode_block(w, h, band, blk.msb_planes, &segments);
+        let got = decode_block(w, h, band, blk.msb_planes, &segments).unwrap();
         assert_eq!(got, coeffs, "{w}x{h} {band:?}");
     }
 
@@ -352,7 +433,7 @@ mod tests {
         let all: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
         let mut prev_err = f64::INFINITY;
         for n in 0..=blk.passes.len() {
-            let got = decode_block(16, 16, BandCtx::LlLh, blk.msb_planes, &all[..n]);
+            let got = decode_block(16, 16, BandCtx::LlLh, blk.msb_planes, &all[..n]).unwrap();
             let err: f64 = got
                 .iter()
                 .zip(&coeffs)
@@ -372,22 +453,55 @@ mod tests {
             prev_err = err;
         }
         assert_eq!(
-            decode_block(16, 16, BandCtx::LlLh, blk.msb_planes, &all),
+            decode_block(16, 16, BandCtx::LlLh, blk.msb_planes, &all).unwrap(),
             coeffs
         );
     }
 
     #[test]
     fn zero_plane_block_decodes_to_zeros() {
-        let got = decode_block(4, 4, BandCtx::Hh, 0, &[]);
+        let got = decode_block(4, 4, BandCtx::Hh, 0, &[]).unwrap();
         assert_eq!(got, vec![0; 16]);
     }
 
     #[test]
-    #[should_panic(expected = "exceeds plane structure")]
-    fn too_many_segments_panics() {
+    fn inconsistent_parameters_are_errors_not_panics() {
         let seg: &[u8] = &[0u8];
-        let _ = decode_block(2, 2, BandCtx::LlLh, 1, &[seg, seg]);
+        assert_eq!(
+            decode_block(2, 2, BandCtx::LlLh, 1, &[seg, seg]).unwrap_err(),
+            DecodeError::TooManyPasses { passes: 2, max: 1 }
+        );
+        assert_eq!(
+            decode_block(0, 2, BandCtx::LlLh, 1, &[]).unwrap_err(),
+            DecodeError::EmptyBlock
+        );
+        assert_eq!(
+            decode_block(2, 2, BandCtx::LlLh, 0, &[seg]).unwrap_err(),
+            DecodeError::ZeroPlanePasses { passes: 1 }
+        );
+        assert_eq!(
+            decode_block(2, 2, BandCtx::LlLh, MAX_PLANES + 1, &[seg]).unwrap_err(),
+            DecodeError::TooManyPlanes {
+                planes: MAX_PLANES + 1,
+                max: MAX_PLANES
+            }
+        );
+    }
+
+    #[test]
+    fn garbage_segments_decode_without_panicking() {
+        // Corrupt entropy bytes must yield *some* coefficients, never a
+        // panic or out-of-bounds access.
+        let garbage: Vec<Vec<u8>> = (0..7)
+            .map(|p| (0..9).map(|i| ((i * 41 + p * 13) % 251) as u8).collect())
+            .collect();
+        let segs: Vec<&[u8]> = garbage.iter().map(Vec::as_slice).collect();
+        for planes in 1..=8u8 {
+            let max = 1 + 3 * (usize::from(planes) - 1);
+            let n = segs.len().min(max);
+            let got = decode_block(8, 4, BandCtx::Hl, planes, &segs[..n]).unwrap();
+            assert_eq!(got.len(), 32);
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod encoder;
 pub(crate) mod state;
 
 pub use context::BandCtx;
-pub use decoder::{decode_block, decode_block_with};
+pub use decoder::{decode_block, decode_block_with, DecodeError};
 pub use encoder::{
     encode_block, encode_block_with, BlockCoder, EncodedBlock, PassInfo, PassKind, Tier1Options,
 };

@@ -59,7 +59,7 @@ fn every_style_roundtrips_exactly() {
         for band in [BandCtx::LlLh, BandCtx::Hl, BandCtx::Hh] {
             let blk = encode_block_with(&coeffs, w, h, band, opts);
             let segs: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
-            let got = decode_block_with(w, h, band, blk.msb_planes, &segs, opts);
+            let got = decode_block_with(w, h, band, blk.msb_planes, &segs, opts).unwrap();
             assert_eq!(got, coeffs, "{opts:?} {band:?}");
         }
     }
@@ -115,7 +115,8 @@ fn bypass_trades_rate_for_simpler_coding() {
             bypass: true,
             ..Tier1Options::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(got, coeffs);
     // Rate penalty is bounded (it is content-dependent: random blocks are
     // the worst case for raw significance coding; natural imagery pays a
@@ -169,7 +170,7 @@ proptest! {
         let coeffs = sample_block(w, h, seed);
         let blk = encode_block_with(&coeffs, w, h, BandCtx::Hl, opts);
         let segs: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
-        prop_assert_eq!(decode_block_with(w, h, BandCtx::Hl, blk.msb_planes, &segs, opts), coeffs);
+        prop_assert_eq!(decode_block_with(w, h, BandCtx::Hl, blk.msb_planes, &segs, opts).unwrap(), coeffs);
     }
 
     /// Truncated decodes still match the encoder's distortion bookkeeping
@@ -182,7 +183,7 @@ proptest! {
         let blk = encode_block_with(&coeffs, w, h, BandCtx::Hh, opts);
         for n in 0..=blk.passes.len() {
             let segs: Vec<&[u8]> = (0..n).map(|p| blk.segment(p)).collect();
-            let got = decode_block_with(w, h, BandCtx::Hh, blk.msb_planes, &segs, opts);
+            let got = decode_block_with(w, h, BandCtx::Hh, blk.msb_planes, &segs, opts).unwrap();
             let actual: f64 = got
                 .iter()
                 .zip(&coeffs)

@@ -44,7 +44,7 @@ proptest! {
     fn full_roundtrip_is_exact((coeffs, w, h) in arb_block(), band in bands()) {
         let blk = encode_block(&coeffs, w, h, band);
         let segs: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
-        let got = decode_block(w, h, band, blk.msb_planes, &segs);
+        let got = decode_block(w, h, band, blk.msb_planes, &segs).unwrap();
         prop_assert_eq!(got, coeffs);
     }
 
@@ -52,7 +52,7 @@ proptest! {
     fn sparse_roundtrip_is_exact((coeffs, w, h) in arb_sparse_block(), band in bands()) {
         let blk = encode_block(&coeffs, w, h, band);
         let segs: Vec<&[u8]> = (0..blk.passes.len()).map(|p| blk.segment(p)).collect();
-        let got = decode_block(w, h, band, blk.msb_planes, &segs);
+        let got = decode_block(w, h, band, blk.msb_planes, &segs).unwrap();
         prop_assert_eq!(got, coeffs);
     }
 
@@ -67,7 +67,7 @@ proptest! {
         }
         let n = (cut_seed % (blk.passes.len() as u64 + 1)) as usize;
         let segs: Vec<&[u8]> = (0..n).map(|p| blk.segment(p)).collect();
-        let got = decode_block(w, h, band, blk.msb_planes, &segs);
+        let got = decode_block(w, h, band, blk.msb_planes, &segs).unwrap();
         let actual: f64 = got
             .iter()
             .zip(&coeffs)
@@ -121,6 +121,6 @@ proptest! {
         prop_assert!((blk_pos.initial_distortion - blk_neg.initial_distortion).abs() < 1e-9);
         // And the flipped block still round-trips.
         let segs: Vec<&[u8]> = (0..blk_neg.passes.len()).map(|p| blk_neg.segment(p)).collect();
-        prop_assert_eq!(decode_block(w, h, BandCtx::Hh, blk_neg.msb_planes, &segs), flipped);
+        prop_assert_eq!(decode_block(w, h, BandCtx::Hh, blk_neg.msb_planes, &segs).unwrap(), flipped);
     }
 }

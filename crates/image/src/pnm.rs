@@ -4,15 +4,23 @@
 //! the harness: the paper's Fig. 4 visual comparison is emitted as PGM crops,
 //! and users can feed their own photographic material through these readers.
 
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+
 use crate::image::Image;
 use crate::plane::Plane;
 use std::io::{self, BufRead, Write};
+
+/// Largest pixel count (`width * height`) the reader will allocate planes
+/// for. A header is a few dozen bytes, so without a cap a tiny malicious
+/// file could claim arbitrary dimensions and drive the process out of
+/// memory before the (missing) pixel data is ever read.
+const MAX_PIXELS: usize = 1 << 28;
 
 /// Read a PGM or PPM image (binary or ASCII variant) from `r`.
 ///
 /// # Errors
 /// Returns `InvalidData` on malformed headers, unsupported magic numbers,
-/// maxval > 255, or truncated pixel data.
+/// implausibly large dimensions, maxval > 255, or truncated pixel data.
 pub fn read(r: &mut impl BufRead) -> io::Result<Image> {
     let magic = read_token(r)?;
     let (components, binary) = match magic.as_str() {
@@ -30,19 +38,26 @@ pub fn read(r: &mut impl BufRead) -> io::Result<Image> {
     if width == 0 || height == 0 {
         return Err(invalid("zero image dimension".into()));
     }
+    let n = width
+        .checked_mul(height)
+        .filter(|&n| n <= MAX_PIXELS)
+        .ok_or_else(|| invalid(format!("implausible image size {width}x{height}")))?;
     if maxval == 0 || maxval > 255 {
         return Err(invalid(format!("unsupported maxval {maxval}")));
     }
-    let n = width * height;
     let mut planes = vec![Plane::<i32>::new(width, height); components];
     if binary {
-        let mut buf = vec![0u8; n * components];
+        // components <= 3 and n <= MAX_PIXELS, so this cannot overflow.
+        let mut buf = vec![0u8; n.saturating_mul(components)];
         r.read_exact(&mut buf)?;
+        let mut samples = buf.iter();
         for y in 0..height {
             for x in 0..width {
-                let base = (y * width + x) * components;
-                for (c, plane) in planes.iter_mut().enumerate() {
-                    plane.set(x, y, i32::from(buf[base + c]));
+                for plane in planes.iter_mut() {
+                    // The buffer holds exactly n * components samples in
+                    // interleaved order; the iterator never runs dry.
+                    let v = samples.next().copied().unwrap_or(0);
+                    plane.set(x, y, i32::from(v));
                 }
             }
         }
@@ -69,6 +84,9 @@ pub fn read(r: &mut impl BufRead) -> io::Result<Image> {
 /// # Errors
 /// Propagates I/O errors; returns `InvalidInput` for component counts other
 /// than 1 or 3.
+// AUDIT(fn): writer side — operates on an in-memory `Image` this process
+// built, never on untrusted bytes.
+#[allow(clippy::arithmetic_side_effects)]
 pub fn write(w: &mut impl Write, img: &Image) -> io::Result<()> {
     let magic = match img.num_components() {
         1 => "P5",
@@ -112,6 +130,8 @@ fn read_token(r: &mut impl BufRead) -> io::Result<String> {
                 return Ok(tok);
             }
             _ => {
+                // AUDIT: fixed index 0 into the 1-byte read buffer.
+                #[allow(clippy::indexing_slicing)]
                 let ch = byte[0] as char;
                 if in_comment {
                     if ch == '\n' {
@@ -138,6 +158,7 @@ fn parse_token<T: std::str::FromStr>(r: &mut impl BufRead, what: &str) -> io::Re
 }
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use std::io::Cursor;
@@ -196,6 +217,33 @@ mod tests {
     #[test]
     fn rejects_truncated_binary() {
         assert!(read(&mut Cursor::new(b"P5 4 4 255 \x00\x01".as_slice())).is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_dimensions() {
+        // width * height would wrap usize; must be an error, not a panic
+        // or a bogus allocation.
+        let text = format!("P5 {} {} 255 ", usize::MAX, 3);
+        assert!(read(&mut Cursor::new(text.as_bytes())).is_err());
+        // Individually plausible but jointly over the pixel cap.
+        assert!(read(&mut Cursor::new(b"P5 100000 100000 255 ".as_slice())).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_header_tokens() {
+        for bad in [
+            &b"P5 -3 2 255 "[..],     // negative width
+            &b"P5 abc 2 255 "[..],    // non-numeric width
+            &b"P5 3 2 xyz "[..],      // non-numeric maxval
+            &b"P5 3 2 0 "[..],        // zero maxval
+            &b"P5 0 2 255 "[..],      // zero width
+            &b"P5 3"[..],             // header ends mid-way
+            &b"P2 2 1 255 1 boo"[..], // non-numeric ASCII sample
+            &b"P2 2 1 255 1 700"[..], // ASCII sample out of range
+            &b"P2 2 1 255 1"[..],     // truncated ASCII samples
+        ] {
+            assert!(read(&mut Cursor::new(bad)).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 #![deny(unused_must_use)]
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 
 mod raw;
 mod table;
@@ -34,6 +35,9 @@ impl CtxState {
     /// # Panics
     /// Panics if `index >= 47`.
     pub fn new(index: u8) -> Self {
+        // AUDIT: `index` is a compile-time context-initialization constant
+        // chosen by the Tier-1 coder (rows 0, 3 and 46 in practice), never
+        // a value read from the codestream.
         assert!(
             (index as usize) < QE_TABLE.len(),
             "invalid Qe index {index}"
@@ -107,6 +111,9 @@ impl MqEncoder {
     }
 
     /// Encode binary `decision` (0 or 1) in context `ctx`.
+    // AUDIT(fn): encoder side — consumes decisions this process generated,
+    // never untrusted bytes.
+    #[allow(clippy::arithmetic_side_effects)]
     #[inline]
     pub fn encode(&mut self, ctx: &mut CtxState, decision: u8) {
         debug_assert!(decision <= 1);
@@ -117,6 +124,10 @@ impl MqEncoder {
         }
     }
 
+    // AUDIT(fn): encoder side; `ctx.index` is always a valid table row
+    // (CtxState::new asserts it, and every transition assigns an
+    // nmps/nlps value from the table, all < 47).
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     #[inline]
     fn code_mps(&mut self, ctx: &mut CtxState) {
         let row = &QE_TABLE[ctx.index as usize];
@@ -136,6 +147,8 @@ impl MqEncoder {
         }
     }
 
+    // AUDIT(fn): encoder side; table-row invariant as in `code_mps`.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     #[inline]
     fn code_lps(&mut self, ctx: &mut CtxState) {
         let row = &QE_TABLE[ctx.index as usize];
@@ -153,6 +166,9 @@ impl MqEncoder {
         self.renorm();
     }
 
+    // AUDIT(fn): encoder side; Annex C register discipline (A < 0x8000 on
+    // entry, CT in 1..=12) bounds every shift and decrement.
+    #[allow(clippy::arithmetic_side_effects)]
     #[inline]
     fn renorm(&mut self) {
         loop {
@@ -168,6 +184,9 @@ impl MqEncoder {
         }
     }
 
+    // AUDIT(fn): encoder side; `bp` always indexes a pushed byte (the
+    // sentinel guarantees `buf` is never empty).
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     fn byte_out(&mut self) {
         if self.buf[self.bp] == 0xFF {
             // Stuffing: only 7 bits follow a 0xFF byte.
@@ -194,6 +213,8 @@ impl MqEncoder {
         }
     }
 
+    // AUDIT(fn): encoder side; `bp` tracks `buf.len() - 1`.
+    #[allow(clippy::arithmetic_side_effects)]
     #[inline]
     fn push(&mut self, b: u8) {
         self.buf.push(b);
@@ -202,12 +223,17 @@ impl MqEncoder {
 
     /// Number of bytes the segment would occupy if flushed now (an upper
     /// bound used for conservative rate estimates before termination).
+    // AUDIT(fn): encoder side; `bp` is a small in-memory byte count.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn bytes_upper_bound(&self) -> usize {
         // bp bytes committed (minus sentinel) + flush emits at most 2 more.
         self.bp + 2
     }
 
     /// Terminate the codeword (FLUSH) and return the segment bytes.
+    // AUDIT(fn): encoder side; register discipline as in `renorm`, and the
+    // sentinel keeps `buf[bp]` in bounds.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     pub fn flush(mut self) -> Vec<u8> {
         // SETBITS: maximize C within the final interval.
         let temp = self.c + self.a;
@@ -245,6 +271,12 @@ pub struct MqDecoder<'a> {
 
 impl<'a> MqDecoder<'a> {
     /// Initialize over `data` (INITDEC).
+    // AUDIT(fn): decoder-reachable. Register fills are shifts of freshly
+    // read bytes into an empty 28-bit C; `ct -= 7` runs right after
+    // `byte_in` set `ct` to 7 or 8. Untrusted bytes land in register
+    // *values* only — `bp` advances by 1 per read and every access goes
+    // through the bounds-checked `byte_at`.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn new(data: &'a [u8]) -> Self {
         let mut d = Self {
             data,
@@ -267,6 +299,12 @@ impl<'a> MqDecoder<'a> {
         self.data.get(i).copied().unwrap_or(0xFF)
     }
 
+    // AUDIT(fn): decoder-reachable. Every data access is either guarded by
+    // `bp < data.len()` on the same branch or goes through the
+    // bounds-checked `byte_at` (which feeds 0xFF past the end, per the
+    // standard); `bp + 1` cannot overflow because `bp <= data.len()`.
+    // C-register additions stay within 28 bits by the Annex C invariants.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     fn byte_in(&mut self) {
         if self.bp < self.data.len() && self.data[self.bp] == 0xFF {
             if self.byte_at(self.bp + 1) > 0x8F {
@@ -289,6 +327,13 @@ impl<'a> MqDecoder<'a> {
     }
 
     /// Decode one binary decision in context `ctx`.
+    // AUDIT(fn): decoder-reachable. `ctx.index` is always a valid table
+    // row: CtxState construction asserts it and every transition assigns
+    // an nmps/nlps entry from the table, all < 47 — untrusted bits select
+    // *which* transition fires, never the index value itself. The
+    // `a -= qe` / `c -= qe << 16` subtractions are guarded by the Annex C
+    // exchange comparisons, and `1 - ctx.mps` has mps ∈ {0, 1}.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     #[inline]
     pub fn decode(&mut self, ctx: &mut CtxState) -> u8 {
         let row = &QE_TABLE[ctx.index as usize];
@@ -332,6 +377,11 @@ impl<'a> MqDecoder<'a> {
         d
     }
 
+    // AUDIT(fn): decoder-reachable; `byte_in` refills whenever `ct`
+    // reaches 0, so the decrement never wraps, and A/C shifts are the
+    // standard's 16/28-bit register discipline (overflow of high garbage
+    // bits is masked off by the exchange comparisons).
+    #[allow(clippy::arithmetic_side_effects)]
     #[inline]
     fn renorm(&mut self) {
         loop {
@@ -349,6 +399,7 @@ impl<'a> MqDecoder<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

@@ -34,6 +34,8 @@ impl RawEncoder {
     }
 
     /// Append one raw bit.
+    // AUDIT(fn): encoder side — emits bits this process generated.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn put(&mut self, bit: u8) {
         debug_assert!(bit <= 1);
         self.acc = (self.acc << 1) | (bit & 1);
@@ -50,6 +52,8 @@ impl RawEncoder {
 
     /// Terminate the segment: zero-pad to a byte, append a stuffing byte if
     /// the segment would otherwise end in `0xFF`.
+    // AUDIT(fn): encoder side; `filled < nbits` whenever it is non-zero.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn flush(mut self) -> Vec<u8> {
         if self.filled > 0 {
             let pad = self.nbits - self.filled;
@@ -64,6 +68,8 @@ impl RawEncoder {
     }
 
     /// Bytes the segment would occupy if flushed now (upper bound).
+    // AUDIT(fn): encoder side; small in-memory byte count.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn bytes_upper_bound(&self) -> usize {
         self.out.len() + 2
     }
@@ -93,10 +99,15 @@ impl<'a> RawDecoder<'a> {
 
     /// Next raw bit (0 past the end — the decoder never reads more symbols
     /// than the encoder wrote).
+    // AUDIT(fn): decoder-reachable. Reads go through the bounds-checked
+    // `get`/`unwrap_or` (zero bits past the end); `left -= 1` runs right
+    // after the refill set it to 7 or 8; untrusted bytes only become bit
+    // *values*.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn get(&mut self) -> u8 {
         if self.left == 0 {
             let byte = self.data.get(self.pos).copied().unwrap_or(0);
-            self.pos += 1;
+            self.pos = self.pos.saturating_add(1);
             if self.prev_ff {
                 self.left = 7;
                 self.acc = byte << 1;
@@ -114,6 +125,7 @@ impl<'a> RawDecoder<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

@@ -5,6 +5,13 @@
 //! (only 7 payload bits), so header bytes can never form a marker. The
 //! writer byte-aligns on `finish`, emitting a mandatory stuffing bit if the
 //! last full byte was `0xFF`.
+//!
+//! The reader is on the untrusted-input boundary (DESIGN.md §9): it never
+//! indexes unchecked and feeds zero bits past the end of the data, so no
+//! input can make it panic — headers are self-delimiting and corruption
+//! surfaces as wrong decoded values, handled one layer up.
+
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 
 /// Bit-level writer with `0xFF` stuffing.
 #[derive(Debug, Default)]
@@ -29,6 +36,9 @@ impl HeaderBitWriter {
     }
 
     /// Append one bit.
+    // AUDIT(fn): encoder side; `filled` is reset whenever it reaches
+    // `nbits <= 8`, so the increment and the shift cannot overflow.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn put_bit(&mut self, bit: u8) {
         debug_assert!(bit <= 1);
         self.acc = (self.acc << 1) | u16::from(bit);
@@ -63,6 +73,9 @@ impl HeaderBitWriter {
     }
 
     /// Bits written so far (excluding alignment padding).
+    // AUDIT(fn): encoder side; header byte counts are far below
+    // usize::MAX / 8.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn bit_len(&self) -> usize {
         self.out.len() * 8 + usize::from(self.filled)
     }
@@ -91,10 +104,14 @@ impl<'a> HeaderBitReader<'a> {
     }
 
     /// Read one bit; 0 past the end (headers are self-delimiting).
+    // AUDIT(fn): decode path, but panic-free on any input — the byte fetch
+    // is a checked `get` with a zero fallback, `pos` advances saturating,
+    // and `left` is refilled to 7 or 8 before the decrement.
+    #[allow(clippy::arithmetic_side_effects)]
     pub fn get_bit(&mut self) -> u8 {
         if self.left == 0 {
             let byte = self.data.get(self.pos).copied().unwrap_or(0);
-            self.pos += 1;
+            self.pos = self.pos.saturating_add(1);
             self.left = if self.prev_ff { 7 } else { 8 };
             self.prev_ff = byte == 0xFF;
             self.acc = if self.left == 7 { byte << 1 } else { byte };
@@ -121,6 +138,7 @@ impl<'a> HeaderBitReader<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

@@ -11,6 +11,12 @@
 //! "bitstream I/O") as inherently sequential and low-cost; this crate keeps
 //! it single-threaded by design so the pipeline's serial fraction matches
 //! the paper's Fig. 3 structure.
+//!
+//! The decode half of this crate sits on the untrusted-input boundary; see
+//! DESIGN.md §9 for the threat model and the `cargo xtask audit-panics`
+//! pass that keeps it panic-free.
+
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 
 pub mod bitio;
 pub mod codestream;
@@ -19,6 +25,7 @@ pub mod pcrd;
 pub mod tagtree;
 
 pub use bitio::{HeaderBitReader, HeaderBitWriter};
-pub use packet::{decode_packet, encode_packet, BlockDecodeResult, PrecinctState};
+pub use codestream::ParseError;
+pub use packet::{decode_packet, encode_packet, BlockDecodeResult, PacketError, PrecinctState};
 pub use pcrd::{allocate_layers, BlockRd};
 pub use tagtree::TagTree;

@@ -8,9 +8,54 @@
 //! segment (Lblock state machine). pj2k terminates the MQ coder at every
 //! pass, so each pass is exactly one segment, the standard's
 //! termination-on-every-pass mode.
+//!
+//! The decode half is on the untrusted-input boundary (DESIGN.md §9): it
+//! never indexes unchecked, bounds the Lblock state machine, and reports
+//! implausible headers through [`PacketError`].
+
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 
 use crate::bitio::{HeaderBitReader, HeaderBitWriter};
 use crate::tagtree::TagTree;
+
+/// Widest pass-length field the decoder accepts. Header bits grow Lblock
+/// one at a time; a field wider than 32 bits can never describe a real
+/// segment length (`get_bits` yields a `u32`, and real encoders start at 3
+/// and only reach `bits_of(len)`), so climbing past this is proof of a
+/// corrupt header.
+pub const MAX_LBLOCK: u32 = 32;
+
+/// Largest zero-bit-plane count a header may claim before the decoder
+/// flags the block as implausible (`u32::MAX` sentinel); the coder's plane
+/// budget is far below this.
+const MAX_ZBP_THRESHOLD: u32 = 64;
+
+/// Error raised while decoding a packet header from untrusted bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// The Lblock length-coding state for `block` climbed past
+    /// [`MAX_LBLOCK`]: the header is corrupt.
+    ImplausibleLblock {
+        /// Raster index of the offending block.
+        block: usize,
+        /// The implausible Lblock value reached.
+        lblock: u32,
+    },
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PacketError::ImplausibleLblock { block, lblock } => write!(
+                f,
+                "packet header: Lblock {lblock} for block {block} exceeds the \
+                 {MAX_LBLOCK}-bit length-field cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
 
 /// Persistent per-precinct state threaded through the layers of packets.
 ///
@@ -48,6 +93,10 @@ impl PrecinctState {
     ///
     /// # Panics
     /// Panics on grid/vector size mismatch.
+    // AUDIT(fn): encoder-side construction over trusted tier-1 output; the
+    // grid and value vectors come from the code-block partition, never from
+    // untrusted bytes, so size mismatches are programming errors.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     pub fn for_encoder(
         grid_w: usize,
         grid_h: usize,
@@ -78,8 +127,12 @@ impl PrecinctState {
     }
 
     /// Decoder-side construction (values are discovered from the headers).
+    ///
+    /// The caller is responsible for capping `grid_w * grid_h` before
+    /// allocating per-block state from untrusted dimensions (see
+    /// `core::decode`'s block-count budget).
     pub fn for_decoder(grid_w: usize, grid_h: usize) -> Self {
-        let n = grid_w * grid_h;
+        let n = grid_w.saturating_mul(grid_h);
         Self {
             grid_w,
             grid_h,
@@ -92,7 +145,7 @@ impl PrecinctState {
 
     /// Number of blocks in the precinct.
     pub fn len(&self) -> usize {
-        self.grid_w * self.grid_h
+        self.grid_w.saturating_mul(self.grid_h)
     }
 
     /// True for a degenerate empty precinct.
@@ -100,12 +153,15 @@ impl PrecinctState {
         self.len() == 0
     }
 
-    /// Cumulative passes included so far for block `b`.
+    /// Cumulative passes included so far for block `b` (0 out of range).
     pub fn included_passes(&self, b: usize) -> usize {
-        self.included[b]
+        self.included.get(b).copied().unwrap_or(0)
     }
 }
 
+// AUDIT(fn): encoder-side helper; `v >= 1` is asserted by the caller on
+// trusted pass lengths, and `leading_zeros() <= usize::BITS` always.
+#[allow(clippy::arithmetic_side_effects)]
 fn bits_of(v: usize) -> u8 {
     debug_assert!(v >= 1);
     (usize::BITS - v.leading_zeros()) as u8
@@ -121,6 +177,10 @@ fn bits_of(v: usize) -> u8 {
 ///
 /// # Panics
 /// Panics on size mismatches or if `upto` regresses.
+// AUDIT(fn): encoder-side path over trusted tier-1 output — pass counts,
+// lengths, and grid indices come from the encoder's own partition, never
+// from untrusted bytes; the asserts below are programming-error tripwires.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn encode_packet(
     state: &mut PrecinctState,
     layer: usize,
@@ -182,17 +242,29 @@ pub fn encode_packet(
 
 /// Decode the header of one packet; advances `state` and reports each
 /// block's new segments.
+///
+/// Never panics on malformed input: structurally impossible headers yield
+/// a [`PacketError`], implausible zero-bit-plane climbs are flagged with a
+/// `u32::MAX` sentinel in [`BlockDecodeResult::zero_bitplanes`] (rejected
+/// by the caller's Kmax validation), and segment lengths are for the
+/// caller to bounds-check against the remaining body bytes.
+// AUDIT(fn): arithmetic here is grid-index math bounded by the precinct's
+// block count n = grid_w * grid_h (allocation-capped by the caller), the
+// layer index (caller-validated <= 4096), and the Lblock climb, which is
+// capped at MAX_LBLOCK before use. Indexing stays denied: all element
+// access goes through get/get_mut.
+#[allow(clippy::arithmetic_side_effects)]
 pub fn decode_packet(
     state: &mut PrecinctState,
     layer: usize,
     data: &[u8],
-) -> (Vec<BlockDecodeResult>, usize) {
+) -> Result<(Vec<BlockDecodeResult>, usize), PacketError> {
     let mut r = HeaderBitReader::new(data);
     let n = state.len();
     let mut out = vec![BlockDecodeResult::default(); n];
     for (b, slot) in out.iter_mut().enumerate() {
-        slot.prev_passes = state.included[b];
-        if state.included[b] > 0 {
+        slot.prev_passes = state.included.get(b).copied().unwrap_or(0);
+        if slot.prev_passes > 0 {
             // Zero-bit-plane counts were learned at first inclusion and
             // stay valid for every later packet, including empty ones.
             let (x, y) = (b % state.grid_w, b / state.grid_w);
@@ -201,20 +273,20 @@ pub fn decode_packet(
     }
     if r.get_bit() == 0 {
         // Empty packet: single zero bit, aligned to one byte.
-        return (out, 1.max(r.bytes_consumed()));
+        return Ok((out, 1.max(r.bytes_consumed())));
     }
     for y in 0..state.grid_h {
         for x in 0..state.grid_w {
             let b = y * state.grid_w + x;
-            out[b].prev_passes = state.included[b];
+            let prev = state.included.get(b).copied().unwrap_or(0);
             let included_now;
-            if state.included[b] == 0 {
+            if prev == 0 {
                 included_now = state.incl_tree.decode(x, y, layer as u32 + 1, &mut r);
                 if included_now {
                     let mut t = 1;
                     while !state.zbp_tree.decode(x, y, t, &mut r) {
                         t += 1;
-                        if t > 64 {
+                        if t > MAX_ZBP_THRESHOLD {
                             // Corrupt header: a zero-bit-plane count can
                             // never exceed the coder's plane budget. Flag
                             // the block as implausible and stop climbing
@@ -222,35 +294,52 @@ pub fn decode_packet(
                             break;
                         }
                     }
-                    out[b].zero_bitplanes = if t > 64 {
+                    let zbp = if t > MAX_ZBP_THRESHOLD {
                         u32::MAX
                     } else {
                         state.zbp_tree.leaf_value(x, y)
                     };
+                    if let Some(slot) = out.get_mut(b) {
+                        slot.zero_bitplanes = zbp;
+                    }
                 }
             } else {
                 included_now = r.get_bit() == 1;
-                out[b].zero_bitplanes = state.zbp_tree.leaf_value(x, y);
             }
             if !included_now {
                 continue;
             }
             let new = decode_pass_count(&mut r);
+            let mut lblock = state.lblock.get(b).copied().unwrap_or(3);
+            let mut seg_lens = Vec::with_capacity(new);
             for _ in 0..new {
                 while r.get_bit() == 1 {
-                    state.lblock[b] += 1;
+                    lblock += 1;
+                    if lblock > MAX_LBLOCK {
+                        return Err(PacketError::ImplausibleLblock { block: b, lblock });
+                    }
                 }
-                let len = r.get_bits(state.lblock[b] as u8) as usize;
-                out[b].seg_lens.push(len);
+                seg_lens.push(r.get_bits(lblock as u8) as usize);
             }
-            out[b].new_passes = new;
-            state.included[b] += new;
+            if let Some(s) = state.lblock.get_mut(b) {
+                *s = lblock;
+            }
+            if let Some(s) = state.included.get_mut(b) {
+                *s = s.saturating_add(new);
+            }
+            if let Some(slot) = out.get_mut(b) {
+                slot.new_passes = new;
+                slot.seg_lens = seg_lens;
+            }
         }
     }
-    (out, r.bytes_consumed())
+    Ok((out, r.bytes_consumed()))
 }
 
 /// Number-of-passes codewords (Table B.4).
+// AUDIT(fn): encoder-side; tier-1 pass counts are bounded by the plane
+// budget (at most 1 + 3*30 = 91 passes), far below the 164 codeword limit.
+#[allow(clippy::arithmetic_side_effects)]
 fn encode_pass_count(w: &mut HeaderBitWriter, n: usize) {
     match n {
         1 => w.put_bit(0),
@@ -274,6 +363,9 @@ fn encode_pass_count(w: &mut HeaderBitWriter, n: usize) {
     }
 }
 
+// AUDIT(fn): decoder path, but every sum is bounded by its codeword class
+// (`get_bits(7) <= 127`, so the largest result is 37 + 127 = 164).
+#[allow(clippy::arithmetic_side_effects)]
 fn decode_pass_count(r: &mut HeaderBitReader) -> usize {
     if r.get_bit() == 0 {
         return 1;
@@ -293,6 +385,7 @@ fn decode_pass_count(r: &mut HeaderBitReader) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
 
@@ -350,7 +443,7 @@ mod tests {
         }
         let mut dec = PrecinctState::for_decoder(gw, gh);
         for (l, hdr) in headers.iter().enumerate() {
-            let (results, _consumed) = decode_packet(&mut dec, l, hdr);
+            let (results, _consumed) = decode_packet(&mut dec, l, hdr).unwrap();
             for (b, res) in results.iter().enumerate() {
                 let prev = if l == 0 { 0 } else { alloc[l - 1][b] };
                 let want_new = alloc[l][b] - prev;
@@ -376,7 +469,7 @@ mod tests {
         );
         assert_eq!(hdr.len(), 1);
         let mut dec = PrecinctState::for_decoder(2, 2);
-        let (results, consumed) = decode_packet(&mut dec, 0, &hdr);
+        let (results, consumed) = decode_packet(&mut dec, 0, &hdr).unwrap();
         assert_eq!(consumed, 1);
         assert!(results.iter().all(|r| r.new_passes == 0));
     }
@@ -388,7 +481,7 @@ mod tests {
         let mut enc = PrecinctState::for_encoder(1, 1, &[0], &[7]);
         let hdr = encode_packet(&mut enc, 0, &[40], &pass_lens);
         let mut dec = PrecinctState::for_decoder(1, 1);
-        let (results, _) = decode_packet(&mut dec, 0, &hdr);
+        let (results, _) = decode_packet(&mut dec, 0, &hdr).unwrap();
         assert_eq!(results[0].new_passes, 40);
         assert_eq!(results[0].seg_lens, lens);
         assert_eq!(results[0].zero_bitplanes, 7);
@@ -401,10 +494,10 @@ mod tests {
         let h0 = encode_packet(&mut enc, 0, &[2, 0], &pass_lens);
         let h1 = encode_packet(&mut enc, 1, &[2, 0], &pass_lens);
         let mut dec = PrecinctState::for_decoder(2, 1);
-        let (r0, _) = decode_packet(&mut dec, 0, &h0);
+        let (r0, _) = decode_packet(&mut dec, 0, &h0).unwrap();
         assert_eq!(r0[0].new_passes, 2);
         assert_eq!(r0[1].new_passes, 0);
-        let (r1, _) = decode_packet(&mut dec, 1, &h1);
+        let (r1, _) = decode_packet(&mut dec, 1, &h1).unwrap();
         assert_eq!(r1[0].new_passes, 0);
         assert_eq!(r1[1].new_passes, 0);
     }
@@ -415,7 +508,7 @@ mod tests {
         let mut enc = PrecinctState::for_encoder(1, 1, &[0], &[0]);
         let hdr = encode_packet(&mut enc, 0, &[3], &pass_lens);
         let mut dec = PrecinctState::for_decoder(1, 1);
-        let (results, _) = decode_packet(&mut dec, 0, &hdr);
+        let (results, _) = decode_packet(&mut dec, 0, &hdr).unwrap();
         assert_eq!(results[0].seg_lens, pass_lens[0]);
     }
 
@@ -426,7 +519,7 @@ mod tests {
         let mut dec = PrecinctState::for_decoder(1, 1);
         // non-empty bit = 1, inclusion bit = 1, then nothing: the reader
         // returns zeros forever.
-        let (results, _) = decode_packet(&mut dec, 0, &[0b1100_0000]);
+        let (results, _) = decode_packet(&mut dec, 0, &[0b1100_0000]).unwrap();
         assert_eq!(
             results[0].zero_bitplanes,
             u32::MAX,
@@ -435,12 +528,31 @@ mod tests {
     }
 
     #[test]
+    fn runaway_lblock_is_an_error_not_garbage() {
+        // Bits: 1 (non-empty), 1 (included at layer 0), 1 (zbp = 0),
+        // 0 (one pass), then all-ones: each 1 bumps Lblock, so the climb
+        // must hit the MAX_LBLOCK cap and error out instead of wrapping
+        // into a garbage length field.
+        let data = [0b1110_1111, 0xFF, 0x7F, 0xFF, 0x7F, 0xFF, 0x7F];
+        let mut dec = PrecinctState::for_decoder(1, 1);
+        let err = decode_packet(&mut dec, 0, &data).unwrap_err();
+        assert_eq!(
+            err,
+            PacketError::ImplausibleLblock {
+                block: 0,
+                lblock: MAX_LBLOCK + 1
+            }
+        );
+        assert!(err.to_string().contains("Lblock"));
+    }
+
+    #[test]
     fn header_bytes_consumed_matches_length() {
         let pass_lens = vec![vec![10, 20], vec![5]];
         let mut enc = PrecinctState::for_encoder(2, 1, &[0, 0], &[2, 4]);
         let hdr = encode_packet(&mut enc, 0, &[2, 1], &pass_lens);
         let mut dec = PrecinctState::for_decoder(2, 1);
-        let (_, consumed) = decode_packet(&mut dec, 0, &hdr);
+        let (_, consumed) = decode_packet(&mut dec, 0, &hdr).unwrap();
         assert_eq!(consumed, hdr.len());
     }
 }

@@ -14,6 +14,13 @@
 //! Layers are allocated incrementally: each layer continues the greedy scan
 //! from the previous layer's state, so per-block inclusion is monotone
 //! across layers by construction, as Tier-2 requires.
+//!
+//! This module is encoder-only: PCRD consumes the encoder's own tier-1
+//! rate/distortion statistics and is never reachable from untrusted
+//! decoder input, so its panics are programming-error tripwires
+//! (DESIGN.md §9).
+
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 
 /// Cumulative rate/distortion trajectory of one code-block.
 ///
@@ -39,6 +46,10 @@ impl BlockRd {
     /// # Panics
     /// Panics if `rates` and `dists` differ in length or rates are not
     /// strictly increasing.
+    // AUDIT(fn): encoder-only; the asserts pin the caller contract on
+    // trusted tier-1 statistics, and every index derives from hull entries
+    // `1..=rates.len()` or validated window pairs.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     pub fn hull(&self) -> Vec<usize> {
         assert_eq!(
             self.rates.len(),
@@ -103,6 +114,10 @@ struct Increment {
 ///
 /// # Panics
 /// Panics if budgets decrease or any block's rates are malformed.
+// AUDIT(fn): encoder-only; hull pass counts index `rates`/`dists` of the
+// same block (hull entries are `<= rates.len()` by construction), block
+// indices come from `enumerate`, and rate deltas are hull-monotone.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn allocate_layers(blocks: &[BlockRd], layer_budgets: &[usize]) -> Vec<Vec<usize>> {
     for w in layer_budgets.windows(2) {
         assert!(w[0] <= w[1], "layer budgets must be non-decreasing");
@@ -166,6 +181,9 @@ pub fn allocate_layers(blocks: &[BlockRd], layer_budgets: &[usize]) -> Vec<Vec<u
 }
 
 /// True when `next` immediately follows `cur` in block `b`'s hull.
+// AUDIT(fn): encoder-only; `b` enumerates `blocks` and `p >= 1` in the
+// indexed arm.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 fn is_next_hull_step(blocks: &[BlockRd], b: usize, cur: usize, next: usize) -> bool {
     let hull = blocks[b].hull();
     match hull.iter().position(|&n| n == next) {
@@ -176,6 +194,7 @@ fn is_next_hull_step(blocks: &[BlockRd], b: usize, cur: usize, next: usize) -> b
 }
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

@@ -5,6 +5,15 @@
 //! incrementally as the coder asks "is leaf (x, y) < threshold?". Packet
 //! headers use two: one for first-inclusion layers and one for
 //! zero-bit-plane counts.
+//!
+//! Untrusted-input note (DESIGN.md §9): header bits only ever influence
+//! node *values* and lower bounds, never node *indices* — the tree shape
+//! and every parent pointer are fixed at construction from caller-supplied
+//! grid dimensions, and the decode climb is bounded by the caller's
+//! threshold. That invariant is what the `AUDIT(fn)` annotations below
+//! rely on.
+
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 
 use crate::bitio::{HeaderBitReader, HeaderBitWriter};
 
@@ -37,6 +46,13 @@ impl TagTree {
     ///
     /// # Panics
     /// Panics if `w * h == 0`.
+    // AUDIT(fn): construction-time geometry only. The level dims shrink by
+    // div_ceil(2) per level down to (1, 1), every parent index was pushed
+    // in an earlier (already materialized) level, and the caller caps
+    // `w * h` before building per-precinct state from untrusted
+    // dimensions; the non-empty assert is the caller's contract, checked
+    // in `core::decode` before any tree is built.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     pub fn new(w: usize, h: usize) -> Self {
         assert!(w > 0 && h > 0, "empty tag tree");
         // Build levels from root (1x1) down to leaves; nodes stored
@@ -92,6 +108,9 @@ impl TagTree {
     /// Assign leaf `(x, y)`'s value (encoder side). Must be called for every
     /// leaf before encoding; internal minima are recomputed lazily by
     /// [`TagTree::finalize`].
+    // AUDIT(fn): `leaf_index` bounds-checks (x, y), so the node index is
+    // in range by construction.
+    #[allow(clippy::indexing_slicing)]
     pub fn set_value(&mut self, x: usize, y: usize, v: u32) {
         let i = self.leaf_index(x, y);
         self.nodes[i].value = v;
@@ -99,6 +118,9 @@ impl TagTree {
 
     /// Propagate leaf values up as minima (encoder side, after all
     /// `set_value` calls).
+    // AUDIT(fn): iterates the node vec by its own indices; parent pointers
+    // were created pointing at already-pushed nodes, so `p < i < len`.
+    #[allow(clippy::indexing_slicing)]
     pub fn finalize(&mut self) {
         // Children are stored after parents; iterate in reverse so leaves
         // update their parents first.
@@ -118,11 +140,20 @@ impl TagTree {
         }
     }
 
+    // AUDIT(fn): the assert is a caller-contract tripwire — packet coding
+    // iterates x < w, y < h of its own grid, so untrusted bytes cannot
+    // select an out-of-range leaf; the sum then stays within the node vec
+    // whose final level holds exactly w * h leaves.
+    #[allow(clippy::arithmetic_side_effects)]
     fn leaf_index(&self, x: usize, y: usize) -> usize {
         assert!(x < self.w && y < self.h, "leaf out of range");
         self.leaf_base + y * self.w + x
     }
 
+    // AUDIT(fn): walks fixed parent pointers (each `< len` and strictly
+    // decreasing until the self-parenting root), so the walk is in-bounds
+    // and terminates regardless of input bits.
+    #[allow(clippy::indexing_slicing)]
     fn path_to(&self, leaf: usize) -> Vec<usize> {
         let mut path = vec![leaf];
         let mut i = leaf;
@@ -137,6 +168,9 @@ impl TagTree {
     /// Encode knowledge about leaf `(x, y)` up to `threshold`: after this
     /// call the decoder can answer "value < threshold?" (and knows the exact
     /// value if it is `< threshold`).
+    // AUDIT(fn): encoder side; node indices come from `path_to` (in-bounds
+    // by construction) and `low` increments strictly below `threshold`.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     pub fn encode(&mut self, x: usize, y: usize, threshold: u32, out: &mut HeaderBitWriter) {
         let leaf = self.leaf_index(x, y);
         let mut low = 0;
@@ -164,6 +198,15 @@ impl TagTree {
     /// Decode knowledge about leaf `(x, y)` up to `threshold`; returns
     /// `true` when the leaf's value is known to be `< threshold` (and then
     /// [`TagTree::leaf_value`] returns it).
+    ///
+    /// Input bits only set node values/known flags; they cannot steer an
+    /// index or unbound the climb (`low` stays `< threshold`), so malformed
+    /// bits can at worst mis-decode a value — never panic.
+    // AUDIT(fn): node indices come from `path_to` (fixed parent pointers,
+    // in-bounds by construction); `low += 1` is guarded by
+    // `low < threshold`, and the caller bounds the threshold (layer index
+    // or the zero-bit-plane cap).
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     pub fn decode(
         &mut self,
         x: usize,
@@ -197,12 +240,15 @@ impl TagTree {
     }
 
     /// Decoded (or assigned) value of leaf `(x, y)`.
+    // AUDIT(fn): `leaf_index` bounds-checks (x, y) against the leaf grid.
+    #[allow(clippy::indexing_slicing)]
     pub fn leaf_value(&self, x: usize, y: usize) -> u32 {
         self.nodes[self.leaf_index(x, y)].value
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

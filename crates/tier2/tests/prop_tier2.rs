@@ -172,7 +172,7 @@ proptest! {
         let mut dec = PrecinctState::for_decoder(gw, gh);
         for (l, upto) in alloc.iter().enumerate() {
             let hdr = encode_packet(&mut enc, l, upto, &pass_lens);
-            let (results, _) = decode_packet(&mut dec, l, &hdr);
+            let (results, _) = decode_packet(&mut dec, l, &hdr).unwrap();
             for (b, res) in results.iter().enumerate() {
                 let prev = if l == 0 { 0 } else { alloc[l - 1][b] };
                 prop_assert_eq!(res.prev_passes, prev, "layer {} block {}", l, b);

@@ -1,9 +1,10 @@
 //! `xtask ci` — the one-command verification gate.
 //!
 //! Runs, in order: `cargo fmt --check`, `cargo clippy -D warnings`, the
-//! project lint pass (in-process), and `cargo test`. All steps run even if
-//! an earlier one fails, so a single invocation reports every problem; the
-//! exit status is non-zero if any step failed.
+//! project lint pass (in-process), the panic-path audit (in-process), and
+//! `cargo test`. All steps run even if an earlier one fails, so a single
+//! invocation reports every problem; the exit status is non-zero if any
+//! step failed.
 
 use std::path::Path;
 use std::process::Command;
@@ -55,6 +56,7 @@ pub fn run(root: &Path, opts: &CiOptions) -> i32 {
             .current_dir(root),
     );
     let lint = step_lint(root);
+    let audit = step_audit(root);
     let test = step_cmd(
         "test",
         opts.skip_tests,
@@ -62,7 +64,7 @@ pub fn run(root: &Path, opts: &CiOptions) -> i32 {
             .args(["test", "--workspace", "-q"])
             .current_dir(root),
     );
-    let results = [fmt, clippy, lint, test];
+    let results = [fmt, clippy, lint, audit, test];
 
     println!("\n== ci summary ==");
     let mut failed = false;
@@ -123,6 +125,33 @@ fn step_lint(root: &Path) -> StepResult {
     };
     StepResult {
         name: "lint",
+        outcome,
+    }
+}
+
+fn step_audit(root: &Path) -> StepResult {
+    println!("== ci: audit-panics ==");
+    let outcome = match crate::audit::audit_workspace(root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.violations.is_empty() {
+                println!("audit-panics: clean ({} files)", report.files_scanned);
+                Outcome::Pass
+            } else {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("audit-panics: {} violation(s)", report.violations.len());
+                Outcome::Fail
+            }
+        }
+        Err(err) => {
+            eprintln!("audit-panics: io error: {err}");
+            Outcome::Fail
+        }
+    };
+    StepResult {
+        name: "audit-panics",
         outcome,
     }
 }

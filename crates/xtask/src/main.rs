@@ -3,12 +3,17 @@
 //! * `cargo run -p xtask -- lint` — project-specific concurrency/safety
 //!   lint over every crate (see [`lint`] for the rules) plus a full
 //!   `unsafe` inventory report. Exits non-zero on any violation.
+//! * `cargo run -p xtask -- audit-panics` — static panic-path audit of the
+//!   decoder-reachable scope (see [`audit`]): every panic site must carry
+//!   an `// AUDIT:` justification. Exits non-zero on any unaudited site.
 //! * `cargo run -p xtask -- ci` — the full verification gate: fmt check,
-//!   clippy `-D warnings`, the custom lint, and the test suite.
+//!   clippy `-D warnings`, the custom lint, the panic audit, and the test
+//!   suite.
 //!
 //! The binary is intentionally dependency-free so it builds anywhere the
 //! Rust toolchain exists, including offline CI runners.
 
+mod audit;
 mod ci;
 mod lint;
 mod scan;
@@ -23,6 +28,10 @@ fn main() -> ExitCode {
         Some("lint") => {
             let quiet = args.iter().any(|a| a == "--quiet");
             run_lint(&root, quiet)
+        }
+        Some("audit-panics") => {
+            let quiet = args.iter().any(|a| a == "--quiet");
+            run_audit(&root, quiet)
         }
         Some("ci") => {
             let opts = ci::CiOptions {
@@ -74,6 +83,39 @@ fn run_lint(root: &Path, quiet: bool) -> ExitCode {
     }
 }
 
+fn run_audit(root: &Path, quiet: bool) -> ExitCode {
+    match audit::audit_workspace(root) {
+        Ok(report) => {
+            if !quiet {
+                print!("{}", report.render());
+            } else {
+                println!(
+                    "panic-site inventory: {} sites across {} files",
+                    report.sites.len(),
+                    report.files_scanned
+                );
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "audit-panics: clean ({} files scanned)",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("audit-panics: {} violation(s)", report.violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("audit-panics: io error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Locate the workspace root: walk up from the current directory to the
 /// first directory containing a `crates/` subdirectory and a `Cargo.toml`.
 fn workspace_root() -> PathBuf {
@@ -98,7 +140,9 @@ fn print_help() {
          COMMANDS:\n\
          \tlint\trun the project lint rules + unsafe inventory\n\
          \t\t--quiet\tsummarize the inventory instead of listing sites\n\
-         \tci\tfmt-check + clippy -D warnings + lint + tests\n\
+         \taudit-panics\tstatic panic-path audit of the decode pipeline\n\
+         \t\t--quiet\tsummarize the inventory instead of listing sites\n\
+         \tci\tfmt-check + clippy -D warnings + lint + audit + tests\n\
          \t\t--skip-fmt | --skip-clippy | --skip-tests\n\
          \thelp\tthis message\n\
          \n\

@@ -1,0 +1,46 @@
+//! Codestream-layer fuzz target: marker/segment walking and payload
+//! field reads over arbitrary bytes.
+//!
+//! Exercises `MarkerReader`/`PayloadReader` directly, below the semantic
+//! validation `Decoder::decode` performs, so parser-level bounds bugs
+//! surface even when the higher layers would have rejected the stream.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use pj2k_tier2::codestream::{MarkerReader, PayloadReader};
+
+fuzz_target!(|data: &[u8]| {
+    let mut r = MarkerReader::new(data);
+    // Walk marker segments until the reader errors or the data runs out.
+    for _ in 0..4096 {
+        let marker = match r.peek_marker() {
+            Ok(m) => m,
+            Err(e) => {
+                let _ = format!("{e}");
+                break;
+            }
+        };
+        match r.expect_segment(marker) {
+            Ok(payload) => {
+                // Drain the payload through every field-read width.
+                let mut p = PayloadReader::new(payload);
+                while p.u32().is_ok() {}
+                let mut p = PayloadReader::new(payload);
+                loop {
+                    if p.u8().is_err() || p.u16().is_err() || p.f64().is_err() {
+                        break;
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = format!("{e}");
+                // Delimiter-style markers carry no length; skip the two
+                // marker bytes and keep walking.
+                if r.raw(2).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+});

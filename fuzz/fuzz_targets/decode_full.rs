@@ -1,0 +1,19 @@
+//! Full-pipeline fuzz target: `Decoder::decode` over arbitrary bytes.
+//!
+//! The whole decode path — codestream parse, packet headers, Tier-1,
+//! inverse DWT, color transform — must return `Ok` or `Err` without
+//! panicking or allocating disproportionately to the input size. Seed the
+//! corpus with encoder output (see `fuzz/seed_corpus.sh`) so coverage
+//! starts past the header parser.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use pj2k_core::Decoder;
+
+fuzz_target!(|data: &[u8]| {
+    if let Err(e) = Decoder::default().decode(data) {
+        // Error rendering is part of the attack surface too.
+        let _ = format!("{e}");
+    }
+});

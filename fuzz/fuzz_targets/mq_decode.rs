@@ -1,0 +1,27 @@
+//! MQ-decoder fuzz target: drive the arithmetic decoder over arbitrary
+//! compressed bytes with rotating contexts.
+//!
+//! The MQ decoder's contract (DESIGN.md §9): a malformed segment decodes
+//! to *some* symbol sequence — the A/C register discipline and the Qe
+//! table's closed transition graph keep every index in bounds, and
+//! reading past the end feeds synthetic 0xFF marker bytes, never a slice
+//! overrun.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use pj2k_mq::{CtxState, MqDecoder};
+
+fuzz_target!(|data: &[u8]| {
+    let mut dec = MqDecoder::new(data);
+    // The standard Tier-1 initialization rows.
+    let mut ctxs = [CtxState::new(0), CtxState::new(3), CtxState::new(46)];
+    // Decode well past the end of the data to exercise the synthetic-0xFF
+    // tail path.
+    let n = data.len() * 8 + 64;
+    for i in 0..n {
+        let ctx = &mut ctxs[i % 3];
+        let bit = dec.decode(ctx);
+        assert!(bit <= 1);
+    }
+});

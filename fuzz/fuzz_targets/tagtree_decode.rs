@@ -1,0 +1,30 @@
+//! Tag-tree fuzz target: decode arbitrary bit streams into tag trees of
+//! fuzzer-chosen geometry.
+//!
+//! The invariant under test (DESIGN.md §9): input bits set node values
+//! and known-flags but can never steer an index, so malformed bits may
+//! mis-decode a value — never panic or loop unboundedly.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use pj2k_tier2::bitio::HeaderBitReader;
+use pj2k_tier2::TagTree;
+
+fuzz_target!(|data: &[u8]| {
+    let [w, h, t, rest @ ..] = data else { return };
+    // Grid geometry is encoder-controlled (precinct layout), not
+    // attacker-controlled; keep it in the realistic range.
+    let (w, h) = (usize::from(w % 16) + 1, usize::from(h % 16) + 1);
+    let threshold = u32::from(t % 40) + 1;
+    let mut tree = TagTree::new(w, h);
+    let mut bits = HeaderBitReader::new(rest);
+    for y in 0..h {
+        for x in 0..w {
+            let known = tree.decode(x, y, threshold, &mut bits);
+            if known {
+                assert!(tree.leaf_value(x, y) < threshold);
+            }
+        }
+    }
+});

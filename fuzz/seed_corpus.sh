@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Seed the fuzz corpora with real encoder output so coverage starts past
+# the header parser instead of rediscovering the marker grammar bit by bit.
+#
+# Usage: ./fuzz/seed_corpus.sh   (from the repository root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+for t in decode_full codestream_parse tagtree_decode mq_decode; do
+    mkdir -p "fuzz/corpus/$t"
+done
+
+# The ignored `write_fuzz_seed_corpus` test in crates/core/tests/hardening.rs
+# encodes the harness's synthetic test images and drops the codestreams
+# into $PJ2K_SEED_DIR — the same corpus the mutation sweeps run over.
+PJ2K_SEED_DIR="$PWD/fuzz/corpus/decode_full" \
+    cargo test -q -p pj2k-core --test hardening write_fuzz_seed_corpus -- --ignored
+
+# The codestream parser shares the decode_full seeds.
+cp -n fuzz/corpus/decode_full/* fuzz/corpus/codestream_parse/ 2>/dev/null || true
+
+# Tag-tree and MQ targets take raw bit/byte soup; short varied seeds are
+# enough to get the geometry prefix explored.
+for i in $(seq 0 15); do
+    head -c $((16 + i * 8)) /dev/urandom >"fuzz/corpus/tagtree_decode/rand-$i"
+    head -c $((16 + i * 8)) /dev/urandom >"fuzz/corpus/mq_decode/rand-$i"
+done
+
+echo "seeded: $(ls fuzz/corpus/decode_full | wc -l) codestreams + random bit seeds"
