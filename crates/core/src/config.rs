@@ -2,6 +2,7 @@
 //! the two axes the paper studies — parallelization mode and
 //! vertical-filtering strategy.
 
+pub use pj2k_dwt::LiftingMode;
 use pj2k_dwt::Wavelet;
 pub use pj2k_ebcot::Tier1Options;
 pub use pj2k_parutil::Schedule;
@@ -83,6 +84,29 @@ impl FilterStrategy {
     }
 }
 
+/// How the encoder sequences the DWT → quantization → Tier-1 stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageOverlap {
+    /// Whole-image barriers between stages: every component is fully
+    /// transformed, then fully quantized, then fully block-coded — the
+    /// paper's Fig. 1 pipeline run stage by stage.
+    Barriered,
+    /// As soon as a decomposition level finalizes its `HL`/`LH`/`HH`
+    /// subbands they are handed to quantization and Tier-1 block coding on
+    /// the worker pool, while the next DWT level proceeds on the shrinking
+    /// `LL` region. The codestream is bit-identical to [`Barriered`]
+    /// (asserted in tests); only the schedule changes.
+    ///
+    /// Configurations the overlap cannot express fall back to the
+    /// barriered path transparently: an ROI (MAXSHIFT rescales coefficients
+    /// *across* subbands after quantization) and
+    /// [`ParallelMode::Rayon`] (the OpenMP analogue in the paper is
+    /// barrier-stepped loop splitting).
+    ///
+    /// [`Barriered`]: StageOverlap::Barriered
+    Pipelined,
+}
+
 /// A rectangular region of interest in image pixel coordinates.
 ///
 /// Coded with the MAXSHIFT method (ISO 15444-1 Annex H): quantized
@@ -138,6 +162,13 @@ pub struct EncoderConfig {
     pub parallel: ParallelMode,
     /// Vertical filtering strategy.
     pub filter: FilterStrategy,
+    /// Lifting traversal of both filtering directions: the reference
+    /// one-sweep-per-step kernels, or the fused single-pass kernels
+    /// (bit-identical outputs, a fraction of the memory traffic).
+    pub lifting: LiftingMode,
+    /// Whether DWT, quantization and Tier-1 run barrier-separated or
+    /// overlapped per decomposition level.
+    pub overlap: StageOverlap,
     /// Tier-1 coding-style options (stripe-causal contexts, per-pass
     /// context reset). Signalled in the codestream header.
     pub tier1: Tier1Options,
@@ -164,6 +195,8 @@ impl Default for EncoderConfig {
             tiles: None,
             parallel: ParallelMode::Sequential,
             filter: FilterStrategy::Naive,
+            lifting: LiftingMode::PerStep,
+            overlap: StageOverlap::Barriered,
             tier1: Tier1Options::default(),
             tier1_schedule: Schedule::StaggeredRoundRobin,
             roi: None,

@@ -48,7 +48,8 @@ pub mod report;
 pub mod roi;
 
 pub use config::{
-    ConfigError, EncoderConfig, FilterStrategy, ParallelMode, RateControl, Roi, Schedule,
+    ConfigError, EncoderConfig, FilterStrategy, LiftingMode, ParallelMode, RateControl, Roi,
+    Schedule, StageOverlap,
 };
 pub use decode::{CodecError, DecodeReport, Decoder};
 pub use encode::{EncodeReport, Encoder};

@@ -34,6 +34,23 @@ pub fn distortion_scale(step: f64, level: u8, band: Band) -> f64 {
     (step * g) * (step * g)
 }
 
+/// Quantize one coefficient with a precomputed reciprocal step
+/// `inv = 1/Δ_b`: `q = sign(v) * floor(|v| * inv)`.
+///
+/// This is the exact expression [`quantize_plane`] applies per sample; the
+/// pipelined encoder calls it directly while staging subband coefficients
+/// into the Tier-1 scratch buffer, so both paths stay bit-identical by
+/// construction.
+#[inline]
+pub fn quantize_value(v: f32, inv: f64) -> i32 {
+    let q = (f64::from(v).abs() * inv).floor() as i32;
+    if v < 0.0 {
+        -q
+    } else {
+        q
+    }
+}
+
 /// Quantize an f32 coefficient plane into i32 indices, in place over rows
 /// split across `exec` workers: `q = sign(v) * floor(|v| / step)`.
 pub fn quantize_plane(
@@ -61,8 +78,7 @@ pub fn quantize_plane(
             // owned by this worker and in bounds (debug-asserted above).
             let dst_row = unsafe { dst_ptr.slice_mut(y * dst_stride + x0, w) };
             for (d, &v) in dst_row.iter_mut().zip(src_row) {
-                let q = (f64::from(v).abs() * inv).floor() as i32;
-                *d = if v < 0.0 { -q } else { q };
+                *d = quantize_value(v, inv);
             }
         }
     });

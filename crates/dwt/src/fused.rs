@@ -1,0 +1,906 @@
+//! Fused single-pass lifting kernels ("single-loop" schemes).
+//!
+//! The per-step kernels in [`crate::lift`] and [`crate::vertical`] make one
+//! full sweep over the signal *per lifting step* — two sweeps for 5/3, five
+//! (four lifting + scaling) for 9/7, plus a deinterleave pass. For a
+//! memory-bound transform that traffic dominates. The kernels here apply
+//! every predict/update/scale step in a single rolling sweep: a small
+//! coefficient-history window (one value for 5/3, three for 9/7) carries
+//! the partially-lifted boundary of the sweep, and each input sample is
+//! read exactly once.
+//!
+//! Every kernel computes *bit-identical* outputs to its per-step
+//! counterpart: each output coefficient is produced by the same arithmetic
+//! expressions, on the same operand values, in the same order — fusion only
+//! reorders *between* independent coefficients, never inside one. The
+//! integer 5/3 path is exactly identical; the 9/7 path is identical to the
+//! last float bit (asserted by unit tests and property tests).
+//!
+//! Whole-sample symmetric extension matches [`crate::lift::mirror`] exactly,
+//! including the degenerate 1- and 2-sample signals:
+//! `x[-1] = x[1]`, `x[n] = x[n-2]`, and a 1-sample signal is the identity.
+//!
+//! Layout conventions match the per-step kernels: analysis leaves the
+//! deinterleaved `[low | high]` Mallat halves with `ceil(n/2)` low
+//! coefficients; synthesis consumes that layout.
+//!
+//! The vertical (column) kernels keep the strip discipline of
+//! [`crate::vertical`]: the inner loop iterates across `strip` adjacent
+//! columns of one row so every fetched cache line is fully used and the
+//! compiler can vectorize the lane loop. Per-lane history lives in small
+//! scratch arrays. Low rows are written in place *behind* the read front
+//! (the rolling sweep reads rows `2i..=2i+2` while writing row `i` or
+//! `i-1`, which the sweep has already consumed); high rows are buffered in
+//! scratch and stored to the bottom half afterwards, so the whole vertical
+//! pass touches each coefficient once on read and ~1.5 times on write —
+//! versus 5-7 full read+write sweeps for the per-step path. All accesses go
+//! through [`DisjointClaim`] raw reads/writes, so the hot lane loops carry
+//! no bounds checks by construction.
+
+use crate::lift::mirror;
+use crate::{ALPHA, BETA, DELTA, GAMMA, KAPPA};
+use pj2k_parutil::DisjointClaim;
+use std::ops::Range;
+
+#[inline]
+fn mirror_y(y: isize, h: usize) -> usize {
+    mirror(y, h)
+}
+
+// --------------------------------------------------------------------------
+// Fused 5/3 rows
+// --------------------------------------------------------------------------
+
+/// Fused forward 5/3 analysis of one row; output is `[low | high]`.
+///
+/// Single rolling sweep: for each even/odd input pair the highpass `d(i)`
+/// is predicted and the lowpass `s(i)` updated immediately from
+/// `d(i-1), d(i)`, so the row is read once instead of once per lifting
+/// step. Bit-identical to [`crate::lift::fwd_row_53`].
+pub fn fwd_row_53_fused(row: &mut [i32], scratch: &mut Vec<i32>) {
+    let n = row.len();
+    if n <= 1 {
+        return;
+    }
+    let ce = n.div_ceil(2);
+    let fh = n / 2;
+    scratch.clear();
+    scratch.resize(n, 0);
+    let (lo, hi) = scratch.split_at_mut(ce);
+    let mut d_prev = 0i32;
+    for i in 0..fh {
+        let xe = row[2 * i];
+        let xr = row[mirror(2 * i as isize + 2, n)];
+        let d = row[2 * i + 1] - ((xe + xr) >> 1);
+        let dl = if i == 0 { d } else { d_prev };
+        hi[i] = d;
+        lo[i] = xe + ((dl + d + 2) >> 2);
+        d_prev = d;
+    }
+    if n % 2 == 1 {
+        lo[ce - 1] = row[n - 1] + ((2 * d_prev + 2) >> 2);
+    }
+    row.copy_from_slice(scratch);
+}
+
+/// Fused inverse 5/3 synthesis of one row holding `[low | high]`.
+///
+/// Bit-identical to [`crate::lift::inv_row_53`].
+pub fn inv_row_53_fused(row: &mut [i32], scratch: &mut Vec<i32>) {
+    let n = row.len();
+    if n <= 1 {
+        return;
+    }
+    let ce = n.div_ceil(2);
+    let fh = n / 2;
+    scratch.clear();
+    scratch.resize(n, 0);
+    let mut prev_even = row[0] - ((2 * row[ce] + 2) >> 2);
+    scratch[0] = prev_even;
+    for i in 1..ce {
+        let dl = row[ce + i - 1];
+        let dr = if i < fh { row[ce + i] } else { dl };
+        let e = row[i] - ((dl + dr + 2) >> 2);
+        scratch[2 * i] = e;
+        scratch[2 * i - 1] = dl + ((prev_even + e) >> 1);
+        prev_even = e;
+    }
+    if n.is_multiple_of(2) {
+        scratch[n - 1] = row[n - 1] + ((2 * prev_even) >> 1);
+    }
+    row.copy_from_slice(scratch);
+}
+
+// --------------------------------------------------------------------------
+// Fused 9/7 rows
+// --------------------------------------------------------------------------
+
+/// Fused forward 9/7 analysis of one row; output is `[low | high]`.
+///
+/// The four lifting stages form a rolling pipeline: at pair `i` the sweep
+/// computes `a(2i+1)` (α-stage), `b(2i)` (β-stage), `c(2i-1)` (γ-stage)
+/// and `e(2i-2)` (δ-stage) from a three-value history window, then emits
+/// `low[i-1] = e·(1/K)` and `high[i-1] = c·(K/2)`. Bit-identical to
+/// [`crate::lift::fwd_row_97`].
+pub fn fwd_row_97_fused(row: &mut [f32], scratch: &mut Vec<f32>) {
+    let n = row.len();
+    if n <= 1 {
+        return;
+    }
+    let ce = n.div_ceil(2);
+    let fh = n / 2;
+    let (kl, kh) = (1.0 / KAPPA, KAPPA / 2.0);
+    scratch.clear();
+    scratch.resize(n, 0.0);
+    let (lo, hi) = scratch.split_at_mut(ce);
+    let (mut a_prev, mut b_prev, mut c_prev) = (0f32, 0f32, 0f32);
+    for i in 0..fh {
+        let xe = row[2 * i];
+        let xr = row[mirror(2 * i as isize + 2, n)];
+        let a = row[2 * i + 1] + ALPHA * (xe + xr);
+        let al = if i == 0 { a } else { a_prev };
+        let b = xe + BETA * (al + a);
+        if i >= 1 {
+            let c = a_prev + GAMMA * (b_prev + b);
+            let cl = if i == 1 { c } else { c_prev };
+            let e = b_prev + DELTA * (cl + c);
+            lo[i - 1] = e * kl;
+            hi[i - 1] = c * kh;
+            c_prev = c;
+        }
+        a_prev = a;
+        b_prev = b;
+    }
+    if n.is_multiple_of(2) {
+        // Pending tail: c(n-1) mirrors b(n) = b(n-2), then e(n-2).
+        let c = a_prev + GAMMA * (b_prev + b_prev);
+        let cl = if fh == 1 { c } else { c_prev };
+        let e = b_prev + DELTA * (cl + c);
+        lo[fh - 1] = e * kl;
+        hi[fh - 1] = c * kh;
+    } else {
+        // Pending tail: b(n-1) mirrors a(n) = a(n-2); then c(n-2), e(n-3)
+        // and the final even e(n-1) which mirrors c(n) = c(n-2).
+        let b_last = row[n - 1] + BETA * (a_prev + a_prev);
+        let c = a_prev + GAMMA * (b_prev + b_last);
+        let cl = if fh == 1 { c } else { c_prev };
+        let e = b_prev + DELTA * (cl + c);
+        lo[fh - 1] = e * kl;
+        hi[fh - 1] = c * kh;
+        lo[fh] = (b_last + DELTA * (c + c)) * kl;
+    }
+    row.copy_from_slice(scratch);
+}
+
+/// Fused inverse 9/7 synthesis of one row holding `[low | high]`.
+///
+/// Bit-identical to [`crate::lift::inv_row_97`].
+pub fn inv_row_97_fused(row: &mut [f32], scratch: &mut Vec<f32>) {
+    let n = row.len();
+    if n <= 1 {
+        return;
+    }
+    let ce = n.div_ceil(2);
+    let fh = n / 2;
+    let (kl, kh) = (KAPPA, 2.0 / KAPPA);
+    scratch.clear();
+    scratch.resize(n, 0.0);
+    let (mut c_prev, mut b_prev, mut a_prev, mut x_prev) = (0f32, 0f32, 0f32, 0f32);
+    for i in 0..ce {
+        let e_cur = row[i] * kl;
+        let c_cur = if i < fh { row[ce + i] * kh } else { c_prev };
+        let b = e_cur - DELTA * (if i == 0 { c_cur } else { c_prev } + c_cur);
+        if i >= 1 {
+            let a = c_prev - GAMMA * (b_prev + b);
+            let al = if i == 1 { a } else { a_prev };
+            let xe = b_prev - BETA * (al + a);
+            scratch[2 * i - 2] = xe;
+            if i >= 2 {
+                scratch[2 * i - 3] = a_prev - ALPHA * (x_prev + xe);
+            }
+            a_prev = a;
+            x_prev = xe;
+        }
+        b_prev = b;
+        c_prev = c_cur;
+    }
+    if n.is_multiple_of(2) {
+        // Pending tail: a(n-1) mirrors b(n) = b(n-2); x(n-2); x(n-3);
+        // and x(n-1) which mirrors x(n) = x(n-2).
+        let a_last = c_prev - GAMMA * (b_prev + b_prev);
+        let al = if ce == 1 { a_last } else { a_prev };
+        let xe = b_prev - BETA * (al + a_last);
+        scratch[n - 2] = xe;
+        if n >= 4 {
+            scratch[n - 3] = a_prev - ALPHA * (x_prev + xe);
+        }
+        scratch[n - 1] = a_last - ALPHA * (xe + xe);
+    } else {
+        // Pending tail: even x(n-1) mirrors a(n) = a(n-2), then odd x(n-2).
+        let x_last = b_prev - BETA * (a_prev + a_prev);
+        scratch[n - 1] = x_last;
+        scratch[n - 2] = a_prev - ALPHA * (x_prev + x_last);
+    }
+    row.copy_from_slice(scratch);
+}
+
+// --------------------------------------------------------------------------
+// Fused 5/3 vertical strips
+// --------------------------------------------------------------------------
+
+/// Fused forward 5/3 vertical analysis over columns `cols`, `strip` adjacent
+/// columns per rolling sweep.
+///
+/// One top-to-bottom sweep applies predict + update and deinterleaves on
+/// the fly: low rows land in place behind the read front, high rows are
+/// buffered in `scratch` and stored to the bottom half after the sweep.
+/// Bit-identical to [`crate::vertical::fwd_strip_53_cols`] (and hence the
+/// naive kernel) for every strip width.
+///
+/// # Safety
+/// `cols` must be in bounds and disjoint from ranges given to other
+/// threads; `h * stride` elements must be allocated.
+pub unsafe fn fwd_fused_strip_53_cols(
+    ptr: &DisjointClaim<i32>,
+    stride: usize,
+    cols: Range<usize>,
+    h: usize,
+    strip: usize,
+    scratch: &mut Vec<i32>,
+) {
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
+        }
+        let strip = strip.max(1);
+        let ce = h.div_ceil(2);
+        let fh = h / 2;
+        let mut x0 = cols.start;
+        while x0 < cols.end {
+            let s = strip.min(cols.end - x0);
+            scratch.clear();
+            // Layout: `fh` buffered high rows, then one lane of d-history.
+            scratch.resize((fh + 1) * s, 0);
+            let (hibuf, d_prev) = scratch.split_at_mut(fh * s);
+            for i in 0..fh {
+                let r0 = 2 * i * stride;
+                let r1 = r0 + stride;
+                let rr = mirror_y(2 * i as isize + 2, h) * stride;
+                let wl = i * stride;
+                let first = i == 0;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let xe = ptr.read(r0 + x);
+                    let d = ptr.read(r1 + x) - ((xe + ptr.read(rr + x)) >> 1);
+                    let dl = if first { d } else { d_prev[dx] };
+                    hibuf[i * s + dx] = d;
+                    d_prev[dx] = d;
+                    ptr.write(wl + x, xe + ((dl + d + 2) >> 2));
+                }
+            }
+            if !h.is_multiple_of(2) {
+                let rn = (h - 1) * stride;
+                let wl = (ce - 1) * stride;
+                for (dx, &d) in d_prev.iter().enumerate() {
+                    let x = x0 + dx;
+                    ptr.write(wl + x, ptr.read(rn + x) + ((2 * d + 2) >> 2));
+                }
+            }
+            for j in 0..fh {
+                let wr = (ce + j) * stride;
+                for dx in 0..s {
+                    ptr.write(wr + x0 + dx, hibuf[j * s + dx]);
+                }
+            }
+            x0 += s;
+        }
+    }
+}
+
+/// Fused inverse 5/3 vertical synthesis over columns `cols`.
+///
+/// The low half is buffered in `scratch` up front (the interleaved write
+/// front overtakes it), then one rolling sweep reconstructs even/odd rows
+/// in place. Bit-identical to [`crate::vertical::inv_strip_53_cols`].
+///
+/// # Safety
+/// Same contract as [`fwd_fused_strip_53_cols`].
+pub unsafe fn inv_fused_strip_53_cols(
+    ptr: &DisjointClaim<i32>,
+    stride: usize,
+    cols: Range<usize>,
+    h: usize,
+    strip: usize,
+    scratch: &mut Vec<i32>,
+) {
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
+        }
+        let strip = strip.max(1);
+        let ce = h.div_ceil(2);
+        let fh = h / 2;
+        let mut x0 = cols.start;
+        while x0 < cols.end {
+            let s = strip.min(cols.end - x0);
+            scratch.clear();
+            // Layout: `ce` buffered low rows, then lanes of d-history and
+            // the previous reconstructed even row.
+            scratch.resize((ce + 2) * s, 0);
+            let (lobuf, state) = scratch.split_at_mut(ce * s);
+            let (d_prev, pe) = state.split_at_mut(s);
+            for j in 0..ce {
+                let rr = j * stride;
+                for dx in 0..s {
+                    lobuf[j * s + dx] = ptr.read(rr + x0 + dx);
+                }
+            }
+            let hrow0 = ce * stride;
+            for dx in 0..s {
+                let x = x0 + dx;
+                let d0 = ptr.read(hrow0 + x);
+                let e = lobuf[dx] - ((2 * d0 + 2) >> 2);
+                ptr.write(x, e);
+                d_prev[dx] = d0;
+                pe[dx] = e;
+            }
+            for i in 1..ce {
+                let rh = (ce + i) * stride;
+                let we = 2 * i * stride;
+                let wo = we - stride;
+                let interior = i < fh;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let dl = d_prev[dx];
+                    let dr = if interior { ptr.read(rh + x) } else { dl };
+                    let e = lobuf[i * s + dx] - ((dl + dr + 2) >> 2);
+                    ptr.write(we + x, e);
+                    ptr.write(wo + x, dl + ((pe[dx] + e) >> 1));
+                    d_prev[dx] = dr;
+                    pe[dx] = e;
+                }
+            }
+            if h.is_multiple_of(2) {
+                let wn = (h - 1) * stride;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    ptr.write(wn + x, d_prev[dx] + ((2 * pe[dx]) >> 1));
+                }
+            }
+            x0 += s;
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Fused 9/7 vertical strips
+// --------------------------------------------------------------------------
+
+/// Fused forward 9/7 vertical analysis over columns `cols`, `strip` adjacent
+/// columns per rolling sweep.
+///
+/// All four lifting stages plus scaling run in one top-to-bottom sweep with
+/// three per-lane history rows; low rows land in place behind the read
+/// front, high rows are buffered and stored afterwards. Bit-identical to
+/// [`crate::vertical::fwd_strip_97_cols`] for every strip width.
+///
+/// # Safety
+/// Same contract as [`fwd_fused_strip_53_cols`].
+pub unsafe fn fwd_fused_strip_97_cols(
+    ptr: &DisjointClaim<f32>,
+    stride: usize,
+    cols: Range<usize>,
+    h: usize,
+    strip: usize,
+    scratch: &mut Vec<f32>,
+) {
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
+        }
+        let strip = strip.max(1);
+        let ce = h.div_ceil(2);
+        let fh = h / 2;
+        let (kl, kh) = (1.0 / KAPPA, KAPPA / 2.0);
+        let mut x0 = cols.start;
+        while x0 < cols.end {
+            let s = strip.min(cols.end - x0);
+            scratch.clear();
+            // Layout: `fh` buffered high rows + three lanes of history
+            // (a, b, c stage values).
+            scratch.resize((fh + 3) * s, 0.0);
+            let (hibuf, state) = scratch.split_at_mut(fh * s);
+            let (a_prev, state) = state.split_at_mut(s);
+            let (b_prev, c_prev) = state.split_at_mut(s);
+            for i in 0..fh {
+                let r0 = 2 * i * stride;
+                let r1 = r0 + stride;
+                let rr = mirror_y(2 * i as isize + 2, h) * stride;
+                let (first, second) = (i == 0, i == 1);
+                let wl = i.wrapping_sub(1).wrapping_mul(stride);
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let xe = ptr.read(r0 + x);
+                    let a = ptr.read(r1 + x) + ALPHA * (xe + ptr.read(rr + x));
+                    let al = if first { a } else { a_prev[dx] };
+                    let b = xe + BETA * (al + a);
+                    if !first {
+                        let c = a_prev[dx] + GAMMA * (b_prev[dx] + b);
+                        let cl = if second { c } else { c_prev[dx] };
+                        let e = b_prev[dx] + DELTA * (cl + c);
+                        ptr.write(wl + x, e * kl);
+                        hibuf[(i - 1) * s + dx] = c * kh;
+                        c_prev[dx] = c;
+                    }
+                    a_prev[dx] = a;
+                    b_prev[dx] = b;
+                }
+            }
+            let single = fh == 1;
+            if h.is_multiple_of(2) {
+                let wl = (fh - 1) * stride;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let c = a_prev[dx] + GAMMA * (b_prev[dx] + b_prev[dx]);
+                    let cl = if single { c } else { c_prev[dx] };
+                    let e = b_prev[dx] + DELTA * (cl + c);
+                    ptr.write(wl + x, e * kl);
+                    hibuf[(fh - 1) * s + dx] = c * kh;
+                }
+            } else {
+                let rn = (h - 1) * stride;
+                let wl = (fh - 1) * stride;
+                let wn = fh * stride;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let b_last = ptr.read(rn + x) + BETA * (a_prev[dx] + a_prev[dx]);
+                    let c = a_prev[dx] + GAMMA * (b_prev[dx] + b_last);
+                    let cl = if single { c } else { c_prev[dx] };
+                    let e = b_prev[dx] + DELTA * (cl + c);
+                    ptr.write(wl + x, e * kl);
+                    hibuf[(fh - 1) * s + dx] = c * kh;
+                    ptr.write(wn + x, (b_last + DELTA * (c + c)) * kl);
+                }
+            }
+            for j in 0..fh {
+                let wr = (ce + j) * stride;
+                for dx in 0..s {
+                    ptr.write(wr + x0 + dx, hibuf[j * s + dx]);
+                }
+            }
+            x0 += s;
+        }
+    }
+}
+
+/// Fused inverse 9/7 vertical synthesis over columns `cols`.
+///
+/// Bit-identical to [`crate::vertical::inv_strip_97_cols`].
+///
+/// # Safety
+/// Same contract as [`fwd_fused_strip_53_cols`].
+pub unsafe fn inv_fused_strip_97_cols(
+    ptr: &DisjointClaim<f32>,
+    stride: usize,
+    cols: Range<usize>,
+    h: usize,
+    strip: usize,
+    scratch: &mut Vec<f32>,
+) {
+    // SAFETY: upheld by this function's documented safety contract,
+    // which the caller must satisfy.
+    unsafe {
+        if h <= 1 {
+            return;
+        }
+        let strip = strip.max(1);
+        let ce = h.div_ceil(2);
+        let fh = h / 2;
+        let (kl, kh) = (KAPPA, 2.0 / KAPPA);
+        let mut x0 = cols.start;
+        while x0 < cols.end {
+            let s = strip.min(cols.end - x0);
+            scratch.clear();
+            // Layout: `ce` buffered low rows + four lanes of history
+            // (c, b, a stage values and the previous even output).
+            scratch.resize((ce + 4) * s, 0.0);
+            let (lobuf, state) = scratch.split_at_mut(ce * s);
+            let (c_prev, state) = state.split_at_mut(s);
+            let (b_prev, state) = state.split_at_mut(s);
+            let (a_prev, x_prev) = state.split_at_mut(s);
+            for j in 0..ce {
+                let rr = j * stride;
+                for dx in 0..s {
+                    lobuf[j * s + dx] = ptr.read(rr + x0 + dx);
+                }
+            }
+            for i in 0..ce {
+                let rh = (ce + i) * stride;
+                let we = (2 * i).wrapping_sub(2).wrapping_mul(stride);
+                let wo = (2 * i).wrapping_sub(3).wrapping_mul(stride);
+                let (first, second) = (i == 0, i == 1);
+                let interior = i < fh;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let e_cur = lobuf[i * s + dx] * kl;
+                    let c_cur = if interior {
+                        ptr.read(rh + x) * kh
+                    } else {
+                        c_prev[dx]
+                    };
+                    let b = e_cur - DELTA * (if first { c_cur } else { c_prev[dx] } + c_cur);
+                    if !first {
+                        let a = c_prev[dx] - GAMMA * (b_prev[dx] + b);
+                        let al = if second { a } else { a_prev[dx] };
+                        let xe = b_prev[dx] - BETA * (al + a);
+                        ptr.write(we + x, xe);
+                        if !second {
+                            ptr.write(wo + x, a_prev[dx] - ALPHA * (x_prev[dx] + xe));
+                        }
+                        a_prev[dx] = a;
+                        x_prev[dx] = xe;
+                    }
+                    b_prev[dx] = b;
+                    c_prev[dx] = c_cur;
+                }
+            }
+            if h.is_multiple_of(2) {
+                let we = (h - 2) * stride;
+                let wo = we.wrapping_sub(stride);
+                let wn = (h - 1) * stride;
+                let single = ce == 1;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let a_last = c_prev[dx] - GAMMA * (b_prev[dx] + b_prev[dx]);
+                    let al = if single { a_last } else { a_prev[dx] };
+                    let xe = b_prev[dx] - BETA * (al + a_last);
+                    ptr.write(we + x, xe);
+                    if h >= 4 {
+                        ptr.write(wo + x, a_prev[dx] - ALPHA * (x_prev[dx] + xe));
+                    }
+                    ptr.write(wn + x, a_last - ALPHA * (xe + xe));
+                }
+            } else {
+                let wn = (h - 1) * stride;
+                let wo = wn - stride;
+                for dx in 0..s {
+                    let x = x0 + dx;
+                    let x_last = b_prev[dx] - BETA * (a_prev[dx] + a_prev[dx]);
+                    ptr.write(wn + x, x_last);
+                    ptr.write(wo + x, a_prev[dx] - ALPHA * (x_prev[dx] + x_last));
+                }
+            }
+            x0 += s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lift::{fwd_row_53, fwd_row_97, inv_row_53, inv_row_97};
+    use crate::vertical::{fwd_strip_53_cols, fwd_strip_97_cols};
+    use pj2k_parutil::DisjointWriter;
+
+    fn sig_i32(n: usize, seed: usize) -> Vec<i32> {
+        (0..n)
+            .map(|i| ((i * 37 + seed * 11 + i * i) % 509) as i32 - 254)
+            .collect()
+    }
+
+    fn sig_f32(n: usize, seed: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i * 29 + seed * 7 + i * i) % 255) as f32 - 127.0)
+            .collect()
+    }
+
+    #[test]
+    fn fwd_row_53_fused_bit_identical_all_lengths() {
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        for n in 1..=64usize {
+            let orig = sig_i32(n, n);
+            let mut a = orig.clone();
+            let mut b = orig;
+            fwd_row_53(&mut a, &mut s1);
+            fwd_row_53_fused(&mut b, &mut s2);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inv_row_53_fused_bit_identical_all_lengths() {
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        for n in 1..=64usize {
+            let mut a = sig_i32(n, n + 1);
+            fwd_row_53(&mut a, &mut s1);
+            let mut b = a.clone();
+            inv_row_53(&mut a, &mut s1);
+            inv_row_53_fused(&mut b, &mut s2);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fwd_row_97_fused_bit_identical_all_lengths() {
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        for n in 1..=64usize {
+            let orig = sig_f32(n, n);
+            let mut a = orig.clone();
+            let mut b = orig;
+            fwd_row_97(&mut a, &mut s1);
+            fwd_row_97_fused(&mut b, &mut s2);
+            for i in 0..n {
+                assert_eq!(
+                    a[i].to_bits(),
+                    b[i].to_bits(),
+                    "n={n} i={i}: {} vs {}",
+                    a[i],
+                    b[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inv_row_97_fused_bit_identical_all_lengths() {
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        for n in 1..=64usize {
+            let mut a = sig_f32(n, n + 3);
+            fwd_row_97(&mut a, &mut s1);
+            let mut b = a.clone();
+            inv_row_97(&mut a, &mut s1);
+            inv_row_97_fused(&mut b, &mut s2);
+            for i in 0..n {
+                assert_eq!(
+                    a[i].to_bits(),
+                    b[i].to_bits(),
+                    "n={n} i={i}: {} vs {}",
+                    a[i],
+                    b[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_row_roundtrips() {
+        let (mut s, mut sf) = (Vec::new(), Vec::new());
+        for n in 1..=33usize {
+            let orig = sig_i32(n, 5);
+            let mut b = orig.clone();
+            fwd_row_53_fused(&mut b, &mut s);
+            inv_row_53_fused(&mut b, &mut s);
+            assert_eq!(b, orig, "5/3 n={n}");
+            let origf = sig_f32(n, 5);
+            let mut bf = origf.clone();
+            fwd_row_97_fused(&mut bf, &mut sf);
+            inv_row_97_fused(&mut bf, &mut sf);
+            for i in 0..n {
+                assert!((bf[i] - origf[i]).abs() < 1e-3, "9/7 n={n} i={i}");
+            }
+        }
+    }
+
+    /// Run `f` with a claim over columns `cols` (all `h` rows) of `buf`.
+    fn with_claim<T: Send, R>(
+        buf: &mut [T],
+        cols: Range<usize>,
+        h: usize,
+        stride: usize,
+        f: impl FnOnce(&DisjointClaim<T>) -> R,
+    ) -> R {
+        let writer = DisjointWriter::new(buf);
+        let claim = writer.claim_rect(cols, 0..h, stride);
+        f(&claim)
+    }
+
+    fn grid_i32(w: usize, h: usize, stride: usize, seed: usize) -> Vec<i32> {
+        let mut buf = vec![0i32; stride * h];
+        for y in 0..h {
+            for x in 0..w {
+                buf[y * stride + x] = ((x * 57 + y * 23 + seed * 13 + x * y) % 499) as i32 - 249;
+            }
+        }
+        buf
+    }
+
+    fn grid_f32(w: usize, h: usize, stride: usize, seed: usize) -> Vec<f32> {
+        let mut buf = vec![0f32; stride * h];
+        for y in 0..h {
+            for x in 0..w {
+                buf[y * stride + x] = ((x * 37 + y * 11 + seed * 5 + x * y) % 251) as f32 - 125.0;
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn fused_strip_53_bit_identical_to_per_step_small_heights() {
+        // Degenerate and small sizes 1..8 in both dimensions, plus odd
+        // strip widths and a non-trivial stride.
+        let mut s = Vec::new();
+        for h in 1..=8usize {
+            for w in 1..=8usize {
+                let stride = w + 3;
+                let a0 = grid_i32(w, h, stride, h * 8 + w);
+                for strip in [1usize, 2, 3, 16] {
+                    let mut a = a0.clone();
+                    let mut b = a0.clone();
+                    with_claim(&mut a, 0..w, h, stride, |c| {
+                        // SAFETY: the claim covers all filtered columns.
+                        unsafe { fwd_strip_53_cols(c, stride, 0..w, h, strip, &mut s) }
+                    });
+                    with_claim(&mut b, 0..w, h, stride, |c| {
+                        // SAFETY: the claim covers all filtered columns.
+                        unsafe { fwd_fused_strip_53_cols(c, stride, 0..w, h, strip, &mut s) }
+                    });
+                    assert_eq!(a, b, "w={w} h={h} strip={strip}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_strip_97_bit_identical_to_per_step_small_heights() {
+        let mut s = Vec::new();
+        for h in 1..=8usize {
+            for w in 1..=8usize {
+                let stride = w + 2;
+                let a0 = grid_f32(w, h, stride, h * 8 + w);
+                for strip in [1usize, 2, 5, 16] {
+                    let mut a = a0.clone();
+                    let mut b = a0.clone();
+                    with_claim(&mut a, 0..w, h, stride, |c| {
+                        // SAFETY: the claim covers all filtered columns.
+                        unsafe { fwd_strip_97_cols(c, stride, 0..w, h, strip, &mut s) }
+                    });
+                    with_claim(&mut b, 0..w, h, stride, |c| {
+                        // SAFETY: the claim covers all filtered columns.
+                        unsafe { fwd_fused_strip_97_cols(c, stride, 0..w, h, strip, &mut s) }
+                    });
+                    for i in 0..a.len() {
+                        assert_eq!(
+                            a[i].to_bits(),
+                            b[i].to_bits(),
+                            "w={w} h={h} strip={strip} i={i}: {} vs {}",
+                            a[i],
+                            b[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_strip_53_bit_identical_larger_and_offset_cols() {
+        let mut s = Vec::new();
+        for h in [15usize, 16, 31, 40] {
+            let (w, stride) = (13usize, 17usize);
+            let a0 = grid_i32(w, h, stride, h);
+            let mut a = a0.clone();
+            let mut b = a0.clone();
+            with_claim(&mut a, 3..11, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { fwd_strip_53_cols(c, stride, 3..11, h, 4, &mut s) }
+            });
+            with_claim(&mut b, 3..11, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { fwd_fused_strip_53_cols(c, stride, 3..11, h, 4, &mut s) }
+            });
+            assert_eq!(a, b, "h={h}");
+        }
+    }
+
+    #[test]
+    fn fused_strip_97_bit_identical_larger_heights() {
+        let mut s = Vec::new();
+        for h in [9usize, 16, 21, 33, 64] {
+            let (w, stride) = (11usize, 11usize);
+            let a0 = grid_f32(w, h, stride, h);
+            let mut a = a0.clone();
+            let mut b = a0.clone();
+            with_claim(&mut a, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { fwd_strip_97_cols(c, stride, 0..w, h, 6, &mut s) }
+            });
+            with_claim(&mut b, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { fwd_fused_strip_97_cols(c, stride, 0..w, h, 6, &mut s) }
+            });
+            for i in 0..a.len() {
+                assert_eq!(a[i].to_bits(), b[i].to_bits(), "h={h} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_vertical_roundtrips_small_sizes() {
+        let mut s = Vec::new();
+        for h in 1..=8usize {
+            let (w, stride) = (5usize, 7usize);
+            let orig = grid_i32(w, h, stride, h + 1);
+            let mut buf = orig.clone();
+            with_claim(&mut buf, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { fwd_fused_strip_53_cols(c, stride, 0..w, h, 3, &mut s) }
+            });
+            with_claim(&mut buf, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { inv_fused_strip_53_cols(c, stride, 0..w, h, 3, &mut s) }
+            });
+            assert_eq!(buf, orig, "5/3 h={h}");
+
+            let origf = grid_f32(w, h, stride, h + 2);
+            let mut buff = origf.clone();
+            let mut sf = Vec::new();
+            with_claim(&mut buff, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { fwd_fused_strip_97_cols(c, stride, 0..w, h, 3, &mut sf) }
+            });
+            with_claim(&mut buff, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { inv_fused_strip_97_cols(c, stride, 0..w, h, 3, &mut sf) }
+            });
+            for i in 0..buff.len() {
+                assert!((buff[i] - origf[i]).abs() < 1e-3, "9/7 h={h} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_inverse_97_bit_identical_to_per_step() {
+        let mut s = Vec::new();
+        for h in [2usize, 3, 5, 8, 17, 32] {
+            let (w, stride) = (7usize, 9usize);
+            let mut fwd = grid_f32(w, h, stride, h + 9);
+            with_claim(&mut fwd, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { fwd_strip_97_cols(c, stride, 0..w, h, 4, &mut s) }
+            });
+            let mut a = fwd.clone();
+            let mut b = fwd;
+            with_claim(&mut a, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { crate::vertical::inv_strip_97_cols(c, stride, 0..w, h, 4, &mut s) }
+            });
+            with_claim(&mut b, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { inv_fused_strip_97_cols(c, stride, 0..w, h, 4, &mut s) }
+            });
+            for i in 0..a.len() {
+                assert_eq!(a[i].to_bits(), b[i].to_bits(), "h={h} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_inverse_53_bit_identical_to_per_step() {
+        let mut s = Vec::new();
+        for h in [2usize, 3, 4, 7, 16, 25] {
+            let (w, stride) = (6usize, 6usize);
+            let mut fwd = grid_i32(w, h, stride, h + 4);
+            with_claim(&mut fwd, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { fwd_strip_53_cols(c, stride, 0..w, h, 4, &mut s) }
+            });
+            let mut a = fwd.clone();
+            let mut b = fwd;
+            with_claim(&mut a, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { crate::vertical::inv_strip_53_cols(c, stride, 0..w, h, 4, &mut s) }
+            });
+            with_claim(&mut b, 0..w, h, stride, |c| {
+                // SAFETY: the claim covers all filtered columns.
+                unsafe { inv_fused_strip_53_cols(c, stride, 0..w, h, 4, &mut s) }
+            });
+            assert_eq!(a, b, "h={h}");
+        }
+    }
+}

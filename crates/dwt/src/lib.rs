@@ -25,6 +25,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![deny(unused_must_use)]
 
+pub mod fused;
 pub mod gains;
 pub mod lift;
 pub mod subband;
@@ -32,7 +33,11 @@ pub mod transform2d;
 pub mod vertical;
 
 pub use subband::{Band, Decomposition, Subband};
-pub use transform2d::{forward_53, forward_97, inverse_53, inverse_97, DwtStats, VerticalStrategy};
+pub use transform2d::{
+    forward_53, forward_53_level, forward_53_with, forward_97, forward_97_level, forward_97_with,
+    inverse_53, inverse_53_level, inverse_53_with, inverse_97, inverse_97_level, inverse_97_with,
+    DwtStats, LiftingMode, VerticalStrategy,
+};
 
 /// 9/7 lifting constant α (first predict step).
 pub const ALPHA: f32 = -1.586_134_3;

@@ -11,6 +11,7 @@
 //! Per-pass wall-clock is accumulated in [`DwtStats`] so the harness can
 //! report vertical vs. horizontal filtering time (Figs. 7, 8, 10, 11).
 
+use crate::fused;
 use crate::lift::{fwd_row_53, fwd_row_97, inv_row_53, inv_row_97};
 use crate::subband::Decomposition;
 use crate::vertical;
@@ -39,6 +40,20 @@ impl VerticalStrategy {
     pub const DEFAULT_STRIP: VerticalStrategy = VerticalStrategy::Strip { width: 16 };
 }
 
+/// How the lifting steps of one filtering pass traverse memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiftingMode {
+    /// One full sweep over the signal per lifting step (two for 5/3, five
+    /// for 9/7 including scaling) — the reference formulation.
+    PerStep,
+    /// All predict/update/scale steps applied in a single rolling sweep
+    /// with a small coefficient-history window (the "single-loop" scheme).
+    /// Bit-identical outputs; a fraction of the memory traffic. Combined
+    /// with [`VerticalStrategy::Naive`] the fused vertical kernel degrades
+    /// to a one-column strip.
+    Fused,
+}
+
 /// Wall-clock spent in the two filtering directions, summed over levels.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DwtStats {
@@ -62,10 +77,14 @@ impl DwtStats {
 }
 
 macro_rules! define_2d {
-    ($fwd_name:ident, $inv_name:ident, $ty:ty,
+    ($fwd_name:ident, $fwd_with:ident, $fwd_level:ident,
+     $inv_name:ident, $inv_with:ident, $inv_level:ident, $ty:ty,
      $fwd_row:ident, $inv_row:ident,
-     $fwd_naive:ident, $inv_naive:ident, $fwd_strip:ident, $inv_strip:ident) => {
-        /// Forward multi-level analysis of `plane`, in place (Mallat layout).
+     $fwd_row_fused:ident, $inv_row_fused:ident,
+     $fwd_naive:ident, $inv_naive:ident, $fwd_strip:ident, $inv_strip:ident,
+     $fwd_fused_strip:ident, $inv_fused_strip:ident) => {
+        /// Forward multi-level analysis of `plane`, in place (Mallat layout),
+        /// with the per-step reference kernels.
         ///
         /// Returns the decomposition geometry and per-direction timings.
         pub fn $fwd_name(
@@ -74,121 +93,196 @@ macro_rules! define_2d {
             strategy: VerticalStrategy,
             exec: &Exec,
         ) -> (Decomposition, DwtStats) {
+            $fwd_with(plane, levels, strategy, LiftingMode::PerStep, exec)
+        }
+
+        /// Forward multi-level analysis with an explicit [`LiftingMode`].
+        pub fn $fwd_with(
+            plane: &mut Plane<$ty>,
+            levels: u8,
+            strategy: VerticalStrategy,
+            lifting: LiftingMode,
+            exec: &Exec,
+        ) -> (Decomposition, DwtStats) {
             let deco = Decomposition::new(plane.width(), plane.height(), levels);
-            let stride = plane.stride();
             let mut stats = DwtStats::default();
             for l in 0..levels {
-                let (wl, hl) = deco.ll_size(l);
-                // Horizontal pass over the rows of the current LL region.
-                // Each worker claims its row range through the checked
-                // disjoint-access layer; debug builds verify the ranges are
-                // pairwise disjoint and exactly cover the LL region.
-                let t0 = Instant::now();
-                if wl > 1 {
-                    let writer = DisjointWriter::new(plane.raw_mut());
-                    exec.run_ranges(hl, |rows| {
-                        let claim = writer.claim_rect(0..wl, rows.clone(), stride);
-                        let mut scratch = Vec::with_capacity(wl);
-                        for y in rows {
-                            // SAFETY: the claim covers rows `rows` of the LL
-                            // region and `y * stride + wl <= stride * height`.
-                            let row = unsafe { claim.slice_mut(y * stride, wl) };
-                            $fwd_row(row, &mut scratch);
+                stats.merge(&$fwd_level(plane, &deco, l, strategy, lifting, exec));
+            }
+            (deco, stats)
+        }
+
+        /// Analyze a single decomposition level `l` (filtering the LL region
+        /// left by level `l-1`), so callers can interleave per-level DWT with
+        /// downstream stages. `$fwd_with` is exactly this in a loop.
+        pub fn $fwd_level(
+            plane: &mut Plane<$ty>,
+            deco: &Decomposition,
+            l: u8,
+            strategy: VerticalStrategy,
+            lifting: LiftingMode,
+            exec: &Exec,
+        ) -> DwtStats {
+            let stride = plane.stride();
+            let mut stats = DwtStats::default();
+            let (wl, hl) = deco.ll_size(l);
+            // Horizontal pass over the rows of the current LL region.
+            // Each worker claims its row range through the checked
+            // disjoint-access layer; debug builds verify the ranges are
+            // pairwise disjoint and exactly cover the LL region.
+            let t0 = Instant::now();
+            if wl > 1 {
+                let writer = DisjointWriter::new(plane.raw_mut());
+                exec.run_ranges(hl, |rows| {
+                    let claim = writer.claim_rect(0..wl, rows.clone(), stride);
+                    let mut scratch = Vec::with_capacity(wl);
+                    for y in rows {
+                        // SAFETY: the claim covers rows `rows` of the LL
+                        // region and `y * stride + wl <= stride * height`.
+                        let row = unsafe { claim.slice_mut(y * stride, wl) };
+                        match lifting {
+                            LiftingMode::PerStep => $fwd_row(row, &mut scratch),
+                            LiftingMode::Fused => fused::$fwd_row_fused(row, &mut scratch),
                         }
-                    });
-                    writer.debug_assert_claimed(wl * hl);
-                }
-                stats.horizontal += t0.elapsed();
-                // Vertical pass over the columns of the current LL region.
-                let t1 = Instant::now();
-                if hl > 1 {
-                    let writer = DisjointWriter::new(plane.raw_mut());
-                    exec.run_ranges(wl, |cols| {
-                        let claim = writer.claim_rect(cols.clone(), 0..hl, stride);
-                        let mut scratch = Vec::new();
-                        // SAFETY: the claim covers exactly the columns this
-                        // worker filters; overlap panics in debug builds.
-                        unsafe {
-                            match strategy {
-                                VerticalStrategy::Naive => {
-                                    vertical::$fwd_naive(&claim, stride, cols, hl, &mut scratch)
-                                }
-                                VerticalStrategy::Strip { width } => vertical::$fwd_strip(
+                    }
+                });
+                writer.debug_assert_claimed(wl * hl);
+            }
+            stats.horizontal += t0.elapsed();
+            // Vertical pass over the columns of the current LL region.
+            let t1 = Instant::now();
+            if hl > 1 {
+                let writer = DisjointWriter::new(plane.raw_mut());
+                exec.run_ranges(wl, |cols| {
+                    let claim = writer.claim_rect(cols.clone(), 0..hl, stride);
+                    let mut scratch = Vec::new();
+                    // SAFETY: the claim covers exactly the columns this
+                    // worker filters; overlap panics in debug builds.
+                    unsafe {
+                        match (lifting, strategy) {
+                            (LiftingMode::PerStep, VerticalStrategy::Naive) => {
+                                vertical::$fwd_naive(&claim, stride, cols, hl, &mut scratch)
+                            }
+                            (LiftingMode::PerStep, VerticalStrategy::Strip { width }) => {
+                                vertical::$fwd_strip(&claim, stride, cols, hl, width, &mut scratch)
+                            }
+                            (LiftingMode::Fused, VerticalStrategy::Naive) => {
+                                fused::$fwd_fused_strip(&claim, stride, cols, hl, 1, &mut scratch)
+                            }
+                            (LiftingMode::Fused, VerticalStrategy::Strip { width }) => {
+                                fused::$fwd_fused_strip(
                                     &claim,
                                     stride,
                                     cols,
                                     hl,
                                     width,
                                     &mut scratch,
-                                ),
+                                )
                             }
                         }
-                    });
-                    writer.debug_assert_claimed(wl * hl);
-                }
-                stats.vertical += t1.elapsed();
+                    }
+                });
+                writer.debug_assert_claimed(wl * hl);
             }
-            (deco, stats)
+            stats.vertical += t1.elapsed();
+            stats
         }
 
         /// Inverse multi-level synthesis of a Mallat-layout `plane`, in
-        /// place, undoing the matching forward transform.
+        /// place, undoing the matching forward transform (per-step kernels).
         pub fn $inv_name(
             plane: &mut Plane<$ty>,
             levels: u8,
             strategy: VerticalStrategy,
             exec: &Exec,
         ) -> DwtStats {
+            $inv_with(plane, levels, strategy, LiftingMode::PerStep, exec)
+        }
+
+        /// Inverse multi-level synthesis with an explicit [`LiftingMode`].
+        pub fn $inv_with(
+            plane: &mut Plane<$ty>,
+            levels: u8,
+            strategy: VerticalStrategy,
+            lifting: LiftingMode,
+            exec: &Exec,
+        ) -> DwtStats {
             let deco = Decomposition::new(plane.width(), plane.height(), levels);
-            let stride = plane.stride();
             let mut stats = DwtStats::default();
             for l in (0..levels).rev() {
-                let (wl, hl) = deco.ll_size(l);
-                // Vertical first (reverse of the forward pass order).
-                let t0 = Instant::now();
-                if hl > 1 {
-                    let writer = DisjointWriter::new(plane.raw_mut());
-                    exec.run_ranges(wl, |cols| {
-                        let claim = writer.claim_rect(cols.clone(), 0..hl, stride);
-                        let mut scratch = Vec::new();
-                        // SAFETY: the claim covers exactly the columns this
-                        // worker filters; overlap panics in debug builds.
-                        unsafe {
-                            match strategy {
-                                VerticalStrategy::Naive => {
-                                    vertical::$inv_naive(&claim, stride, cols, hl, &mut scratch)
-                                }
-                                VerticalStrategy::Strip { width } => vertical::$inv_strip(
+                stats.merge(&$inv_level(plane, &deco, l, strategy, lifting, exec));
+            }
+            stats
+        }
+
+        /// Synthesize a single decomposition level `l` (rebuilding the LL
+        /// region consumed by level `l`).
+        pub fn $inv_level(
+            plane: &mut Plane<$ty>,
+            deco: &Decomposition,
+            l: u8,
+            strategy: VerticalStrategy,
+            lifting: LiftingMode,
+            exec: &Exec,
+        ) -> DwtStats {
+            let stride = plane.stride();
+            let mut stats = DwtStats::default();
+            let (wl, hl) = deco.ll_size(l);
+            // Vertical first (reverse of the forward pass order).
+            let t0 = Instant::now();
+            if hl > 1 {
+                let writer = DisjointWriter::new(plane.raw_mut());
+                exec.run_ranges(wl, |cols| {
+                    let claim = writer.claim_rect(cols.clone(), 0..hl, stride);
+                    let mut scratch = Vec::new();
+                    // SAFETY: the claim covers exactly the columns this
+                    // worker filters; overlap panics in debug builds.
+                    unsafe {
+                        match (lifting, strategy) {
+                            (LiftingMode::PerStep, VerticalStrategy::Naive) => {
+                                vertical::$inv_naive(&claim, stride, cols, hl, &mut scratch)
+                            }
+                            (LiftingMode::PerStep, VerticalStrategy::Strip { width }) => {
+                                vertical::$inv_strip(&claim, stride, cols, hl, width, &mut scratch)
+                            }
+                            (LiftingMode::Fused, VerticalStrategy::Naive) => {
+                                fused::$inv_fused_strip(&claim, stride, cols, hl, 1, &mut scratch)
+                            }
+                            (LiftingMode::Fused, VerticalStrategy::Strip { width }) => {
+                                fused::$inv_fused_strip(
                                     &claim,
                                     stride,
                                     cols,
                                     hl,
                                     width,
                                     &mut scratch,
-                                ),
+                                )
                             }
                         }
-                    });
-                    writer.debug_assert_claimed(wl * hl);
-                }
-                stats.vertical += t0.elapsed();
-                let t1 = Instant::now();
-                if wl > 1 {
-                    let writer = DisjointWriter::new(plane.raw_mut());
-                    exec.run_ranges(hl, |rows| {
-                        let claim = writer.claim_rect(0..wl, rows.clone(), stride);
-                        let mut scratch = Vec::with_capacity(wl);
-                        for y in rows {
-                            // SAFETY: the claim covers rows `rows` of the LL
-                            // region.
-                            let row = unsafe { claim.slice_mut(y * stride, wl) };
-                            $inv_row(row, &mut scratch);
-                        }
-                    });
-                    writer.debug_assert_claimed(wl * hl);
-                }
-                stats.horizontal += t1.elapsed();
+                    }
+                });
+                writer.debug_assert_claimed(wl * hl);
             }
+            stats.vertical += t0.elapsed();
+            let t1 = Instant::now();
+            if wl > 1 {
+                let writer = DisjointWriter::new(plane.raw_mut());
+                exec.run_ranges(hl, |rows| {
+                    let claim = writer.claim_rect(0..wl, rows.clone(), stride);
+                    let mut scratch = Vec::with_capacity(wl);
+                    for y in rows {
+                        // SAFETY: the claim covers rows `rows` of the LL
+                        // region.
+                        let row = unsafe { claim.slice_mut(y * stride, wl) };
+                        match lifting {
+                            LiftingMode::PerStep => $inv_row(row, &mut scratch),
+                            LiftingMode::Fused => fused::$inv_row_fused(row, &mut scratch),
+                        }
+                    }
+                });
+                writer.debug_assert_claimed(wl * hl);
+            }
+            stats.horizontal += t1.elapsed();
             stats
         }
     };
@@ -196,26 +290,42 @@ macro_rules! define_2d {
 
 define_2d!(
     forward_53,
+    forward_53_with,
+    forward_53_level,
     inverse_53,
+    inverse_53_with,
+    inverse_53_level,
     i32,
     fwd_row_53,
     inv_row_53,
+    fwd_row_53_fused,
+    inv_row_53_fused,
     fwd_naive_53_cols,
     inv_naive_53_cols,
     fwd_strip_53_cols,
-    inv_strip_53_cols
+    inv_strip_53_cols,
+    fwd_fused_strip_53_cols,
+    inv_fused_strip_53_cols
 );
 
 define_2d!(
     forward_97,
+    forward_97_with,
+    forward_97_level,
     inverse_97,
+    inverse_97_with,
+    inverse_97_level,
     f32,
     fwd_row_97,
     inv_row_97,
+    fwd_row_97_fused,
+    inv_row_97_fused,
     fwd_naive_97_cols,
     inv_naive_97_cols,
     fwd_strip_97_cols,
-    inv_strip_97_cols
+    inv_strip_97_cols,
+    fwd_fused_strip_97_cols,
+    inv_fused_strip_97_cols
 );
 
 #[cfg(test)]
@@ -340,6 +450,152 @@ mod tests {
                 assert_eq!(
                     par.get(x, y).to_bits(),
                     seq.get(x, y).to_bits(),
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_agrees_with_per_step_53() {
+        // Degenerate sizes 1..8 plus larger shapes, every strategy, all
+        // decomposition depths: fused must be bit-identical.
+        let mut shapes: Vec<(usize, usize)> = Vec::new();
+        for w in 1..=8 {
+            for h in 1..=8 {
+                shapes.push((w, h));
+            }
+        }
+        shapes.extend([(33, 31), (40, 24), (64, 48)]);
+        for &(w, h) in &shapes {
+            let orig = test_plane_i32(w, h, w + 3);
+            for levels in [1u8, 2, 5] {
+                for strategy in [
+                    VerticalStrategy::Naive,
+                    VerticalStrategy::Strip { width: 3 },
+                    VerticalStrategy::DEFAULT_STRIP,
+                ] {
+                    let mut a = orig.clone();
+                    let mut b = orig.clone();
+                    forward_53_with(&mut a, levels, strategy, LiftingMode::PerStep, &Exec::SEQ);
+                    forward_53_with(&mut b, levels, strategy, LiftingMode::Fused, &Exec::SEQ);
+                    assert_eq!(a, b, "fwd {w}x{h} L={levels} {strategy:?}");
+                    let mut c = a.clone();
+                    inverse_53_with(&mut a, levels, strategy, LiftingMode::PerStep, &Exec::SEQ);
+                    inverse_53_with(&mut c, levels, strategy, LiftingMode::Fused, &Exec::SEQ);
+                    assert_eq!(a, c, "inv {w}x{h} L={levels} {strategy:?}");
+                    assert_eq!(c, orig, "roundtrip {w}x{h} L={levels} {strategy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_agrees_with_per_step_97() {
+        let mut shapes: Vec<(usize, usize)> = Vec::new();
+        for w in 1..=8 {
+            for h in 1..=8 {
+                shapes.push((w, h));
+            }
+        }
+        shapes.extend([(17, 33), (40, 24), (48, 48)]);
+        for &(w, h) in &shapes {
+            let orig = test_plane_f32(w, h);
+            for levels in [1u8, 3] {
+                for strategy in [VerticalStrategy::Naive, VerticalStrategy::DEFAULT_STRIP] {
+                    let mut a = orig.clone();
+                    let mut b = orig.clone();
+                    forward_97_with(&mut a, levels, strategy, LiftingMode::PerStep, &Exec::SEQ);
+                    forward_97_with(&mut b, levels, strategy, LiftingMode::Fused, &Exec::SEQ);
+                    for y in 0..h {
+                        for x in 0..w {
+                            assert_eq!(
+                                a.get(x, y).to_bits(),
+                                b.get(x, y).to_bits(),
+                                "fwd {w}x{h} L={levels} {strategy:?} ({x},{y})"
+                            );
+                        }
+                    }
+                    inverse_97_with(&mut a, levels, strategy, LiftingMode::PerStep, &Exec::SEQ);
+                    inverse_97_with(&mut b, levels, strategy, LiftingMode::Fused, &Exec::SEQ);
+                    for y in 0..h {
+                        for x in 0..w {
+                            assert_eq!(
+                                a.get(x, y).to_bits(),
+                                b.get(x, y).to_bits(),
+                                "inv {w}x{h} L={levels} {strategy:?} ({x},{y})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // large planes: too slow under the interpreter
+    fn fused_parallel_bit_identical_to_sequential() {
+        let orig = test_plane_f32(50, 38);
+        let mut seq = orig.clone();
+        forward_97_with(
+            &mut seq,
+            3,
+            VerticalStrategy::DEFAULT_STRIP,
+            LiftingMode::Fused,
+            &Exec::SEQ,
+        );
+        for exec in [Exec::threads(2), Exec::threads(4), Exec::rayon(3)] {
+            let mut par = orig.clone();
+            forward_97_with(
+                &mut par,
+                3,
+                VerticalStrategy::DEFAULT_STRIP,
+                LiftingMode::Fused,
+                &exec,
+            );
+            for y in 0..38 {
+                for x in 0..50 {
+                    assert_eq!(
+                        par.get(x, y).to_bits(),
+                        seq.get(x, y).to_bits(),
+                        "{:?} ({x},{y})",
+                        exec.backend
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_driver_matches_whole_transform() {
+        // Running levels one at a time through the `_level` entry points
+        // must equal the all-levels driver — this is what the pipelined
+        // encoder relies on.
+        let orig = test_plane_f32(40, 33);
+        let mut whole = orig.clone();
+        let (deco, _) = forward_97_with(
+            &mut whole,
+            4,
+            VerticalStrategy::DEFAULT_STRIP,
+            LiftingMode::Fused,
+            &Exec::SEQ,
+        );
+        let mut stepped = orig.clone();
+        for l in 0..4u8 {
+            forward_97_level(
+                &mut stepped,
+                &deco,
+                l,
+                VerticalStrategy::DEFAULT_STRIP,
+                LiftingMode::Fused,
+                &Exec::SEQ,
+            );
+        }
+        for y in 0..33 {
+            for x in 0..40 {
+                assert_eq!(
+                    whole.get(x, y).to_bits(),
+                    stepped.get(x, y).to_bits(),
                     "({x},{y})"
                 );
             }

@@ -53,20 +53,33 @@ unsafe fn deinterleave_cols<T: Copy + Default>(
             return;
         }
         let ce = h.div_ceil(2);
+        let fh = h / 2;
         let mut x0 = cols.start;
         while x0 < cols.end {
             let s = strip.min(cols.end - x0);
+            // Only the odd rows (half the strip) go through scratch: even
+            // rows compact in place by an ascending walk (`row y <- row 2y`
+            // reads ahead of every write), then the buffered odds are
+            // stored once into the bottom half.
             scratch.clear();
-            scratch.resize(h * s, T::default());
-            for y in 0..h {
-                let dst_row = if y % 2 == 0 { y / 2 } else { ce + y / 2 };
+            scratch.resize(fh * s, T::default());
+            for j in 0..fh {
+                let rr = (2 * j + 1) * stride;
                 for dx in 0..s {
-                    scratch[dst_row * s + dx] = ptr.read(y * stride + x0 + dx);
+                    scratch[j * s + dx] = ptr.read(rr + x0 + dx);
                 }
             }
-            for y in 0..h {
+            for y in 1..ce {
+                let rr = 2 * y * stride;
+                let wr = y * stride;
                 for dx in 0..s {
-                    ptr.write(y * stride + x0 + dx, scratch[y * s + dx]);
+                    ptr.write(wr + x0 + dx, ptr.read(rr + x0 + dx));
+                }
+            }
+            for j in 0..fh {
+                let wr = (ce + j) * stride;
+                for dx in 0..s {
+                    ptr.write(wr + x0 + dx, scratch[j * s + dx]);
                 }
             }
             x0 += s;
@@ -93,20 +106,34 @@ unsafe fn interleave_cols<T: Copy + Default>(
             return;
         }
         let ce = h.div_ceil(2);
+        let fh = h / 2;
         let mut x0 = cols.start;
         while x0 < cols.end {
             let s = strip.min(cols.end - x0);
+            // Inverse permutation with the same half-scratch scheme: the
+            // bottom (high) half is buffered, then a descending walk spreads
+            // the low rows (`row 2y <- row y` writes land strictly below
+            // every remaining read) and drops the buffered highs into the
+            // odd rows.
             scratch.clear();
-            scratch.resize(h * s, T::default());
-            for y in 0..h {
-                let src_row = if y % 2 == 0 { y / 2 } else { ce + y / 2 };
+            scratch.resize(fh * s, T::default());
+            for j in 0..fh {
+                let rr = (ce + j) * stride;
                 for dx in 0..s {
-                    scratch[y * s + dx] = ptr.read(src_row * stride + x0 + dx);
+                    scratch[j * s + dx] = ptr.read(rr + x0 + dx);
                 }
             }
-            for y in 0..h {
-                for dx in 0..s {
-                    ptr.write(y * stride + x0 + dx, scratch[y * s + dx]);
+            for y in (1..h).rev() {
+                let wr = y * stride;
+                if y % 2 == 0 {
+                    let rr = (y / 2) * stride;
+                    for dx in 0..s {
+                        ptr.write(wr + x0 + dx, ptr.read(rr + x0 + dx));
+                    }
+                } else {
+                    for dx in 0..s {
+                        ptr.write(wr + x0 + dx, scratch[(y / 2) * s + dx]);
+                    }
                 }
             }
             x0 += s;

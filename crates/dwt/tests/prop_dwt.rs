@@ -1,6 +1,9 @@
 //! Property tests: the transform invariants every other crate builds on.
 
-use pj2k_dwt::{forward_53, forward_97, inverse_53, inverse_97, Decomposition, VerticalStrategy};
+use pj2k_dwt::{
+    forward_53, forward_53_with, forward_97, forward_97_with, inverse_53, inverse_53_with,
+    inverse_97, inverse_97_with, Decomposition, LiftingMode, VerticalStrategy,
+};
 use pj2k_image::Plane;
 use pj2k_parutil::Exec;
 use proptest::prelude::*;
@@ -86,6 +89,59 @@ proptest! {
                 prop_assert_eq!(par_f.get(x, y).to_bits(), seq_f.get(x, y).to_bits());
             }
         }
+    }
+
+    /// Fused single-pass 5/3 lifting is bit-identical to the per-step
+    /// kernels — forward and inverse — on any size, stride pad, strip
+    /// width, and level count.
+    #[test]
+    fn fused_53_bit_identical(p in arb_plane_i32(), levels in 0u8..5, strat in strategies()) {
+        let mut a = p.clone();
+        let mut b = p;
+        forward_53_with(&mut a, levels, strat, LiftingMode::PerStep, &Exec::SEQ);
+        forward_53_with(&mut b, levels, strat, LiftingMode::Fused, &Exec::SEQ);
+        prop_assert_eq!(&a, &b);
+        inverse_53_with(&mut a, levels, strat, LiftingMode::PerStep, &Exec::SEQ);
+        inverse_53_with(&mut b, levels, strat, LiftingMode::Fused, &Exec::SEQ);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Fused 9/7 evaluates the same lifting expressions on the same
+    /// operands, so even the float outputs match to the bit.
+    #[test]
+    fn fused_97_bit_identical(p in arb_plane_i32(), levels in 0u8..5, strat in strategies()) {
+        let f = p.map(|v| v as f32);
+        let mut a = f.clone();
+        let mut b = f;
+        forward_97_with(&mut a, levels, strat, LiftingMode::PerStep, &Exec::SEQ);
+        forward_97_with(&mut b, levels, strat, LiftingMode::Fused, &Exec::SEQ);
+        for y in 0..a.height() {
+            for x in 0..a.width() {
+                prop_assert_eq!(a.get(x, y).to_bits(), b.get(x, y).to_bits(),
+                    "forward ({}, {})", x, y);
+            }
+        }
+        inverse_97_with(&mut a, levels, strat, LiftingMode::PerStep, &Exec::SEQ);
+        inverse_97_with(&mut b, levels, strat, LiftingMode::Fused, &Exec::SEQ);
+        for y in 0..a.height() {
+            for x in 0..a.width() {
+                prop_assert_eq!(a.get(x, y).to_bits(), b.get(x, y).to_bits(),
+                    "inverse ({}, {})", x, y);
+            }
+        }
+    }
+
+    /// Fused kernels under parallel execution are bit-identical to the
+    /// fused sequential transform (claims stay disjoint per worker).
+    #[test]
+    fn fused_parallel_equals_sequential(p in arb_plane_i32(), levels in 1u8..4, workers in 2usize..5) {
+        let mut seq = p.clone();
+        let mut par = p;
+        forward_53_with(&mut seq, levels, VerticalStrategy::DEFAULT_STRIP,
+            LiftingMode::Fused, &Exec::SEQ);
+        forward_53_with(&mut par, levels, VerticalStrategy::DEFAULT_STRIP,
+            LiftingMode::Fused, &Exec::threads(workers));
+        prop_assert_eq!(par, seq);
     }
 
     /// Subband geometry always partitions the plane.

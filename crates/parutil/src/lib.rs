@@ -24,12 +24,14 @@
 
 pub mod disjoint;
 pub mod exec;
+pub mod pipeline;
 pub mod pool;
 pub mod schedule;
 pub mod timing;
 
 pub use disjoint::{DisjointClaim, DisjointWriter};
 pub use exec::{Backend, Exec, SendPtr};
+pub use pipeline::{pipeline_map_with_state, PipelineQueue};
 pub use pool::{pool_map, pool_map_with_state, pool_run, WorkerPool};
 pub use schedule::{assign, chunk_ranges, Schedule};
 pub use timing::{StageClock, StageTimes};

@@ -402,13 +402,13 @@ fn block_coverage(lines: &[Line]) -> Vec<bool> {
             continue;
         }
         // Find the opening brace of the item the comment annotates.
-        let mut open = None;
-        for j in idx..lines.len().min(idx + BLOCK_SCAN) {
-            if lines[j].code.contains('{') {
-                open = Some(j);
-                break;
-            }
-        }
+        let open = lines
+            .iter()
+            .enumerate()
+            .take(lines.len().min(idx + BLOCK_SCAN))
+            .skip(idx)
+            .find(|(_, l)| l.code.contains('{'))
+            .map(|(j, _)| j);
         let Some(open) = open else { continue };
         let mut depth: i64 = 0;
         let mut end = open;

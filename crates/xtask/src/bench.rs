@@ -1,0 +1,146 @@
+//! `xtask bench-smoke` — run every benchmark harness in smoke mode and
+//! re-validate the JSON it emits.
+//!
+//! The bench binaries already self-validate before exiting, so a green run
+//! means "the harness builds, the workload completes, and the document
+//! matches the schema". This command exists so local runs and CI share the
+//! exact invocation and the exact follow-up checks, and so adding a new
+//! harness is a one-line [`BENCHES`] edit rather than a YAML diff.
+//!
+//! Validation is intentionally dependency-free (substring keys plus
+//! balanced-delimiter counts) — same posture as the binaries themselves.
+
+use std::path::Path;
+use std::process::Command;
+
+/// One benchmark harness: the binary name, where its smoke output lands
+/// (relative to the workspace root), and the keys the JSON must contain.
+struct BenchSpec {
+    bin: &'static str,
+    out: &'static str,
+    schema: &'static str,
+    keys: &'static [&'static str],
+}
+
+const BENCHES: &[BenchSpec] = &[
+    BenchSpec {
+        bin: "bench_tier1",
+        out: "target/BENCH_tier1_smoke.json",
+        schema: "pj2k.bench_tier1.v1",
+        keys: &[
+            "\"microbench\"",
+            "\"encoder\"",
+            "\"dynamic_over_staggered\"",
+        ],
+    },
+    BenchSpec {
+        bin: "bench_dwt",
+        out: "target/BENCH_dwt_smoke.json",
+        schema: "pj2k.bench_dwt.v1",
+        keys: &[
+            "\"kernels\"",
+            "\"fused_strip_speedup_97\"",
+            "\"fused_naive_speedup_97\"",
+            "\"fused_strip_speedup_53\"",
+            "\"encoder\"",
+            "\"barriered_secs\"",
+            "\"pipelined_secs\"",
+            "\"modeled_pipelined_speedup\"",
+        ],
+    },
+];
+
+/// Run all smoke benches rooted at `root`. Returns the process exit code.
+pub fn run(root: &Path) -> i32 {
+    let mut failed = false;
+    for spec in BENCHES {
+        println!("== bench-smoke: {} ==", spec.bin);
+        let out = root.join(spec.out);
+        let status = Command::new("cargo")
+            .args(["run", "--release", "-q", "-p", "pj2k-bench", "--bin"])
+            .arg(spec.bin)
+            .arg("--")
+            .arg("--smoke")
+            .arg("--out")
+            .arg(&out)
+            .current_dir(root)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("bench-smoke: {} exited with {s}", spec.bin);
+                failed = true;
+                continue;
+            }
+            Err(err) => {
+                eprintln!("bench-smoke: failed to launch {}: {err}", spec.bin);
+                failed = true;
+                continue;
+            }
+        }
+        match std::fs::read_to_string(&out) {
+            Ok(doc) => match check_doc(&doc, spec) {
+                Ok(()) => println!(
+                    "bench-smoke: {} ok ({} bytes, schema {})",
+                    spec.bin,
+                    doc.len(),
+                    spec.schema
+                ),
+                Err(msg) => {
+                    eprintln!("bench-smoke: {} emitted bad JSON: {msg}", spec.bin);
+                    failed = true;
+                }
+            },
+            Err(err) => {
+                eprintln!("bench-smoke: cannot read {}: {err}", out.display());
+                failed = true;
+            }
+        }
+    }
+    i32::from(failed)
+}
+
+/// Check one emitted document against its spec.
+fn check_doc(doc: &str, spec: &BenchSpec) -> Result<(), String> {
+    if !doc.contains(spec.schema) {
+        return Err(format!("missing schema marker `{}`", spec.schema));
+    }
+    for key in spec.keys {
+        if !doc.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    if doc.matches('{').count() != doc.matches('}').count()
+        || doc.matches('[').count() != doc.matches(']').count()
+    {
+        return Err("unbalanced JSON delimiters".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_doc_accepts_minimal_valid_doc() {
+        let spec = &BENCHES[1];
+        let mut doc = String::from("{\"schema\": \"pj2k.bench_dwt.v1\"");
+        for key in spec.keys {
+            doc.push_str(&format!(", {key}: 1"));
+        }
+        doc.push('}');
+        assert!(check_doc(&doc, spec).is_ok());
+    }
+
+    #[test]
+    fn check_doc_rejects_missing_key_and_imbalance() {
+        let spec = &BENCHES[1];
+        assert!(check_doc("{\"schema\": \"pj2k.bench_dwt.v1\"}", spec).is_err());
+        let mut doc = String::from("{\"schema\": \"pj2k.bench_dwt.v1\"");
+        for key in spec.keys {
+            doc.push_str(&format!(", {key}: ["));
+        }
+        assert!(check_doc(&doc, spec).is_err());
+    }
+}

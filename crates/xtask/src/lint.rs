@@ -741,6 +741,26 @@ mod tests {
     }
 
     #[test]
+    fn fused_kernels_stay_panic_free() {
+        // Regression guard for the fused lifting hot loops specifically:
+        // `dwt` is a HOT_PATH_CRATES member, so any unwrap/expect/panic!
+        // creeping into the single-pass kernels must fail this lint.
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../dwt/src/fused.rs")
+            .canonicalize()
+            .expect("crates/dwt/src/fused.rs must exist");
+        let src = std::fs::read_to_string(&path).unwrap();
+        let mut r = Report::default();
+        lint_source(Path::new("crates/dwt/src/fused.rs"), &src, &mut r);
+        let panics: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::HotPathPanic)
+            .collect();
+        assert!(panics.is_empty(), "{panics:?}");
+    }
+
+    #[test]
     fn inventory_render_mentions_counts() {
         let mut r = Report::default();
         lint_source(

@@ -9,11 +9,14 @@
 //! * `cargo run -p xtask -- ci` — the full verification gate: fmt check,
 //!   clippy `-D warnings`, the custom lint, the panic audit, and the test
 //!   suite.
+//! * `cargo run -p xtask -- bench-smoke` — run every benchmark harness in
+//!   smoke mode and re-validate the JSON it emits (see [`bench`]).
 //!
 //! The binary is intentionally dependency-free so it builds anywhere the
 //! Rust toolchain exists, including offline CI runners.
 
 mod audit;
+mod bench;
 mod ci;
 mod lint;
 mod scan;
@@ -41,6 +44,7 @@ fn main() -> ExitCode {
             };
             ExitCode::from(ci::run(&root, &opts) as u8)
         }
+        Some("bench-smoke") => ExitCode::from(bench::run(&root) as u8),
         Some("help") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -144,6 +148,7 @@ fn print_help() {
          \t\t--quiet\tsummarize the inventory instead of listing sites\n\
          \tci\tfmt-check + clippy -D warnings + lint + audit + tests\n\
          \t\t--skip-fmt | --skip-clippy | --skip-tests\n\
+         \tbench-smoke\trun bench_tier1 + bench_dwt in smoke mode, validate JSON\n\
          \thelp\tthis message\n\
          \n\
          LINT RULES (suppress with `// lint:allow(<rule>) -- <reason>`):\n\
