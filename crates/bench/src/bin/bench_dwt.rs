@@ -28,7 +28,8 @@ use pj2k_core::{
     StageOverlap,
 };
 use pj2k_dwt::{
-    forward_53_with, forward_97_level, forward_97_with, Decomposition, VerticalStrategy,
+    forward_53_with, forward_97_level, forward_97_with, Decomposition, SimdMode, SimdTier,
+    VerticalStrategy,
 };
 use pj2k_image::Plane;
 use pj2k_parutil::Exec;
@@ -106,12 +107,15 @@ struct KRow {
     wavelet: &'static str,
     lifting: &'static str,
     vertical: &'static str,
+    simd: &'static str,
     pad: usize,
     p: usize,
     secs: f64,
+    vert_secs: f64,
     mpix_per_sec: f64,
 }
 
+/// Best-of-trials (total seconds, vertical-pass seconds of that run).
 #[allow(clippy::too_many_arguments)]
 fn bench_97(
     w: usize,
@@ -120,19 +124,24 @@ fn bench_97(
     levels: u8,
     lifting: LiftingMode,
     vstrat: VerticalStrategy,
+    simd: SimdMode,
     p: usize,
-) -> f64 {
+) -> (f64, f64) {
     let exec = if p == 1 { Exec::SEQ } else { Exec::threads(p) };
     let mut plane = Plane::<f32>::with_stride(w, h, w + pad);
-    let mut best = f64::INFINITY;
+    let mut best = (f64::INFINITY, f64::INFINITY);
     for _ in 0..TRIALS {
         fill_f32(&mut plane);
-        let (_, t) = time(|| forward_97_with(&mut plane, levels, vstrat, lifting, &exec));
-        best = best.min(t);
+        let ((_, stats), t) =
+            time(|| forward_97_with(&mut plane, levels, vstrat, lifting, simd, &exec));
+        if t < best.0 {
+            best = (t, stats.vertical.as_secs_f64());
+        }
     }
     best
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bench_53(
     w: usize,
     h: usize,
@@ -140,17 +149,90 @@ fn bench_53(
     levels: u8,
     lifting: LiftingMode,
     vstrat: VerticalStrategy,
+    simd: SimdMode,
     p: usize,
-) -> f64 {
+) -> (f64, f64) {
     let exec = if p == 1 { Exec::SEQ } else { Exec::threads(p) };
     let mut plane = Plane::<i32>::with_stride(w, h, w + pad);
-    let mut best = f64::INFINITY;
+    let mut best = (f64::INFINITY, f64::INFINITY);
     for _ in 0..TRIALS {
         fill_i32(&mut plane);
-        let (_, t) = time(|| forward_53_with(&mut plane, levels, vstrat, lifting, &exec));
-        best = best.min(t);
+        let ((_, stats), t) =
+            time(|| forward_53_with(&mut plane, levels, vstrat, lifting, simd, &exec));
+        if t < best.0 {
+            best = (t, stats.vertical.as_secs_f64());
+        }
     }
     best
+}
+
+/// The SIMD tiers this host can ablate, plus auto dispatch.
+fn simd_modes() -> Vec<(&'static str, SimdMode)> {
+    let mut modes: Vec<(&'static str, SimdMode)> = Vec::new();
+    for (name, tier) in [
+        ("portable", SimdTier::Portable),
+        ("sse2", SimdTier::Sse2),
+        ("avx2", SimdTier::Avx2),
+    ] {
+        if tier.is_supported() {
+            modes.push((name, SimdMode::Forced(tier)));
+        }
+    }
+    modes.push(("auto", SimdMode::Auto));
+    modes
+}
+
+/// Re-validate on the bench workload itself that every tier produces the
+/// scalar coefficients bit for bit (the proptests cover small shapes; this
+/// covers the exact planes being timed).
+fn check_bit_identity(side: usize, levels: u8) -> bool {
+    let mut ok = true;
+    let mut scalar = Plane::<f32>::new(side, side);
+    fill_f32(&mut scalar);
+    forward_97_with(
+        &mut scalar,
+        levels,
+        STRIP,
+        LiftingMode::Fused,
+        SimdMode::Scalar,
+        &Exec::SEQ,
+    );
+    for (name, mode) in simd_modes() {
+        let mut p = Plane::<f32>::new(side, side);
+        fill_f32(&mut p);
+        forward_97_with(&mut p, levels, STRIP, LiftingMode::Fused, mode, &Exec::SEQ);
+        let same = p
+            .samples()
+            .zip(scalar.samples())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        println!(
+            "bit-identity 9/7 fused strip {side}x{side} L={levels} tier={name}: {}",
+            if same { "ok" } else { "MISMATCH" }
+        );
+        ok &= same;
+    }
+    let mut scalar_i = Plane::<i32>::new(side, side);
+    fill_i32(&mut scalar_i);
+    forward_53_with(
+        &mut scalar_i,
+        levels,
+        STRIP,
+        LiftingMode::Fused,
+        SimdMode::Scalar,
+        &Exec::SEQ,
+    );
+    for (name, mode) in simd_modes() {
+        let mut p = Plane::<i32>::new(side, side);
+        fill_i32(&mut p);
+        forward_53_with(&mut p, levels, STRIP, LiftingMode::Fused, mode, &Exec::SEQ);
+        let same = p.samples().zip(scalar_i.samples()).all(|(a, b)| a == b);
+        println!(
+            "bit-identity 5/3 fused strip {side}x{side} L={levels} tier={name}: {}",
+            if same { "ok" } else { "MISMATCH" }
+        );
+        ok &= same;
+    }
+    ok
 }
 
 fn lift_name(l: LiftingMode) -> &'static str {
@@ -276,6 +358,13 @@ const REQUIRED_KEYS: &[&str] = &[
     "\"fused_strip_speedup_97\"",
     "\"fused_naive_speedup_97\"",
     "\"fused_strip_speedup_53\"",
+    "\"simd\"",
+    "\"vert_secs\"",
+    "\"simd_tiers\"",
+    "\"simd_best_tier\"",
+    "\"simd_strip_speedup_97\"",
+    "\"simd_strip_speedup_53\"",
+    "\"simd_bit_identity\"",
     "\"encoder\"",
     "\"barriered_secs\"",
     "\"pipelined_secs\"",
@@ -318,9 +407,12 @@ fn main() {
 
     // --- kernel sweep ----------------------------------------------------
     // Untimed warm-up touches every code path once.
-    let _ = bench_97(64, 64, 0, 2, LiftingMode::Fused, STRIP, 1);
-    let _ = bench_53(64, 64, 0, 2, LiftingMode::Fused, STRIP, 1);
+    let _ = bench_97(64, 64, 0, 2, LiftingMode::Fused, STRIP, SimdMode::Auto, 1);
+    let _ = bench_53(64, 64, 0, 2, LiftingMode::Fused, STRIP, SimdMode::Auto, 1);
 
+    // The scalar matrix (simd = "scalar") keeps the PR 4 trajectory rows
+    // comparable release over release; the tier sweep below ablates the
+    // SIMD dispatch on top of the strip kernels.
     let mut rows: Vec<KRow> = Vec::new();
     for (lifting, vstrat) in [
         (LiftingMode::PerStep, VerticalStrategy::Naive),
@@ -329,72 +421,156 @@ fn main() {
         (LiftingMode::Fused, STRIP),
     ] {
         for pad in [0usize, 8] {
-            let secs = bench_97(side, side, pad, levels, lifting, vstrat, 1);
+            let (secs, vert_secs) = bench_97(
+                side,
+                side,
+                pad,
+                levels,
+                lifting,
+                vstrat,
+                SimdMode::Scalar,
+                1,
+            );
             rows.push(KRow {
                 wavelet: "9/7",
                 lifting: lift_name(lifting),
                 vertical: vert_name(vstrat),
+                simd: "scalar",
                 pad,
                 p: 1,
                 secs,
+                vert_secs,
                 mpix_per_sec: mpix / secs,
             });
-            let secs = bench_53(side, side, pad, levels, lifting, vstrat, 1);
+            let (secs, vert_secs) = bench_53(
+                side,
+                side,
+                pad,
+                levels,
+                lifting,
+                vstrat,
+                SimdMode::Scalar,
+                1,
+            );
             rows.push(KRow {
                 wavelet: "5/3",
                 lifting: lift_name(lifting),
                 vertical: vert_name(vstrat),
+                simd: "scalar",
                 pad,
                 p: 1,
                 secs,
+                vert_secs,
+                mpix_per_sec: mpix / secs,
+            });
+        }
+    }
+    // Per-tier ablation: strip vertical under every runtime-dispatch tier
+    // this host supports, both lifting modes, both wavelets.
+    for (simd_name, mode) in simd_modes() {
+        for lifting in [LiftingMode::PerStep, LiftingMode::Fused] {
+            let (secs, vert_secs) = bench_97(side, side, 0, levels, lifting, STRIP, mode, 1);
+            rows.push(KRow {
+                wavelet: "9/7",
+                lifting: lift_name(lifting),
+                vertical: "strip",
+                simd: simd_name,
+                pad: 0,
+                p: 1,
+                secs,
+                vert_secs,
+                mpix_per_sec: mpix / secs,
+            });
+            let (secs, vert_secs) = bench_53(side, side, 0, levels, lifting, STRIP, mode, 1);
+            rows.push(KRow {
+                wavelet: "5/3",
+                lifting: lift_name(lifting),
+                vertical: "strip",
+                simd: simd_name,
+                pad: 0,
+                p: 1,
+                secs,
+                vert_secs,
                 mpix_per_sec: mpix / secs,
             });
         }
     }
     for p in [2usize, 4, 8] {
         for lifting in [LiftingMode::PerStep, LiftingMode::Fused] {
-            let secs = bench_97(side, side, 0, levels, lifting, STRIP, p);
+            let (secs, vert_secs) =
+                bench_97(side, side, 0, levels, lifting, STRIP, SimdMode::Auto, p);
             rows.push(KRow {
                 wavelet: "9/7",
                 lifting: lift_name(lifting),
                 vertical: "strip",
+                simd: "auto",
                 pad: 0,
                 p,
                 secs,
+                vert_secs,
                 mpix_per_sec: mpix / secs,
             });
         }
     }
     for r in &rows {
         println!(
-            "kernel {} {}/{} pad={} p={}: {:.1} ms ({:.1} Mpix/s)",
+            "kernel {} {}/{} simd={} pad={} p={}: {:.1} ms, vert {:.1} ms ({:.1} Mpix/s)",
             r.wavelet,
             r.lifting,
             r.vertical,
+            r.simd,
             r.pad,
             r.p,
             r.secs * 1e3,
+            r.vert_secs * 1e3,
             r.mpix_per_sec
         );
     }
-    let pick = |wav: &str, lift: &str, vert: &str| {
+    let pick = |wav: &str, lift: &str, vert: &str, simd: &str| {
         rows.iter()
             .find(|r| {
                 r.wavelet == wav
                     && r.lifting == lift
                     && r.vertical == vert
+                    && r.simd == simd
                     && r.pad == 0
                     && r.p == 1
             })
-            .map_or(f64::INFINITY, |r| r.secs)
+            .map_or((f64::INFINITY, f64::INFINITY), |r| (r.secs, r.vert_secs))
     };
-    let fused_strip_97 = pick("9/7", "per_step", "strip") / pick("9/7", "fused", "strip");
-    let fused_naive_97 = pick("9/7", "per_step", "naive") / pick("9/7", "fused", "naive");
-    let fused_strip_53 = pick("5/3", "per_step", "strip") / pick("5/3", "fused", "strip");
+    let fused_strip_97 =
+        pick("9/7", "per_step", "strip", "scalar").0 / pick("9/7", "fused", "strip", "scalar").0;
+    let fused_naive_97 =
+        pick("9/7", "per_step", "naive", "scalar").0 / pick("9/7", "fused", "naive", "scalar").0;
+    let fused_strip_53 =
+        pick("5/3", "per_step", "strip", "scalar").0 / pick("5/3", "fused", "strip", "scalar").0;
     println!(
         "fused speedup (single thread, pow2 width): 9/7 strip {fused_strip_97:.3}x, \
          9/7 naive {fused_naive_97:.3}x, 5/3 strip {fused_strip_53:.3}x"
     );
+    // SIMD strip-vertical speedup: scalar fused strip vertical pass over
+    // the best forced tier's fused strip vertical pass (ISSUE 5 gate).
+    let mut simd_best_tier = "scalar";
+    let mut simd_best_vert = (f64::INFINITY, f64::INFINITY);
+    for (name, _) in simd_modes() {
+        if name == "auto" {
+            continue;
+        }
+        let v97 = pick("9/7", "fused", "strip", name).1;
+        if v97 < simd_best_vert.0 {
+            simd_best_tier = name;
+            simd_best_vert = (v97, pick("5/3", "fused", "strip", name).1);
+        }
+    }
+    let simd_strip_speedup_97 = pick("9/7", "fused", "strip", "scalar").1 / simd_best_vert.0;
+    let simd_strip_speedup_53 = pick("5/3", "fused", "strip", "scalar").1 / simd_best_vert.1;
+    println!(
+        "simd strip-vertical speedup over scalar fused (best tier {simd_best_tier}): \
+         9/7 {simd_strip_speedup_97:.3}x, 5/3 {simd_strip_speedup_53:.3}x"
+    );
+
+    // --- per-tier bit-identity on the bench workload ----------------------
+    let simd_bit_identity = check_bit_identity(side.min(512), levels);
 
     // --- stage overlap: barriered vs pipelined end-to-end ----------------
     let img = test_image(kpx);
@@ -411,7 +587,15 @@ fn main() {
         fill_f32(&mut plane);
         for l in 0..levels {
             let (_, t) = time(|| {
-                forward_97_level(&mut plane, &deco, l, STRIP, LiftingMode::Fused, &Exec::SEQ)
+                forward_97_level(
+                    &mut plane,
+                    &deco,
+                    l,
+                    STRIP,
+                    LiftingMode::Fused,
+                    SimdMode::Auto,
+                    &Exec::SEQ,
+                )
             });
             let slot = &mut level_secs[usize::from(l)];
             *slot = slot.min(t);
@@ -531,13 +715,16 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         doc.push_str(&format!(
             "    {{ \"wavelet\": \"{}\", \"lifting\": \"{}\", \"vertical\": \"{}\", \
-             \"stride_pad\": {}, \"p\": {}, \"secs\": {}, \"mpix_per_sec\": {} }}{}\n",
+             \"simd\": \"{}\", \"stride_pad\": {}, \"p\": {}, \"secs\": {}, \
+             \"vert_secs\": {}, \"mpix_per_sec\": {} }}{}\n",
             r.wavelet,
             r.lifting,
             r.vertical,
+            r.simd,
             r.pad,
             r.p,
             jf(r.secs),
+            jf(r.vert_secs),
             jf(r.mpix_per_sec),
             if i + 1 < rows.len() { "," } else { "" }
         ));
@@ -555,6 +742,21 @@ fn main() {
         "  \"fused_strip_speedup_53\": {},\n",
         jf(fused_strip_53)
     ));
+    let tier_names: Vec<String> = simd_modes()
+        .iter()
+        .map(|(n, _)| format!("\"{n}\""))
+        .collect();
+    doc.push_str(&format!("  \"simd_tiers\": [{}],\n", tier_names.join(", ")));
+    doc.push_str(&format!("  \"simd_best_tier\": \"{simd_best_tier}\",\n"));
+    doc.push_str(&format!(
+        "  \"simd_strip_speedup_97\": {},\n",
+        jf(simd_strip_speedup_97)
+    ));
+    doc.push_str(&format!(
+        "  \"simd_strip_speedup_53\": {},\n",
+        jf(simd_strip_speedup_53)
+    ));
+    doc.push_str(&format!("  \"simd_bit_identity\": {simd_bit_identity},\n"));
     doc.push_str(&format!("  \"encoder_kpixels\": {kpx},\n"));
     doc.push_str("  \"encoder\": [\n");
     for (i, (p, t_bar, t_pipe, m_bar, m_pipe)) in enc_rows.iter().enumerate() {
@@ -581,6 +783,10 @@ fn main() {
     let written = std::fs::read_to_string(&out_path).expect("re-read benchmark JSON");
     if let Err(e) = validate(&written) {
         eprintln!("BENCH_dwt schema validation failed: {e}");
+        std::process::exit(1);
+    }
+    if !simd_bit_identity {
+        eprintln!("SIMD tier produced coefficients differing from scalar");
         std::process::exit(1);
     }
     println!("wrote {out_path} ({} bytes, schema OK)", written.len());

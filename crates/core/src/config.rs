@@ -4,6 +4,7 @@
 
 pub use pj2k_dwt::LiftingMode;
 use pj2k_dwt::Wavelet;
+pub use pj2k_dwt::{SimdMode, SimdTier};
 pub use pj2k_ebcot::Tier1Options;
 pub use pj2k_parutil::Schedule;
 
@@ -166,6 +167,11 @@ pub struct EncoderConfig {
     /// one-sweep-per-step kernels, or the fused single-pass kernels
     /// (bit-identical outputs, a fraction of the memory traffic).
     pub lifting: LiftingMode,
+    /// SIMD tier for the lifting kernels: runtime-detected best tier by
+    /// default, a forced tier for ablation, or pure scalar. Every tier
+    /// produces bit-identical coefficients (asserted in tests), so this
+    /// knob never changes the codestream.
+    pub simd: SimdMode,
     /// Whether DWT, quantization and Tier-1 run barrier-separated or
     /// overlapped per decomposition level.
     pub overlap: StageOverlap,
@@ -196,6 +202,7 @@ impl Default for EncoderConfig {
             parallel: ParallelMode::Sequential,
             filter: FilterStrategy::Naive,
             lifting: LiftingMode::PerStep,
+            simd: SimdMode::Auto,
             overlap: StageOverlap::Barriered,
             tier1: Tier1Options::default(),
             tier1_schedule: Schedule::StaggeredRoundRobin,

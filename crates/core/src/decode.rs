@@ -13,7 +13,10 @@ use crate::blocks::{band_ctx, blocks_of, grid_dims, indexed_resolutions};
 use crate::config::ParallelMode;
 use crate::quant::{band_step, dequantize_plane};
 use crate::report::stage;
-use pj2k_dwt::{inverse_53, inverse_97, Decomposition, DwtStats, VerticalStrategy, Wavelet};
+use pj2k_dwt::{
+    inverse_53_with, inverse_97_with, Decomposition, DwtStats, LiftingMode, SimdMode,
+    VerticalStrategy, Wavelet,
+};
 use pj2k_ebcot::{decode_block_with, Tier1Options};
 use pj2k_image::tile::TileGrid;
 use pj2k_image::transform::{dc_level_shift_inverse, ict_inverse, rct_inverse};
@@ -45,6 +48,10 @@ pub enum CodecError {
     Parse(String),
     /// Structurally valid but semantically impossible stream.
     Invalid(String),
+    /// Failed to acquire process resources (e.g. thread-pool
+    /// construction) — a property of the host environment and the
+    /// caller's configuration, never of the input bytes.
+    Resource(String),
 }
 
 impl std::fmt::Display for CodecError {
@@ -55,6 +62,7 @@ impl std::fmt::Display for CodecError {
             CodecError::Tier1(e) => write!(f, "tier-1 error: {e}"),
             CodecError::Parse(m) => write!(f, "parse error: {m}"),
             CodecError::Invalid(m) => write!(f, "invalid codestream: {m}"),
+            CodecError::Resource(m) => write!(f, "resource error: {m}"),
         }
     }
 }
@@ -98,6 +106,14 @@ pub struct Decoder {
     /// Decode only the first `n` quality layers (progressive decoding);
     /// `None` decodes everything present.
     pub max_layers: Option<usize>,
+    /// How [`ParallelMode::WorkerPool`] hands code-blocks to its workers
+    /// during Tier-1 decoding — mirror of the encoder's knob. The decoded
+    /// image is identical under every schedule; only the load balance
+    /// changes.
+    pub tier1_schedule: Schedule,
+    /// SIMD tier for the inverse lifting kernels (bit-identical output
+    /// across tiers; see [`SimdMode`]).
+    pub simd: SimdMode,
 }
 
 impl Default for Decoder {
@@ -105,6 +121,8 @@ impl Default for Decoder {
         Self {
             parallel: ParallelMode::Sequential,
             max_layers: None,
+            tier1_schedule: Schedule::StaggeredRoundRobin,
+            simd: SimdMode::Auto,
         }
     }
 }
@@ -131,13 +149,15 @@ impl Decoder {
     pub fn decode(&self, bytes: &[u8]) -> Result<(Image, DecodeReport), CodecError> {
         match self.parallel {
             ParallelMode::Rayon { workers } => {
+                // AUDIT: pool construction depends on the caller's config
+                // and process resources, never on the untrusted input
+                // bytes; failure surfaces as `CodecError::Resource` so the
+                // no-panic decode contract also covers resource
+                // exhaustion.
                 let pool = rayon::ThreadPoolBuilder::new()
                     .num_threads(workers.max(1))
                     .build()
-                    // AUDIT: pool construction depends on the caller's
-                    // config and process resources, never on the untrusted
-                    // input bytes.
-                    .expect("rayon pool");
+                    .map_err(|e| CodecError::Resource(format!("rayon pool: {e}")))?;
                 pool.install(|| self.decode_inner(bytes))
             }
             _ => self.decode_inner(bytes),
@@ -474,7 +494,7 @@ impl Decoder {
             ParallelMode::WorkerPool { workers } => pool_map(
                 jobs.len(),
                 workers.max(1),
-                Schedule::StaggeredRoundRobin,
+                self.tier1_schedule,
                 // AUDIT(block): pool_map hands out indices `< jobs.len()`.
                 #[allow(clippy::indexing_slicing)]
                 |i| decode_one(&jobs[i]),
@@ -526,12 +546,26 @@ impl Decoder {
         let vstrat = VerticalStrategy::DEFAULT_STRIP;
         if reversible {
             for q in planes_q.iter_mut() {
-                let stats = inverse_53(q, hdr.levels, vstrat, &exec);
+                let stats = inverse_53_with(
+                    q,
+                    hdr.levels,
+                    vstrat,
+                    LiftingMode::PerStep,
+                    self.simd,
+                    &exec,
+                );
                 report.dwt.merge(&stats);
             }
         } else {
             for f in planes_f.iter_mut() {
-                let stats = inverse_97(f, hdr.levels, vstrat, &exec);
+                let stats = inverse_97_with(
+                    f,
+                    hdr.levels,
+                    vstrat,
+                    LiftingMode::PerStep,
+                    self.simd,
+                    &exec,
+                );
                 report.dwt.merge(&stats);
             }
         }
@@ -725,6 +759,105 @@ mod tests {
             .unwrap();
             assert_eq!(a, b, "{parallel:?}");
         }
+    }
+
+    #[test]
+    fn decode_schedules_bit_identical() {
+        // The decoder-side tier-1 schedule knob must never change the
+        // image, only the work distribution.
+        let img = synth::natural_gray(96, 96, 7);
+        let bytes = encode(
+            &img,
+            EncoderConfig {
+                levels: 3,
+                ..Default::default()
+            },
+        );
+        let (a, _) = Decoder::default().decode(&bytes).unwrap();
+        for schedule in [
+            Schedule::StaggeredRoundRobin,
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Dynamic { chunk: 4 },
+        ] {
+            let dec = Decoder {
+                parallel: ParallelMode::WorkerPool { workers: 3 },
+                tier1_schedule: schedule,
+                ..Default::default()
+            };
+            let (b, _) = dec.decode(&bytes).unwrap();
+            assert_eq!(a, b, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn decode_simd_tiers_bit_identical() {
+        use crate::config::SimdTier;
+        // Decoding an encoder-produced stream must be bit-identical under
+        // every SIMD tier, both wavelet paths.
+        for (wavelet, rate) in [
+            (Wavelet::Reversible53, RateControl::Lossless),
+            (Wavelet::Irreversible97, RateControl::TargetBpp(vec![2.0])),
+        ] {
+            let img = synth::natural_gray(80, 56, 9);
+            let bytes = encode(
+                &img,
+                EncoderConfig {
+                    wavelet,
+                    rate,
+                    levels: 3,
+                    ..Default::default()
+                },
+            );
+            let scalar_dec = Decoder {
+                simd: SimdMode::Scalar,
+                ..Default::default()
+            };
+            let (a, _) = scalar_dec.decode(&bytes).unwrap();
+            let mut modes = vec![SimdMode::Auto];
+            for tier in [SimdTier::Portable, SimdTier::Sse2, SimdTier::Avx2] {
+                if tier.is_supported() {
+                    modes.push(SimdMode::Forced(tier));
+                }
+            }
+            for mode in modes {
+                let dec = Decoder {
+                    simd: mode,
+                    ..Default::default()
+                };
+                let (b, _) = dec.decode(&bytes).unwrap();
+                assert_eq!(a, b, "{wavelet:?} {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_codec_scalar_vs_auto_bit_identical() {
+        // Forced-scalar and auto-dispatched SIMD encoders must emit the
+        // same codestream byte for byte, and the decoded images must
+        // match regardless of which side used SIMD.
+        let img = synth::natural_gray(96, 64, 11);
+        let mk = |simd| {
+            encode(
+                &img,
+                EncoderConfig {
+                    levels: 3,
+                    filter: FilterStrategy::Strip,
+                    simd,
+                    ..Default::default()
+                },
+            )
+        };
+        let scalar_stream = mk(SimdMode::Scalar);
+        let auto_stream = mk(SimdMode::Auto);
+        assert_eq!(scalar_stream, auto_stream, "codestreams must be identical");
+        let (a, _) = Decoder {
+            simd: SimdMode::Scalar,
+            ..Default::default()
+        }
+        .decode(&scalar_stream)
+        .unwrap();
+        let (b, _) = Decoder::default().decode(&auto_stream).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

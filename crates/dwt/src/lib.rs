@@ -28,10 +28,12 @@
 pub mod fused;
 pub mod gains;
 pub mod lift;
+pub mod simd;
 pub mod subband;
 pub mod transform2d;
 pub mod vertical;
 
+pub use simd::{SimdMode, SimdTier};
 pub use subband::{Band, Decomposition, Subband};
 pub use transform2d::{
     forward_53, forward_53_level, forward_53_with, forward_97, forward_97_level, forward_97_with,

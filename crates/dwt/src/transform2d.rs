@@ -13,6 +13,7 @@
 
 use crate::fused;
 use crate::lift::{fwd_row_53, fwd_row_97, inv_row_53, inv_row_97};
+use crate::simd::{self, SimdMode};
 use crate::subband::Decomposition;
 use crate::vertical;
 use pj2k_image::Plane;
@@ -28,6 +29,11 @@ pub enum VerticalStrategy {
     Naive,
     /// Filter `width` adjacent columns concurrently within one worker — the
     /// paper's improved vertical filtering.
+    ///
+    /// When a SIMD tier is active (see [`SimdMode`]) the strip walk is
+    /// vectorized in batches of [`crate::simd::BATCH`] columns and the
+    /// configured `width` only governs the scalar tail narrower than one
+    /// batch; the coefficients are bit-identical either way.
     Strip {
         /// Number of adjacent columns processed together. 16 matches a
         /// 64-byte cache line of `f32` coefficients.
@@ -82,9 +88,11 @@ macro_rules! define_2d {
      $fwd_row:ident, $inv_row:ident,
      $fwd_row_fused:ident, $inv_row_fused:ident,
      $fwd_naive:ident, $inv_naive:ident, $fwd_strip:ident, $inv_strip:ident,
-     $fwd_fused_strip:ident, $inv_fused_strip:ident) => {
+     $fwd_fused_strip:ident, $inv_fused_strip:ident,
+     $fwd_row_simd:ident, $inv_row_simd:ident,
+     $fwd_vert_simd:ident, $inv_vert_simd:ident) => {
         /// Forward multi-level analysis of `plane`, in place (Mallat layout),
-        /// with the per-step reference kernels.
+        /// with the per-step reference kernels and automatic SIMD dispatch.
         ///
         /// Returns the decomposition geometry and per-direction timings.
         pub fn $fwd_name(
@@ -93,21 +101,30 @@ macro_rules! define_2d {
             strategy: VerticalStrategy,
             exec: &Exec,
         ) -> (Decomposition, DwtStats) {
-            $fwd_with(plane, levels, strategy, LiftingMode::PerStep, exec)
+            $fwd_with(
+                plane,
+                levels,
+                strategy,
+                LiftingMode::PerStep,
+                SimdMode::Auto,
+                exec,
+            )
         }
 
-        /// Forward multi-level analysis with an explicit [`LiftingMode`].
+        /// Forward multi-level analysis with an explicit [`LiftingMode`]
+        /// and [`SimdMode`].
         pub fn $fwd_with(
             plane: &mut Plane<$ty>,
             levels: u8,
             strategy: VerticalStrategy,
             lifting: LiftingMode,
+            simd: SimdMode,
             exec: &Exec,
         ) -> (Decomposition, DwtStats) {
             let deco = Decomposition::new(plane.width(), plane.height(), levels);
             let mut stats = DwtStats::default();
             for l in 0..levels {
-                stats.merge(&$fwd_level(plane, &deco, l, strategy, lifting, exec));
+                stats.merge(&$fwd_level(plane, &deco, l, strategy, lifting, simd, exec));
             }
             (deco, stats)
         }
@@ -121,10 +138,12 @@ macro_rules! define_2d {
             l: u8,
             strategy: VerticalStrategy,
             lifting: LiftingMode,
+            simd: SimdMode,
             exec: &Exec,
         ) -> DwtStats {
             let stride = plane.stride();
             let mut stats = DwtStats::default();
+            let tier = simd.resolve();
             let (wl, hl) = deco.ll_size(l);
             // Horizontal pass over the rows of the current LL region.
             // Each worker claims its row range through the checked
@@ -140,9 +159,18 @@ macro_rules! define_2d {
                         // SAFETY: the claim covers rows `rows` of the LL
                         // region and `y * stride + wl <= stride * height`.
                         let row = unsafe { claim.slice_mut(y * stride, wl) };
-                        match lifting {
-                            LiftingMode::PerStep => $fwd_row(row, &mut scratch),
-                            LiftingMode::Fused => fused::$fwd_row_fused(row, &mut scratch),
+                        match (lifting, tier) {
+                            // SAFETY: `tier` came from `SimdMode::resolve`,
+                            // which only yields supported tiers.
+                            (LiftingMode::PerStep, Some(t)) => unsafe {
+                                simd::$fwd_row_simd(t, row, &mut scratch)
+                            },
+                            (LiftingMode::PerStep, None) => $fwd_row(row, &mut scratch),
+                            // The fused row kernel's rolling window is a
+                            // sequential recurrence along the row; it stays
+                            // scalar (the SIMD row scheme vectorizes the
+                            // per-step formulation, which is bit-identical).
+                            (LiftingMode::Fused, _) => fused::$fwd_row_fused(row, &mut scratch),
                         }
                     }
                 });
@@ -157,28 +185,48 @@ macro_rules! define_2d {
                     let claim = writer.claim_rect(cols.clone(), 0..hl, stride);
                     let mut scratch = Vec::new();
                     // SAFETY: the claim covers exactly the columns this
-                    // worker filters; overlap panics in debug builds.
+                    // worker filters; overlap panics in debug builds. The
+                    // SIMD arms additionally require a supported tier,
+                    // guaranteed by `SimdMode::resolve`. `Naive` always
+                    // stays scalar so the paper's naive-vs-strip ablation
+                    // keeps measuring the cache-hostile walk.
                     unsafe {
                         match (lifting, strategy) {
                             (LiftingMode::PerStep, VerticalStrategy::Naive) => {
                                 vertical::$fwd_naive(&claim, stride, cols, hl, &mut scratch)
                             }
-                            (LiftingMode::PerStep, VerticalStrategy::Strip { width }) => {
-                                vertical::$fwd_strip(&claim, stride, cols, hl, width, &mut scratch)
-                            }
                             (LiftingMode::Fused, VerticalStrategy::Naive) => {
                                 fused::$fwd_fused_strip(&claim, stride, cols, hl, 1, &mut scratch)
                             }
-                            (LiftingMode::Fused, VerticalStrategy::Strip { width }) => {
-                                fused::$fwd_fused_strip(
+                            (_, VerticalStrategy::Strip { width }) => match tier {
+                                Some(t) => simd::$fwd_vert_simd(
+                                    t,
                                     &claim,
                                     stride,
                                     cols,
                                     hl,
-                                    width,
+                                    lifting,
                                     &mut scratch,
-                                )
-                            }
+                                ),
+                                None => match lifting {
+                                    LiftingMode::PerStep => vertical::$fwd_strip(
+                                        &claim,
+                                        stride,
+                                        cols,
+                                        hl,
+                                        width,
+                                        &mut scratch,
+                                    ),
+                                    LiftingMode::Fused => fused::$fwd_fused_strip(
+                                        &claim,
+                                        stride,
+                                        cols,
+                                        hl,
+                                        width,
+                                        &mut scratch,
+                                    ),
+                                },
+                            },
                         }
                     }
                 });
@@ -196,21 +244,30 @@ macro_rules! define_2d {
             strategy: VerticalStrategy,
             exec: &Exec,
         ) -> DwtStats {
-            $inv_with(plane, levels, strategy, LiftingMode::PerStep, exec)
+            $inv_with(
+                plane,
+                levels,
+                strategy,
+                LiftingMode::PerStep,
+                SimdMode::Auto,
+                exec,
+            )
         }
 
-        /// Inverse multi-level synthesis with an explicit [`LiftingMode`].
+        /// Inverse multi-level synthesis with an explicit [`LiftingMode`]
+        /// and [`SimdMode`].
         pub fn $inv_with(
             plane: &mut Plane<$ty>,
             levels: u8,
             strategy: VerticalStrategy,
             lifting: LiftingMode,
+            simd: SimdMode,
             exec: &Exec,
         ) -> DwtStats {
             let deco = Decomposition::new(plane.width(), plane.height(), levels);
             let mut stats = DwtStats::default();
             for l in (0..levels).rev() {
-                stats.merge(&$inv_level(plane, &deco, l, strategy, lifting, exec));
+                stats.merge(&$inv_level(plane, &deco, l, strategy, lifting, simd, exec));
             }
             stats
         }
@@ -223,10 +280,12 @@ macro_rules! define_2d {
             l: u8,
             strategy: VerticalStrategy,
             lifting: LiftingMode,
+            simd: SimdMode,
             exec: &Exec,
         ) -> DwtStats {
             let stride = plane.stride();
             let mut stats = DwtStats::default();
+            let tier = simd.resolve();
             let (wl, hl) = deco.ll_size(l);
             // Vertical first (reverse of the forward pass order).
             let t0 = Instant::now();
@@ -236,28 +295,46 @@ macro_rules! define_2d {
                     let claim = writer.claim_rect(cols.clone(), 0..hl, stride);
                     let mut scratch = Vec::new();
                     // SAFETY: the claim covers exactly the columns this
-                    // worker filters; overlap panics in debug builds.
+                    // worker filters; overlap panics in debug builds. The
+                    // SIMD arms additionally require a supported tier,
+                    // guaranteed by `SimdMode::resolve`.
                     unsafe {
                         match (lifting, strategy) {
                             (LiftingMode::PerStep, VerticalStrategy::Naive) => {
                                 vertical::$inv_naive(&claim, stride, cols, hl, &mut scratch)
                             }
-                            (LiftingMode::PerStep, VerticalStrategy::Strip { width }) => {
-                                vertical::$inv_strip(&claim, stride, cols, hl, width, &mut scratch)
-                            }
                             (LiftingMode::Fused, VerticalStrategy::Naive) => {
                                 fused::$inv_fused_strip(&claim, stride, cols, hl, 1, &mut scratch)
                             }
-                            (LiftingMode::Fused, VerticalStrategy::Strip { width }) => {
-                                fused::$inv_fused_strip(
+                            (_, VerticalStrategy::Strip { width }) => match tier {
+                                Some(t) => simd::$inv_vert_simd(
+                                    t,
                                     &claim,
                                     stride,
                                     cols,
                                     hl,
-                                    width,
+                                    lifting,
                                     &mut scratch,
-                                )
-                            }
+                                ),
+                                None => match lifting {
+                                    LiftingMode::PerStep => vertical::$inv_strip(
+                                        &claim,
+                                        stride,
+                                        cols,
+                                        hl,
+                                        width,
+                                        &mut scratch,
+                                    ),
+                                    LiftingMode::Fused => fused::$inv_fused_strip(
+                                        &claim,
+                                        stride,
+                                        cols,
+                                        hl,
+                                        width,
+                                        &mut scratch,
+                                    ),
+                                },
+                            },
                         }
                     }
                 });
@@ -274,9 +351,14 @@ macro_rules! define_2d {
                         // SAFETY: the claim covers rows `rows` of the LL
                         // region.
                         let row = unsafe { claim.slice_mut(y * stride, wl) };
-                        match lifting {
-                            LiftingMode::PerStep => $inv_row(row, &mut scratch),
-                            LiftingMode::Fused => fused::$inv_row_fused(row, &mut scratch),
+                        match (lifting, tier) {
+                            // SAFETY: `tier` came from `SimdMode::resolve`,
+                            // which only yields supported tiers.
+                            (LiftingMode::PerStep, Some(t)) => unsafe {
+                                simd::$inv_row_simd(t, row, &mut scratch)
+                            },
+                            (LiftingMode::PerStep, None) => $inv_row(row, &mut scratch),
+                            (LiftingMode::Fused, _) => fused::$inv_row_fused(row, &mut scratch),
                         }
                     }
                 });
@@ -305,7 +387,11 @@ define_2d!(
     fwd_strip_53_cols,
     inv_strip_53_cols,
     fwd_fused_strip_53_cols,
-    inv_fused_strip_53_cols
+    inv_fused_strip_53_cols,
+    fwd_row_53_simd,
+    inv_row_53_simd,
+    fwd_vertical_53,
+    inv_vertical_53
 );
 
 define_2d!(
@@ -325,7 +411,11 @@ define_2d!(
     fwd_strip_97_cols,
     inv_strip_97_cols,
     fwd_fused_strip_97_cols,
-    inv_fused_strip_97_cols
+    inv_fused_strip_97_cols,
+    fwd_row_97_simd,
+    inv_row_97_simd,
+    fwd_vertical_97,
+    inv_vertical_97
 );
 
 #[cfg(test)]
@@ -477,12 +567,40 @@ mod tests {
                 ] {
                     let mut a = orig.clone();
                     let mut b = orig.clone();
-                    forward_53_with(&mut a, levels, strategy, LiftingMode::PerStep, &Exec::SEQ);
-                    forward_53_with(&mut b, levels, strategy, LiftingMode::Fused, &Exec::SEQ);
+                    forward_53_with(
+                        &mut a,
+                        levels,
+                        strategy,
+                        LiftingMode::PerStep,
+                        SimdMode::Scalar,
+                        &Exec::SEQ,
+                    );
+                    forward_53_with(
+                        &mut b,
+                        levels,
+                        strategy,
+                        LiftingMode::Fused,
+                        SimdMode::Scalar,
+                        &Exec::SEQ,
+                    );
                     assert_eq!(a, b, "fwd {w}x{h} L={levels} {strategy:?}");
                     let mut c = a.clone();
-                    inverse_53_with(&mut a, levels, strategy, LiftingMode::PerStep, &Exec::SEQ);
-                    inverse_53_with(&mut c, levels, strategy, LiftingMode::Fused, &Exec::SEQ);
+                    inverse_53_with(
+                        &mut a,
+                        levels,
+                        strategy,
+                        LiftingMode::PerStep,
+                        SimdMode::Scalar,
+                        &Exec::SEQ,
+                    );
+                    inverse_53_with(
+                        &mut c,
+                        levels,
+                        strategy,
+                        LiftingMode::Fused,
+                        SimdMode::Scalar,
+                        &Exec::SEQ,
+                    );
                     assert_eq!(a, c, "inv {w}x{h} L={levels} {strategy:?}");
                     assert_eq!(c, orig, "roundtrip {w}x{h} L={levels} {strategy:?}");
                 }
@@ -505,8 +623,22 @@ mod tests {
                 for strategy in [VerticalStrategy::Naive, VerticalStrategy::DEFAULT_STRIP] {
                     let mut a = orig.clone();
                     let mut b = orig.clone();
-                    forward_97_with(&mut a, levels, strategy, LiftingMode::PerStep, &Exec::SEQ);
-                    forward_97_with(&mut b, levels, strategy, LiftingMode::Fused, &Exec::SEQ);
+                    forward_97_with(
+                        &mut a,
+                        levels,
+                        strategy,
+                        LiftingMode::PerStep,
+                        SimdMode::Scalar,
+                        &Exec::SEQ,
+                    );
+                    forward_97_with(
+                        &mut b,
+                        levels,
+                        strategy,
+                        LiftingMode::Fused,
+                        SimdMode::Scalar,
+                        &Exec::SEQ,
+                    );
                     for y in 0..h {
                         for x in 0..w {
                             assert_eq!(
@@ -516,8 +648,22 @@ mod tests {
                             );
                         }
                     }
-                    inverse_97_with(&mut a, levels, strategy, LiftingMode::PerStep, &Exec::SEQ);
-                    inverse_97_with(&mut b, levels, strategy, LiftingMode::Fused, &Exec::SEQ);
+                    inverse_97_with(
+                        &mut a,
+                        levels,
+                        strategy,
+                        LiftingMode::PerStep,
+                        SimdMode::Scalar,
+                        &Exec::SEQ,
+                    );
+                    inverse_97_with(
+                        &mut b,
+                        levels,
+                        strategy,
+                        LiftingMode::Fused,
+                        SimdMode::Scalar,
+                        &Exec::SEQ,
+                    );
                     for y in 0..h {
                         for x in 0..w {
                             assert_eq!(
@@ -542,6 +688,7 @@ mod tests {
             3,
             VerticalStrategy::DEFAULT_STRIP,
             LiftingMode::Fused,
+            SimdMode::Scalar,
             &Exec::SEQ,
         );
         for exec in [Exec::threads(2), Exec::threads(4), Exec::rayon(3)] {
@@ -551,6 +698,7 @@ mod tests {
                 3,
                 VerticalStrategy::DEFAULT_STRIP,
                 LiftingMode::Fused,
+                SimdMode::Scalar,
                 &exec,
             );
             for y in 0..38 {
@@ -578,6 +726,7 @@ mod tests {
             4,
             VerticalStrategy::DEFAULT_STRIP,
             LiftingMode::Fused,
+            SimdMode::Scalar,
             &Exec::SEQ,
         );
         let mut stepped = orig.clone();
@@ -588,6 +737,7 @@ mod tests {
                 l,
                 VerticalStrategy::DEFAULT_STRIP,
                 LiftingMode::Fused,
+                SimdMode::Scalar,
                 &Exec::SEQ,
             );
         }
@@ -634,6 +784,194 @@ mod tests {
                     assert!((v - 800.0).abs() < 1.0, "LL({x},{y})={v}");
                 } else {
                     assert!(v.abs() < 1e-2, "detail({x},{y})={v}");
+                }
+            }
+        }
+    }
+
+    fn supported_tiers() -> Vec<crate::SimdTier> {
+        use crate::SimdTier;
+        [SimdTier::Portable, SimdTier::Sse2, SimdTier::Avx2]
+            .into_iter()
+            .filter(|t| t.is_supported())
+            .collect()
+    }
+
+    #[test]
+    fn simd_tiers_bit_identical_to_scalar_53() {
+        for (w, h) in [(5, 9), (16, 16), (33, 31), (40, 24)] {
+            let orig = test_plane_i32(w, h, w + 1);
+            for levels in [1u8, 3] {
+                for lifting in [LiftingMode::PerStep, LiftingMode::Fused] {
+                    let mut scalar = orig.clone();
+                    forward_53_with(
+                        &mut scalar,
+                        levels,
+                        VerticalStrategy::DEFAULT_STRIP,
+                        lifting,
+                        SimdMode::Scalar,
+                        &Exec::SEQ,
+                    );
+                    for tier in supported_tiers() {
+                        let mut p = orig.clone();
+                        forward_53_with(
+                            &mut p,
+                            levels,
+                            VerticalStrategy::DEFAULT_STRIP,
+                            lifting,
+                            SimdMode::Forced(tier),
+                            &Exec::SEQ,
+                        );
+                        assert_eq!(p, scalar, "fwd {w}x{h} L={levels} {lifting:?} {tier:?}");
+                        inverse_53_with(
+                            &mut p,
+                            levels,
+                            VerticalStrategy::DEFAULT_STRIP,
+                            lifting,
+                            SimdMode::Forced(tier),
+                            &Exec::SEQ,
+                        );
+                        assert_eq!(p, orig, "roundtrip {w}x{h} L={levels} {lifting:?} {tier:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_tiers_bit_identical_to_scalar_97() {
+        for (w, h) in [(5, 9), (16, 16), (33, 31), (40, 24)] {
+            let orig = test_plane_f32(w, h);
+            for levels in [1u8, 3] {
+                for lifting in [LiftingMode::PerStep, LiftingMode::Fused] {
+                    let mut fwd_ref = orig.clone();
+                    forward_97_with(
+                        &mut fwd_ref,
+                        levels,
+                        VerticalStrategy::DEFAULT_STRIP,
+                        lifting,
+                        SimdMode::Scalar,
+                        &Exec::SEQ,
+                    );
+                    let mut inv_ref = fwd_ref.clone();
+                    inverse_97_with(
+                        &mut inv_ref,
+                        levels,
+                        VerticalStrategy::DEFAULT_STRIP,
+                        lifting,
+                        SimdMode::Scalar,
+                        &Exec::SEQ,
+                    );
+                    for tier in supported_tiers() {
+                        let mut p = orig.clone();
+                        forward_97_with(
+                            &mut p,
+                            levels,
+                            VerticalStrategy::DEFAULT_STRIP,
+                            lifting,
+                            SimdMode::Forced(tier),
+                            &Exec::SEQ,
+                        );
+                        for y in 0..h {
+                            for x in 0..w {
+                                assert_eq!(
+                                    p.get(x, y).to_bits(),
+                                    fwd_ref.get(x, y).to_bits(),
+                                    "fwd {w}x{h} L={levels} {lifting:?} {tier:?} ({x},{y})"
+                                );
+                            }
+                        }
+                        inverse_97_with(
+                            &mut p,
+                            levels,
+                            VerticalStrategy::DEFAULT_STRIP,
+                            lifting,
+                            SimdMode::Forced(tier),
+                            &Exec::SEQ,
+                        );
+                        for y in 0..h {
+                            for x in 0..w {
+                                assert_eq!(
+                                    p.get(x, y).to_bits(),
+                                    inv_ref.get(x, y).to_bits(),
+                                    "inv {w}x{h} L={levels} {lifting:?} {tier:?} ({x},{y})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_auto_bit_identical_to_scalar() {
+        // Whatever Auto resolves to on this host (including the PJ2K_SIMD
+        // override), the coefficients must match the scalar kernels bit
+        // for bit.
+        let orig = test_plane_f32(37, 29);
+        let mut scalar = orig.clone();
+        let mut auto = orig.clone();
+        forward_97_with(
+            &mut scalar,
+            3,
+            VerticalStrategy::DEFAULT_STRIP,
+            LiftingMode::PerStep,
+            SimdMode::Scalar,
+            &Exec::SEQ,
+        );
+        forward_97_with(
+            &mut auto,
+            3,
+            VerticalStrategy::DEFAULT_STRIP,
+            LiftingMode::PerStep,
+            SimdMode::Auto,
+            &Exec::SEQ,
+        );
+        for y in 0..29 {
+            for x in 0..37 {
+                assert_eq!(
+                    auto.get(x, y).to_bits(),
+                    scalar.get(x, y).to_bits(),
+                    "({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // large planes: too slow under the interpreter
+    fn simd_parallel_bit_identical_to_sequential() {
+        // SIMD kernels under a parallel Exec must equal the sequential
+        // SIMD run (static split, disjoint column ranges).
+        let orig = test_plane_f32(50, 38);
+        let mut seq = orig.clone();
+        forward_97_with(
+            &mut seq,
+            3,
+            VerticalStrategy::DEFAULT_STRIP,
+            LiftingMode::Fused,
+            SimdMode::Auto,
+            &Exec::SEQ,
+        );
+        for exec in [Exec::threads(3), Exec::rayon(2)] {
+            let mut par = orig.clone();
+            forward_97_with(
+                &mut par,
+                3,
+                VerticalStrategy::DEFAULT_STRIP,
+                LiftingMode::Fused,
+                SimdMode::Auto,
+                &exec,
+            );
+            for y in 0..38 {
+                for x in 0..50 {
+                    assert_eq!(
+                        par.get(x, y).to_bits(),
+                        seq.get(x, y).to_bits(),
+                        "{:?} ({x},{y})",
+                        exec.backend
+                    );
                 }
             }
         }

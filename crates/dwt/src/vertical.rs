@@ -38,7 +38,7 @@ fn mirror_y(y: isize, h: usize) -> usize {
 /// # Safety
 /// `cols` must be in bounds and disjoint from ranges given to other threads;
 /// `h * stride` elements must be allocated.
-unsafe fn deinterleave_cols<T: Copy + Default>(
+pub(crate) unsafe fn deinterleave_cols<T: Copy + Default>(
     ptr: &DisjointClaim<T>,
     stride: usize,
     cols: Range<usize>,
@@ -91,7 +91,7 @@ unsafe fn deinterleave_cols<T: Copy + Default>(
 ///
 /// # Safety
 /// Same contract as [`deinterleave_cols`].
-unsafe fn interleave_cols<T: Copy + Default>(
+pub(crate) unsafe fn interleave_cols<T: Copy + Default>(
     ptr: &DisjointClaim<T>,
     stride: usize,
     cols: Range<usize>,

@@ -2,7 +2,7 @@
 
 use pj2k_dwt::{
     forward_53, forward_53_with, forward_97, forward_97_with, inverse_53, inverse_53_with,
-    inverse_97, inverse_97_with, Decomposition, LiftingMode, VerticalStrategy,
+    inverse_97, inverse_97_with, Decomposition, LiftingMode, SimdMode, SimdTier, VerticalStrategy,
 };
 use pj2k_image::Plane;
 use pj2k_parutil::Exec;
@@ -98,11 +98,11 @@ proptest! {
     fn fused_53_bit_identical(p in arb_plane_i32(), levels in 0u8..5, strat in strategies()) {
         let mut a = p.clone();
         let mut b = p;
-        forward_53_with(&mut a, levels, strat, LiftingMode::PerStep, &Exec::SEQ);
-        forward_53_with(&mut b, levels, strat, LiftingMode::Fused, &Exec::SEQ);
+        forward_53_with(&mut a, levels, strat, LiftingMode::PerStep, SimdMode::Scalar, &Exec::SEQ);
+        forward_53_with(&mut b, levels, strat, LiftingMode::Fused, SimdMode::Scalar, &Exec::SEQ);
         prop_assert_eq!(&a, &b);
-        inverse_53_with(&mut a, levels, strat, LiftingMode::PerStep, &Exec::SEQ);
-        inverse_53_with(&mut b, levels, strat, LiftingMode::Fused, &Exec::SEQ);
+        inverse_53_with(&mut a, levels, strat, LiftingMode::PerStep, SimdMode::Scalar, &Exec::SEQ);
+        inverse_53_with(&mut b, levels, strat, LiftingMode::Fused, SimdMode::Scalar, &Exec::SEQ);
         prop_assert_eq!(a, b);
     }
 
@@ -113,16 +113,16 @@ proptest! {
         let f = p.map(|v| v as f32);
         let mut a = f.clone();
         let mut b = f;
-        forward_97_with(&mut a, levels, strat, LiftingMode::PerStep, &Exec::SEQ);
-        forward_97_with(&mut b, levels, strat, LiftingMode::Fused, &Exec::SEQ);
+        forward_97_with(&mut a, levels, strat, LiftingMode::PerStep, SimdMode::Scalar, &Exec::SEQ);
+        forward_97_with(&mut b, levels, strat, LiftingMode::Fused, SimdMode::Scalar, &Exec::SEQ);
         for y in 0..a.height() {
             for x in 0..a.width() {
                 prop_assert_eq!(a.get(x, y).to_bits(), b.get(x, y).to_bits(),
                     "forward ({}, {})", x, y);
             }
         }
-        inverse_97_with(&mut a, levels, strat, LiftingMode::PerStep, &Exec::SEQ);
-        inverse_97_with(&mut b, levels, strat, LiftingMode::Fused, &Exec::SEQ);
+        inverse_97_with(&mut a, levels, strat, LiftingMode::PerStep, SimdMode::Scalar, &Exec::SEQ);
+        inverse_97_with(&mut b, levels, strat, LiftingMode::Fused, SimdMode::Scalar, &Exec::SEQ);
         for y in 0..a.height() {
             for x in 0..a.width() {
                 prop_assert_eq!(a.get(x, y).to_bits(), b.get(x, y).to_bits(),
@@ -138,9 +138,9 @@ proptest! {
         let mut seq = p.clone();
         let mut par = p;
         forward_53_with(&mut seq, levels, VerticalStrategy::DEFAULT_STRIP,
-            LiftingMode::Fused, &Exec::SEQ);
+            LiftingMode::Fused, SimdMode::Scalar, &Exec::SEQ);
         forward_53_with(&mut par, levels, VerticalStrategy::DEFAULT_STRIP,
-            LiftingMode::Fused, &Exec::threads(workers));
+            LiftingMode::Fused, SimdMode::Scalar, &Exec::threads(workers));
         prop_assert_eq!(par, seq);
     }
 
@@ -166,6 +166,96 @@ proptest! {
         if e0 > 1.0 {
             let ratio = e1 / e0;
             prop_assert!(ratio > 0.2 && ratio < 6.0, "energy ratio {}", ratio);
+        }
+    }
+}
+
+fn forced_tiers() -> Vec<SimdMode> {
+    let mut modes = vec![SimdMode::Auto];
+    for tier in [SimdTier::Portable, SimdTier::Sse2, SimdTier::Avx2] {
+        if tier.is_supported() {
+            modes.push(SimdMode::Forced(tier));
+        }
+    }
+    modes
+}
+
+fn arb_plane_narrow() -> impl Strategy<Value = Plane<i32>> {
+    // Bias toward widths below / around one SIMD batch so the scalar
+    // tails and batched regions both get exercised.
+    (1usize..24, 1usize..48, 0usize..7, any::<u64>()).prop_map(|(w, h, pad, seed)| {
+        let mut p = Plane::with_stride(w, h, w + pad);
+        let mut state = seed | 1;
+        for y in 0..h {
+            for x in 0..w {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                p.set(x, y, ((state >> 33) as i32 % 511) - 255);
+            }
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every SIMD tier (and auto dispatch) computes exactly the scalar
+    /// 5/3 transform: any size (including widths narrower than one
+    /// vector batch), stride pad, strip width, lifting mode, and level
+    /// count — forward and inverse.
+    #[test]
+    fn simd_53_bit_identical_to_scalar(
+        p in prop_oneof![arb_plane_i32(), arb_plane_narrow()],
+        levels in 0u8..5,
+        strat in strategies(),
+        fused in any::<bool>(),
+    ) {
+        let lifting = if fused { LiftingMode::Fused } else { LiftingMode::PerStep };
+        let mut scalar = p.clone();
+        forward_53_with(&mut scalar, levels, strat, lifting, SimdMode::Scalar, &Exec::SEQ);
+        for mode in forced_tiers() {
+            let mut simd = p.clone();
+            forward_53_with(&mut simd, levels, strat, lifting, mode, &Exec::SEQ);
+            prop_assert_eq!(&simd, &scalar, "fwd {:?}", mode);
+            inverse_53_with(&mut simd, levels, strat, lifting, mode, &Exec::SEQ);
+            prop_assert_eq!(&simd, &p, "roundtrip {:?}", mode);
+        }
+    }
+
+    /// Same for the 9/7: lane-parallel columns evaluate the identical
+    /// f32 expressions per column, so even the float outputs match to
+    /// the bit on every tier.
+    #[test]
+    fn simd_97_bit_identical_to_scalar(
+        p in prop_oneof![arb_plane_i32(), arb_plane_narrow()],
+        levels in 0u8..5,
+        strat in strategies(),
+        fused in any::<bool>(),
+    ) {
+        let lifting = if fused { LiftingMode::Fused } else { LiftingMode::PerStep };
+        let f = p.map(|v| v as f32);
+        let mut scalar = f.clone();
+        forward_97_with(&mut scalar, levels, strat, lifting, SimdMode::Scalar, &Exec::SEQ);
+        let mut scalar_inv = scalar.clone();
+        inverse_97_with(&mut scalar_inv, levels, strat, lifting, SimdMode::Scalar, &Exec::SEQ);
+        for mode in forced_tiers() {
+            let mut simd = f.clone();
+            forward_97_with(&mut simd, levels, strat, lifting, mode, &Exec::SEQ);
+            for y in 0..f.height() {
+                for x in 0..f.width() {
+                    prop_assert_eq!(simd.get(x, y).to_bits(), scalar.get(x, y).to_bits(),
+                        "fwd {:?} ({}, {})", mode, x, y);
+                }
+            }
+            inverse_97_with(&mut simd, levels, strat, lifting, mode, &Exec::SEQ);
+            for y in 0..f.height() {
+                for x in 0..f.width() {
+                    prop_assert_eq!(simd.get(x, y).to_bits(), scalar_inv.get(x, y).to_bits(),
+                        "inv {:?} ({}, {})", mode, x, y);
+                }
+            }
         }
     }
 }

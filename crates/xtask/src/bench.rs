@@ -42,6 +42,11 @@ const BENCHES: &[BenchSpec] = &[
             "\"fused_strip_speedup_97\"",
             "\"fused_naive_speedup_97\"",
             "\"fused_strip_speedup_53\"",
+            "\"simd_tiers\"",
+            "\"simd_best_tier\"",
+            "\"simd_strip_speedup_97\"",
+            "\"simd_strip_speedup_53\"",
+            "\"simd_bit_identity\"",
             "\"encoder\"",
             "\"barriered_secs\"",
             "\"pipelined_secs\"",

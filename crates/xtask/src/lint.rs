@@ -761,6 +761,26 @@ mod tests {
     }
 
     #[test]
+    fn simd_kernels_stay_panic_free_and_justified() {
+        // Same regression guard for the SIMD lifting kernels: every
+        // intrinsics `unsafe` block/fn must carry a SAFETY justification,
+        // and no unwrap/expect/panic! may creep into the vector hot loops.
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../dwt/src/simd.rs")
+            .canonicalize()
+            .expect("crates/dwt/src/simd.rs must exist");
+        let src = std::fs::read_to_string(&path).unwrap();
+        let mut r = Report::default();
+        lint_source(Path::new("crates/dwt/src/simd.rs"), &src, &mut r);
+        let bad: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::HotPathPanic || v.rule == Rule::UnsafeNeedsSafety)
+            .collect();
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
     fn inventory_render_mentions_counts() {
         let mut r = Report::default();
         lint_source(
