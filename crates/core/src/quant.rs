@@ -76,6 +76,10 @@ pub fn quantize_plane(
                 unsafe { std::slice::from_raw_parts(src_ptr.0.add(y * src_stride + x0), w) };
             // SAFETY: same disjoint row split; dst rows are exclusively
             // owned by this worker and in bounds (debug-asserted above).
+            // AUDIT(alias): SendPtr bypasses the claim table on purpose —
+            // run_ranges hands each worker a distinct `rows` range, so the
+            // per-row spans never overlap; a DisjointClaim here would add
+            // a lock acquisition per row to a per-sample hot loop.
             let dst_row = unsafe { dst_ptr.slice_mut(y * dst_stride + x0, w) };
             for (d, &v) in dst_row.iter_mut().zip(src_row) {
                 *d = quantize_value(v, inv);
@@ -108,6 +112,10 @@ pub fn dequantize_plane(
                 unsafe { std::slice::from_raw_parts(src_ptr.0.add(y * src_stride + x0), w) };
             // SAFETY: same disjoint row split; dst rows are exclusively
             // owned by this worker and in bounds (debug-asserted above).
+            // AUDIT(alias): SendPtr bypasses the claim table on purpose —
+            // run_ranges hands each worker a distinct `rows` range, so the
+            // per-row spans never overlap; a DisjointClaim here would add
+            // a lock acquisition per row to a per-sample hot loop.
             let dst_row = unsafe { dst_ptr.slice_mut(y * dst_stride + x0, w) };
             for (d, &q) in dst_row.iter_mut().zip(src_row) {
                 *d = if q == 0 {

@@ -18,6 +18,12 @@
 //! mirroring the paper's long-lived thread pool, and the per-stage wall-clock
 //! instrumentation ([`StageTimes`]) used to regenerate the paper's runtime
 //! breakdown charts (Figs. 3, 6, 9).
+//!
+//! The synchronization primitives the executors rely on are imported through
+//! the private `sync` facade, so building with `RUSTFLAGS="--cfg loom"`
+//! swaps in [loom](https://docs.rs/loom)'s model-checked versions and the
+//! models in `tests/loom.rs` exhaustively explore thread interleavings of
+//! the production claim/hand-off code (see DESIGN.md §12).
 
 #![deny(unsafe_op_in_unsafe_fn)]
 #![deny(unused_must_use)]
@@ -27,11 +33,12 @@ pub mod exec;
 pub mod pipeline;
 pub mod pool;
 pub mod schedule;
+mod sync;
 pub mod timing;
 
 pub use disjoint::{DisjointClaim, DisjointWriter};
 pub use exec::{Backend, Exec, SendPtr};
 pub use pipeline::{pipeline_map_with_state, PipelineQueue};
 pub use pool::{pool_map, pool_map_with_state, pool_run, WorkerPool};
-pub use schedule::{assign, chunk_ranges, Schedule};
+pub use schedule::{assign, chunk_ranges, DynamicCursor, Schedule};
 pub use timing::{StageClock, StageTimes};

@@ -19,8 +19,8 @@
 //! runtime analogue of [`Schedule::Dynamic`](crate::Schedule) with chunk 1.
 
 use crate::disjoint::DisjointWriter;
+use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::thread;
 
 /// The channel between a pipeline's producer and its consumers.
@@ -38,8 +38,19 @@ struct QueueState<T> {
     closed: bool,
 }
 
+impl<T> Default for PipelineQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<T> PipelineQueue<T> {
-    fn new() -> Self {
+    /// Create an open, empty queue.
+    ///
+    /// [`pipeline_map_with_state`] constructs its own queue; this is public
+    /// so the loom models in `tests/loom.rs` can drive the exact
+    /// producer/consumer hand-off the pipeline executor runs.
+    pub fn new() -> Self {
         Self {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
@@ -63,8 +74,15 @@ impl<T> PipelineQueue<T> {
         self.ready.notify_one();
     }
 
-    fn close(&self) {
-        let mut q = self.state.lock().expect("pipeline queue poisoned");
+    /// Close the queue: no further [`send`](PipelineQueue::send)s are
+    /// allowed, and blocked consumers wake up to drain the remaining items
+    /// and then observe `None`. The pipeline driver calls this when the
+    /// producer returns; it is public for the loom models and shutdown
+    /// tests.
+    pub fn close(&self) {
+        // Poison-tolerant: close runs from a drop guard during unwinding,
+        // and panicking inside a Drop would escalate to an abort.
+        let mut q = self.state.lock().unwrap_or_else(|e| e.into_inner());
         q.closed = true;
         drop(q);
         self.ready.notify_all();
@@ -72,7 +90,7 @@ impl<T> PipelineQueue<T> {
 
     /// Pop the next item, blocking while the queue is open and empty.
     /// Returns `None` once the queue is closed *and* drained.
-    fn recv(&self) -> Option<(usize, T)> {
+    pub fn recv(&self) -> Option<(usize, T)> {
         let mut q = self.state.lock().expect("pipeline queue poisoned");
         loop {
             if let Some(item) = q.items.pop_front() {
@@ -151,13 +169,27 @@ where
                 }
             });
         }
+        // Close on unwind too: if the producer panics, the workers must
+        // still observe a closed queue and drain out, or the scope's
+        // implicit join would deadlock on consumers parked in `recv`.
+        let guard = CloseOnDrop(&queue);
         producer(&queue);
-        queue.close();
+        drop(guard);
     });
     // The realized item stream must be a *cover* of 0..n.
     writer.debug_assert_fully_claimed();
     drop(writer);
     unwrap_slots(slots)
+}
+
+/// Closes the wrapped queue when dropped — including during unwinding, so
+/// a panicking producer cannot strand consumers on an open empty queue.
+struct CloseOnDrop<'q, T>(&'q PipelineQueue<T>);
+
+impl<T> Drop for CloseOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
 }
 
 fn unwrap_slots<R>(slots: Vec<Option<R>>) -> Vec<R> {
@@ -168,7 +200,10 @@ fn unwrap_slots<R>(slots: Vec<Option<R>>) -> Vec<R> {
         .collect()
 }
 
-#[cfg(test)]
+// Gated out under loom: these tests run the real scoped-thread executor,
+// and loom's sync primitives panic outside `loom::model`. The queue
+// hand-off itself is model-checked in `tests/loom.rs`.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};

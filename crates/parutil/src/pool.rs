@@ -8,10 +8,9 @@
 //! long-lived thread pool the paper uses for the Tier-1 coding stage.
 
 use crate::disjoint::DisjointWriter;
-use crate::schedule::{assign, Schedule};
+use crate::schedule::{assign, DynamicCursor, Schedule};
+use crate::sync::{Arc, Condvar, Mutex};
 use crossbeam_channel::{unbounded, Sender};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 /// Run `f(i)` for every `i in 0..n` on `p` scoped worker threads and collect
@@ -67,28 +66,22 @@ where
     let writer = DisjointWriter::new(&mut slots);
     match schedule {
         Schedule::Dynamic { chunk } => {
-            assert!(chunk > 0, "dynamic chunk size must be positive");
-            let next = AtomicUsize::new(0);
+            let cursor = DynamicCursor::new(n, chunk);
             thread::scope(|scope| {
                 for w in 0..p {
                     let (f, init) = (&f, &init);
-                    let (writer, next) = (&writer, &next);
+                    let (writer, cursor) = (&writer, &cursor);
                     scope.spawn(move || {
                         let mut state = init(w);
-                        loop {
-                            let start = next.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= n {
-                                break;
-                            }
-                            let end = (start + chunk).min(n);
-                            let claim = writer.claim_range(start..end);
-                            for i in start..end {
-                                // SAFETY: the atomic cursor hands each chunk
-                                // to exactly one worker (checked by the claim
-                                // in debug builds), and `slots` outlives the
-                                // scope. Every slot starts as an initialized
-                                // `None`, so the plain store only drops a
-                                // `None`.
+                        while let Some(range) = cursor.claim() {
+                            let claim = writer.claim_range(range.clone());
+                            for i in range {
+                                // SAFETY: the cursor hands each chunk to
+                                // exactly one worker (checked by the claim
+                                // in debug builds and the loom model), and
+                                // `slots` outlives the scope. Every slot
+                                // starts as an initialized `None`, so the
+                                // plain store only drops a `None`.
                                 unsafe { claim.write(i, Some(f(&mut state, i))) };
                             }
                         }
@@ -141,18 +134,15 @@ where
         return;
     }
     if let Schedule::Dynamic { chunk } = schedule {
-        assert!(chunk > 0, "dynamic chunk size must be positive");
-        let next = AtomicUsize::new(0);
+        let cursor = DynamicCursor::new(n, chunk);
         thread::scope(|scope| {
             for _ in 0..p {
-                let (f, next) = (&f, &next);
-                scope.spawn(move || loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    for i in start..(start + chunk).min(n) {
-                        f(i);
+                let (f, cursor) = (&f, &cursor);
+                scope.spawn(move || {
+                    while let Some(range) = cursor.claim() {
+                        for i in range {
+                            f(i);
+                        }
                     }
                 });
             }
@@ -272,15 +262,15 @@ impl WorkerPool {
         F: FnOnce() + Send + 'static,
         G: Fn(usize) -> F,
     {
-        assert!(chunk > 0, "dynamic chunk size must be positive");
         if n == 0 {
+            let _ = DynamicCursor::new(n, chunk); // still validates `chunk`
             return;
         }
         let p = self.workers();
         // `make` need not be Send, so every job is created here on the
         // submitting thread; workers only claim and run them.
         let jobs: Vec<Mutex<Option<F>>> = (0..n).map(|i| Mutex::new(Some(make(i)))).collect();
-        let shared = Arc::new((jobs, AtomicUsize::new(0)));
+        let shared = Arc::new((jobs, DynamicCursor::new(n, chunk)));
         {
             let (lock, _) = &*self.outstanding;
             let mut cnt = lock.lock().expect("pool counter poisoned");
@@ -289,14 +279,10 @@ impl WorkerPool {
         for sender in &self.senders {
             let shared = Arc::clone(&shared);
             let driver: Job = Box::new(move || {
-                let (jobs, next) = &*shared;
-                loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= jobs.len() {
-                        break;
-                    }
-                    for slot in &jobs[start..(start + chunk).min(jobs.len())] {
-                        // The atomic cursor hands each chunk to exactly one
+                let (jobs, cursor) = &*shared;
+                while let Some(range) = cursor.claim() {
+                    for slot in &jobs[range] {
+                        // The claim cursor hands each chunk to exactly one
                         // driver, so the take always finds the job; the
                         // mutex only exists to make the slot Sync.
                         let job = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
@@ -325,7 +311,10 @@ impl Drop for WorkerPool {
     }
 }
 
-#[cfg(test)]
+// Gated out under loom: these tests drive the std executors directly, and
+// loom's sync primitives panic outside `loom::model`. The loom models in
+// `tests/loom.rs` cover the extracted claim/hand-off cores instead.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

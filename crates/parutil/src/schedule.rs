@@ -5,6 +5,15 @@
 //! workload per row/column is uniform, so a static allocation suffices) and
 //! round-robin variants for the code-block coding stage (per-block runtime
 //! varies, so blocks are interleaved across workers).
+//!
+//! [`DynamicCursor`] is the runtime half of [`Schedule::Dynamic`]: the
+//! shared atomic claim counter every executor in [`crate::pool`] loops on.
+//! It lives here (instead of inline `fetch_add` loops at each call site) so
+//! the loom models in `tests/loom.rs` exercise the exact production
+//! claiming code, and so all executors share one proven implementation.
+
+use crate::sync::{AtomicUsize, Ordering};
+use std::ops::Range;
 
 /// How a list of independent work items is distributed over `p` workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,6 +90,53 @@ pub fn assign(n: usize, p: usize, schedule: Schedule) -> Vec<Vec<usize>> {
     out
 }
 
+/// The runtime claim counter realizing [`Schedule::Dynamic`]: a shared
+/// cursor over the chunked domain `0..n` from which idle workers grab the
+/// next unprocessed chunk.
+///
+/// Claiming is a single `fetch_add` on an atomic cursor — wait-free, no
+/// locks — and hands every chunk to **exactly one** claimant: two workers
+/// can never observe the same `fetch_add` result. The loom model
+/// `dynamic_cursor_claims_each_index_exactly_once` (tests/loom.rs) checks
+/// that exactly-once property across all interleavings of 2–3 threads.
+///
+/// `Relaxed` ordering suffices for the claim itself: the cursor only
+/// partitions the index space, and every executor publishes the *results*
+/// of claimed work through a separate synchronization edge (thread join,
+/// channel hand-off, or the outstanding-job condvar) before readers look
+/// at them.
+pub struct DynamicCursor {
+    next: AtomicUsize,
+    n: usize,
+    chunk: usize,
+}
+
+impl DynamicCursor {
+    /// Cursor over `0..n` claiming `chunk` consecutive items per grab.
+    ///
+    /// # Panics
+    /// Panics if `chunk == 0`.
+    pub fn new(n: usize, chunk: usize) -> Self {
+        assert!(chunk > 0, "dynamic chunk size must be positive");
+        DynamicCursor {
+            next: AtomicUsize::new(0),
+            n,
+            chunk,
+        }
+    }
+
+    /// Claim the next unprocessed chunk, or `None` when the domain is
+    /// exhausted. Each index in `0..n` is handed out exactly once across
+    /// all claimants.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.n {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.n))
+    }
+}
+
 /// Split `0..n` into `p` contiguous ranges whose lengths differ by at most 1.
 ///
 /// The first `n % p` ranges are one longer than the rest, matching the
@@ -100,7 +156,7 @@ pub fn chunk_ranges(n: usize, p: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::collections::BTreeSet;
@@ -201,6 +257,52 @@ mod tests {
     #[should_panic(expected = "chunk size")]
     fn dynamic_zero_chunk_panics() {
         let _ = assign(4, 2, Schedule::Dynamic { chunk: 0 });
+    }
+
+    #[test]
+    fn dynamic_cursor_covers_domain_sequentially() {
+        for (n, chunk) in [(0, 1), (1, 3), (10, 3), (12, 4), (5, 100)] {
+            let cursor = DynamicCursor::new(n, chunk);
+            let mut seen = Vec::new();
+            while let Some(range) = cursor.claim() {
+                assert!(range.len() <= chunk, "n={n} chunk={chunk}");
+                seen.extend(range);
+            }
+            assert_eq!(seen, (0..n).collect::<Vec<_>>(), "n={n} chunk={chunk}");
+            assert!(cursor.claim().is_none(), "cursor must stay exhausted");
+        }
+    }
+
+    #[test]
+    fn dynamic_cursor_is_exactly_once_across_threads() {
+        // std-runtime regression twin of the loom model: hammer one cursor
+        // from several real threads and require an exactly-once partition.
+        let n = 1000;
+        let cursor = DynamicCursor::new(n, 7);
+        let counts: Vec<std::sync::atomic::AtomicUsize> = (0..n)
+            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (cursor, counts) = (&cursor, &counts);
+                scope.spawn(move || {
+                    while let Some(range) = cursor.claim() {
+                        for i in range {
+                            counts[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(std::sync::atomic::Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn dynamic_cursor_zero_chunk_panics() {
+        let _ = DynamicCursor::new(4, 0);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!
 //! They also run as plain tests in every normal `cargo test` invocation.
 
+// Not a loom test: drives the std executors (loom primitives would panic
+// outside `loom::model`); tests/loom.rs model-checks the cores instead.
+#![cfg(not(loom))]
+
 use pj2k_parutil::{pool_map, DisjointWriter, Schedule, SendPtr};
 use std::thread;
 

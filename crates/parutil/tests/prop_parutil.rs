@@ -1,5 +1,9 @@
 //! Property tests for the schedulers and executors.
 
+// Not a loom test: drives the std executors (loom primitives would panic
+// outside `loom::model`); tests/loom.rs model-checks the cores instead.
+#![cfg(not(loom))]
+
 use pj2k_parutil::{
     assign, chunk_ranges, pool_map, pool_map_with_state, pool_run, DisjointWriter, Exec, Schedule,
     SendPtr,

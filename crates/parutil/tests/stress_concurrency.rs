@@ -4,7 +4,13 @@
 //! test -p pj2k-parutil --test stress_concurrency --target
 //! x86_64-unknown-linux-gnu` to hunt data races; `--cfg tsan` scales the
 //! iteration counts down (TSan executes roughly an order of magnitude
-//! slower). The same tests run at full size in a normal `cargo test`.
+//! slower). The same tests run at full size in a normal `cargo test`,
+//! and CI runs the TSan configuration as a blocking gate (see
+//! `.github/workflows/ci.yml`, job `tsan`).
+
+// Not a loom test: drives the std executors (loom primitives would panic
+// outside `loom::model`); tests/loom.rs model-checks the cores instead.
+#![cfg(not(loom))]
 
 use pj2k_parutil::{pool_map, pool_run, DisjointWriter, Schedule, WorkerPool};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,8 +1,9 @@
 //! `xtask ci` — the one-command verification gate.
 //!
 //! Runs, in order: `cargo fmt --check`, `cargo clippy -D warnings`, the
-//! project lint pass (in-process), the panic-path audit (in-process), and
-//! `cargo test`. All steps run even if an earlier one fails, so a single
+//! project lint pass (in-process), the panic-path audit (in-process), the
+//! concurrency-contract audit (in-process), and `cargo test`. All steps
+//! run even if an earlier one fails, so a single
 //! invocation reports every problem; the exit status is non-zero if any
 //! step failed.
 
@@ -57,6 +58,7 @@ pub fn run(root: &Path, opts: &CiOptions) -> i32 {
     );
     let lint = step_lint(root);
     let audit = step_audit(root);
+    let unsafe_audit = step_unsafe_audit(root);
     let test = step_cmd(
         "test",
         opts.skip_tests,
@@ -64,7 +66,7 @@ pub fn run(root: &Path, opts: &CiOptions) -> i32 {
             .args(["test", "--workspace", "-q"])
             .current_dir(root),
     );
-    let results = [fmt, clippy, lint, audit, test];
+    let results = [fmt, clippy, lint, audit, unsafe_audit, test];
 
     println!("\n== ci summary ==");
     let mut failed = false;
@@ -152,6 +154,33 @@ fn step_audit(root: &Path) -> StepResult {
     };
     StepResult {
         name: "audit-panics",
+        outcome,
+    }
+}
+
+fn step_unsafe_audit(root: &Path) -> StepResult {
+    println!("== ci: audit-unsafe ==");
+    let outcome = match crate::unsafe_audit::audit_unsafe_workspace(root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.violations.is_empty() {
+                println!("audit-unsafe: clean ({} files)", report.files_scanned);
+                Outcome::Pass
+            } else {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("audit-unsafe: {} violation(s)", report.violations.len());
+                Outcome::Fail
+            }
+        }
+        Err(err) => {
+            eprintln!("audit-unsafe: io error: {err}");
+            Outcome::Fail
+        }
+    };
+    StepResult {
+        name: "audit-unsafe",
         outcome,
     }
 }

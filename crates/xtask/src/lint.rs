@@ -6,6 +6,10 @@
 //! * [`Rule::UnsafeNeedsSafety`] — every `unsafe` block, `unsafe fn`,
 //!   `unsafe impl` or `unsafe trait` outside test code must be justified by
 //!   a `// SAFETY:` comment (or a `# Safety` doc section for `unsafe fn`).
+//!   `unsafe fn` and `unsafe impl` declarations need the justification even
+//!   *inside* test code: they declare contracts (caller obligations, Send/
+//!   Sync invariants) that hold just as hard when a test harness relies on
+//!   them, and an undocumented test-only Send impl races for real.
 //! * [`Rule::HotPathPanic`] — no `.unwrap()`, `.expect(..)` or `panic!` in
 //!   the codec hot-path crates (`mq`, `ebcot`, `dwt`, `tier2`) outside
 //!   `#[cfg(test)]`: hot paths must propagate errors, not abort mid-tile.
@@ -279,7 +283,11 @@ pub fn lint_source(path: &Path, source: &str, report: &mut Report) {
                 in_test,
                 justified,
             });
-            if !in_test && !justified && !allows.contains(&Rule::UnsafeNeedsSafety) {
+            // Unsafe *blocks* (and trait declarations) in test code are
+            // exempt; `unsafe fn` and `unsafe impl` declare contracts that
+            // bind even when only tests use them.
+            let test_exempt = in_test && matches!(kind, UnsafeKind::Block | UnsafeKind::Trait);
+            if !test_exempt && !justified && !allows.contains(&Rule::UnsafeNeedsSafety) {
                 report.violations.push(Violation {
                     path: path.to_path_buf(),
                     line: line.number,
@@ -354,7 +362,7 @@ fn unsafe_kinds(code: &str) -> Vec<UnsafeKind> {
 }
 
 /// Find `word` in `code` at identifier boundaries.
-fn find_word(code: &str, word: &str) -> Option<usize> {
+pub(crate) fn find_word(code: &str, word: &str) -> Option<usize> {
     let mut start = 0;
     while let Some(rel) = code[start..].find(word) {
         let pos = start + rel;
@@ -722,6 +730,42 @@ mod tests {
         assert!(r.violations.is_empty());
         assert_eq!(r.unsafe_sites.len(), 1);
         assert!(r.unsafe_sites[0].in_test);
+    }
+
+    #[test]
+    fn unsafe_impl_in_test_code_needs_safety() {
+        // A Send/Sync impl in a test harness still transfers real data
+        // across real threads — the contract must be written down.
+        let src =
+            "#[cfg(test)]\nmod tests {\n    struct W(*mut u8);\n    unsafe impl Send for W {}\n}\n";
+        let r = lint_str("crates/parutil/src/x.rs", src);
+        assert_eq!(rules_fired(&r), vec![Rule::UnsafeNeedsSafety]);
+        assert_eq!(r.violations[0].line, 4);
+    }
+
+    #[test]
+    fn unsafe_fn_in_test_file_needs_safety() {
+        let r = lint_str(
+            "crates/parutil/tests/t.rs",
+            "unsafe fn poke(p: *mut u8) { unsafe { *p = 1 } }\n",
+        );
+        assert_eq!(rules_fired(&r), vec![Rule::UnsafeNeedsSafety]);
+    }
+
+    #[test]
+    fn justified_unsafe_impl_in_test_code_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    struct W(*mut u8);\n    \
+                   // SAFETY: each test thread gets a disjoint pointer.\n    \
+                   unsafe impl Send for W {}\n}\n";
+        let r = lint_str("crates/parutil/src/x.rs", src);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn unsafe_block_in_test_code_stays_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(p: *mut u8) { unsafe { *p = 1 }; }\n}\n";
+        let r = lint_str("crates/parutil/src/x.rs", src);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
     }
 
     #[test]

@@ -6,8 +6,13 @@
 //! * `cargo run -p xtask -- audit-panics` — static panic-path audit of the
 //!   decoder-reachable scope (see [`audit`]): every panic site must carry
 //!   an `// AUDIT:` justification. Exits non-zero on any unaudited site.
+//! * `cargo run -p xtask -- audit-unsafe` — static concurrency-contract
+//!   audit (see [`unsafe_audit`]): Send/Sync impls need SAFETY contracts,
+//!   raw parallel writes must route through `DisjointClaim` or carry an
+//!   `// AUDIT(alias):` justification, and `SendPtr` stays inside its
+//!   allowlisted modules. Exits non-zero on any uncovered site.
 //! * `cargo run -p xtask -- ci` — the full verification gate: fmt check,
-//!   clippy `-D warnings`, the custom lint, the panic audit, and the test
+//!   clippy `-D warnings`, the custom lint, both audits, and the test
 //!   suite.
 //! * `cargo run -p xtask -- bench-smoke` — run every benchmark harness in
 //!   smoke mode and re-validate the JSON it emits (see [`bench`]).
@@ -20,6 +25,7 @@ mod bench;
 mod ci;
 mod lint;
 mod scan;
+mod unsafe_audit;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -35,6 +41,10 @@ fn main() -> ExitCode {
         Some("audit-panics") => {
             let quiet = args.iter().any(|a| a == "--quiet");
             run_audit(&root, quiet)
+        }
+        Some("audit-unsafe") => {
+            let quiet = args.iter().any(|a| a == "--quiet");
+            run_unsafe_audit(&root, quiet)
         }
         Some("ci") => {
             let opts = ci::CiOptions {
@@ -120,6 +130,39 @@ fn run_audit(root: &Path, quiet: bool) -> ExitCode {
     }
 }
 
+fn run_unsafe_audit(root: &Path, quiet: bool) -> ExitCode {
+    match unsafe_audit::audit_unsafe_workspace(root) {
+        Ok(report) => {
+            if !quiet {
+                print!("{}", report.render());
+            } else {
+                println!(
+                    "concurrency-contract inventory: {} sites across {} files",
+                    report.sites.len(),
+                    report.files_scanned
+                );
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "audit-unsafe: clean ({} files scanned)",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("audit-unsafe: {} violation(s)", report.violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("audit-unsafe: io error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Locate the workspace root: walk up from the current directory to the
 /// first directory containing a `crates/` subdirectory and a `Cargo.toml`.
 fn workspace_root() -> PathBuf {
@@ -146,7 +189,9 @@ fn print_help() {
          \t\t--quiet\tsummarize the inventory instead of listing sites\n\
          \taudit-panics\tstatic panic-path audit of the decode pipeline\n\
          \t\t--quiet\tsummarize the inventory instead of listing sites\n\
-         \tci\tfmt-check + clippy -D warnings + lint + audit + tests\n\
+         \taudit-unsafe\tconcurrency-contract audit (Send/Sync, SendPtr, claims)\n\
+         \t\t--quiet\tsummarize the inventory instead of listing sites\n\
+         \tci\tfmt-check + clippy -D warnings + lint + audits + tests\n\
          \t\t--skip-fmt | --skip-clippy | --skip-tests\n\
          \tbench-smoke\trun bench_tier1 + bench_dwt in smoke mode, validate JSON\n\
          \thelp\tthis message\n\

@@ -185,9 +185,18 @@ fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
     j < n && bytes[j] == '"'
 }
 
+/// Whether a line carries a test-gating cfg attribute: plain `#[cfg(test)]`
+/// or an `all(...)` conjunction containing `test`, like the
+/// `#[cfg(all(test, not(loom)))]` gate on modules whose tests must not run
+/// under loom. (A conjunction containing `test` only ever *narrows* the
+/// plain gate, so treating it as test code is always sound.)
+fn is_test_cfg(code: &str) -> bool {
+    code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test,")
+}
+
 /// Mark lines inside `#[cfg(test)]` items by tracking brace depth: after a
-/// `#[cfg(test)]` attribute, the next `{` opens a region that ends when its
-/// brace closes.
+/// `#[cfg(test)]` attribute (or a test-containing `#[cfg(all(test, ...))]`),
+/// the next `{` opens a region that ends when its brace closes.
 fn mark_test_items(lines: &mut [Line]) {
     let mut depth: i64 = 0;
     let mut pending_attr = false;
@@ -198,7 +207,7 @@ fn mark_test_items(lines: &mut [Line]) {
         if region_entry.is_some() {
             line.in_test_item = true;
         }
-        if code.contains("#[cfg(test)]") && region_entry.is_none() {
+        if is_test_cfg(&code) && region_entry.is_none() {
             pending_attr = true;
             line.in_test_item = true;
         }
@@ -298,6 +307,18 @@ mod tests {
         assert!(lines[2].in_test_item);
         assert!(lines[3].in_test_item);
         assert!(lines[4].in_test_item);
+        assert!(!lines[5].in_test_item);
+    }
+
+    #[test]
+    fn cfg_all_test_module_marked() {
+        // Modules gated `#[cfg(all(test, not(loom)))]` (so their tests do
+        // not run under the loom model checker) are still test code.
+        let src = "fn real() {}\n#[cfg(all(test, not(loom)))]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lines = classify(src);
+        assert!(!lines[0].in_test_item);
+        assert!(lines[1].in_test_item);
+        assert!(lines[3].in_test_item);
         assert!(!lines[5].in_test_item);
     }
 
