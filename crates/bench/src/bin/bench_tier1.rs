@@ -1,28 +1,42 @@
 //! Tier-1 throughput trajectory harness.
 //!
-//! Emits `BENCH_tier1.json` with three measurements that track this
-//! workspace's Tier-1 performance over time:
+//! Emits `BENCH_tier1.json` (schema `pj2k.bench_tier1.v2`) with five
+//! measurements that track this workspace's Tier-1 performance over time:
 //!
 //! 1. **Scratch-arena microbenchmark**: blocks/sec and heap allocations
 //!    per block for the seed path (a fresh coefficient buffer and a fresh
 //!    [`pj2k_ebcot::encode_block_with`] per block) versus the reused
-//!    [`pj2k_ebcot::BlockCoder`] per-worker arena.
-//! 2. **Whole-encoder schedule sweep**: wall-clock encode time at
-//!    p ∈ {1, 2, 4, 8} workers under the paper's staggered round-robin
-//!    schedule and under dynamic self-scheduling.
-//! 3. **Modeled makespans** from the measured per-block times, so the
-//!    wall-clock numbers can be compared against the scheduling model.
+//!    [`pj2k_ebcot::BlockCoder`] per-worker arena refilling a recycled
+//!    [`pj2k_ebcot::EncodedBlock`] — the steady-state arena path must stay
+//!    allocation-free (enforced below).
+//! 2. **Engine ablation**: the same arena loop pinned to
+//!    [`Tier1Engine::Reference`] and [`Tier1Engine::Bitplane`];
+//!    `bitplane_speedup` is their blocks/sec ratio, measured in the same
+//!    run and required to be > 1 (the bitplane engine must beat the
+//!    reference engine it replaced as default).
+//! 3. **Per-pass breakdown** for both engines: wall-clock seconds and
+//!    exact decision counts of the significance-propagation, refinement,
+//!    and cleanup passes (via [`pj2k_ebcot::Tier1Profile`]).
+//! 4. **Per-component estimate**: a calibrated MQ cost-per-decision splits
+//!    each engine's time into entropy coding vs context formation.
+//! 5. **Whole-encoder schedule sweep** at p ∈ {1, 2, 4, 8} workers
+//!    (staggered round-robin vs dynamic self-scheduling) plus modeled
+//!    makespans from the measured per-block times.
 //!
 //! ```sh
 //! cargo run --release -p pj2k-bench --bin bench_tier1 -- [--smoke] [--out PATH]
 //! ```
 //!
-//! `--smoke` shrinks the workload for CI: it validates the harness and the
-//! JSON schema, not the performance numbers.
+//! `--smoke` shrinks the workload for CI: it validates the harness, the
+//! JSON schema, the allocation floor, and the engine-ordering floor — not
+//! absolute performance numbers.
 
 use pj2k_bench::{test_image, time};
 use pj2k_core::{Encoder, EncoderConfig, ParallelMode, RateControl, Schedule};
-use pj2k_ebcot::{encode_block_with, BandCtx, BlockCoder, Tier1Options};
+use pj2k_ebcot::{
+    encode_block_with, BandCtx, BlockCoder, EncodedBlock, Tier1Engine, Tier1Options, Tier1Profile,
+};
+use pj2k_mq::MqEncoder;
 use pj2k_smpsim::makespan;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,9 +90,14 @@ fn synth_blocks(n: usize) -> Vec<Vec<i32>> {
     };
     (0..n)
         .map(|b| {
-            // Sparser, smaller coefficients for "finer" blocks, like a real
-            // resolution pyramid.
-            let keep = 16 + (b % 8) * 8; // percent * 1.28
+            // Pyramid-weighted density mix. A dyadic decomposition puts
+            // 3/4 of its area — and with fixed 64x64 code-blocks, 3/4 of
+            // its blocks — in the finest detail subbands, ~3/16 in the next
+            // level, and the remainder in coarse levels plus the dense LL
+            // band, so per 8 blocks: six sparse finest-level blocks, one
+            // mid-level, one dense LL-like. Values are keep thresholds out
+            // of 128 (~3%..55% nonzero).
+            let keep = [4usize, 4, 4, 4, 4, 4, 12, 70][b % 8];
             (0..64 * 64)
                 .map(|_| {
                     let r = next();
@@ -107,7 +126,9 @@ struct MicroResult {
     allocs_per_block: f64,
 }
 
-fn micro(blocks: &[Vec<i32>], reps: usize, scratch: bool) -> MicroResult {
+/// The seed path: a fresh coefficient buffer and a fresh single-use
+/// encoder per block (what the first version of this workspace shipped).
+fn micro_seed(blocks: &[Vec<i32>], reps: usize) -> MicroResult {
     let opts = Tier1Options::default();
     let n = blocks.len() * reps;
     // Best of three trials: per-block coding is ~ms-scale, so a single
@@ -117,19 +138,11 @@ fn micro(blocks: &[Vec<i32>], reps: usize, scratch: bool) -> MicroResult {
     let mut secs = f64::INFINITY;
     for _ in 0..TRIALS {
         let (_, t) = time(|| {
-            let mut coder = BlockCoder::new();
             let mut sink = 0usize;
             for _ in 0..reps {
                 for (i, coeffs) in blocks.iter().enumerate() {
-                    let blk = if scratch {
-                        coder.coeff_scratch().extend_from_slice(coeffs);
-                        coder.encode_scratch(64, 64, band_of(i), opts)
-                    } else {
-                        // The seed path: a fresh coefficient buffer and a
-                        // fresh single-use encoder per block.
-                        let copy = coeffs.to_vec();
-                        encode_block_with(&copy, 64, 64, band_of(i), opts)
-                    };
+                    let copy = coeffs.to_vec();
+                    let blk = encode_block_with(&copy, 64, 64, band_of(i), opts);
                     sink += blk.data.len();
                 }
             }
@@ -143,6 +156,86 @@ fn micro(blocks: &[Vec<i32>], reps: usize, scratch: bool) -> MicroResult {
         blocks_per_sec: if secs > 0.0 { n as f64 / secs } else { 0.0 },
         allocs_per_block: spent / (n * TRIALS) as f64,
     }
+}
+
+/// The arena path: one warm [`BlockCoder`] refilling one recycled
+/// [`EncodedBlock`]. After the untimed warm-up sized every buffer, the
+/// timed region must not allocate at all.
+fn micro_arena(blocks: &[Vec<i32>], reps: usize, engine: Tier1Engine) -> MicroResult {
+    let opts = Tier1Options::default();
+    let n = blocks.len() * reps;
+    const TRIALS: usize = 3;
+    let mut coder = BlockCoder::with_engine(engine);
+    let mut out = EncodedBlock::default();
+    // Untimed warm-up: size every scratch buffer for the largest block.
+    let mut sink = 0usize;
+    for (i, coeffs) in blocks.iter().enumerate() {
+        coder.coeff_scratch().extend_from_slice(coeffs);
+        coder.encode_scratch_into(64, 64, band_of(i), opts, &mut out);
+        sink += out.data.len();
+    }
+    let a0 = allocs();
+    let mut secs = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let (_, t) = time(|| {
+            for _ in 0..reps {
+                for (i, coeffs) in blocks.iter().enumerate() {
+                    coder.coeff_scratch().extend_from_slice(coeffs);
+                    coder.encode_scratch_into(64, 64, band_of(i), opts, &mut out);
+                    sink += out.data.len();
+                }
+            }
+            sink
+        });
+        secs = secs.min(t);
+    }
+    std::hint::black_box(sink);
+    let spent = (allocs() - a0) as f64;
+    MicroResult {
+        secs,
+        blocks_per_sec: if secs > 0.0 { n as f64 / secs } else { 0.0 },
+        allocs_per_block: spent / (n * TRIALS) as f64,
+    }
+}
+
+/// Per-pass time/decision breakdown of one engine over the block set.
+fn profile_engine(blocks: &[Vec<i32>], reps: usize, engine: Tier1Engine) -> Tier1Profile {
+    let opts = Tier1Options::default();
+    let mut coder = BlockCoder::with_engine(engine);
+    let mut out = EncodedBlock::default();
+    let mut profile = Tier1Profile::default();
+    for _ in 0..reps {
+        for (i, coeffs) in blocks.iter().enumerate() {
+            coder.coeff_scratch().extend_from_slice(coeffs);
+            coder.encode_scratch_profiled_into(64, 64, band_of(i), opts, &mut profile, &mut out);
+        }
+    }
+    profile
+}
+
+/// Calibrated MQ cost per decision (seconds): a pseudo-random decision
+/// stream over a rotating context set, best of three trials.
+fn mq_cost_per_decision() -> f64 {
+    use pj2k_ebcot::context::initial_states;
+    const N: usize = 400_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut ctx = initial_states();
+        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let (_, t) = time(|| {
+            let mut enc = MqEncoder::new();
+            for i in 0..N {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let bit = ((state >> 62) & 1) as u8; // ~50/50: worst case
+                enc.encode(&mut ctx[i % 9], bit);
+            }
+            enc.flush().len()
+        });
+        best = best.min(t);
+    }
+    best / N as f64
 }
 
 fn encoder_cfg(p: usize, schedule: Schedule) -> EncoderConfig {
@@ -178,6 +271,19 @@ const REQUIRED_KEYS: &[&str] = &[
     "\"allocs_per_block\"",
     "\"scratch_speedup\"",
     "\"allocs_avoided_per_block\"",
+    "\"engines\"",
+    "\"reference\"",
+    "\"bitplane\"",
+    "\"bitplane_speedup\"",
+    "\"per_pass\"",
+    "\"sig_prop\"",
+    "\"mag_ref\"",
+    "\"cleanup\"",
+    "\"decisions\"",
+    "\"components\"",
+    "\"mq_cost_per_decision_ns\"",
+    "\"entropy_secs_est\"",
+    "\"context_formation_secs_est\"",
     "\"encoder\"",
     "\"staggered_secs\"",
     "\"dynamic_secs\"",
@@ -203,6 +309,14 @@ fn validate(doc: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn pass_rows(p: &Tier1Profile) -> [(&'static str, f64, u64); 3] {
+    [
+        ("sig_prop", p.sig_prop_secs, p.sig_prop_decisions),
+        ("mag_ref", p.mag_ref_secs, p.mag_ref_decisions),
+        ("cleanup", p.cleanup_secs, p.cleanup_decisions),
+    ]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -217,18 +331,21 @@ fn main() {
 
     // --- microbenchmark: seed path vs scratch arenas ---------------------
     let blocks = synth_blocks(n_blocks);
-    // Cross-check first: both paths must produce identical streams.
-    let mut coder = BlockCoder::new();
+    // Cross-check first: every path and every engine must produce
+    // identical streams.
+    let mut ref_coder = BlockCoder::with_engine(Tier1Engine::Reference);
+    let mut bp_coder = BlockCoder::with_engine(Tier1Engine::Bitplane);
     for (i, c) in blocks.iter().enumerate() {
         let a = encode_block_with(c, 64, 64, band_of(i), Tier1Options::default());
-        let b = coder.encode_with(c, 64, 64, band_of(i), Tier1Options::default());
-        assert_eq!(a.data, b.data, "scratch arena changed the bitstream");
+        let r = ref_coder.encode_with(c, 64, 64, band_of(i), Tier1Options::default());
+        let b = bp_coder.encode_with(c, 64, 64, band_of(i), Tier1Options::default());
+        assert_eq!(a.data, r.data, "scratch arena changed the bitstream");
+        assert_eq!(r.data, b.data, "bitplane engine changed the bitstream");
     }
-    // Untimed warm-up of both paths, then measure.
-    let _ = micro(&blocks, 1, false);
-    let _ = micro(&blocks, 1, true);
-    let seed = micro(&blocks, reps, false);
-    let scratch = micro(&blocks, reps, true);
+    // Untimed warm-up of the seed path, then measure.
+    let _ = micro_seed(&blocks, 1);
+    let seed = micro_seed(&blocks, reps);
+    let scratch = micro_arena(&blocks, reps, Tier1Engine::Auto);
     let speedup = if scratch.secs > 0.0 {
         seed.secs / scratch.secs
     } else {
@@ -236,13 +353,57 @@ fn main() {
     };
     let avoided = (seed.allocs_per_block - scratch.allocs_per_block).max(0.0);
     println!(
-        "microbench: {n_blocks} blocks x {reps} reps — seed {:.1} blk/s ({:.1} allocs/blk), \
-         scratch {:.1} blk/s ({:.1} allocs/blk), speedup {speedup:.3}x",
+        "microbench: {n_blocks} blocks x {reps} reps — seed {:.1} blk/s ({:.2} allocs/blk), \
+         scratch {:.1} blk/s ({:.2} allocs/blk), speedup {speedup:.3}x",
         seed.blocks_per_sec,
         seed.allocs_per_block,
         scratch.blocks_per_sec,
         scratch.allocs_per_block
     );
+    // Self-validation: the warm arena path must not allocate. The floor is
+    // intentionally strict — 2.0 allocs/block was the pre-`encode_into`
+    // residual this harness existed to flag.
+    const ALLOCS_PER_BLOCK_FLOOR: f64 = 0.5;
+    if scratch.allocs_per_block > ALLOCS_PER_BLOCK_FLOOR {
+        eprintln!(
+            "FAIL: scratch path allocates {:.3}/block (floor {ALLOCS_PER_BLOCK_FLOOR})",
+            scratch.allocs_per_block
+        );
+        std::process::exit(1);
+    }
+
+    // --- engine ablation --------------------------------------------------
+    let reference = micro_arena(&blocks, reps, Tier1Engine::Reference);
+    let bitplane = micro_arena(&blocks, reps, Tier1Engine::Bitplane);
+    let bitplane_speedup = if bitplane.secs > 0.0 {
+        reference.secs / bitplane.secs
+    } else {
+        1.0
+    };
+    println!(
+        "engines: reference {:.1} blk/s, bitplane {:.1} blk/s — bitplane speedup {bitplane_speedup:.3}x",
+        reference.blocks_per_sec, bitplane.blocks_per_sec
+    );
+    // Self-validation: the default engine must beat the one it replaced,
+    // measured in this same run on this same machine.
+    if bitplane_speedup <= 1.0 {
+        eprintln!("FAIL: bitplane engine is not faster than reference ({bitplane_speedup:.3}x)");
+        std::process::exit(1);
+    }
+
+    // --- per-pass and per-component breakdown ----------------------------
+    let prof_ref = profile_engine(&blocks, reps.min(3), Tier1Engine::Reference);
+    let prof_bp = profile_engine(&blocks, reps.min(3), Tier1Engine::Bitplane);
+    let mq_cost = mq_cost_per_decision();
+    for (name, p) in [("reference", &prof_ref), ("bitplane", &prof_bp)] {
+        let total = p.total_secs().max(1e-12);
+        let rows = pass_rows(p);
+        let shares: Vec<String> = rows
+            .iter()
+            .map(|(k, s, d)| format!("{k} {:.0}% ({d} dec)", 100.0 * s / total))
+            .collect();
+        println!("per-pass {name}: {}", shares.join(", "));
+    }
 
     // --- whole-encoder schedule sweep ------------------------------------
     let img = test_image(kpx);
@@ -295,7 +456,7 @@ fn main() {
     // --- hand-rolled JSON -------------------------------------------------
     let mut doc = String::new();
     doc.push_str("{\n");
-    doc.push_str("  \"schema\": \"pj2k.bench_tier1.v1\",\n");
+    doc.push_str("  \"schema\": \"pj2k.bench_tier1.v2\",\n");
     doc.push_str(&format!("  \"smoke\": {smoke},\n"));
     doc.push_str(&format!("  \"kpixels\": {kpx},\n"));
     doc.push_str("  \"microbench\": {\n");
@@ -315,6 +476,55 @@ fn main() {
         "    \"allocs_avoided_per_block\": {}\n",
         jf(avoided)
     ));
+    doc.push_str("  },\n");
+    doc.push_str("  \"engines\": {\n");
+    for (name, m) in [("reference", &reference), ("bitplane", &bitplane)] {
+        doc.push_str(&format!(
+            "    \"{name}\": {{ \"secs\": {}, \"blocks_per_sec\": {}, \"allocs_per_block\": {} }},\n",
+            jf(m.secs),
+            jf(m.blocks_per_sec),
+            jf(m.allocs_per_block)
+        ));
+    }
+    doc.push_str(&format!(
+        "    \"bitplane_speedup\": {}\n  }},\n",
+        jf(bitplane_speedup)
+    ));
+    doc.push_str("  \"per_pass\": {\n");
+    for (ei, (name, p)) in [("reference", &prof_ref), ("bitplane", &prof_bp)]
+        .iter()
+        .enumerate()
+    {
+        doc.push_str(&format!("    \"{name}\": {{ "));
+        let rows = pass_rows(p);
+        for (i, (k, s, d)) in rows.iter().enumerate() {
+            doc.push_str(&format!(
+                "\"{k}\": {{ \"secs\": {}, \"decisions\": {d} }}{}",
+                jf(*s),
+                if i + 1 < rows.len() { ", " } else { "" }
+            ));
+        }
+        doc.push_str(&format!(" }}{}\n", if ei == 0 { "," } else { "" }));
+    }
+    doc.push_str("  },\n");
+    doc.push_str("  \"components\": {\n");
+    doc.push_str(&format!(
+        "    \"mq_cost_per_decision_ns\": {},\n",
+        jf(mq_cost * 1e9)
+    ));
+    for (ei, (name, p)) in [("reference", &prof_ref), ("bitplane", &prof_bp)]
+        .iter()
+        .enumerate()
+    {
+        let entropy = (p.total_decisions() as f64 * mq_cost).min(p.total_secs());
+        let formation = (p.total_secs() - entropy).max(0.0);
+        doc.push_str(&format!(
+            "    \"{name}\": {{ \"entropy_secs_est\": {}, \"context_formation_secs_est\": {} }}{}\n",
+            jf(entropy),
+            jf(formation),
+            if ei == 0 { "," } else { "" }
+        ));
+    }
     doc.push_str("  },\n");
     doc.push_str("  \"dynamic_chunk\": 1,\n  \"encoder\": [\n");
     for (i, (p, t_stag, t_dyn, rel, ms_stag, ms_dyn)) in rows.iter().enumerate() {

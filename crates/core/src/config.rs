@@ -5,7 +5,7 @@
 pub use pj2k_dwt::LiftingMode;
 use pj2k_dwt::Wavelet;
 pub use pj2k_dwt::{SimdMode, SimdTier};
-pub use pj2k_ebcot::Tier1Options;
+pub use pj2k_ebcot::{Tier1Engine, Tier1Options};
 pub use pj2k_parutil::Schedule;
 
 /// How (and how wide) the codec runs in parallel.
@@ -178,6 +178,12 @@ pub struct EncoderConfig {
     /// Tier-1 coding-style options (stripe-causal contexts, per-pass
     /// context reset). Signalled in the codestream header.
     pub tier1: Tier1Options,
+    /// Tier-1 coding engine: the packed flag-word engine by default
+    /// (`Auto`, overridable at runtime with `PJ2K_TIER1=reference`), or a
+    /// pinned engine for ablation. Every engine produces bit-identical
+    /// codestreams (asserted in tests), so this knob never changes the
+    /// output.
+    pub tier1_engine: Tier1Engine,
     /// How [`ParallelMode::WorkerPool`] hands code-blocks to its workers:
     /// the paper's staggered round-robin by default, or
     /// [`Schedule::Dynamic`] self-scheduling where idle workers claim the
@@ -205,6 +211,7 @@ impl Default for EncoderConfig {
             simd: SimdMode::Auto,
             overlap: StageOverlap::Barriered,
             tier1: Tier1Options::default(),
+            tier1_engine: Tier1Engine::Auto,
             tier1_schedule: Schedule::StaggeredRoundRobin,
             roi: None,
         }

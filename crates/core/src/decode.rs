@@ -861,6 +861,52 @@ mod tests {
     }
 
     #[test]
+    fn whole_codec_reference_vs_bitplane_bit_identical() {
+        // The Tier-1 engine knob must never change the codestream: the
+        // reference flag-grid coder and the packed bitplane coder have to
+        // emit the same bytes, across coding styles and parallel modes.
+        use crate::config::{Tier1Engine, Tier1Options};
+        let img = synth::natural_gray(96, 64, 21);
+        for tier1 in [
+            Tier1Options::default(),
+            Tier1Options {
+                stripe_causal: true,
+                reset_contexts: false,
+                bypass: true,
+            },
+        ] {
+            let mk = |tier1_engine, parallel| {
+                encode(
+                    &img,
+                    EncoderConfig {
+                        levels: 3,
+                        tier1,
+                        tier1_engine,
+                        parallel,
+                        ..Default::default()
+                    },
+                )
+            };
+            let reference = mk(Tier1Engine::Reference, ParallelMode::Sequential);
+            for parallel in [
+                ParallelMode::Sequential,
+                ParallelMode::WorkerPool { workers: 3 },
+            ] {
+                let bitplane = mk(Tier1Engine::Bitplane, parallel);
+                assert_eq!(
+                    reference, bitplane,
+                    "engines diverged: {tier1:?} {parallel:?}"
+                );
+            }
+            let (a, _) = Decoder::default().decode(&reference).unwrap();
+            let (b, _) = Decoder::default()
+                .decode(&mk(Tier1Engine::Bitplane, ParallelMode::Sequential))
+                .unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn padded_width_stream_decodes_identically() {
         let img = synth::natural_gray(128, 128, 14);
         let cfg_naive = EncoderConfig {

@@ -1,0 +1,1117 @@
+//! Packed flag-word Tier-1 engine.
+//!
+//! The reference encoder ([`crate::encoder`]) walks every coefficient of
+//! every pass of every bit-plane and forms contexts from per-coefficient
+//! byte lookups in a padded [`crate::state::FlagGrid`]. This module keeps
+//! the same coding decisions — bit for bit — but stores the per-coefficient
+//! state as *bit-planes*: one `u64` word covers 64 consecutive columns of a
+//! row, and significance / visited / sign state are parallel word arrays.
+//! That representation turns the three inner loops into word-level stencil
+//! operations:
+//!
+//! - **Significance propagation** computes, per 4-row stripe and 64-column
+//!   word, an *exact member mask*: for each row, the horizontally dilated
+//!   significance of the row above, the row itself (east/west bits only),
+//!   and — unless causally hidden — the row below, ANDed with the row's
+//!   insignificant coefficients, ORed across the stripe. Columns outside
+//!   the mask contain no pass member and are skipped wholesale; the sparse
+//!   early planes of a typical block touch a handful of columns instead of
+//!   all of them. Members minted mid-pass re-enter via a same-word east
+//!   bit, or are caught by the next word's lazy mask reading live state.
+//! - **Magnitude refinement** membership is *static* within a pass: a
+//!   coefficient is refined at plane `p` iff it was significant when the
+//!   plane started (a snapshot word array, not the live one), and its
+//!   "first refinement" flag is exactly "not significant at the previous
+//!   plane's start" — so the REFINED/NEWSIG byte flags disappear entirely
+//!   and the pass iterates only member columns.
+//! - **Cleanup** classifies whole stripe columns with mask algebra
+//!   (quiet = no flags, neighbor-free = outside the dilated significance,
+//!   zero = no bits at this plane) and batches maximal stretches of
+//!   run-length-zero columns into a single [`pj2k_mq::MqEncoder::encode_run`]
+//!   call — O(1) register work per run instead of per column.
+//!
+//! Context formation is table-driven: each active column's 3-wide
+//! significance windows for the whole stripe (plus the rows above and
+//! below) are gathered into one packed word, and the 9-bit slice for a
+//! coefficient indexes a per-band zero-coding LUT ([`zc_lut`]) — replacing
+//! the three stencil fetches, the h/v/d popcounts, and the nested context
+//! branches with two shifts and one byte load. Sign coding likewise
+//! resolves through a 256-entry LUT ([`sc_lut`]) keyed on the packed
+//! neighbor significance and sign bits. Both tables are *generated from*
+//! [`zc_context`] / [`sc_context`], so agreement with the reference engine
+//! is by construction.
+//!
+//! Every decision, its context, and the f64 distortion accumulation order
+//! are identical to the reference engine, which stays available behind
+//! [`Tier1Engine::Reference`]; `tests/engines.rs` and the whole-codec
+//! equality tests enforce byte-identical output across all
+//! [`Tier1Options`] combinations.
+//!
+//! The stencil words are already 64-way data-parallel, and a code-block row
+//! is at most 1024 coefficients (usually 64), i.e. 1–16 words — there is no
+//! inner loop long enough for the `pj2k_dwt::simd` SSE2/AVX2 tiers to beat
+//! plain scalar word ops, so this module deliberately stays portable (see
+//! DESIGN.md §13).
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+
+use crate::context::{
+    initial_states, mr_context, sc_context, zc_context, BandCtx, CTX_RL, CTX_UNI, NUM_CTX,
+};
+use crate::encoder::{
+    in_bypass_region, ref_distortion_gain, sig_distortion_gain, EncodedBlock, PassInfo, PassKind,
+    Sink, Tier1Options, Tier1Profile,
+};
+use crate::STRIPE_HEIGHT;
+use pj2k_mq::{CtxState, MqEncoder, RawEncoder};
+use std::sync::OnceLock;
+
+/// Which Tier-1 coding engine a [`crate::BlockCoder`] runs.
+///
+/// Both engines produce byte-identical codestreams; the knob exists for
+/// ablation, regression hunting, and as an escape hatch. Mirrors
+/// `pj2k_dwt::SimdMode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tier1Engine {
+    /// Use the bitplane engine unless the `PJ2K_TIER1` environment
+    /// variable overrides it (`reference`, or `bitplane` to force the
+    /// default explicitly).
+    #[default]
+    Auto,
+    /// The original per-coefficient flag-grid coder.
+    Reference,
+    /// The packed flag-word coder (this module).
+    Bitplane,
+}
+
+/// Parsed value of a `PJ2K_TIER1` token, `None` meaning "no override".
+fn parse_engine_token(tok: &str) -> Option<Tier1Engine> {
+    match tok.trim().to_ascii_lowercase().as_str() {
+        "reference" | "ref" | "scalar" => Some(Tier1Engine::Reference),
+        "bitplane" | "bitmask" => Some(Tier1Engine::Bitplane),
+        _ => None,
+    }
+}
+
+/// The cached `PJ2K_TIER1` override, read once per process.
+fn env_override() -> Option<Tier1Engine> {
+    static OVERRIDE: OnceLock<Option<Tier1Engine>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("PJ2K_TIER1")
+            .ok()
+            .and_then(|v| parse_engine_token(&v))
+    })
+}
+
+impl Tier1Engine {
+    /// Resolve to a concrete engine (never [`Tier1Engine::Auto`]):
+    /// `Auto` honours `PJ2K_TIER1` and otherwise picks `Bitplane`.
+    pub fn resolve(self) -> Tier1Engine {
+        match self {
+            Tier1Engine::Auto => env_override().unwrap_or(Tier1Engine::Bitplane),
+            forced => forced,
+        }
+    }
+}
+
+/// Packed 3x3 neighborhood bit layout, shared by the window gather and the
+/// context LUTs: bit 0 = NW, 1 = N, 2 = NE, 3 = W, 4 = self, 5 = E,
+/// 6 = SW, 7 = S, 8 = SE. A coefficient's slice is `(win >> 3*i) & 511`
+/// where `i` is its row within the gathered window.
+const NB_SELF: u32 = 1 << 4;
+/// All eight neighbor bits (self excluded).
+const NB_NEIGHBORS: u32 = 0b1_1110_1111;
+/// Neighborhood restricted to the rows above (vertically causal mode hides
+/// the stripe below, i.e. the south row of a stripe's last coefficient).
+const NB_NO_SOUTH: u32 = 0b0_0011_1111;
+
+/// Zero-coding context table per band: `zc_lut()[band][nb]` for a 9-bit
+/// packed neighborhood (self bit ignored). Generated from [`zc_context`],
+/// so the branchy Table D.1 logic runs 1536 times at startup instead of
+/// once per coded decision.
+fn zc_lut() -> &'static [[u8; 512]; 3] {
+    static LUT: OnceLock<[[u8; 512]; 3]> = OnceLock::new();
+    LUT.get_or_init(|| {
+        let mut t = [[0u8; 512]; 3];
+        for (bi, band) in [BandCtx::LlLh, BandCtx::Hl, BandCtx::Hh]
+            .into_iter()
+            .enumerate()
+        {
+            // AUDIT: `bi` enumerates a 3-element array; `t` has 3 rows.
+            for (nb, slot) in t[bi].iter_mut().enumerate() {
+                let b = |i: usize| (nb >> i) as u32 & 1;
+                let h = b(3) + b(5);
+                let v = b(1) + b(7);
+                let d = b(0) + b(2) + b(6) + b(8);
+                *slot = zc_context(band, h, v, d) as u8;
+            }
+        }
+        t
+    })
+}
+
+/// LUT row index of a [`BandCtx`] in [`zc_lut`].
+fn band_index(band: BandCtx) -> usize {
+    match band {
+        BandCtx::LlLh => 0,
+        BandCtx::Hl => 1,
+        BandCtx::Hh => 2,
+    }
+}
+
+/// Sign-coding table: `sc_lut()[idx] = (ctx << 1) | xor` for index bits
+/// 0 = sigW, 1 = sigE, 2 = sigN, 3 = sigS, 4..=7 the matching sign bits
+/// (set = negative). Insignificant neighbors' sign bits are don't-care.
+/// Generated from [`sc_context`].
+fn sc_lut() -> &'static [u8; 256] {
+    static LUT: OnceLock<[u8; 256]> = OnceLock::new();
+    LUT.get_or_init(|| {
+        let mut t = [0u8; 256];
+        for (idx, slot) in t.iter_mut().enumerate() {
+            let b = |i: usize| (idx >> i) as i32 & 1;
+            let con = |sig: i32, neg: i32| sig * (1 - 2 * neg);
+            let hc = (con(b(0), b(4)) + con(b(1), b(5))).clamp(-1, 1);
+            let vc = (con(b(2), b(6)) + con(b(3), b(7))).clamp(-1, 1);
+            let (sc, xor) = sc_context(hc, vc);
+            *slot = ((sc as u8) << 1) | xor;
+        }
+        t
+    })
+}
+
+/// Reusable word-array scratch for the bitplane engine.
+///
+/// Every array is rows-major with one guard row above and below the block
+/// (permanently zero, standing for the out-of-block border), `wpr` words
+/// per row. `bitp` holds the magnitude bit-planes, planes-major, without
+/// guard rows (it is never consulted for neighbors).
+pub(crate) struct BitplaneScratch {
+    w: usize,
+    h: usize,
+    wpr: usize,
+    /// Live significance bits.
+    sig: Vec<u64>,
+    /// Sign bits (static after setup; set = negative).
+    neg: Vec<u64>,
+    /// Coded-in-this-plane's-SPP bits (cleared each plane).
+    visited: Vec<u64>,
+    /// Snapshot of `sig` at the current plane's start.
+    sigstart: Vec<u64>,
+    /// Snapshot of `sig` at the previous plane's start.
+    sigprev: Vec<u64>,
+    /// Magnitude bit-planes: `bitp[(plane * h + y) * wpr + wi]`.
+    bitp: Vec<u64>,
+    /// Stripe-interleaved magnitude copy: a column's [`STRIPE_HEIGHT`]
+    /// values sit in one 16-byte chunk (`smag[((y/4 * w + x) * 4) | y%4]`),
+    /// so the column-major pass visits hit one cache line where the
+    /// row-major layout touched four lines 256 bytes apart.
+    smag: Vec<u32>,
+    /// Per-stripe scratch: OR of consulted significance rows.
+    rowor: Vec<u64>,
+    /// Per-stripe scratch: active-column / run masks.
+    colmask: Vec<u64>,
+    aux: Vec<u64>,
+    aux2: Vec<u64>,
+    /// Per-pass refinement-gain table (see `mag_ref_pass`).
+    rgain: Vec<f64>,
+}
+
+impl BitplaneScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            w: 0,
+            h: 0,
+            wpr: 0,
+            sig: Vec::new(),
+            neg: Vec::new(),
+            visited: Vec::new(),
+            sigstart: Vec::new(),
+            sigprev: Vec::new(),
+            bitp: Vec::new(),
+            smag: Vec::new(),
+            rowor: Vec::new(),
+            colmask: Vec::new(),
+            aux: Vec::new(),
+            aux2: Vec::new(),
+            rgain: Vec::new(),
+        }
+    }
+
+    /// Re-dimension for a `w`×`h` block with `planes` magnitude planes and
+    /// zero all state, keeping allocations when large enough.
+    // AUDIT(fn): encoder side — sizes derive from the caller-validated
+    // block geometry (w, h <= 1024, planes <= MAX_PLANES), far below
+    // overflow range.
+    #[allow(clippy::arithmetic_side_effects)]
+    fn reset(&mut self, w: usize, h: usize, planes: usize) {
+        self.w = w;
+        self.h = h;
+        self.wpr = w.div_ceil(64);
+        let rows = (h + 2) * self.wpr;
+        for buf in [
+            &mut self.sig,
+            &mut self.neg,
+            &mut self.visited,
+            &mut self.sigstart,
+            &mut self.sigprev,
+        ] {
+            buf.clear();
+            buf.resize(rows, 0);
+        }
+        self.bitp.clear();
+        self.bitp.resize(planes * h * self.wpr, 0);
+        self.smag.clear();
+        self.smag
+            .resize(h.div_ceil(STRIPE_HEIGHT) * w * STRIPE_HEIGHT, 0);
+        for buf in [
+            &mut self.rowor,
+            &mut self.colmask,
+            &mut self.aux,
+            &mut self.aux2,
+        ] {
+            buf.clear();
+            buf.resize(self.wpr, 0);
+        }
+    }
+
+    /// Word offset of in-block row `y` (guard row 0 sits above).
+    #[inline]
+    fn row(&self, y: usize) -> usize {
+        // AUDIT: y < h and wpr * (h + 2) is the allocation size.
+        (y.wrapping_add(1)).wrapping_mul(self.wpr)
+    }
+
+    /// Word offset of row `y` of `plane` in `bitp`.
+    #[inline]
+    fn prow(&self, plane: u8, y: usize) -> usize {
+        // AUDIT: plane < planes, y < h; the product is the bitp layout.
+        ((plane as usize).wrapping_mul(self.h).wrapping_add(y)).wrapping_mul(self.wpr)
+    }
+
+    /// Magnitude of `(x, y)` from the stripe-interleaved copy.
+    #[inline]
+    fn smag_at(&self, x: usize, y: usize) -> u32 {
+        // AUDIT: x < w and y < h index inside the copy by construction;
+        // the shifts encode STRIPE_HEIGHT == 4.
+        self.smag[(((y >> 2).wrapping_mul(self.w).wrapping_add(x)) << 2) | (y & 3)]
+    }
+
+    /// Valid-column mask for word `wi` (bits at and above `w` cleared).
+    #[inline]
+    fn tail(&self, wi: usize) -> u64 {
+        let used = self.w.wrapping_sub(wi.wrapping_shl(6));
+        if used >= 64 {
+            u64::MAX
+        } else {
+            // AUDIT: used in 1..=63 here — wi indexes a word that covers at
+            // least one in-block column.
+            (1u64 << used).wrapping_sub(1)
+        }
+    }
+}
+
+/// Bits `x-1`, `x`, `x+1` of the row starting at word offset `base`
+/// (result bit 0 = west, bit 1 = center, bit 2 = east). Word-boundary and
+/// block-edge reads resolve to 0 through the zero padding invariant (bits
+/// `>= w` of a row's last word are never set).
+// AUDIT(fn): `base + wi` stays inside the row (wi < wpr is checked on both
+// cross-word reads); shifts are by values in 0..=63 by construction.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+#[inline]
+fn get3(buf: &[u64], base: usize, wpr: usize, x: usize) -> u32 {
+    let wi = x >> 6;
+    let sh = x & 63;
+    let w = buf[base + wi];
+    if sh == 0 {
+        let west = if wi == 0 { 0 } else { buf[base + wi - 1] >> 63 };
+        (((w & 3) << 1) | west) as u32
+    } else if sh == 63 {
+        let east = if wi + 1 < wpr {
+            buf[base + wi + 1] & 1
+        } else {
+            0
+        };
+        (((w >> 62) & 3) | (east << 2)) as u32
+    } else {
+        ((w >> (sh - 1)) & 7) as u32
+    }
+}
+
+/// Pack the 3-wide windows of `nrows` consecutive rows of column `x` into
+/// one word: bits `3j .. 3j+3` are (west, center, east) of the row at word
+/// offset `top + j*wpr` (see the `NB_*` layout constants). Single-word rows
+/// — every block 64 columns wide or narrower — take a contiguous-slice fast
+/// path: one bounds check covers the whole gather.
+// AUDIT(fn): `top + nrows*wpr` stays inside the guard-padded buffer (the
+// caller gathers at most rows y0-1 ..= ymax of an in-block stripe); `sh`
+// and `3*j` shifts are bounded by 63 / 15.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+#[inline]
+fn gather_win(buf: &[u64], top: usize, wpr: usize, nrows: usize, x: usize) -> u32 {
+    let sh = x & 63;
+    let mut win = 0u32;
+    if wpr == 1 {
+        let rows = &buf[top..top + nrows];
+        if sh == 0 {
+            for (j, &r) in rows.iter().enumerate() {
+                win |= (((r & 3) << 1) as u32) << (3 * j);
+            }
+        } else if sh == 63 {
+            for (j, &r) in rows.iter().enumerate() {
+                win |= (((r >> 62) & 3) as u32) << (3 * j);
+            }
+        } else {
+            for (j, &r) in rows.iter().enumerate() {
+                win |= (((r >> (sh - 1)) & 7) as u32) << (3 * j);
+            }
+        }
+    } else {
+        let mut base = top;
+        for j in 0..nrows {
+            win |= get3(buf, base, wpr, x) << (3 * j);
+            base += wpr;
+        }
+    }
+    win
+}
+
+/// [`gather_win`] from per-word row registers instead of memory: `regs[j]`
+/// holds the word of row `j`, `sh` the column's bit position within it.
+/// For `sh == 0` / `sh == 63` the west / east neighbor is taken as 0,
+/// which is only correct at the block border — callers at interior word
+/// boundaries of multi-word rows must use the memory gather instead.
+// AUDIT(fn): regs is a fixed 6-word array, nrows <= 6; shifts bounded by
+// 62 / 15.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+#[inline]
+fn win_regs(regs: &[u64; STRIPE_HEIGHT + 2], sh: usize) -> u32 {
+    // All six rows are extracted unconditionally: rows past a partial
+    // stripe's end are zero in `regs`, so their slices contribute nothing
+    // and the fixed trip count lets the extraction unroll.
+    let mut win = 0u32;
+    if sh == 0 {
+        for j in 0..STRIPE_HEIGHT + 2 {
+            win |= (((regs[j] & 3) << 1) as u32) << (3 * j);
+        }
+    } else if sh == 63 {
+        for j in 0..STRIPE_HEIGHT + 2 {
+            win |= (((regs[j] >> 62) & 3) as u32) << (3 * j);
+        }
+    } else {
+        for j in 0..STRIPE_HEIGHT + 2 {
+            win |= (((regs[j] >> (sh - 1)) & 7) as u32) << (3 * j);
+        }
+    }
+    win
+}
+
+/// Bit `x` of the row starting at `base`.
+// AUDIT(fn): base + (x >> 6) is inside the row for x < w.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+#[inline]
+fn bit_at(buf: &[u64], base: usize, x: usize) -> u64 {
+    (buf[base + (x >> 6)] >> (x & 63)) & 1
+}
+
+/// Set bit `x` of the row starting at `base`.
+// AUDIT(fn): as `bit_at`.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+#[inline]
+fn set_bit(buf: &mut [u64], base: usize, x: usize) {
+    buf[base + (x >> 6)] |= 1u64 << (x & 63);
+}
+
+/// The bitplane engine's per-block coding state (sink + contexts + the
+/// word arrays), shared by the three pass drivers.
+struct Coder<'a> {
+    bp: &'a mut BitplaneScratch,
+    ctx: [CtxState; NUM_CTX],
+    sink: Sink,
+    opts: Tier1Options,
+    /// Zero-coding LUT row for this block's band.
+    zc_tab: &'static [u8; 512],
+    /// Sign-coding LUT.
+    sc_tab: &'static [u8; 256],
+}
+
+impl Coder<'_> {
+    /// Magnitude bit of `(x, y)` at `plane`.
+    #[inline]
+    fn mag_bit(&self, x: usize, y: usize, plane: u8) -> u8 {
+        bit_at(&self.bp.bitp, self.bp.prow(plane, y), x) as u8
+    }
+
+    /// Code significance (ZC) + possible sign (SC) of one coefficient at
+    /// `plane` from its packed, causally masked neighborhood slice `nb`
+    /// (self bit clear) and its pre-fetched magnitude bit; returns
+    /// `(distortion_gain, became_significant)`.
+    // AUDIT(fn): encoder side — the LUT holds ZC indices < NUM_CTX by
+    // zc_context's contract; nb is masked to 9 bits.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+    #[inline]
+    fn code_sig_bit_nb(&mut self, x: usize, y: usize, plane: u8, nb: u32, bit: u8) -> (f64, bool) {
+        let zc = self.zc_tab[(nb & 511) as usize] as usize;
+        self.sink.decision(&mut self.ctx[zc], bit);
+        if bit == 1 {
+            (self.code_sign_and_mark_nb(x, y, plane, nb), true)
+        } else {
+            (0.0, false)
+        }
+    }
+
+    /// Sign coding for a coefficient turning significant whose (causally
+    /// masked) neighborhood slice is `nb`; marks significance and returns
+    /// the distortion reduction. Sign bits of insignificant neighbors are
+    /// don't-care in the LUT, so they are read unmasked; a causally hidden
+    /// south neighbor has its significance bit already cleared in `nb`,
+    /// which zeroes its contribution exactly as the reference does.
+    // AUDIT(fn): encoder side — sc_lut packs contexts 9..=13 < NUM_CTX;
+    // row offsets are guarded (north/south of in-block rows exist);
+    // `smag_at` indexes the caller-validated magnitude copy.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+    #[inline]
+    fn code_sign_and_mark_nb(&mut self, x: usize, y: usize, plane: u8, nb: u32) -> f64 {
+        let base = self.bp.row(y);
+        let wpr = self.bp.wpr;
+        let cn = get3(&self.bp.neg, base, wpr, x);
+        let nn = bit_at(&self.bp.neg, base - wpr, x) as u32;
+        let sn = bit_at(&self.bp.neg, base + wpr, x) as u32;
+        let idx = ((nb >> 3) & 1)        // sigW
+            | (((nb >> 5) & 1) << 1)     // sigE
+            | (((nb >> 1) & 1) << 2)     // sigN
+            | (((nb >> 7) & 1) << 3)     // sigS
+            | ((cn & 1) << 4)            // negW
+            | (((cn >> 2) & 1) << 5)     // negE
+            | (nn << 6)                  // negN
+            | (sn << 7); // negS
+        let v = self.sc_tab[idx as usize];
+        self.sink.sign(
+            &mut self.ctx[(v >> 1) as usize],
+            v & 1,
+            ((cn >> 1) & 1) as u8,
+        );
+        set_bit(&mut self.bp.sig, base, x);
+        sig_distortion_gain(self.bp.smag_at(x, y), plane)
+    }
+}
+
+/// Encode one block through the bitplane engine, appending pass records and
+/// segment bytes to `out` (whose `passes`/`data` the caller cleared).
+///
+/// `mag` is the magnitude plane, `coeffs` the signed input (for sign
+/// setup), `msb_planes >= 1` the coded plane count — all validated by
+/// [`crate::BlockCoder`], which also owns `seg_buf`, the recycled segment
+/// allocation.
+// AUDIT(fn): encoder side — indices derive from the validated geometry
+// (w * h == coeffs.len() == mag.len()); per-plane and per-stripe offsets
+// are products of in-range factors.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+pub(crate) fn encode_block_into(
+    bp: &mut BitplaneScratch,
+    mag: &[u32],
+    coeffs: &[i32],
+    w: usize,
+    h: usize,
+    band: BandCtx,
+    opts: Tier1Options,
+    msb_planes: u8,
+    seg_buf: &mut Vec<u8>,
+    mut profile: Option<&mut Tier1Profile>,
+    out: &mut EncodedBlock,
+) {
+    bp.reset(w, h, msb_planes as usize);
+    // Scatter magnitudes into bit-planes and signs into the sign plane,
+    // and build the stripe-interleaved magnitude copy the passes read.
+    // Plane words accumulate in registers across each 64-column chunk and
+    // store once per plane, instead of a bounds-checked read-modify-write
+    // per set magnitude bit.
+    let planes = msb_planes as usize;
+    for y in 0..h {
+        let nbase = bp.row(y);
+        let sbase = ((y >> 2) * w) << 2 | (y & 3);
+        for wi in 0..bp.wpr {
+            let x0 = wi << 6;
+            let xe = (x0 + 64).min(w);
+            let mut acc = [0u64; 32];
+            let mut negw = 0u64;
+            for x in x0..xe {
+                let k = y * w + x;
+                let mut m = mag[k];
+                bp.smag[sbase + (x << 2)] = m;
+                let col = 1u64 << (x & 63);
+                while m != 0 {
+                    acc[m.trailing_zeros() as usize] |= col;
+                    m &= m - 1;
+                }
+                negw |= col & (coeffs[k] >> 31) as u64;
+            }
+            for (p, &a) in acc.iter().enumerate().take(planes) {
+                if a != 0 {
+                    let pb = bp.prow(p as u8, y) + wi;
+                    bp.bitp[pb] = a;
+                }
+            }
+            bp.neg[nbase + wi] = negw;
+        }
+    }
+
+    let mut enc = Coder {
+        bp,
+        ctx: initial_states(),
+        sink: Sink::Mq(MqEncoder::from_recycled(std::mem::take(seg_buf))),
+        opts,
+        zc_tab: &zc_lut()[band_index(band)],
+        sc_tab: sc_lut(),
+    };
+
+    let passes = &mut out.passes;
+    let data = &mut out.data;
+    let mut emit = |enc: &mut Coder, kind, plane, dd: f64, next_raw: bool| {
+        let sink = std::mem::replace(&mut enc.sink, Sink::Raw(RawEncoder::new()));
+        if enc.opts.reset_contexts {
+            enc.ctx = initial_states();
+        }
+        let seg = sink.flush();
+        passes.push(PassInfo {
+            kind,
+            plane,
+            len: seg.len().max(1),
+            delta_distortion: dd,
+        });
+        if seg.is_empty() {
+            data.push(0);
+        } else {
+            data.extend_from_slice(&seg);
+        }
+        enc.sink = if next_raw {
+            Sink::Raw(RawEncoder::from_recycled(seg))
+        } else {
+            Sink::Mq(MqEncoder::from_recycled(seg))
+        };
+    };
+
+    for plane in (0..msb_planes).rev() {
+        // New plane: drop visited marks, snapshot significance.
+        enc.bp.visited.iter_mut().for_each(|w| *w = 0);
+        std::mem::swap(&mut enc.bp.sigstart, &mut enc.bp.sigprev);
+        enc.bp.sigstart.copy_from_slice(&enc.bp.sig);
+
+        let first_plane = plane + 1 == msb_planes;
+        let bypassed = opts.bypass && in_bypass_region(plane, msb_planes);
+        if !first_plane {
+            let t = profile.as_ref().map(|_| std::time::Instant::now());
+            let d0 = enc.sink.decisions();
+            let dd = sig_prop_pass(&mut enc, plane);
+            if let (Some(p), Some(t)) = (profile.as_deref_mut(), t) {
+                p.sig_prop_secs += t.elapsed().as_secs_f64();
+                p.sig_prop_decisions += enc.sink.decisions() - d0;
+            }
+            emit(&mut enc, PassKind::SigProp, plane, dd, bypassed);
+
+            let t = profile.as_ref().map(|_| std::time::Instant::now());
+            let d0 = enc.sink.decisions();
+            let dd = mag_ref_pass(&mut enc, plane);
+            if let (Some(p), Some(t)) = (profile.as_deref_mut(), t) {
+                p.mag_ref_secs += t.elapsed().as_secs_f64();
+                p.mag_ref_decisions += enc.sink.decisions() - d0;
+            }
+            emit(&mut enc, PassKind::MagRef, plane, dd, false);
+        }
+        let t = profile.as_ref().map(|_| std::time::Instant::now());
+        let d0 = enc.sink.decisions();
+        let dd = cleanup_pass(&mut enc, plane);
+        if let (Some(p), Some(t)) = (profile.as_deref_mut(), t) {
+            p.cleanup_secs += t.elapsed().as_secs_f64();
+            p.cleanup_decisions += enc.sink.decisions() - d0;
+        }
+        let next_raw = opts.bypass && plane > 0 && in_bypass_region(plane - 1, msb_planes);
+        emit(&mut enc, PassKind::Cleanup, plane, dd, next_raw);
+    }
+
+    *seg_buf = enc.sink.flush();
+}
+
+/// Significance-propagation pass over the packed state.
+///
+/// Stripes always start at multiples of [`STRIPE_HEIGHT`], so the causally
+/// hidden south row — `(y+1) % 4 == 0` under stripe-causal formation —
+/// is exactly in-stripe row index 3; the per-row mask below exploits that.
+// AUDIT(fn): encoder side — stripe offsets and word indices are bounded by
+// the scratch dimensions established in `reset`; column indices iterate
+// set bits of masks whose padding bits are cleared via `tail`; window
+// shifts are bounded by 3*3+4.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+fn sig_prop_pass(enc: &mut Coder, plane: u8) -> f64 {
+    let (w, h, wpr) = (enc.bp.w, enc.bp.h, enc.bp.wpr);
+    let causal = enc.opts.stripe_causal;
+    let mut dd = 0.0;
+    let mut y0 = 0;
+    while y0 < h {
+        let ymax = (y0 + STRIPE_HEIGHT).min(h);
+        let rows = ymax - y0;
+        for wi in 0..wpr {
+            let top = y0 * wpr; // row y0 - 1 (the guard row covers y0 = 0)
+                                // Per-word row registers: significance rows y0-1 ..= ymax
+                                // (memory is written through on new significance and the
+                                // registers updated in step, so both stay live), this plane's
+                                // center magnitude bits, and batched visited updates (flushed
+                                // once per word; nothing reads visited until cleanup).
+            let mut regs = [0u64; STRIPE_HEIGHT + 2];
+            for (j, reg) in regs.iter_mut().enumerate().take(rows + 2) {
+                *reg = enc.bp.sig[top + j * wpr + wi];
+            }
+            // Exact member columns at pass start: a member row bit is
+            // insignificant with a significant neighbor — per row, the or
+            // of the dilated row above, the dilated row below (hidden from
+            // the last in-stripe row under stripe-causal formation), and
+            // the east/west bits of the row itself, anded with ~self.
+            // Columns made members mid-pass by west-neighbor significance
+            // re-enter via the `bits |=` below (same word) or are caught
+            // by the next word's lazy computation seeing the updated sig
+            // (cross-word west inputs read live memory).
+            let mut bits = 0u64;
+            for i in 0..rows {
+                let (p, c, n) = (regs[i], regs[i + 1], regs[i + 2]);
+                let mut hp = p | (p << 1) | (p >> 1);
+                let mut hc = (c << 1) | (c >> 1);
+                let mut hn = n | (n << 1) | (n >> 1);
+                if wpr > 1 {
+                    if wi > 0 {
+                        hp |= enc.bp.sig[top + i * wpr + wi - 1] >> 63;
+                        hc |= enc.bp.sig[top + (i + 1) * wpr + wi - 1] >> 63;
+                        hn |= enc.bp.sig[top + (i + 2) * wpr + wi - 1] >> 63;
+                    }
+                    if wi + 1 < wpr {
+                        hp |= enc.bp.sig[top + i * wpr + wi + 1] << 63;
+                        hc |= enc.bp.sig[top + (i + 1) * wpr + wi + 1] << 63;
+                        hn |= enc.bp.sig[top + (i + 2) * wpr + wi + 1] << 63;
+                    }
+                }
+                let mut nb = hp | hc;
+                if !(causal && i + 1 == STRIPE_HEIGHT) {
+                    nb |= hn;
+                }
+                bits |= !c & nb;
+            }
+            bits &= enc.bp.tail(wi);
+            if bits == 0 {
+                continue;
+            }
+            let mut pm = [0u64; STRIPE_HEIGHT];
+            for (i, pmw) in pm.iter_mut().enumerate() {
+                if i < rows {
+                    *pmw = enc.bp.bitp[enc.bp.prow(plane, y0 + i) + wi];
+                }
+            }
+            let mut vup = [0u64; STRIPE_HEIGHT];
+            while bits != 0 {
+                let x = (wi << 6) | (bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+                let sh = x & 63;
+                let mut win = if wpr == 1 || (sh != 0 && sh != 63) {
+                    win_regs(&regs, sh)
+                } else {
+                    gather_win(&enc.bp.sig, top, wpr, rows + 2, x)
+                };
+                for i in 0..rows {
+                    if win & (NB_SELF << (3 * i)) != 0 {
+                        continue; // already significant
+                    }
+                    let mut nb = (win >> (3 * i)) & NB_NEIGHBORS;
+                    if causal && i + 1 == STRIPE_HEIGHT {
+                        nb &= NB_NO_SOUTH;
+                    }
+                    if nb == 0 {
+                        continue; // no significant neighbor: not a member
+                    }
+                    let y = y0 + i;
+                    vup[i] |= 1u64 << sh;
+                    let bit = ((pm[i] >> sh) & 1) as u8;
+                    let (gain, newsig) = enc.code_sig_bit_nb(x, y, plane, nb, bit);
+                    dd += gain;
+                    if newsig {
+                        win |= NB_SELF << (3 * i);
+                        regs[i + 1] |= 1u64 << sh;
+                        if x + 1 < w && (x + 1) >> 6 == wi {
+                            // New significance reaches the next column; the
+                            // current one is tracked in `win`, earlier
+                            // columns match the reference scan order, and a
+                            // next-word column is caught by that word's
+                            // member computation reading the updated sig.
+                            bits |= 1u64 << ((x + 1) & 63);
+                        }
+                    }
+                }
+            }
+            for (i, &v) in vup.iter().enumerate() {
+                if v != 0 {
+                    let r = enc.bp.row(y0 + i) + wi;
+                    enc.bp.visited[r] |= v;
+                }
+            }
+        }
+        y0 = ymax;
+    }
+    dd
+}
+
+/// Magnitude-refinement pass over the packed state: membership is the
+/// plane-start significance snapshot, "first refinement" its predecessor.
+/// All per-coefficient state — membership, first-refinement, magnitude
+/// bits — comes from per-word row registers loaded once per 64 columns.
+// AUDIT(fn): encoder side — offsets as in `sig_prop_pass`; `smag_at`
+// indexes the validated magnitude copy.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+fn mag_ref_pass(enc: &mut Coder, plane: u8) -> f64 {
+    let (h, w, wpr) = (enc.bp.h, enc.bp.w, enc.bp.wpr);
+    let causal = enc.opts.stripe_causal;
+    let raw = matches!(enc.sink, Sink::Raw(_));
+    // The refinement gain depends only on the magnitude bits at and below
+    // the refined plane — ref_distortion_gain(m, p) computes exclusively
+    // with `m & ((2 << p) - 1)`, exactly (every intermediate is an
+    // integer-valued f64), so a small per-plane table replaces the f64
+    // pipeline per member with one load. Deep planes fall back inline.
+    let lut_bits = (plane as usize).wrapping_add(1);
+    let use_lut = lut_bits <= 11;
+    let mask = if use_lut { (1usize << lut_bits) - 1 } else { 0 };
+    if use_lut {
+        enc.bp.rgain.clear();
+        enc.bp
+            .rgain
+            .extend((0..=mask).map(|m| ref_distortion_gain(m as u32, plane)));
+    }
+    let mut dd = 0.0;
+    let mut y0 = 0;
+    while y0 < h {
+        let ymax = (y0 + STRIPE_HEIGHT).min(h);
+        let rows = ymax - y0;
+        // `smag` stripe base: member magnitudes for column x live at
+        // ((srow + x) << 2) | i, four contiguous u32s per column.
+        let srow = (y0 >> 2) * w;
+        for wi in 0..wpr {
+            let mut ss = [0u64; STRIPE_HEIGHT];
+            let mut sp = [0u64; STRIPE_HEIGHT];
+            let mut pm = [0u64; STRIPE_HEIGHT];
+            for i in 0..rows {
+                let r = enc.bp.row(y0 + i) + wi;
+                ss[i] = enc.bp.sigstart[r];
+                sp[i] = enc.bp.sigprev[r];
+                pm[i] = enc.bp.bitp[enc.bp.prow(plane, y0 + i) + wi];
+            }
+            let mut bits = (ss[0] | ss[1] | ss[2] | ss[3]) & enc.bp.tail(wi);
+            if bits == 0 {
+                continue;
+            }
+            // Significance rows for first-refinement contexts (static
+            // during this pass — refinement never sets significance).
+            // Only words holding a first refinement (ss & !sp) need the
+            // neighborhood at all; after each member's first plane the
+            // context is constant, so most words skip these six loads.
+            let frw = ((ss[0] & !sp[0]) | (ss[1] & !sp[1]) | (ss[2] & !sp[2]) | (ss[3] & !sp[3]))
+                & enc.bp.tail(wi);
+            let mut regs = [0u64; STRIPE_HEIGHT + 2];
+            if !raw && frw != 0 {
+                for (j, reg) in regs.iter_mut().enumerate().take(rows + 2) {
+                    *reg = enc.bp.sig[y0 * wpr + j * wpr + wi];
+                }
+            }
+            while bits != 0 {
+                let x = (wi << 6) | (bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+                let sh = x & 63;
+                let sb = (srow + x) << 2;
+                if raw {
+                    // Bypass fast path: refinement in raw mode is just the
+                    // member coefficients' magnitude bits, context-free —
+                    // gather the column and emit in one call.
+                    let mut acc = 0u8;
+                    let mut n = 0u8;
+                    for i in 0..rows {
+                        if (ss[i] >> sh) & 1 == 0 {
+                            continue;
+                        }
+                        acc = (acc << 1) | (((pm[i] >> sh) & 1) as u8);
+                        n += 1;
+                        let m = enc.bp.smag[sb | i];
+                        dd += if use_lut {
+                            enc.bp.rgain[(m as usize) & mask]
+                        } else {
+                            ref_distortion_gain(m, plane)
+                        };
+                    }
+                    if let Sink::Raw(raw_enc) = &mut enc.sink {
+                        raw_enc.put_bits(acc, n);
+                    }
+                    continue;
+                }
+                for i in 0..rows {
+                    if (ss[i] >> sh) & 1 == 0 {
+                        continue;
+                    }
+                    let first = (sp[i] >> sh) & 1 == 0;
+                    let mr = if first {
+                        // The neighborhood only matters for first
+                        // refinements.
+                        let win = if wpr == 1 || (sh != 0 && sh != 63) {
+                            win_regs(&regs, sh)
+                        } else {
+                            gather_win(&enc.bp.sig, y0 * wpr, wpr, rows + 2, x)
+                        };
+                        let mut nb = (win >> (3 * i)) & NB_NEIGHBORS;
+                        if causal && i + 1 == STRIPE_HEIGHT {
+                            nb &= NB_NO_SOUTH;
+                        }
+                        mr_context(true, nb != 0)
+                    } else {
+                        mr_context(false, false)
+                    };
+                    let bit = ((pm[i] >> sh) & 1) as u8;
+                    enc.sink.decision(&mut enc.ctx[mr], bit);
+                    let m = enc.bp.smag[sb | i];
+                    dd += if use_lut {
+                        enc.bp.rgain[(m as usize) & mask]
+                    } else {
+                        ref_distortion_gain(m, plane)
+                    };
+                }
+            }
+        }
+        y0 = ymax;
+    }
+    dd
+}
+
+/// Cleanup pass over the packed state, with whole-column classification and
+/// batched run-length-zero stretches.
+// AUDIT(fn): encoder side — offsets as in `sig_prop_pass`.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+fn cleanup_pass(enc: &mut Coder, plane: u8) -> f64 {
+    let (w, h, wpr) = (enc.bp.w, enc.bp.h, enc.bp.wpr);
+    let causal = enc.opts.stripe_causal;
+    let mut dd = 0.0;
+    let mut y0 = 0;
+    while y0 < h {
+        let ymax = (y0 + STRIPE_HEIGHT).min(h);
+        let full = ymax - y0 == STRIPE_HEIGHT;
+        if !full {
+            // Partial bottom stripe: no run-length mode; plain column scan.
+            // Rows here never sit on a stripe-causal boundary ((y+1) % 4
+            // != 0 for every partial-stripe row), so no south masking.
+            let rows = ymax - y0;
+            for x in 0..w {
+                let mut win = gather_win(&enc.bp.sig, y0 * wpr, wpr, rows + 2, x);
+                for i in 0..rows {
+                    let y = y0 + i;
+                    if win & (NB_SELF << (3 * i)) != 0
+                        || bit_at(&enc.bp.visited, enc.bp.row(y), x) != 0
+                    {
+                        continue;
+                    }
+                    let nb = (win >> (3 * i)) & NB_NEIGHBORS;
+                    let bit = enc.mag_bit(x, y, plane);
+                    let (gain, newsig) = enc.code_sig_bit_nb(x, y, plane, nb, bit);
+                    dd += gain;
+                    if newsig {
+                        win |= NB_SELF << (3 * i);
+                    }
+                }
+            }
+            y0 = ymax;
+            continue;
+        }
+
+        // Column classification masks, all per stripe:
+        //   quiet    — no coefficient has SIG or VISITED;
+        //   done     — every coefficient has SIG or VISITED (emits nothing);
+        //   nbr-free — no (causally visible) significant neighbor;
+        //   zero     — no magnitude bit at this plane.
+        // rl_zero = quiet & nbr-free & zero columns code a single RL-0
+        // decision each and change no state, so maximal stretches of
+        // rl_zero/done columns collapse into one encode_run call.
+        for wi in 0..wpr {
+            let mut or_flags = 0u64;
+            let mut and_flags = u64::MAX;
+            let mut or_bits = 0u64;
+            for y in y0..ymax {
+                let f = enc.bp.sig[enc.bp.row(y) + wi] | enc.bp.visited[enc.bp.row(y) + wi];
+                or_flags |= f;
+                and_flags &= f;
+                or_bits |= enc.bp.bitp[enc.bp.prow(plane, y) + wi];
+            }
+            // Consulted significance rows: y0-1 ..= ymax (ymax invisible
+            // when stripe-causal).
+            let mut m = enc.bp.sig[y0 * wpr + wi]; // row y0 - 1
+            for y in y0..ymax {
+                m |= enc.bp.sig[enc.bp.row(y) + wi];
+            }
+            if !causal {
+                m |= enc.bp.sig[enc.bp.row(ymax - 1) + wpr + wi]; // row ymax (or guard)
+            }
+            enc.bp.rowor[wi] = m;
+            enc.bp.aux[wi] = !or_flags; // quiet
+            enc.bp.aux2[wi] = and_flags; // done
+            enc.bp.colmask[wi] = !or_bits; // zero at this plane
+        }
+        // Combine into the final column masks (the dilation of rowor is
+        // computed word-locally so colmask can keep holding the zero mask).
+        for wi in 0..wpr {
+            let t = enc.bp.tail(wi);
+            let src = &enc.bp.rowor;
+            let m = src[wi];
+            let mut nbr = m | (m << 1) | (m >> 1);
+            if wi > 0 {
+                nbr |= src[wi - 1] >> 63;
+            }
+            if wi + 1 < wpr {
+                nbr |= src[wi + 1] << 63;
+            }
+            let quiet = enc.bp.aux[wi] & t;
+            let done = enc.bp.aux2[wi] & t;
+            let zero = enc.bp.colmask[wi] & t;
+            let rl_ok = quiet & !nbr;
+            enc.bp.aux[wi] = rl_ok & zero; // rl_zero
+            enc.bp.aux2[wi] = (rl_ok & zero) | done; // run_ok
+            enc.bp.colmask[wi] = rl_ok; // rl (column may still hold a 1 bit)
+        }
+
+        // Per-word row registers (magnitude bits, visited, significance
+        // rows y0-1 ..= ymax), reloaded when the scan crosses into a new
+        // word. Earlier words never change after the scan passes them, and
+        // in-word changes are applied to `regs` in step with memory.
+        let mut lw = usize::MAX;
+        let mut pm = [0u64; STRIPE_HEIGHT];
+        let mut vis = [0u64; STRIPE_HEIGHT];
+        let mut regs = [0u64; STRIPE_HEIGHT + 2];
+        let mut x = 0usize;
+        while x < w {
+            let wi = x >> 6;
+            let sh = x & 63;
+            if (enc.bp.aux2[wi] >> sh) & 1 != 0 {
+                // Maximal run of rl_zero / done columns starting at x.
+                let mut n: usize = 0; // RL-0 decisions in the run
+                let mut xe = x;
+                'run: while xe < w {
+                    let wj = xe >> 6;
+                    let shj = xe & 63;
+                    let run_word = enc.bp.aux2[wj] >> shj;
+                    let stop = (!run_word).trailing_zeros() as usize; // columns until a non-run bit
+                    let span = stop.min(64 - shj).min(w - xe);
+                    if span == 0 {
+                        break 'run;
+                    }
+                    let rl_word = (enc.bp.aux[wj] >> shj)
+                        & if span >= 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << span) - 1
+                        };
+                    n += rl_word.count_ones() as usize;
+                    xe += span;
+                    if span < stop.min(64 - shj) || stop < 64 - shj {
+                        break 'run;
+                    }
+                }
+                if n > 0 {
+                    enc.sink.run(&mut enc.ctx[CTX_RL], 0, n);
+                }
+                x = xe.max(x + 1);
+                continue;
+            }
+            if wi != lw {
+                for i in 0..STRIPE_HEIGHT {
+                    pm[i] = enc.bp.bitp[enc.bp.prow(plane, y0 + i) + wi];
+                    vis[i] = enc.bp.visited[enc.bp.row(y0 + i) + wi];
+                }
+                for (j, reg) in regs.iter_mut().enumerate() {
+                    *reg = enc.bp.sig[y0 * wpr + j * wpr + wi];
+                }
+                lw = wi;
+            }
+            if (enc.bp.colmask[wi] >> sh) & 1 != 0 {
+                // Run-length column with a 1 bit: RL-1, two UNI bits of the
+                // first significant row, sign, then the remainder plainly.
+                // The column is quiet, so the live window alone decides
+                // skipping (no visited bits can exist here).
+                let ri = (0..STRIPE_HEIGHT)
+                    .find(|&i| (pm[i] >> sh) & 1 != 0)
+                    .unwrap_or(STRIPE_HEIGHT - 1); // unreachable: zero mask was clear
+                enc.sink.decision(&mut enc.ctx[CTX_RL], 1);
+                let r = ri as u8;
+                enc.sink.decision(&mut enc.ctx[CTX_UNI], (r >> 1) & 1);
+                enc.sink.decision(&mut enc.ctx[CTX_UNI], r & 1);
+                let mut win = if wpr == 1 || (sh != 0 && sh != 63) {
+                    win_regs(&regs, sh)
+                } else {
+                    gather_win(&enc.bp.sig, y0 * wpr, wpr, STRIPE_HEIGHT + 2, x)
+                };
+                let mut nb = (win >> (3 * ri)) & NB_NEIGHBORS;
+                if causal && ri + 1 == STRIPE_HEIGHT {
+                    nb &= NB_NO_SOUTH;
+                }
+                dd += enc.code_sign_and_mark_nb(x, y0 + ri, plane, nb);
+                win |= NB_SELF << (3 * ri);
+                regs[ri + 1] |= 1u64 << sh;
+                clear_run_bits(enc, x, w);
+                for i in (ri + 1)..STRIPE_HEIGHT {
+                    if win & (NB_SELF << (3 * i)) != 0 {
+                        continue;
+                    }
+                    let mut nb = (win >> (3 * i)) & NB_NEIGHBORS;
+                    if causal && i + 1 == STRIPE_HEIGHT {
+                        nb &= NB_NO_SOUTH;
+                    }
+                    let bit = ((pm[i] >> sh) & 1) as u8;
+                    let (gain, newsig) = enc.code_sig_bit_nb(x, y0 + i, plane, nb, bit);
+                    dd += gain;
+                    if newsig {
+                        win |= NB_SELF << (3 * i);
+                        regs[i + 1] |= 1u64 << sh;
+                        clear_run_bits(enc, x, w);
+                    }
+                }
+                x += 1;
+                continue;
+            }
+            // Plain column.
+            let mut win = if wpr == 1 || (sh != 0 && sh != 63) {
+                win_regs(&regs, sh)
+            } else {
+                gather_win(&enc.bp.sig, y0 * wpr, wpr, STRIPE_HEIGHT + 2, x)
+            };
+            for i in 0..STRIPE_HEIGHT {
+                if win & (NB_SELF << (3 * i)) != 0 || (vis[i] >> sh) & 1 != 0 {
+                    continue;
+                }
+                let mut nb = (win >> (3 * i)) & NB_NEIGHBORS;
+                if causal && i + 1 == STRIPE_HEIGHT {
+                    nb &= NB_NO_SOUTH;
+                }
+                let bit = ((pm[i] >> sh) & 1) as u8;
+                let (gain, newsig) = enc.code_sig_bit_nb(x, y0 + i, plane, nb, bit);
+                dd += gain;
+                if newsig {
+                    win |= NB_SELF << (3 * i);
+                    regs[i + 1] |= 1u64 << sh;
+                    clear_run_bits(enc, x, w);
+                }
+            }
+            x += 1;
+        }
+        y0 = ymax;
+    }
+    dd
+}
+
+/// New significance at column `x` reaches column `x + 1`: it is no longer
+/// run-length eligible in this stripe.
+// AUDIT(fn): word index bounded by wpr since x + 1 < w.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+#[inline]
+fn clear_run_bits(enc: &mut Coder, x: usize, w: usize) {
+    if x + 1 < w {
+        let wj = (x + 1) >> 6;
+        let m = !(1u64 << ((x + 1) & 63));
+        enc.bp.aux[wj] &= m;
+        enc.bp.aux2[wj] &= m;
+        enc.bp.colmask[wj] &= m;
+    }
+}

@@ -1,5 +1,6 @@
 //! Tier-1 block encoder.
 
+use crate::bitplane::Tier1Engine;
 use crate::context::{
     initial_states, mr_context, sc_context, zc_context, BandCtx, CTX_RL, CTX_UNI, NUM_CTX,
 };
@@ -36,34 +37,96 @@ pub(crate) fn in_bypass_region(plane: u8, msb_planes: u8) -> bool {
 }
 
 /// The per-pass entropy sink: MQ codeword or raw segment.
-enum Sink {
+pub(crate) enum Sink {
     Mq(MqEncoder),
     Raw(RawEncoder),
 }
 
 impl Sink {
     #[inline]
-    fn decision(&mut self, ctx: &mut CtxState, bit: u8) {
+    pub(crate) fn decision(&mut self, ctx: &mut CtxState, bit: u8) {
         match self {
             Sink::Mq(m) => m.encode(ctx, bit),
             Sink::Raw(r) => r.put(bit),
         }
     }
 
+    /// Code the same decision `n` times in this context — bit-identical to
+    /// `n` [`Sink::decision`] calls, but the MQ side batches renorm-free
+    /// MPS stretches into O(1) register updates per renormalization.
+    #[inline]
+    pub(crate) fn run(&mut self, ctx: &mut CtxState, bit: u8, n: usize) {
+        match self {
+            Sink::Mq(m) => m.encode_run(ctx, bit, n),
+            Sink::Raw(r) => {
+                for _ in 0..n {
+                    r.put(bit);
+                }
+            }
+        }
+    }
+
     /// Sign coding: MQ uses the context/XOR scheme, raw emits the sign bit.
     #[inline]
-    fn sign(&mut self, ctx: &mut CtxState, xor: u8, neg: u8) {
+    pub(crate) fn sign(&mut self, ctx: &mut CtxState, xor: u8, neg: u8) {
         match self {
             Sink::Mq(m) => m.encode(ctx, neg ^ xor),
             Sink::Raw(r) => r.put(neg),
         }
     }
 
-    fn flush(self) -> Vec<u8> {
+    /// Decisions (MQ) or raw bits coded into the current segment.
+    #[inline]
+    pub(crate) fn decisions(&self) -> u64 {
+        match self {
+            Sink::Mq(m) => m.decisions(),
+            Sink::Raw(r) => r.decisions(),
+        }
+    }
+
+    pub(crate) fn flush(self) -> Vec<u8> {
         match self {
             Sink::Mq(m) => m.flush(),
             Sink::Raw(r) => r.flush(),
         }
+    }
+}
+
+/// Per-pass-kind time and decision-count breakdown of Tier-1 coding,
+/// accumulated across every block fed through a profiled entry point
+/// ([`BlockCoder::encode_scratch_profiled_into`] and friends).
+///
+/// Seconds measure the pass body only (context formation + entropy
+/// coding); decision counts are exact — MQ decisions or raw bits emitted
+/// into that pass's segment. `bench_tier1` uses this for the per-pass and
+/// per-component rows of its report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Tier1Profile {
+    /// Wall-clock seconds spent in significance-propagation passes.
+    pub sig_prop_secs: f64,
+    /// Wall-clock seconds spent in magnitude-refinement passes.
+    pub mag_ref_secs: f64,
+    /// Wall-clock seconds spent in cleanup passes.
+    pub cleanup_secs: f64,
+    /// Decisions/bits coded by significance-propagation passes.
+    pub sig_prop_decisions: u64,
+    /// Decisions/bits coded by magnitude-refinement passes.
+    pub mag_ref_decisions: u64,
+    /// Decisions/bits coded by cleanup passes.
+    pub cleanup_decisions: u64,
+}
+
+impl Tier1Profile {
+    /// Total profiled coding time.
+    pub fn total_secs(&self) -> f64 {
+        self.sig_prop_secs + self.mag_ref_secs + self.cleanup_secs
+    }
+
+    /// Total decisions/bits coded.
+    pub fn total_decisions(&self) -> u64 {
+        self.sig_prop_decisions
+            .saturating_add(self.mag_ref_decisions)
+            .saturating_add(self.cleanup_decisions)
     }
 }
 
@@ -95,7 +158,11 @@ pub struct PassInfo {
 
 /// A fully coded code-block: per-pass terminated segments plus the
 /// rate/distortion bookkeeping PCRD needs.
-#[derive(Debug, Clone)]
+///
+/// `Default` is the empty 0×0 block; it exists so callers can keep a pool
+/// of `EncodedBlock`s and refill them through [`BlockCoder::encode_into`]
+/// without per-block allocations.
+#[derive(Debug, Clone, Default)]
 pub struct EncodedBlock {
     /// Block width in coefficients.
     pub width: usize,
@@ -204,7 +271,7 @@ impl BlockEncoder<'_> {
 /// significant at `plane`: error drops from `m^2` to `(m - r)^2` with the
 /// midpoint reconstruction `r = base + 2^plane / 2`.
 #[inline]
-fn sig_distortion_gain(m: u32, plane: u8) -> f64 {
+pub(crate) fn sig_distortion_gain(m: u32, plane: u8) -> f64 {
     let base = (m >> plane) << plane;
     let r = f64::from(base) + half_step(plane);
     let e0 = f64::from(m) * f64::from(m);
@@ -215,7 +282,7 @@ fn sig_distortion_gain(m: u32, plane: u8) -> f64 {
 /// Distortion reduction when a significant coefficient is refined at
 /// `plane`.
 #[inline]
-fn ref_distortion_gain(m: u32, plane: u8) -> f64 {
+pub(crate) fn ref_distortion_gain(m: u32, plane: u8) -> f64 {
     let base0 = (m >> (plane + 1)) << (plane + 1);
     let r0 = f64::from(base0) + half_step(plane + 1);
     let base1 = (m >> plane) << plane;
@@ -265,23 +332,24 @@ pub fn encode_block_with(
 /// Reusable Tier-1 block-coding scratch arena.
 ///
 /// One `BlockCoder` owns every buffer the block-coding loop needs — the
-/// magnitude plane, the padded flag grid, the pass table, the concatenated
-/// segment bytes, a coefficient staging buffer, and the MQ/raw byte buffer
-/// that is recycled from each terminated pass into the next. Coding a block
-/// through a warm coder therefore costs only the two exact-size
-/// allocations of the returned [`EncodedBlock`] instead of the roughly
-/// `4 + passes` buffer allocations (plus their growth reallocations) of a
-/// cold [`encode_block_with`] call.
+/// magnitude plane, the engine's per-coefficient state (the padded flag
+/// grid of the reference engine or the packed word arrays of the bitplane
+/// engine), a coefficient staging buffer, and the MQ/raw byte buffer that
+/// is recycled from each terminated pass into the next. Coding a block
+/// through a warm coder with [`BlockCoder::encode_into`] into a recycled
+/// [`EncodedBlock`] allocates nothing at steady state; the value-returning
+/// entry points cost only the returned block's own two buffers.
 ///
 /// Workers in a parallel Tier-1 stage keep one coder each and feed it
 /// every block they claim; the produced bitstream is bit-identical to the
-/// single-use path.
+/// single-use path, and — enforced by the engine-equivalence tests —
+/// identical across [`Tier1Engine`]s.
 pub struct BlockCoder {
+    engine: Tier1Engine,
     mag: Vec<u32>,
     grid: FlagGrid,
+    bp: crate::bitplane::BitplaneScratch,
     coeffs: Vec<i32>,
-    passes: Vec<PassInfo>,
-    data: Vec<u8>,
     seg_buf: Vec<u8>,
 }
 
@@ -292,16 +360,28 @@ impl Default for BlockCoder {
 }
 
 impl BlockCoder {
-    /// Fresh coder with empty scratch buffers.
+    /// Fresh coder with empty scratch buffers and the default
+    /// ([`Tier1Engine::Auto`]) engine selection.
     pub fn new() -> Self {
+        Self::with_engine(Tier1Engine::Auto)
+    }
+
+    /// Fresh coder pinned to `engine` (still subject to the `PJ2K_TIER1`
+    /// override when `engine` is [`Tier1Engine::Auto`]).
+    pub fn with_engine(engine: Tier1Engine) -> Self {
         Self {
+            engine,
             mag: Vec::new(),
             grid: FlagGrid::new(0, 0),
+            bp: crate::bitplane::BitplaneScratch::new(),
             coeffs: Vec::new(),
-            passes: Vec::new(),
-            data: Vec::new(),
             seg_buf: Vec::new(),
         }
+    }
+
+    /// The engine selection this coder was built with (possibly `Auto`).
+    pub fn engine(&self) -> Tier1Engine {
+        self.engine
     }
 
     /// Cleared coefficient staging buffer, for callers that assemble the
@@ -323,10 +403,40 @@ impl BlockCoder {
         band: BandCtx,
         opts: Tier1Options,
     ) -> EncodedBlock {
+        let mut out = EncodedBlock::default();
+        self.encode_scratch_into(w, h, band, opts, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`BlockCoder::encode_scratch`]: refills
+    /// `out` (any previous contents are discarded, capacity kept).
+    pub fn encode_scratch_into(
+        &mut self,
+        w: usize,
+        h: usize,
+        band: BandCtx,
+        opts: Tier1Options,
+        out: &mut EncodedBlock,
+    ) {
         let coeffs = std::mem::take(&mut self.coeffs);
-        let blk = self.encode_with(&coeffs, w, h, band, opts);
+        self.encode_inner(&coeffs, w, h, band, opts, None, out);
         self.coeffs = coeffs;
-        blk
+    }
+
+    /// As [`BlockCoder::encode_scratch_into`], additionally accumulating a
+    /// per-pass time/decision breakdown into `profile`.
+    pub fn encode_scratch_profiled_into(
+        &mut self,
+        w: usize,
+        h: usize,
+        band: BandCtx,
+        opts: Tier1Options,
+        profile: &mut Tier1Profile,
+        out: &mut EncodedBlock,
+    ) {
+        let coeffs = std::mem::take(&mut self.coeffs);
+        self.encode_inner(&coeffs, w, h, band, opts, Some(profile), out);
+        self.coeffs = coeffs;
     }
 
     /// Encode one code-block of signed quantized coefficients (row-major,
@@ -344,11 +454,44 @@ impl BlockCoder {
         band: BandCtx,
         opts: Tier1Options,
     ) -> EncodedBlock {
+        let mut out = EncodedBlock::default();
+        self.encode_inner(coeffs, w, h, band, opts, None, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`BlockCoder::encode_with`]: refills
+    /// `out` (any previous contents are discarded, capacity kept).
+    ///
+    /// # Panics
+    /// As [`BlockCoder::encode_with`].
+    pub fn encode_into(
+        &mut self,
+        coeffs: &[i32],
+        w: usize,
+        h: usize,
+        band: BandCtx,
+        opts: Tier1Options,
+        out: &mut EncodedBlock,
+    ) {
+        self.encode_inner(coeffs, w, h, band, opts, None, out);
+    }
+
+    /// Shared setup (magnitudes, plane count, distortion baseline) and
+    /// engine dispatch.
+    fn encode_inner(
+        &mut self,
+        coeffs: &[i32],
+        w: usize,
+        h: usize,
+        band: BandCtx,
+        opts: Tier1Options,
+        profile: Option<&mut Tier1Profile>,
+        out: &mut EncodedBlock,
+    ) {
         assert!(w > 0 && h > 0, "empty code-block");
         assert_eq!(coeffs.len(), w * h, "coefficient count mismatch");
         self.mag.clear();
         self.mag.resize(w * h, 0);
-        self.grid.reset(w, h);
         let mut max_mag = 0u32;
         let mut initial_distortion = 0.0f64;
         for (k, &c) in coeffs.iter().enumerate() {
@@ -356,28 +499,59 @@ impl BlockCoder {
             self.mag[k] = m;
             max_mag = max_mag.max(m);
             initial_distortion += f64::from(m) * f64::from(m);
+        }
+        let msb_planes = (32 - max_mag.leading_zeros()) as u8;
+        assert!(msb_planes <= MAX_PLANES, "coefficient magnitude too large");
+        out.width = w;
+        out.height = h;
+        out.msb_planes = msb_planes;
+        out.initial_distortion = initial_distortion;
+        out.passes.clear();
+        out.data.clear();
+        if msb_planes == 0 {
+            return;
+        }
+        match self.engine.resolve() {
+            Tier1Engine::Bitplane => crate::bitplane::encode_block_into(
+                &mut self.bp,
+                &self.mag,
+                coeffs,
+                w,
+                h,
+                band,
+                opts,
+                msb_planes,
+                &mut self.seg_buf,
+                profile,
+                out,
+            ),
+            _ => self.encode_reference_into(coeffs, w, h, band, opts, msb_planes, profile, out),
+        }
+    }
+
+    /// The reference per-coefficient flag-grid engine.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_reference_into(
+        &mut self,
+        coeffs: &[i32],
+        w: usize,
+        h: usize,
+        band: BandCtx,
+        opts: Tier1Options,
+        msb_planes: u8,
+        mut profile: Option<&mut Tier1Profile>,
+        out: &mut EncodedBlock,
+    ) {
+        self.grid.reset(w, h);
+        for (k, &c) in coeffs.iter().enumerate() {
             if c < 0 {
                 let (x, y) = (k % w, k / w);
                 self.grid.set(self.grid.idx(x, y), NEG);
             }
         }
-        let msb_planes = (32 - max_mag.leading_zeros()) as u8;
-        assert!(msb_planes <= MAX_PLANES, "coefficient magnitude too large");
-        if msb_planes == 0 {
-            return EncodedBlock {
-                width: w,
-                height: h,
-                msb_planes: 0,
-                passes: Vec::new(),
-                data: Vec::new(),
-                initial_distortion,
-            };
-        }
 
-        self.passes.clear();
-        self.data.clear();
-        let passes = &mut self.passes;
-        let data = &mut self.data;
+        let passes = &mut out.passes;
+        let data = &mut out.data;
         let mut enc = BlockEncoder {
             mag: &self.mag,
             grid: &mut self.grid,
@@ -421,12 +595,30 @@ impl BlockCoder {
             if !first_plane {
                 // SPP of this plane: raw when bypassed (the previous emit
                 // set the sink accordingly).
+                let t = profile.as_ref().map(|_| std::time::Instant::now());
+                let d0 = enc.sink.decisions();
                 let dd = sig_prop_pass(&mut enc, plane);
+                if let (Some(p), Some(t)) = (profile.as_deref_mut(), t) {
+                    p.sig_prop_secs += t.elapsed().as_secs_f64();
+                    p.sig_prop_decisions += enc.sink.decisions() - d0;
+                }
                 emit(&mut enc, PassKind::SigProp, plane, dd, bypassed);
+                let t = profile.as_ref().map(|_| std::time::Instant::now());
+                let d0 = enc.sink.decisions();
                 let dd = mag_ref_pass(&mut enc, plane);
+                if let (Some(p), Some(t)) = (profile.as_deref_mut(), t) {
+                    p.mag_ref_secs += t.elapsed().as_secs_f64();
+                    p.mag_ref_decisions += enc.sink.decisions() - d0;
+                }
                 emit(&mut enc, PassKind::MagRef, plane, dd, false);
             }
+            let t = profile.as_ref().map(|_| std::time::Instant::now());
+            let d0 = enc.sink.decisions();
             let dd = cleanup_pass(&mut enc, plane);
+            if let (Some(p), Some(t)) = (profile.as_deref_mut(), t) {
+                p.cleanup_secs += t.elapsed().as_secs_f64();
+                p.cleanup_decisions += enc.sink.decisions() - d0;
+            }
             // Next pass is the SPP of the plane below: raw iff that plane
             // is bypassed.
             let next_raw = opts.bypass && plane > 0 && in_bypass_region(plane - 1, msb_planes);
@@ -437,15 +629,6 @@ impl BlockCoder {
         // byte buffer for the next block.
         let sink = enc.sink;
         self.seg_buf = sink.flush();
-
-        EncodedBlock {
-            width: w,
-            height: h,
-            msb_planes,
-            passes: self.passes.clone(),
-            data: self.data.clone(),
-            initial_distortion,
-        }
     }
 }
 

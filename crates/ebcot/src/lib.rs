@@ -15,15 +15,18 @@
 //! truncation point. Each pass also records its exact distortion reduction,
 //! giving Tier-2's PCRD optimizer true rate/distortion points.
 
+pub mod bitplane;
 pub mod context;
 pub mod decoder;
 pub mod encoder;
 pub(crate) mod state;
 
+pub use bitplane::Tier1Engine;
 pub use context::BandCtx;
 pub use decoder::{decode_block, decode_block_with, DecodeError};
 pub use encoder::{
     encode_block, encode_block_with, BlockCoder, EncodedBlock, PassInfo, PassKind, Tier1Options,
+    Tier1Profile,
 };
 
 /// Code-block scan geometry: stripes of 4 rows, columns left-to-right,

@@ -1,0 +1,197 @@
+//! Engine-equivalence suite: the bitplane Tier-1 engine must reproduce the
+//! reference engine's output byte for byte — same segments, same pass
+//! table, same (order-sensitive, hence exactly equal) distortion sums —
+//! across every coding-style combination, band class, and block geometry.
+//!
+//! NOTE: the `proptest! {` block must stay the tail of this file (the
+//! offline test harness strips it textually).
+
+use pj2k_ebcot::{BandCtx, BlockCoder, EncodedBlock, Tier1Engine, Tier1Options};
+
+const BANDS: [BandCtx; 3] = [BandCtx::LlLh, BandCtx::Hl, BandCtx::Hh];
+
+fn all_styles() -> Vec<Tier1Options> {
+    let mut v = Vec::new();
+    for sc in [false, true] {
+        for rc in [false, true] {
+            for by in [false, true] {
+                v.push(Tier1Options {
+                    stripe_causal: sc,
+                    reset_contexts: rc,
+                    bypass: by,
+                });
+            }
+        }
+    }
+    v
+}
+
+/// Deterministic pseudo-random coefficients: LCG magnitudes with a density
+/// knob (`keep_mod`: 1 = dense, larger = sparser) and a magnitude cap.
+fn synth_block(seed: u64, n: usize, keep_mod: u64, max_mag: i32) -> Vec<i32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..n)
+        .map(|_| {
+            if keep_mod > 1 && next() % keep_mod != 0 {
+                return 0;
+            }
+            let m = (next() % (max_mag.unsigned_abs() as u64 + 1)) as i32;
+            if next() % 2 == 0 {
+                m
+            } else {
+                -m
+            }
+        })
+        .collect()
+}
+
+fn assert_identical(a: &EncodedBlock, b: &EncodedBlock, what: &str) {
+    assert_eq!(a.msb_planes, b.msb_planes, "{what}: msb_planes");
+    assert_eq!(a.data, b.data, "{what}: segment bytes");
+    assert_eq!(a.passes.len(), b.passes.len(), "{what}: pass count");
+    for (i, (pa, pb)) in a.passes.iter().zip(&b.passes).enumerate() {
+        assert_eq!(pa.kind, pb.kind, "{what}: pass {i} kind");
+        assert_eq!(pa.plane, pb.plane, "{what}: pass {i} plane");
+        assert_eq!(pa.len, pb.len, "{what}: pass {i} len");
+        // Both engines accumulate the per-pass distortion in the same
+        // coefficient order, so the f64 sums are bit-equal, not merely close.
+        assert!(
+            pa.delta_distortion == pb.delta_distortion,
+            "{what}: pass {i} distortion {} vs {}",
+            pa.delta_distortion,
+            pb.delta_distortion
+        );
+    }
+    assert!(
+        a.initial_distortion == b.initial_distortion,
+        "{what}: initial distortion"
+    );
+}
+
+fn check_block(coeffs: &[i32], w: usize, h: usize, what: &str) {
+    let mut reference = BlockCoder::with_engine(Tier1Engine::Reference);
+    let mut bitplane = BlockCoder::with_engine(Tier1Engine::Bitplane);
+    for band in BANDS {
+        for opts in all_styles() {
+            let a = reference.encode_with(coeffs, w, h, band, opts);
+            let b = bitplane.encode_with(coeffs, w, h, band, opts);
+            assert_identical(&a, &b, &format!("{what} {band:?} {opts:?}"));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_geometry_matrix() {
+    // Word-boundary widths (63/64/65 exercise the cross-word stencil and
+    // wpr = 2), partial bottom stripes, single row/column blocks.
+    let geometries: [(usize, usize); 10] = [
+        (1, 1),
+        (1, 7),
+        (5, 1),
+        (4, 4),
+        (8, 5),
+        (16, 16),
+        (63, 9),
+        (64, 12),
+        (65, 10),
+        (128, 6),
+    ];
+    for (i, &(w, h)) in geometries.iter().enumerate() {
+        let coeffs = synth_block(0xA11CE + i as u64, w * h, 3, 200);
+        check_block(&coeffs, w, h, &format!("geom {w}x{h}"));
+    }
+}
+
+#[test]
+fn engines_agree_on_density_sweep() {
+    // Dense through very sparse: sparse blocks drive the run-batched
+    // cleanup and the column-mask skipping hardest.
+    for (i, keep) in [1u64, 2, 5, 17, 97].into_iter().enumerate() {
+        let coeffs = synth_block(0xD05E + i as u64, 64 * 24, keep, 900);
+        check_block(&coeffs, 64, 24, &format!("density 1/{keep}"));
+    }
+}
+
+#[test]
+fn engines_agree_on_deep_planes_and_bypass() {
+    // Large magnitudes force many bit-planes, putting most passes in the
+    // selective-bypass region when bypass is on (raw SPP/MR segments).
+    let coeffs = synth_block(0xBEEF, 32 * 20, 4, 1 << 20);
+    check_block(&coeffs, 32, 20, "deep planes");
+}
+
+#[test]
+fn engines_agree_on_degenerate_blocks() {
+    check_block(&vec![0; 8 * 8], 8, 8, "all zero");
+    check_block(&[1], 1, 1, "single +1");
+    check_block(&[-1], 1, 1, "single -1");
+    // Constant stripes: every column is run-length eligible at every plane.
+    check_block(&vec![4; 64 * 8], 64, 8, "constant 4");
+    check_block(&vec![-3; 17 * 6], 17, 6, "constant -3");
+    // Single hot coefficient in each corner of a two-word-wide block.
+    for &k in &[0usize, 65, 70 * 8 - 1] {
+        let mut coeffs = vec![0i32; 70 * 8];
+        coeffs[k] = -777;
+        check_block(&coeffs, 70, 8, &format!("hot corner {k}"));
+    }
+}
+
+#[test]
+fn bitplane_encode_into_recycles_without_divergence() {
+    // Refilling a dirty EncodedBlock must match a fresh encode exactly.
+    let mut coder = BlockCoder::with_engine(Tier1Engine::Bitplane);
+    let mut out = EncodedBlock::default();
+    for seed in 0..6u64 {
+        let (w, h) = (48, 13);
+        let coeffs = synth_block(seed, w * h, 2 + seed % 4, 300);
+        let opts = Tier1Options {
+            bypass: seed % 2 == 0,
+            stripe_causal: seed % 3 == 0,
+            reset_contexts: false,
+        };
+        let fresh = coder.encode_with(&coeffs, w, h, BandCtx::Hl, opts);
+        coder.encode_into(&coeffs, w, h, BandCtx::Hl, opts, &mut out);
+        assert_identical(&fresh, &out, &format!("recycled seed {seed}"));
+    }
+}
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random blocks, random geometry, every coding style, both engines:
+    /// byte-identical codestreams and pass tables.
+    #[test]
+    fn tier1_engines_bit_identical(
+        seed in any::<u64>(),
+        w in 1usize..96,
+        h in 1usize..24,
+        keep in 1u64..24,
+        max_mag in 1i32..5000,
+        band_i in 0usize..3,
+        style_i in 0usize..8,
+    ) {
+        let coeffs = synth_block(seed, w * h, keep, max_mag);
+        let band = BANDS[band_i];
+        let opts = all_styles()[style_i];
+        let a = BlockCoder::with_engine(Tier1Engine::Reference)
+            .encode_with(&coeffs, w, h, band, opts);
+        let b = BlockCoder::with_engine(Tier1Engine::Bitplane)
+            .encode_with(&coeffs, w, h, band, opts);
+        prop_assert_eq!(&a.data, &b.data, "segments differ");
+        prop_assert_eq!(a.passes.len(), b.passes.len());
+        for (pa, pb) in a.passes.iter().zip(&b.passes) {
+            prop_assert_eq!(pa.kind, pb.kind);
+            prop_assert_eq!(pa.plane, pb.plane);
+            prop_assert_eq!(pa.len, pb.len);
+            prop_assert!(pa.delta_distortion == pb.delta_distortion);
+        }
+    }
+}

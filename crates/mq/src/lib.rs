@@ -79,6 +79,9 @@ pub struct MqEncoder {
     /// `bp` indexes the current byte `B`.
     buf: Vec<u8>,
     bp: usize,
+    /// Decisions coded into this segment (profiling; see
+    /// [`MqEncoder::decisions`]).
+    decisions: u64,
 }
 
 impl Default for MqEncoder {
@@ -107,63 +110,87 @@ impl MqEncoder {
             ct: 12, // sentinel byte is 0x00, not 0xFF
             buf,
             bp: 0,
+            decisions: 0,
         }
     }
 
     /// Encode binary `decision` (0 or 1) in context `ctx`.
+    ///
+    /// The branch structure puts the overwhelmingly common case — an MPS
+    /// coding whose interval stays normalized, a two-register update with
+    /// no table transition — first, with a unified select-friendly
+    /// conditional-exchange tail covering both the MPS-renormalize and LPS
+    /// cases.
     // AUDIT(fn): encoder side — consumes decisions this process generated,
-    // never untrusted bytes.
-    #[allow(clippy::arithmetic_side_effects)]
-    #[inline]
-    pub fn encode(&mut self, ctx: &mut CtxState, decision: u8) {
-        debug_assert!(decision <= 1);
-        if decision == ctx.mps {
-            self.code_mps(ctx);
-        } else {
-            self.code_lps(ctx);
-        }
-    }
-
-    // AUDIT(fn): encoder side; `ctx.index` is always a valid table row
+    // never untrusted bytes; `ctx.index` is always a valid table row
     // (CtxState::new asserts it, and every transition assigns an
     // nmps/nlps value from the table, all < 47).
     #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     #[inline]
-    fn code_mps(&mut self, ctx: &mut CtxState) {
-        let row = &QE_TABLE[ctx.index as usize];
+    pub fn encode(&mut self, ctx: &mut CtxState, decision: u8) {
+        debug_assert!(decision <= 1);
+        self.decisions += 1;
+        let row = QE_TABLE[ctx.index as usize];
         let qe = u32::from(row.qe);
-        self.a -= qe;
-        if self.a & 0x8000 == 0 {
-            // Conditional exchange: the MPS interval became the smaller one.
-            if self.a < qe {
-                self.a = qe;
-            } else {
-                self.c += qe;
-            }
-            ctx.index = row.nmps;
-            self.renorm();
-        } else {
+        let a = self.a - qe;
+        if decision == ctx.mps && a & 0x8000 != 0 {
+            // Fast path: MPS, interval stays normalized.
+            self.a = a;
             self.c += qe;
+            return;
+        }
+        // Unified conditional-exchange tail, written select-friendly so the
+        // compiler can avoid a data-dependent branch (near-random decision
+        // streams — refinement bits — mispredict a branchy tail half the
+        // time): an MPS keeps the subtracted interval unless it became the
+        // smaller one, an LPS takes exactly the opposite choice, so one
+        // flag flip covers both Annex C exchange cases.
+        let is_lps = decision != ctx.mps;
+        let ex = (a < qe) != is_lps;
+        self.a = if ex { qe } else { a };
+        self.c += if ex { 0 } else { qe };
+        ctx.index = if is_lps { row.nlps } else { row.nmps };
+        ctx.mps ^= u8::from(is_lps && row.switch);
+        self.renorm();
+    }
+
+    /// Encode `n` identical `decision`s in context `ctx`. Bit-identical to
+    /// `n` [`MqEncoder::encode`] calls, but every renormalization-free MPS
+    /// span is applied as one pair of register updates: `k` consecutive
+    /// MPS codings that do not renormalize are exactly
+    /// `a -= k*qe; c += k*qe` with no table transition, so a run costs
+    /// O(renormalizations) instead of O(n). Tier-1's cleanup pass uses
+    /// this for the run-length context over stretches of all-quiet stripe
+    /// columns.
+    // AUDIT(fn): encoder side; table-row invariant as in `encode`. The
+    // batched subtraction keeps `a >= 0x8000` by construction of `k`, and
+    // `k * qe <= a - 0x8000 < 0x8000` cannot overflow.
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+    pub fn encode_run(&mut self, ctx: &mut CtxState, decision: u8, mut n: usize) {
+        debug_assert!(decision <= 1);
+        while n > 0 {
+            if decision == ctx.mps {
+                let qe = u32::from(QE_TABLE[ctx.index as usize].qe);
+                // Largest k with a - k*qe still normalized (bit 15 set).
+                let k = (((self.a - 0x8000) / qe) as usize).min(n);
+                if k > 0 {
+                    let kqe = (k as u32) * qe;
+                    self.a -= kqe;
+                    self.c += kqe;
+                    self.decisions += k as u64;
+                    n -= k;
+                    continue;
+                }
+            }
+            // LPS, or an MPS that renormalizes: one slow decision.
+            self.encode(ctx, decision);
+            n -= 1;
         }
     }
 
-    // AUDIT(fn): encoder side; table-row invariant as in `code_mps`.
-    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
-    #[inline]
-    fn code_lps(&mut self, ctx: &mut CtxState) {
-        let row = &QE_TABLE[ctx.index as usize];
-        let qe = u32::from(row.qe);
-        self.a -= qe;
-        if self.a < qe {
-            self.c += qe;
-        } else {
-            self.a = qe;
-        }
-        if row.switch {
-            ctx.mps ^= 1;
-        }
-        ctx.index = row.nlps;
-        self.renorm();
+    /// Number of decisions coded into this segment so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
     }
 
     // AUDIT(fn): encoder side; Annex C register discipline (A < 0x8000 on
@@ -171,6 +198,18 @@ impl MqEncoder {
     #[allow(clippy::arithmetic_side_effects)]
     #[inline]
     fn renorm(&mut self) {
+        // Common case: the whole shortfall fits before the next byte
+        // boundary — one batched shift, no byte_out, no loop-carried
+        // branch. Falls back to the bit-at-a-time Annex C loop exactly
+        // when a byte_out would fire mid-shift, so output timing (and the
+        // bytes) are unchanged.
+        let n = (self.a.leading_zeros() as i32) - 16;
+        if n < self.ct {
+            self.a <<= n;
+            self.c <<= n;
+            self.ct -= n;
+            return;
+        }
         loop {
             self.a <<= 1;
             self.c <<= 1;
@@ -472,6 +511,66 @@ mod tests {
                 .collect();
             roundtrip(&decisions, 5);
         }
+    }
+
+    #[test]
+    fn encode_run_is_bit_identical_to_repeated_encode() {
+        // encode_run must be a pure speedup: same bytes, same ctx state,
+        // same decision count — across run lengths, both polarities, and
+        // contexts in every adaptation state a warmup can reach.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            // Random warmup, then a run, then a random tail.
+            let warmup: Vec<u8> = (0..(next() % 64)).map(|_| (next() % 2) as u8).collect();
+            let run_bit = (next() % 2) as u8;
+            let run_len = (next() % 300) as usize;
+            let tail: Vec<u8> = (0..(next() % 32)).map(|_| (next() % 2) as u8).collect();
+
+            let mut ctx_a = CtxState::default();
+            let mut enc_a = MqEncoder::new();
+            let mut ctx_b = CtxState::default();
+            let mut enc_b = MqEncoder::new();
+            for &d in &warmup {
+                enc_a.encode(&mut ctx_a, d);
+                enc_b.encode(&mut ctx_b, d);
+            }
+            for _ in 0..run_len {
+                enc_a.encode(&mut ctx_a, run_bit);
+            }
+            enc_b.encode_run(&mut ctx_b, run_bit, run_len);
+            for &d in &tail {
+                enc_a.encode(&mut ctx_a, d);
+                enc_b.encode(&mut ctx_b, d);
+            }
+            assert_eq!(ctx_a, ctx_b, "trial {trial}: ctx state diverged");
+            assert_eq!(
+                enc_a.decisions(),
+                enc_b.decisions(),
+                "trial {trial}: decision count diverged"
+            );
+            assert_eq!(
+                enc_a.flush(),
+                enc_b.flush(),
+                "trial {trial}: bytes diverged (run_bit={run_bit} run_len={run_len})"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_run_zero_length_is_noop() {
+        let mut ctx = CtxState::default();
+        let mut enc = MqEncoder::new();
+        enc.encode_run(&mut ctx, 0, 0);
+        enc.encode_run(&mut ctx, 1, 0);
+        assert_eq!(enc.decisions(), 0);
+        let baseline = MqEncoder::new().flush();
+        assert_eq!(enc.flush(), baseline);
     }
 
     #[test]

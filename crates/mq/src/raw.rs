@@ -13,6 +13,8 @@ pub struct RawEncoder {
     acc: u8,
     filled: u8,
     nbits: u8,
+    /// Bits written into this segment (profiling; no effect on output).
+    decisions: u64,
 }
 
 impl RawEncoder {
@@ -30,7 +32,13 @@ impl RawEncoder {
             acc: 0,
             filled: 0,
             nbits: 8,
+            decisions: 0,
         }
+    }
+
+    /// Bits written into this segment so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
     }
 
     /// Append one raw bit.
@@ -38,6 +46,7 @@ impl RawEncoder {
     #[allow(clippy::arithmetic_side_effects)]
     pub fn put(&mut self, bit: u8) {
         debug_assert!(bit <= 1);
+        self.decisions += 1;
         self.acc = (self.acc << 1) | (bit & 1);
         self.filled += 1;
         if self.filled == self.nbits {
@@ -47,6 +56,33 @@ impl RawEncoder {
             self.nbits = if byte == 0xFF { 7 } else { 8 };
             self.acc = 0;
             self.filled = 0;
+        }
+    }
+
+    /// Append the low `n` bits of `bits`, most-significant first.
+    /// Bit-identical to `n` [`RawEncoder::put`] calls; when the bits fit in
+    /// the current partial byte they land with one shift/or instead of a
+    /// per-bit loop. Tier-1's bypass passes use this to emit a stripe
+    /// column's significance or refinement bits in one call.
+    // AUDIT(fn): encoder side — emits bits this process generated; `n <= 8`
+    // is asserted and `filled + n <= nbits <= 8` guards the fast path.
+    #[allow(clippy::arithmetic_side_effects)]
+    pub fn put_bits(&mut self, bits: u8, n: u8) {
+        debug_assert!(n <= 8);
+        if n == 0 {
+            return;
+        }
+        if self.filled + n < self.nbits {
+            // Fast path: no byte completes, so no stuffing decision is due.
+            self.decisions += u64::from(n);
+            self.acc = (self.acc << n) | (bits & ((1 << n) - 1));
+            self.filled += n;
+            return;
+        }
+        let mut i = n;
+        while i > 0 {
+            i -= 1;
+            self.put((bits >> i) & 1);
         }
     }
 
@@ -174,6 +210,37 @@ mod tests {
     #[test]
     fn empty_segment() {
         assert!(RawEncoder::new().flush().is_empty());
+    }
+
+    #[test]
+    fn put_bits_matches_per_bit_puts() {
+        // Drive both writers with the same stream chopped into random-width
+        // groups; byte output must match exactly, including across stuffing
+        // boundaries (long 1-runs force plenty of 0xFF bytes).
+        for seed in [3u64, 19, 0xDEAD_BEEF, u64::MAX] {
+            let mut state = seed;
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state >> 33
+            };
+            let mut a = RawEncoder::new();
+            let mut b = RawEncoder::new();
+            for _ in 0..400 {
+                let n = (next() % 9) as u8; // 0..=8
+                let bits = if next() % 3 == 0 {
+                    0xFF // bias toward 1-runs to exercise stuffing
+                } else {
+                    (next() & 0xFF) as u8
+                };
+                b.put_bits(bits, n);
+                let mut i = n;
+                while i > 0 {
+                    i -= 1;
+                    a.put((bits >> i) & 1);
+                }
+            }
+            assert_eq!(a.flush(), b.flush(), "seed {seed}");
+        }
     }
 
     #[test]

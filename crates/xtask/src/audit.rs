@@ -33,11 +33,14 @@ use crate::scan::{classify, Line};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The decoder-reachable scope: everything untrusted bytes flow through.
-/// Directories mean "every `.rs` file directly inside".
+/// The audited scope: everything untrusted bytes flow through
+/// (decoder-reachable code), plus encoder hot loops dense enough in
+/// index/shift arithmetic that they carry the same wall (the Tier-1
+/// bitplane engine). Directories mean "every `.rs` file directly inside".
 const SCOPED_DIRS: &[&str] = &["crates/tier2/src", "crates/mq/src"];
 const SCOPED_FILES: &[&str] = &[
     "crates/ebcot/src/decoder.rs",
+    "crates/ebcot/src/bitplane.rs",
     "crates/core/src/decode.rs",
     "crates/image/src/pnm.rs",
 ];

@@ -20,18 +20,38 @@ struct BenchSpec {
     out: &'static str,
     schema: &'static str,
     keys: &'static [&'static str],
+    /// Numeric regression floors: the first number following each key in
+    /// the document must be strictly greater than the given value.
+    floors: &'static [(&'static str, f64)],
 }
 
 const BENCHES: &[BenchSpec] = &[
     BenchSpec {
         bin: "bench_tier1",
         out: "target/BENCH_tier1_smoke.json",
-        schema: "pj2k.bench_tier1.v1",
+        schema: "pj2k.bench_tier1.v2",
         keys: &[
             "\"microbench\"",
             "\"encoder\"",
             "\"dynamic_over_staggered\"",
+            "\"engines\"",
+            "\"bitplane_speedup\"",
+            "\"per_pass\"",
+            "\"sig_prop\"",
+            "\"mag_ref\"",
+            "\"cleanup\"",
+            "\"decisions\"",
+            "\"components\"",
+            "\"entropy_secs_est\"",
+            "\"context_formation_secs_est\"",
         ],
+        // The default bitplane engine must beat the reference engine in
+        // the same run; the binary exits non-zero on <= 1.0, and this
+        // floor re-checks the emitted document with headroom for a real
+        // regression: full runs land ≈2.0-2.2x, smoke runs similar, so
+        // dipping under 1.2 means the engine lost most of its advantage,
+        // not that the runner was noisy.
+        floors: &[("\"bitplane_speedup\"", 1.2)],
     },
     BenchSpec {
         bin: "bench_dwt",
@@ -52,6 +72,7 @@ const BENCHES: &[BenchSpec] = &[
             "\"pipelined_secs\"",
             "\"modeled_pipelined_speedup\"",
         ],
+        floors: &[],
     },
 ];
 
@@ -120,7 +141,26 @@ fn check_doc(doc: &str, spec: &BenchSpec) -> Result<(), String> {
     {
         return Err("unbalanced JSON delimiters".to_string());
     }
+    for (key, floor) in spec.floors {
+        match extract_number(doc, key) {
+            Some(v) if v > *floor => {}
+            Some(v) => return Err(format!("{key} = {v} is not above the floor {floor}")),
+            None => return Err(format!("no numeric value found for {key}")),
+        }
+    }
     Ok(())
+}
+
+/// First number following `"key":` in the document (dependency-free JSON
+/// peeking, good enough for the flat documents the harnesses emit).
+fn extract_number(doc: &str, key: &str) -> Option<f64> {
+    let at = doc.find(key)?;
+    let rest = doc.get(at + key.len()..)?;
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest.get(..end)?.parse().ok()
 }
 
 #[cfg(test)]
@@ -136,6 +176,27 @@ mod tests {
         }
         doc.push('}');
         assert!(check_doc(&doc, spec).is_ok());
+    }
+
+    #[test]
+    fn floors_enforce_numeric_minimums() {
+        let spec = &BENCHES[0];
+        assert_eq!(spec.floors, &[("\"bitplane_speedup\"", 1.2)]);
+        let mut doc = String::from("{\"schema\": \"pj2k.bench_tier1.v2\"");
+        for key in spec.keys {
+            doc.push_str(&format!(", {key}: 1"));
+        }
+        // keys list already contains bitplane_speedup: 1 — under the
+        // floor, which must be rejected (strictly-greater comparison).
+        let at_floor = format!("{doc}}}");
+        assert!(check_doc(&at_floor, spec).is_err());
+        let above = format!(
+            "{}}}",
+            doc.replace("\"bitplane_speedup\": 1", "\"bitplane_speedup\": 2.75")
+        );
+        assert!(check_doc(&above, spec).is_ok());
+        assert_eq!(extract_number("{\"x\": -3.5e2,", "\"x\""), Some(-350.0));
+        assert_eq!(extract_number("{\"x\": []}", "\"x\""), None);
     }
 
     #[test]
