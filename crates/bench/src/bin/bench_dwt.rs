@@ -1,7 +1,8 @@
 //! DWT kernel & stage-pipelining trajectory harness.
 //!
-//! Emits `BENCH_dwt.json` with two measurements that track this workspace's
-//! wavelet-transform performance over time:
+//! Emits `BENCH_dwt.json` (schema `pj2k.bench_dwt.v2`) with three
+//! measurements that track this workspace's wavelet-transform performance
+//! over time:
 //!
 //! 1. **Kernel sweep**: seconds and Mpixel/s for the 5-level forward
 //!    transform under every lifting/vertical combination — per-step vs
@@ -14,6 +15,11 @@
 //!    Tier-1 costs — so the overlap benefit is visible even when the host
 //!    has fewer cores than `p`. Heap-allocation counts per mode come from
 //!    a counting global allocator.
+//! 3. **Steady-state allocation oracle**: transforms of two plane heights
+//!    must show identical allocation-call counts — scratch is sized per
+//!    worker range per level, never per strip — the runtime proof behind
+//!    the `AUDIT(hot)` justifications `cargo xtask audit-hotpath` accepts
+//!    in the DWT closure.
 //!
 //! ```sh
 //! cargo run --release -p pj2k-bench --bin bench_dwt -- [--smoke] [--out PATH]
@@ -22,6 +28,7 @@
 //! `--smoke` shrinks the workload for CI: it validates the harness and the
 //! JSON schema, not the performance numbers.
 
+use pj2k_bench::alloc_count::{self, CountingAlloc};
 use pj2k_bench::{filtering_profile, project_filtering, test_image, time};
 use pj2k_core::{
     Encoder, EncoderConfig, FilterStrategy, LiftingMode, ParallelMode, RateControl, Schedule,
@@ -34,46 +41,12 @@ use pj2k_dwt::{
 use pj2k_image::Plane;
 use pj2k_parutil::Exec;
 use pj2k_smpsim::BusParams;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Heap-allocation counter wrapped around the system allocator, so the
-/// overlap comparison can report the full-plane quantization targets the
-/// pipelined path avoids allocating.
-struct CountingAlloc;
-
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-
-// SAFETY: defers every operation to `System` unchanged; the counter is a
-// relaxed atomic increment with no allocation of its own.
-unsafe impl GlobalAlloc for CountingAlloc {
-    // SAFETY: forwards to `System` with the caller's layout unchanged.
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        // SAFETY: same layout contract as our caller's.
-        unsafe { System.alloc(layout) }
-    }
-
-    // SAFETY: forwards to `System`; every pointer we hand out came from it.
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        // SAFETY: `ptr` was produced by `System` in `alloc`/`realloc`.
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    // SAFETY: forwards to `System`; every pointer we hand out came from it.
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        // SAFETY: `ptr` was produced by `System`; layout/new_size contract
-        // is our caller's.
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
 
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn allocs() -> u64 {
-    ALLOC_CALLS.load(Ordering::Relaxed)
+    alloc_count::global_allocs()
 }
 
 const TRIALS: usize = 3;
@@ -164,6 +137,26 @@ fn bench_53(
         }
     }
     best
+}
+
+/// Thread-exact allocation count of one sequential fused-strip forward
+/// 9/7 transform of a freshly filled `w x h` plane (plane construction
+/// and fill excluded from the count).
+fn strip_transform_allocs(w: usize, h: usize, levels: u8) -> u64 {
+    let mut p = Plane::<f32>::new(w, h);
+    fill_f32(&mut p);
+    let a0 = alloc_count::thread_allocs();
+    forward_97_with(
+        &mut p,
+        levels,
+        STRIP,
+        LiftingMode::Fused,
+        SimdMode::Auto,
+        &Exec::SEQ,
+    );
+    let spent = alloc_count::thread_allocs() - a0;
+    std::hint::black_box(&p);
+    spent
 }
 
 /// The SIMD tiers this host can ablate, plus auto dispatch.
@@ -372,6 +365,8 @@ const REQUIRED_KEYS: &[&str] = &[
     "\"modeled_pipelined_secs\"",
     "\"modeled_pipelined_speedup\"",
     "\"allocs\"",
+    "\"steady_state\"",
+    "\"allocs_marginal_per_strip\"",
 ];
 
 fn validate(doc: &str) -> Result<(), String> {
@@ -572,6 +567,37 @@ fn main() {
     // --- per-tier bit-identity on the bench workload ----------------------
     let simd_bit_identity = check_bit_identity(side.min(512), levels);
 
+    // --- steady-state allocation oracle ----------------------------------
+    // DWT scratch is sized per worker range per level, never per strip:
+    // doubling the plane height (and hence the strip count) must not
+    // change the allocation-call count of a sequential transform. This is
+    // the runtime check behind the `AUDIT(hot): amortized` annotations
+    // audit-hotpath accepts in the DWT closure.
+    let (h_short, h_tall, o_levels) = (256usize, 512usize, 3u8);
+    let a_short = strip_transform_allocs(256, h_short, o_levels);
+    let a_tall = strip_transform_allocs(256, h_tall, o_levels);
+    // Strips the taller plane adds, summed over levels (strip height 16).
+    let mut extra_strips = 0usize;
+    let (mut hs, mut ht) = (h_short, h_tall);
+    for _ in 0..o_levels {
+        extra_strips += (ht - hs) / 16;
+        hs = hs.div_ceil(2);
+        ht = ht.div_ceil(2);
+    }
+    let marginal = (a_tall as f64 - a_short as f64) / extra_strips.max(1) as f64;
+    println!(
+        "steady-state oracle: strip transform allocs {a_short} (h={h_short}) vs \
+         {a_tall} (h={h_tall}) — {marginal:.4} per extra strip"
+    );
+    if a_tall != a_short {
+        eprintln!(
+            "FAIL: {} extra strips cost {} extra allocation(s); the contract is zero",
+            extra_strips,
+            a_tall as i64 - a_short as i64
+        );
+        std::process::exit(1);
+    }
+
     // --- stage overlap: barriered vs pipelined end-to-end ----------------
     let img = test_image(kpx);
     let (iw, ih) = (img.width(), img.height());
@@ -707,7 +733,7 @@ fn main() {
     // --- hand-rolled JSON -------------------------------------------------
     let mut doc = String::new();
     doc.push_str("{\n");
-    doc.push_str("  \"schema\": \"pj2k.bench_dwt.v1\",\n");
+    doc.push_str("  \"schema\": \"pj2k.bench_dwt.v2\",\n");
     doc.push_str(&format!("  \"smoke\": {smoke},\n"));
     doc.push_str(&format!("  \"image_side\": {side},\n"));
     doc.push_str(&format!("  \"levels\": {levels},\n"));
@@ -775,7 +801,12 @@ fn main() {
     }
     doc.push_str("  ],\n");
     doc.push_str(&format!(
-        "  \"allocs\": {{ \"barriered\": {barriered_allocs}, \"pipelined\": {pipelined_allocs} }}\n"
+        "  \"allocs\": {{ \"barriered\": {barriered_allocs}, \"pipelined\": {pipelined_allocs} }},\n"
+    ));
+    doc.push_str(&format!(
+        "  \"steady_state\": {{ \"allocs_short\": {a_short}, \"allocs_tall\": {a_tall}, \
+         \"extra_strips\": {extra_strips}, \"allocs_marginal_per_strip\": {} }}\n",
+        jf(marginal)
     ));
     doc.push_str("}\n");
 

@@ -1,6 +1,6 @@
 //! Tier-1 throughput trajectory harness.
 //!
-//! Emits `BENCH_tier1.json` (schema `pj2k.bench_tier1.v2`) with five
+//! Emits `BENCH_tier1.json` (schema `pj2k.bench_tier1.v3`) with six
 //! measurements that track this workspace's Tier-1 performance over time:
 //!
 //! 1. **Scratch-arena microbenchmark**: blocks/sec and heap allocations
@@ -22,6 +22,10 @@
 //! 5. **Whole-encoder schedule sweep** at p ∈ {1, 2, 4, 8} workers
 //!    (staggered round-robin vs dynamic self-scheduling) plus modeled
 //!    makespans from the measured per-block times.
+//! 6. **Steady-state allocation oracle**: the exact per-thread allocation
+//!    count of one warm arena pass over every block, which must be zero —
+//!    the runtime proof behind the `AUDIT(hot): amortized` justifications
+//!    `cargo xtask audit-hotpath` accepts in the Tier-1 closure.
 //!
 //! ```sh
 //! cargo run --release -p pj2k-bench --bin bench_tier1 -- [--smoke] [--out PATH]
@@ -31,6 +35,7 @@
 //! JSON schema, the allocation floor, and the engine-ordering floor — not
 //! absolute performance numbers.
 
+use pj2k_bench::alloc_count::{self, CountingAlloc};
 use pj2k_bench::{test_image, time};
 use pj2k_core::{Encoder, EncoderConfig, ParallelMode, RateControl, Schedule};
 use pj2k_ebcot::{
@@ -38,45 +43,12 @@ use pj2k_ebcot::{
 };
 use pj2k_mq::MqEncoder;
 use pj2k_smpsim::makespan;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Heap-allocation counter wrapped around the system allocator, so the
-/// microbenchmark can report real allocations avoided per block.
-struct CountingAlloc;
-
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-
-// SAFETY: defers every operation to `System` unchanged; the counter is a
-// relaxed atomic increment with no allocation of its own.
-unsafe impl GlobalAlloc for CountingAlloc {
-    // SAFETY: forwards to `System` with the caller's layout unchanged.
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        // SAFETY: same layout contract as our caller's.
-        unsafe { System.alloc(layout) }
-    }
-
-    // SAFETY: forwards to `System`; every pointer we hand out came from it.
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        // SAFETY: `ptr` was produced by `System` in `alloc`/`realloc`.
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    // SAFETY: forwards to `System`; every pointer we hand out came from it.
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        // SAFETY: `ptr` was produced by `System`; layout/new_size contract
-        // is our caller's.
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
 
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn allocs() -> u64 {
-    ALLOC_CALLS.load(Ordering::Relaxed)
+    alloc_count::global_allocs()
 }
 
 /// Deterministic synthetic 64x64 code-blocks with subband-like sparsity.
@@ -198,6 +170,31 @@ fn micro_arena(blocks: &[Vec<i32>], reps: usize, engine: Tier1Engine) -> MicroRe
     }
 }
 
+/// Exact steady-state allocation count of one warm arena pass over every
+/// block, from the thread-local counter (immune to other threads): after
+/// the warm-up pass has sized every scratch buffer, recycling the coder
+/// and output block must allocate nothing at all.
+fn steady_state_allocs(blocks: &[Vec<i32>], engine: Tier1Engine) -> u64 {
+    let opts = Tier1Options::default();
+    let mut coder = BlockCoder::with_engine(engine);
+    let mut out = EncodedBlock::default();
+    let mut sink = 0usize;
+    // Warm-up: size every buffer for the largest block in the set.
+    for (i, coeffs) in blocks.iter().enumerate() {
+        coder.coeff_scratch().extend_from_slice(coeffs);
+        coder.encode_scratch_into(64, 64, band_of(i), opts, &mut out);
+        sink += out.data.len();
+    }
+    let a0 = alloc_count::thread_allocs();
+    for (i, coeffs) in blocks.iter().enumerate() {
+        coder.coeff_scratch().extend_from_slice(coeffs);
+        coder.encode_scratch_into(64, 64, band_of(i), opts, &mut out);
+        sink += out.data.len();
+    }
+    std::hint::black_box(sink);
+    alloc_count::thread_allocs() - a0
+}
+
 /// Per-pass time/decision breakdown of one engine over the block set.
 fn profile_engine(blocks: &[Vec<i32>], reps: usize, engine: Tier1Engine) -> Tier1Profile {
     let opts = Tier1Options::default();
@@ -221,7 +218,7 @@ fn mq_cost_per_decision() -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..3 {
         let mut ctx = initial_states();
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
         let (_, t) = time(|| {
             let mut enc = MqEncoder::new();
             for i in 0..N {
@@ -271,6 +268,8 @@ const REQUIRED_KEYS: &[&str] = &[
     "\"allocs_per_block\"",
     "\"scratch_speedup\"",
     "\"allocs_avoided_per_block\"",
+    "\"steady_state\"",
+    "\"steady_allocs_per_block\"",
     "\"engines\"",
     "\"reference\"",
     "\"bitplane\"",
@@ -372,6 +371,26 @@ fn main() {
         std::process::exit(1);
     }
 
+    // --- steady-state allocation oracle ----------------------------------
+    // Exact (thread-local) count, not the whole-process estimate above:
+    // the warm arena must allocate literally zero times per block, for
+    // both engines. This is the runtime check behind the `AUDIT(hot):
+    // amortized` annotations audit-hotpath accepts in the Tier-1 closure.
+    let steady_ref = steady_state_allocs(&blocks, Tier1Engine::Reference);
+    let steady_bp = steady_state_allocs(&blocks, Tier1Engine::Bitplane);
+    let steady_allocs = steady_ref + steady_bp;
+    let steady_per_block = steady_allocs as f64 / (2 * blocks.len()) as f64;
+    println!(
+        "steady-state oracle: {} allocs over {} warm blocks \
+         (reference {steady_ref}, bitplane {steady_bp})",
+        steady_allocs,
+        2 * blocks.len()
+    );
+    if steady_allocs != 0 {
+        eprintln!("FAIL: warm arena allocated {steady_allocs} time(s); the contract is zero");
+        std::process::exit(1);
+    }
+
     // --- engine ablation --------------------------------------------------
     let reference = micro_arena(&blocks, reps, Tier1Engine::Reference);
     let bitplane = micro_arena(&blocks, reps, Tier1Engine::Bitplane);
@@ -456,7 +475,7 @@ fn main() {
     // --- hand-rolled JSON -------------------------------------------------
     let mut doc = String::new();
     doc.push_str("{\n");
-    doc.push_str("  \"schema\": \"pj2k.bench_tier1.v2\",\n");
+    doc.push_str("  \"schema\": \"pj2k.bench_tier1.v3\",\n");
     doc.push_str(&format!("  \"smoke\": {smoke},\n"));
     doc.push_str(&format!("  \"kpixels\": {kpx},\n"));
     doc.push_str("  \"microbench\": {\n");
@@ -477,6 +496,12 @@ fn main() {
         jf(avoided)
     ));
     doc.push_str("  },\n");
+    doc.push_str(&format!(
+        "  \"steady_state\": {{ \"blocks\": {}, \"allocs\": {steady_allocs}, \
+         \"steady_allocs_per_block\": {} }},\n",
+        2 * blocks.len(),
+        jf(steady_per_block)
+    ));
     doc.push_str("  \"engines\": {\n");
     for (name, m) in [("reference", &reference), ("bitplane", &bitplane)] {
         doc.push_str(&format!(

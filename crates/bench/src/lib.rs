@@ -6,6 +6,9 @@
 //! and the measured-costs → SMP-model projection that stands in for the
 //! paper's 4-CPU Intel / 16-CPU SGI machines (DESIGN.md §2).
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
+
 use pj2k_cachesim::{
     horizontal_filter_trace, vertical_naive_trace, vertical_strip_trace, CacheConfig,
     FilterTraceParams,

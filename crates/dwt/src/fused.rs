@@ -37,12 +37,18 @@
 //! through [`DisjointClaim`] raw reads/writes, so the hot lane loops carry
 //! no bounds checks by construction.
 
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+
 use crate::lift::mirror;
 use crate::{ALPHA, BETA, DELTA, GAMMA, KAPPA};
 use pj2k_parutil::DisjointClaim;
 use std::ops::Range;
 
 #[inline]
+// AUDIT(fn): encoder-side fused lifting kernel: indices derive from the claimed
+// region's geometry (debug-checked disjoint claims) and rolling-window
+// offsets are mirror-clamped.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 fn mirror_y(y: isize, h: usize) -> usize {
     mirror(y, h)
 }
@@ -57,6 +63,10 @@ fn mirror_y(y: isize, h: usize) -> usize {
 /// is predicted and the lowpass `s(i)` updated immediately from
 /// `d(i-1), d(i)`, so the row is read once instead of once per lifting
 /// step. Bit-identical to [`crate::lift::fwd_row_53`].
+// AUDIT(fn): encoder-side fused lifting kernel: indices derive from the claimed
+// region's geometry (debug-checked disjoint claims) and rolling-window
+// offsets are mirror-clamped.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn fwd_row_53_fused(row: &mut [i32], scratch: &mut Vec<i32>) {
     let n = row.len();
     if n <= 1 {
@@ -65,7 +75,7 @@ pub fn fwd_row_53_fused(row: &mut [i32], scratch: &mut Vec<i32>) {
     let ce = n.div_ceil(2);
     let fh = n / 2;
     scratch.clear();
-    scratch.resize(n, 0);
+    scratch.resize(n, 0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
     let (lo, hi) = scratch.split_at_mut(ce);
     let mut d_prev = 0i32;
     for i in 0..fh {
@@ -86,6 +96,10 @@ pub fn fwd_row_53_fused(row: &mut [i32], scratch: &mut Vec<i32>) {
 /// Fused inverse 5/3 synthesis of one row holding `[low | high]`.
 ///
 /// Bit-identical to [`crate::lift::inv_row_53`].
+// AUDIT(fn): encoder-side fused lifting kernel: indices derive from the claimed
+// region's geometry (debug-checked disjoint claims) and rolling-window
+// offsets are mirror-clamped.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn inv_row_53_fused(row: &mut [i32], scratch: &mut Vec<i32>) {
     let n = row.len();
     if n <= 1 {
@@ -94,7 +108,7 @@ pub fn inv_row_53_fused(row: &mut [i32], scratch: &mut Vec<i32>) {
     let ce = n.div_ceil(2);
     let fh = n / 2;
     scratch.clear();
-    scratch.resize(n, 0);
+    scratch.resize(n, 0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
     let mut prev_even = row[0] - ((2 * row[ce] + 2) >> 2);
     scratch[0] = prev_even;
     for i in 1..ce {
@@ -122,6 +136,10 @@ pub fn inv_row_53_fused(row: &mut [i32], scratch: &mut Vec<i32>) {
 /// and `e(2i-2)` (δ-stage) from a three-value history window, then emits
 /// `low[i-1] = e·(1/K)` and `high[i-1] = c·(K/2)`. Bit-identical to
 /// [`crate::lift::fwd_row_97`].
+// AUDIT(fn): encoder-side fused lifting kernel: indices derive from the claimed
+// region's geometry (debug-checked disjoint claims) and rolling-window
+// offsets are mirror-clamped.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn fwd_row_97_fused(row: &mut [f32], scratch: &mut Vec<f32>) {
     let n = row.len();
     if n <= 1 {
@@ -131,7 +149,7 @@ pub fn fwd_row_97_fused(row: &mut [f32], scratch: &mut Vec<f32>) {
     let fh = n / 2;
     let (kl, kh) = (1.0 / KAPPA, KAPPA / 2.0);
     scratch.clear();
-    scratch.resize(n, 0.0);
+    scratch.resize(n, 0.0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
     let (lo, hi) = scratch.split_at_mut(ce);
     let (mut a_prev, mut b_prev, mut c_prev) = (0f32, 0f32, 0f32);
     for i in 0..fh {
@@ -175,6 +193,10 @@ pub fn fwd_row_97_fused(row: &mut [f32], scratch: &mut Vec<f32>) {
 /// Fused inverse 9/7 synthesis of one row holding `[low | high]`.
 ///
 /// Bit-identical to [`crate::lift::inv_row_97`].
+// AUDIT(fn): encoder-side fused lifting kernel: indices derive from the claimed
+// region's geometry (debug-checked disjoint claims) and rolling-window
+// offsets are mirror-clamped.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn inv_row_97_fused(row: &mut [f32], scratch: &mut Vec<f32>) {
     let n = row.len();
     if n <= 1 {
@@ -184,7 +206,7 @@ pub fn inv_row_97_fused(row: &mut [f32], scratch: &mut Vec<f32>) {
     let fh = n / 2;
     let (kl, kh) = (KAPPA, 2.0 / KAPPA);
     scratch.clear();
-    scratch.resize(n, 0.0);
+    scratch.resize(n, 0.0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
     let (mut c_prev, mut b_prev, mut a_prev, mut x_prev) = (0f32, 0f32, 0f32, 0f32);
     for i in 0..ce {
         let e_cur = row[i] * kl;
@@ -240,6 +262,10 @@ pub fn inv_row_97_fused(row: &mut [f32], scratch: &mut Vec<f32>) {
 /// # Safety
 /// `cols` must be in bounds and disjoint from ranges given to other
 /// threads; `h * stride` elements must be allocated.
+// AUDIT(fn): encoder-side fused lifting kernel: indices derive from the claimed
+// region's geometry (debug-checked disjoint claims) and rolling-window
+// offsets are mirror-clamped.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn fwd_fused_strip_53_cols(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -262,7 +288,7 @@ pub unsafe fn fwd_fused_strip_53_cols(
             let s = strip.min(cols.end - x0);
             scratch.clear();
             // Layout: `fh` buffered high rows, then one lane of d-history.
-            scratch.resize((fh + 1) * s, 0);
+            scratch.resize((fh + 1) * s, 0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
             let (hibuf, d_prev) = scratch.split_at_mut(fh * s);
             for i in 0..fh {
                 let r0 = 2 * i * stride;
@@ -307,6 +333,10 @@ pub unsafe fn fwd_fused_strip_53_cols(
 ///
 /// # Safety
 /// Same contract as [`fwd_fused_strip_53_cols`].
+// AUDIT(fn): encoder-side fused lifting kernel: indices derive from the claimed
+// region's geometry (debug-checked disjoint claims) and rolling-window
+// offsets are mirror-clamped.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn inv_fused_strip_53_cols(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -330,7 +360,7 @@ pub unsafe fn inv_fused_strip_53_cols(
             scratch.clear();
             // Layout: `ce` buffered low rows, then lanes of d-history and
             // the previous reconstructed even row.
-            scratch.resize((ce + 2) * s, 0);
+            scratch.resize((ce + 2) * s, 0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
             let (lobuf, state) = scratch.split_at_mut(ce * s);
             let (d_prev, pe) = state.split_at_mut(s);
             for j in 0..ce {
@@ -390,6 +420,10 @@ pub unsafe fn inv_fused_strip_53_cols(
 ///
 /// # Safety
 /// Same contract as [`fwd_fused_strip_53_cols`].
+// AUDIT(fn): encoder-side fused lifting kernel: indices derive from the claimed
+// region's geometry (debug-checked disjoint claims) and rolling-window
+// offsets are mirror-clamped.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn fwd_fused_strip_97_cols(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -414,7 +448,7 @@ pub unsafe fn fwd_fused_strip_97_cols(
             scratch.clear();
             // Layout: `fh` buffered high rows + three lanes of history
             // (a, b, c stage values).
-            scratch.resize((fh + 3) * s, 0.0);
+            scratch.resize((fh + 3) * s, 0.0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
             let (hibuf, state) = scratch.split_at_mut(fh * s);
             let (a_prev, state) = state.split_at_mut(s);
             let (b_prev, c_prev) = state.split_at_mut(s);
@@ -485,6 +519,10 @@ pub unsafe fn fwd_fused_strip_97_cols(
 ///
 /// # Safety
 /// Same contract as [`fwd_fused_strip_53_cols`].
+// AUDIT(fn): encoder-side fused lifting kernel: indices derive from the claimed
+// region's geometry (debug-checked disjoint claims) and rolling-window
+// offsets are mirror-clamped.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn inv_fused_strip_97_cols(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -509,7 +547,7 @@ pub unsafe fn inv_fused_strip_97_cols(
             scratch.clear();
             // Layout: `ce` buffered low rows + four lanes of history
             // (c, b, a stage values and the previous even output).
-            scratch.resize((ce + 4) * s, 0.0);
+            scratch.resize((ce + 4) * s, 0.0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
             let (lobuf, state) = scratch.split_at_mut(ce * s);
             let (c_prev, state) = state.split_at_mut(s);
             let (b_prev, state) = state.split_at_mut(s);
@@ -582,6 +620,7 @@ pub unsafe fn inv_fused_strip_97_cols(
 }
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use crate::lift::{fwd_row_53, fwd_row_97, inv_row_53, inv_row_97};

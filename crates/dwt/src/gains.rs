@@ -16,6 +16,8 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::sync::OnceLock;
 
+// AUDIT(hot): cold — the gain cache is touched once per (level, band)
+// geometry at setup; steady-state encoding reads quantizer steps, not this.
 fn cache() -> &'static Mutex<HashMap<(u8, Band), f64>> {
     static CACHE: OnceLock<Mutex<HashMap<(u8, Band), f64>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
@@ -29,6 +31,9 @@ fn cache() -> &'static Mutex<HashMap<(u8, Band), f64>> {
 ///
 /// # Panics
 /// Panics if `level == 0`.
+// AUDIT(hot): cold — called once per subband at quantizer setup; the
+// mutex-guarded memo means repeat lookups are a HashMap hit, and nothing
+// here runs inside the per-sample loops.
 pub fn l2_gain_97(level: u8, band: Band) -> f64 {
     assert!(level >= 1, "subband level is 1-based");
     // lint:allow(hot_path_panic) -- lock() only fails if a holder panicked,
@@ -91,6 +96,8 @@ fn compute_gain_53(level: u8, band: Band) -> f64 {
     energy.sqrt() / f64::from(AMP)
 }
 
+// AUDIT(hot): cold — impulse-response probe behind the gain memo, runs at
+// most once per (level, band) for the process lifetime.
 fn compute_gain(level: u8, band: Band) -> f64 {
     // A plane large enough that the basis function (support grows ~2^level
     // * filter length) does not clip: 2^level * 16 per side covers the

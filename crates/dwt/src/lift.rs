@@ -8,10 +8,15 @@
 //! (`x[-1] = x[1]`, `x[n] = x[n-2]`). After analysis the slice holds the
 //! deinterleaved `[low | high]` bands with `ceil(n/2)` low coefficients.
 
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+
 use crate::{ALPHA, BETA, DELTA, GAMMA, KAPPA};
 
 /// Mirror index `i` into `[0, n)` by whole-sample symmetric reflection.
 #[inline]
+// AUDIT(fn): encoder-side 1-D lifting kernel: every index is either mirror-clamped
+// into range or derived from the slice's own length.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn mirror(i: isize, n: usize) -> usize {
     debug_assert!(n >= 1);
     let n = n as isize;
@@ -33,6 +38,9 @@ pub fn mirror(i: isize, n: usize) -> usize {
 /// reads ahead of every write), and the buffered odds are copied once into
 /// the high half — ~1.5n moves instead of the 2n of a full scratch
 /// round-trip.
+// AUDIT(fn): encoder-side 1-D lifting kernel: every index is either mirror-clamped
+// into range or derived from the slice's own length.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn deinterleave<T: Copy>(buf: &mut [T], scratch: &mut Vec<T>) {
     let n = buf.len();
     if n <= 1 {
@@ -40,7 +48,7 @@ pub fn deinterleave<T: Copy>(buf: &mut [T], scratch: &mut Vec<T>) {
     }
     let ce = n.div_ceil(2);
     scratch.clear();
-    scratch.extend(buf.iter().copied().skip(1).step_by(2));
+    scratch.extend(buf.iter().copied().skip(1).step_by(2)); // AUDIT(hot): amortized — refills cleared recycled scratch.
     for i in 1..ce {
         buf[i] = buf[2 * i];
     }
@@ -53,6 +61,9 @@ pub fn deinterleave<T: Copy>(buf: &mut [T], scratch: &mut Vec<T>) {
 /// scheme: the high half is buffered, the low half is spread by a
 /// *descending* walk (`buf[2i] = buf[i]` writes land strictly ahead of
 /// every remaining read), and the buffered highs drop into the odd slots.
+// AUDIT(fn): encoder-side 1-D lifting kernel: every index is either mirror-clamped
+// into range or derived from the slice's own length.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn interleave<T: Copy>(buf: &mut [T], scratch: &mut Vec<T>) {
     let n = buf.len();
     if n <= 1 {
@@ -60,7 +71,7 @@ pub fn interleave<T: Copy>(buf: &mut [T], scratch: &mut Vec<T>) {
     }
     let ce = n.div_ceil(2);
     scratch.clear();
-    scratch.extend_from_slice(&buf[ce..]);
+    scratch.extend_from_slice(&buf[ce..]); // AUDIT(hot): amortized — refills cleared recycled scratch.
     for i in (1..ce).rev() {
         buf[2 * i] = buf[i];
     }
@@ -74,6 +85,9 @@ pub fn interleave<T: Copy>(buf: &mut [T], scratch: &mut Vec<T>) {
 // --------------------------------------------------------------------------
 
 /// Forward 5/3 analysis of one row, in place; output is `[low | high]`.
+// AUDIT(fn): encoder-side 1-D lifting kernel: every index is either mirror-clamped
+// into range or derived from the slice's own length.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn fwd_row_53(row: &mut [i32], scratch: &mut Vec<i32>) {
     let n = row.len();
     if n <= 1 {
@@ -103,6 +117,9 @@ pub fn fwd_row_53(row: &mut [i32], scratch: &mut Vec<i32>) {
 }
 
 /// Inverse 5/3 synthesis of one row holding `[low | high]`, in place.
+// AUDIT(fn): encoder-side 1-D lifting kernel: every index is either mirror-clamped
+// into range or derived from the slice's own length.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn inv_row_53(row: &mut [i32], scratch: &mut Vec<i32>) {
     let n = row.len();
     if n <= 1 {
@@ -137,6 +154,9 @@ pub fn inv_row_53(row: &mut [i32], scratch: &mut Vec<i32>) {
 /// One lifting step over a slice: `x[i] += c * (x[i-1] + x[i+1])` for every
 /// `i` of `parity` (0 = even, 1 = odd), with mirrored boundaries.
 #[inline]
+// AUDIT(fn): encoder-side 1-D lifting kernel: every index is either mirror-clamped
+// into range or derived from the slice's own length.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 fn lift_step_97(row: &mut [f32], parity: usize, c: f32) {
     let n = row.len();
     let mut i = parity;
@@ -153,6 +173,9 @@ fn lift_step_97(row: &mut [f32], parity: usize, c: f32) {
 /// Scaling: lowpass × `1/K`, highpass × `K/2`, so that the lowpass filter
 /// has unit DC gain and the highpass unit Nyquist gain (the inverse of the
 /// synthesis scaling used by common JPEG2000 implementations).
+// AUDIT(fn): encoder-side 1-D lifting kernel: every index is either mirror-clamped
+// into range or derived from the slice's own length.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn fwd_row_97(row: &mut [f32], scratch: &mut Vec<f32>) {
     let n = row.len();
     if n <= 1 {
@@ -175,6 +198,9 @@ pub fn fwd_row_97(row: &mut [f32], scratch: &mut Vec<f32>) {
 }
 
 /// Inverse 9/7 synthesis of one row holding `[low | high]`, in place.
+// AUDIT(fn): encoder-side 1-D lifting kernel: every index is either mirror-clamped
+// into range or derived from the slice's own length.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub fn inv_row_97(row: &mut [f32], scratch: &mut Vec<f32>) {
     let n = row.len();
     if n <= 1 {
@@ -197,6 +223,7 @@ pub fn inv_row_97(row: &mut [f32], scratch: &mut Vec<f32>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
 

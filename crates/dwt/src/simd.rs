@@ -41,6 +41,8 @@
 //! to the best *supported* tier at or below the request, and `Scalar`
 //! disables the module entirely.
 
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+
 use crate::fused;
 use crate::lift::mirror;
 use crate::transform2d::LiftingMode;
@@ -55,6 +57,11 @@ use std::sync::OnceLock;
 pub const BATCH: usize = 16;
 
 #[inline]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 fn mirror_y(y: isize, h: usize) -> usize {
     mirror(y, h)
 }
@@ -76,6 +83,11 @@ pub enum SimdTier {
 
 impl SimdTier {
     /// Whether this tier can run on the current host.
+    // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+    // LANES, base indices derive from the claimed region, and ragged tails
+    // fall back to the scalar path (unsafe loads carry their own SAFETY
+    // bounds arguments).
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     pub fn is_supported(self) -> bool {
         match self {
             SimdTier::Portable => true,
@@ -90,6 +102,11 @@ impl SimdTier {
 
     /// The best supported tier at or below this one (`Avx2 → Sse2 →
     /// Portable`), so a forced tier degrades gracefully on lesser hosts.
+    // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+    // LANES, base indices derive from the claimed region, and ragged tails
+    // fall back to the scalar path (unsafe loads carry their own SAFETY
+    // bounds arguments).
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     pub fn clamp_supported(self) -> SimdTier {
         let mut t = self;
         loop {
@@ -104,6 +121,11 @@ impl SimdTier {
     }
 
     /// The best tier the current host supports.
+    // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+    // LANES, base indices derive from the claimed region, and ragged tails
+    // fall back to the scalar path (unsafe loads carry their own SAFETY
+    // bounds arguments).
+    #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     pub fn best_detected() -> SimdTier {
         SimdTier::Avx2.clamp_supported()
     }
@@ -135,13 +157,29 @@ fn parse_tier_token(tok: &str) -> Option<Option<SimdTier>> {
     }
 }
 
-/// The cached `PJ2K_SIMD` override, read once per process.
+/// The cached `PJ2K_SIMD` override, read once per process. A set but
+/// unrecognized value warns on stderr instead of silently falling back to
+/// runtime detection, so a typo (`PJ2K_SIMD=ssse2`) can't masquerade as a
+/// forced-tier run. Empty and `auto` are accepted silently as explicit
+/// "no override"; mirrors `PJ2K_TIER1` in `pj2k_ebcot::bitplane`.
 fn env_override() -> Option<Option<SimdTier>> {
     static OVERRIDE: OnceLock<Option<Option<SimdTier>>> = OnceLock::new();
     *OVERRIDE.get_or_init(|| {
-        std::env::var("PJ2K_SIMD")
-            .ok()
-            .and_then(|v| parse_tier_token(&v))
+        let v = std::env::var("PJ2K_SIMD").ok()?;
+        let tok = v.trim();
+        if tok.is_empty() || tok.eq_ignore_ascii_case("auto") {
+            return None;
+        }
+        let parsed = parse_tier_token(tok);
+        if parsed.is_none() {
+            // AUDIT(hot): cold diagnostic — runs at most once per process
+            // (OnceLock) and only when the env var is set to garbage.
+            eprintln!(
+                "pj2k: ignoring unrecognized PJ2K_SIMD={v:?} \
+                 (expected scalar|off, portable, sse2, avx2, or auto)"
+            );
+        }
+        parsed
     })
 }
 
@@ -252,6 +290,11 @@ pub(crate) mod portable {
         // SAFETY: caller upholds the `# Safety` contract documented on
         // the trait method (`VecF::ld` / `VecI::ld`).
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         unsafe fn ld(c: &DisjointClaim<f32>, idx: usize) -> Self {
             // SAFETY: caller guarantees idx..idx+BATCH is owned by the
             // claim (checked by slice_mut in debug builds).
@@ -263,6 +306,11 @@ pub(crate) mod portable {
         // SAFETY: caller upholds the `# Safety` contract documented on
         // the trait method (`VecF::st` / `VecI::st`).
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         unsafe fn st(self, c: &DisjointClaim<f32>, idx: usize) {
             // SAFETY: caller guarantees idx..idx+BATCH is owned by the
             // claim (checked by slice_mut in debug builds).
@@ -272,6 +320,11 @@ pub(crate) mod portable {
         // SAFETY: caller upholds the `# Safety` contract documented on
         // the trait method (`VecF::lds` / `VecI::lds`).
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         unsafe fn lds(s: &[f32], idx: usize) -> Self {
             debug_assert!(idx + BATCH <= s.len());
             let mut a = [0.0; BATCH];
@@ -284,6 +337,11 @@ pub(crate) mod portable {
         // SAFETY: caller upholds the `# Safety` contract documented on
         // the trait method (`VecF::sts` / `VecI::sts`).
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         unsafe fn sts(self, s: &mut [f32], idx: usize) {
             debug_assert!(idx + BATCH <= s.len());
             // SAFETY: caller guarantees idx + BATCH <= s.len().
@@ -292,30 +350,50 @@ pub(crate) mod portable {
             }
         }
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         fn splat(v: f32) -> Self {
             F16([v; BATCH])
         }
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         fn add(self, o: Self) -> Self {
             let mut r = self.0;
-            for k in 0..BATCH {
-                r[k] += o.0[k];
+            for (a, b) in r.iter_mut().zip(o.0) {
+                *a += b;
             }
             F16(r)
         }
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         fn sub(self, o: Self) -> Self {
             let mut r = self.0;
-            for k in 0..BATCH {
-                r[k] -= o.0[k];
+            for (a, b) in r.iter_mut().zip(o.0) {
+                *a -= b;
             }
             F16(r)
         }
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         fn mul(self, o: Self) -> Self {
             let mut r = self.0;
-            for k in 0..BATCH {
-                r[k] *= o.0[k];
+            for (a, b) in r.iter_mut().zip(o.0) {
+                *a *= b;
             }
             F16(r)
         }
@@ -325,6 +403,11 @@ pub(crate) mod portable {
         // SAFETY: caller upholds the `# Safety` contract documented on
         // the trait method (`VecF::ld` / `VecI::ld`).
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         unsafe fn ld(c: &DisjointClaim<i32>, idx: usize) -> Self {
             // SAFETY: caller guarantees idx..idx+BATCH is owned by the
             // claim (checked by slice_mut in debug builds).
@@ -336,6 +419,11 @@ pub(crate) mod portable {
         // SAFETY: caller upholds the `# Safety` contract documented on
         // the trait method (`VecF::st` / `VecI::st`).
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         unsafe fn st(self, c: &DisjointClaim<i32>, idx: usize) {
             // SAFETY: caller guarantees idx..idx+BATCH is owned by the
             // claim (checked by slice_mut in debug builds).
@@ -345,6 +433,11 @@ pub(crate) mod portable {
         // SAFETY: caller upholds the `# Safety` contract documented on
         // the trait method (`VecF::lds` / `VecI::lds`).
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         unsafe fn lds(s: &[i32], idx: usize) -> Self {
             debug_assert!(idx + BATCH <= s.len());
             let mut a = [0; BATCH];
@@ -357,6 +450,11 @@ pub(crate) mod portable {
         // SAFETY: caller upholds the `# Safety` contract documented on
         // the trait method (`VecF::sts` / `VecI::sts`).
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         unsafe fn sts(self, s: &mut [i32], idx: usize) {
             debug_assert!(idx + BATCH <= s.len());
             // SAFETY: caller guarantees idx + BATCH <= s.len().
@@ -365,38 +463,63 @@ pub(crate) mod portable {
             }
         }
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         fn splat(v: i32) -> Self {
             I16([v; BATCH])
         }
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         fn add(self, o: Self) -> Self {
             let mut r = self.0;
-            for k in 0..BATCH {
-                r[k] = r[k].wrapping_add(o.0[k]);
+            for (a, b) in r.iter_mut().zip(o.0) {
+                *a = a.wrapping_add(b);
             }
             I16(r)
         }
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         fn sub(self, o: Self) -> Self {
             let mut r = self.0;
-            for k in 0..BATCH {
-                r[k] = r[k].wrapping_sub(o.0[k]);
+            for (a, b) in r.iter_mut().zip(o.0) {
+                *a = a.wrapping_sub(b);
             }
             I16(r)
         }
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         fn shr1(self) -> Self {
             let mut r = self.0;
-            for k in 0..BATCH {
-                r[k] >>= 1;
+            for a in &mut r {
+                *a >>= 1;
             }
             I16(r)
         }
         #[inline(always)]
+        // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+        // LANES, base indices derive from the claimed region, and ragged tails
+        // fall back to the scalar path (unsafe loads carry their own SAFETY
+        // bounds arguments).
+        #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
         fn shr2(self) -> Self {
             let mut r = self.0;
-            for k in 0..BATCH {
-                r[k] >>= 2;
+            for a in &mut r {
+                *a >>= 2;
             }
             I16(r)
         }
@@ -439,6 +562,11 @@ macro_rules! x86_tier {
                 // SAFETY: caller upholds the `# Safety` contract documented on
                 // the trait method (`VecF::ld` / `VecI::ld`).
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 unsafe fn ld(c: &DisjointClaim<f32>, idx: usize) -> Self {
                     // SAFETY: caller guarantees idx..idx+BATCH is owned by
                     // the claim (slice_mut checks in debug builds); loads
@@ -451,6 +579,11 @@ macro_rules! x86_tier {
                 // SAFETY: caller upholds the `# Safety` contract documented on
                 // the trait method (`VecF::st` / `VecI::st`).
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 unsafe fn st(self, c: &DisjointClaim<f32>, idx: usize) {
                     // SAFETY: caller guarantees idx..idx+BATCH is owned by
                     // the claim; stores are unaligned; CPU support per the
@@ -465,6 +598,11 @@ macro_rules! x86_tier {
                 // SAFETY: caller upholds the `# Safety` contract documented on
                 // the trait method (`VecF::lds` / `VecI::lds`).
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 unsafe fn lds(s: &[f32], idx: usize) -> Self {
                     debug_assert!(idx + BATCH <= s.len());
                     // SAFETY: caller guarantees idx + BATCH <= s.len();
@@ -477,6 +615,11 @@ macro_rules! x86_tier {
                 // SAFETY: caller upholds the `# Safety` contract documented on
                 // the trait method (`VecF::sts` / `VecI::sts`).
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 unsafe fn sts(self, s: &mut [f32], idx: usize) {
                     debug_assert!(idx + BATCH <= s.len());
                     // SAFETY: caller guarantees idx + BATCH <= s.len();
@@ -489,24 +632,44 @@ macro_rules! x86_tier {
                     }
                 }
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 fn splat(v: f32) -> Self {
                     // SAFETY: register-only broadcast; CPU support per the
                     // module invariant.
                     unsafe { F16([$set1_ps(v); $n]) }
                 }
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 fn add(self, o: Self) -> Self {
                     // SAFETY: register-only lanewise op; CPU support per
                     // the module invariant.
                     unsafe { F16(core::array::from_fn(|k| $add_ps(self.0[k], o.0[k]))) }
                 }
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 fn sub(self, o: Self) -> Self {
                     // SAFETY: register-only lanewise op; CPU support per
                     // the module invariant.
                     unsafe { F16(core::array::from_fn(|k| $sub_ps(self.0[k], o.0[k]))) }
                 }
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 fn mul(self, o: Self) -> Self {
                     // SAFETY: register-only lanewise op; CPU support per
                     // the module invariant.
@@ -518,6 +681,11 @@ macro_rules! x86_tier {
                 // SAFETY: caller upholds the `# Safety` contract documented on
                 // the trait method (`VecF::ld` / `VecI::ld`).
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 unsafe fn ld(c: &DisjointClaim<i32>, idx: usize) -> Self {
                     // SAFETY: caller guarantees idx..idx+BATCH is owned by
                     // the claim; loads are unaligned; CPU support per the
@@ -532,6 +700,11 @@ macro_rules! x86_tier {
                 // SAFETY: caller upholds the `# Safety` contract documented on
                 // the trait method (`VecF::st` / `VecI::st`).
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 unsafe fn st(self, c: &DisjointClaim<i32>, idx: usize) {
                     // SAFETY: caller guarantees idx..idx+BATCH is owned by
                     // the claim; stores are unaligned; CPU support per the
@@ -546,6 +719,11 @@ macro_rules! x86_tier {
                 // SAFETY: caller upholds the `# Safety` contract documented on
                 // the trait method (`VecF::lds` / `VecI::lds`).
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 unsafe fn lds(s: &[i32], idx: usize) -> Self {
                     debug_assert!(idx + BATCH <= s.len());
                     // SAFETY: caller guarantees idx + BATCH <= s.len();
@@ -560,6 +738,11 @@ macro_rules! x86_tier {
                 // SAFETY: caller upholds the `# Safety` contract documented on
                 // the trait method (`VecF::sts` / `VecI::sts`).
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 unsafe fn sts(self, s: &mut [i32], idx: usize) {
                     debug_assert!(idx + BATCH <= s.len());
                     // SAFETY: caller guarantees idx + BATCH <= s.len();
@@ -572,30 +755,55 @@ macro_rules! x86_tier {
                     }
                 }
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 fn splat(v: i32) -> Self {
                     // SAFETY: register-only broadcast; CPU support per the
                     // module invariant.
                     unsafe { I16([$set1_epi32(v); $n]) }
                 }
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 fn add(self, o: Self) -> Self {
                     // SAFETY: register-only lanewise op; CPU support per
                     // the module invariant.
                     unsafe { I16(core::array::from_fn(|k| $add_epi32(self.0[k], o.0[k]))) }
                 }
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 fn sub(self, o: Self) -> Self {
                     // SAFETY: register-only lanewise op; CPU support per
                     // the module invariant.
                     unsafe { I16(core::array::from_fn(|k| $sub_epi32(self.0[k], o.0[k]))) }
                 }
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 fn shr1(self) -> Self {
                     // SAFETY: register-only lanewise arithmetic shift; CPU
                     // support per the module invariant.
                     unsafe { I16(core::array::from_fn(|k| $srai_epi32::<1>(self.0[k]))) }
                 }
                 #[inline(always)]
+                // AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+                // LANES, base indices derive from the claimed region, and ragged tails
+                // fall back to the scalar path (unsafe loads carry their own SAFETY
+                // bounds arguments).
+                #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
                 fn shr2(self) -> Self {
                     // SAFETY: register-only lanewise arithmetic shift; CPU
                     // support per the module invariant.
@@ -665,6 +873,11 @@ x86_tier!(
 /// Columns `x0..x0+BATCH` over all `h` rows must be owned by the claim;
 /// `h * stride` elements allocated; `h > 1`; CPU support for `I`'s tier.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn fwd_fused_53_batch<I: VecI>(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -678,7 +891,7 @@ unsafe fn fwd_fused_53_batch<I: VecI>(
         let ce = h.div_ceil(2);
         let fh = h / 2;
         scratch.clear();
-        scratch.resize(fh * BATCH, 0);
+        scratch.resize(fh * BATCH, 0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
         let two = I::splat(2);
         let mut d_prev = I::splat(0);
         for i in 0..fh {
@@ -711,6 +924,11 @@ unsafe fn fwd_fused_53_batch<I: VecI>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`].
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn inv_fused_53_batch<I: VecI>(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -724,7 +942,7 @@ unsafe fn inv_fused_53_batch<I: VecI>(
         let ce = h.div_ceil(2);
         let fh = h / 2;
         scratch.clear();
-        scratch.resize(ce * BATCH, 0);
+        scratch.resize(ce * BATCH, 0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
         for j in 0..ce {
             I::ld(ptr, j * stride + x0).sts(scratch, j * BATCH);
         }
@@ -759,6 +977,11 @@ unsafe fn inv_fused_53_batch<I: VecI>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`].
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn fwd_fused_97_batch<F: VecF>(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -772,7 +995,7 @@ unsafe fn fwd_fused_97_batch<F: VecF>(
         let ce = h.div_ceil(2);
         let fh = h / 2;
         scratch.clear();
-        scratch.resize(fh * BATCH, 0.0);
+        scratch.resize(fh * BATCH, 0.0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
         let (vkl, vkh) = (F::splat(1.0 / KAPPA), F::splat(KAPPA / 2.0));
         let (va, vb) = (F::splat(ALPHA), F::splat(BETA));
         let (vg, vd) = (F::splat(GAMMA), F::splat(DELTA));
@@ -830,6 +1053,11 @@ unsafe fn fwd_fused_97_batch<F: VecF>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`].
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn inv_fused_97_batch<F: VecF>(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -843,7 +1071,7 @@ unsafe fn inv_fused_97_batch<F: VecF>(
         let ce = h.div_ceil(2);
         let fh = h / 2;
         scratch.clear();
-        scratch.resize(ce * BATCH, 0.0);
+        scratch.resize(ce * BATCH, 0.0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
         for j in 0..ce {
             F::ld(ptr, j * stride + x0).sts(scratch, j * BATCH);
         }
@@ -910,6 +1138,11 @@ unsafe fn inv_fused_97_batch<F: VecF>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`].
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn fwd_perstep_53_batch<I: VecI>(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -949,6 +1182,11 @@ unsafe fn fwd_perstep_53_batch<I: VecI>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`].
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn inv_perstep_53_batch<I: VecI>(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -988,6 +1226,11 @@ unsafe fn inv_perstep_53_batch<I: VecI>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`].
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn lift_batch_97<F: VecF>(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -1020,6 +1263,11 @@ unsafe fn lift_batch_97<F: VecF>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`].
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn fwd_perstep_97_batch<F: VecF>(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -1048,6 +1296,11 @@ unsafe fn fwd_perstep_97_batch<F: VecF>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`].
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn inv_perstep_97_batch<F: VecF>(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -1081,6 +1334,11 @@ unsafe fn inv_perstep_97_batch<F: VecF>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`] for the whole `cols` range.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn fwd_vert_53_t<I: VecI>(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -1125,6 +1383,11 @@ unsafe fn fwd_vert_53_t<I: VecI>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`] for the whole `cols` range.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn inv_vert_53_t<I: VecI>(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -1170,6 +1433,11 @@ unsafe fn inv_vert_53_t<I: VecI>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`] for the whole `cols` range.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn fwd_vert_97_t<F: VecF>(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -1214,6 +1482,11 @@ unsafe fn fwd_vert_97_t<F: VecF>(
 /// # Safety
 /// Same contract as [`fwd_fused_53_batch`] for the whole `cols` range.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn inv_vert_97_t<F: VecF>(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -1271,6 +1544,11 @@ unsafe fn inv_vert_97_t<F: VecF>(
 /// # Safety
 /// CPU support for `F`'s tier; `eb.len() >= ob.len() + usize::from(!even_n)`.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn step_odd_97<F: VecF>(ob: &mut [f32], eb: &[f32], c: f32, even_n: bool) {
     let fh = ob.len();
     if fh == 0 {
@@ -1306,6 +1584,11 @@ unsafe fn step_odd_97<F: VecF>(ob: &mut [f32], eb: &[f32], c: f32, even_n: bool)
 /// CPU support for `F`'s tier; `eb.len() == ob.len() + usize::from(odd_n)`
 /// with `ob` non-empty.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn step_even_97<F: VecF>(eb: &mut [f32], ob: &[f32], c: f32, odd_n: bool) {
     let fh = ob.len();
     let vc = F::splat(c);
@@ -1335,6 +1618,11 @@ unsafe fn step_even_97<F: VecF>(eb: &mut [f32], ob: &[f32], c: f32, odd_n: bool)
 /// # Safety
 /// CPU support for `F`'s tier.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn scale_97<F: VecF>(buf: &mut [f32], k: f32) {
     let vk = F::splat(k);
     let mut i = 0;
@@ -1357,6 +1645,11 @@ unsafe fn scale_97<F: VecF>(buf: &mut [f32], k: f32) {
 /// # Safety
 /// CPU support for `I`'s tier.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn fwd_row_53_t<I: VecI>(row: &mut [i32], scratch: &mut Vec<i32>) {
     let n = row.len();
     if n <= 1 {
@@ -1365,7 +1658,7 @@ unsafe fn fwd_row_53_t<I: VecI>(row: &mut [i32], scratch: &mut Vec<i32>) {
     let ce = n.div_ceil(2);
     let fh = n / 2;
     scratch.clear();
-    scratch.resize(n, 0);
+    scratch.resize(n, 0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
     let (eb, ob) = scratch.split_at_mut(ce);
     for (i, e) in eb.iter_mut().enumerate() {
         *e = row[2 * i];
@@ -1423,6 +1716,11 @@ unsafe fn fwd_row_53_t<I: VecI>(row: &mut [i32], scratch: &mut Vec<i32>) {
 /// # Safety
 /// CPU support for `I`'s tier.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn inv_row_53_t<I: VecI>(row: &mut [i32], scratch: &mut Vec<i32>) {
     let n = row.len();
     if n <= 1 {
@@ -1431,7 +1729,7 @@ unsafe fn inv_row_53_t<I: VecI>(row: &mut [i32], scratch: &mut Vec<i32>) {
     let ce = n.div_ceil(2);
     let fh = n / 2;
     scratch.clear();
-    scratch.extend_from_slice(row);
+    scratch.extend_from_slice(row); // AUDIT(hot): amortized — refills cleared recycled scratch, capacity reused.
     let (eb, ob) = scratch.split_at_mut(ce);
     let even_n = n.is_multiple_of(2);
     // Undo the update: e[i] -= (o[i-1] + o[i] + 2) >> 2.
@@ -1488,6 +1786,11 @@ unsafe fn inv_row_53_t<I: VecI>(row: &mut [i32], scratch: &mut Vec<i32>) {
 /// # Safety
 /// CPU support for `F`'s tier.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn fwd_row_97_t<F: VecF>(row: &mut [f32], scratch: &mut Vec<f32>) {
     let n = row.len();
     if n <= 1 {
@@ -1495,7 +1798,7 @@ unsafe fn fwd_row_97_t<F: VecF>(row: &mut [f32], scratch: &mut Vec<f32>) {
     }
     let ce = n.div_ceil(2);
     scratch.clear();
-    scratch.resize(n, 0.0);
+    scratch.resize(n, 0.0); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
     let (eb, ob) = scratch.split_at_mut(ce);
     for (i, e) in eb.iter_mut().enumerate() {
         *e = row[2 * i];
@@ -1523,6 +1826,11 @@ unsafe fn fwd_row_97_t<F: VecF>(row: &mut [f32], scratch: &mut Vec<f32>) {
 /// # Safety
 /// CPU support for `F`'s tier.
 #[inline(always)]
+// AUDIT(fn): encoder-side SIMD batch kernel: lane offsets are fixed by the tier's
+// LANES, base indices derive from the claimed region, and ragged tails
+// fall back to the scalar path (unsafe loads carry their own SAFETY
+// bounds arguments).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn inv_row_97_t<F: VecF>(row: &mut [f32], scratch: &mut Vec<f32>) {
     let n = row.len();
     if n <= 1 {
@@ -1530,7 +1838,7 @@ unsafe fn inv_row_97_t<F: VecF>(row: &mut [f32], scratch: &mut Vec<f32>) {
     }
     let ce = n.div_ceil(2);
     scratch.clear();
-    scratch.extend_from_slice(row);
+    scratch.extend_from_slice(row); // AUDIT(hot): amortized — refills cleared recycled scratch, capacity reused.
     let (eb, ob) = scratch.split_at_mut(ce);
     let even_n = n.is_multiple_of(2);
     // SAFETY: forwarded to the step helpers; the pair arrays satisfy their
@@ -1677,6 +1985,7 @@ tiered_entry!(
 );
 
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use crate::lift;

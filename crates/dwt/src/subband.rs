@@ -88,6 +88,8 @@ impl Decomposition {
     /// `l = L, L-1, .., 1`: `HL_l`, `LH_l`, `HH_l`.
     ///
     /// This is also the resolution-progression order used by Tier-2.
+    // AUDIT(hot): setup-time — builds the O(levels) subband descriptor
+    // list once per tile transform, outside the per-sample loops.
     pub fn subbands(&self) -> Vec<Subband> {
         let mut out = Vec::with_capacity(1 + 3 * self.levels as usize);
         let (llw, llh) = self.ll_size(self.levels);

@@ -18,11 +18,17 @@
 //! so that parallel drivers can hand disjoint column ranges to different
 //! workers and have the disjointness enforced in debug builds.
 
+#![deny(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+
 use crate::{ALPHA, BETA, DELTA, GAMMA, KAPPA};
 use pj2k_parutil::DisjointClaim;
 use std::ops::Range;
 
 #[inline]
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 fn mirror_y(y: isize, h: usize) -> usize {
     crate::lift::mirror(y, h)
 }
@@ -38,6 +44,10 @@ fn mirror_y(y: isize, h: usize) -> usize {
 /// # Safety
 /// `cols` must be in bounds and disjoint from ranges given to other threads;
 /// `h * stride` elements must be allocated.
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub(crate) unsafe fn deinterleave_cols<T: Copy + Default>(
     ptr: &DisjointClaim<T>,
     stride: usize,
@@ -62,7 +72,7 @@ pub(crate) unsafe fn deinterleave_cols<T: Copy + Default>(
             // reads ahead of every write), then the buffered odds are
             // stored once into the bottom half.
             scratch.clear();
-            scratch.resize(fh * s, T::default());
+            scratch.resize(fh * s, T::default()); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
             for j in 0..fh {
                 let rr = (2 * j + 1) * stride;
                 for dx in 0..s {
@@ -91,6 +101,10 @@ pub(crate) unsafe fn deinterleave_cols<T: Copy + Default>(
 ///
 /// # Safety
 /// Same contract as [`deinterleave_cols`].
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub(crate) unsafe fn interleave_cols<T: Copy + Default>(
     ptr: &DisjointClaim<T>,
     stride: usize,
@@ -116,7 +130,7 @@ pub(crate) unsafe fn interleave_cols<T: Copy + Default>(
             // every remaining read) and drops the buffered highs into the
             // odd rows.
             scratch.clear();
-            scratch.resize(fh * s, T::default());
+            scratch.resize(fh * s, T::default()); // AUDIT(hot): amortized — recycled scratch, no-op once capacity is warm.
             for j in 0..fh {
                 let rr = (ce + j) * stride;
                 for dx in 0..s {
@@ -149,6 +163,10 @@ pub(crate) unsafe fn interleave_cols<T: Copy + Default>(
 ///
 /// # Safety
 /// `cols` in bounds, disjoint across threads, `h * stride` elements valid.
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn fwd_naive_53_cols(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -162,6 +180,7 @@ pub unsafe fn fwd_naive_53_cols(
         if h <= 1 {
             return;
         }
+        // AUDIT(hot): Range copy, no heap.
         for x in cols.clone() {
             let at = |y: usize| y * stride + x;
             // predict odd rows
@@ -189,6 +208,10 @@ pub unsafe fn fwd_naive_53_cols(
 ///
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn inv_naive_53_cols(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -202,7 +225,14 @@ pub unsafe fn inv_naive_53_cols(
         if h <= 1 {
             return;
         }
-        interleave_cols(ptr, stride, cols.clone(), h, 1, scratch);
+        interleave_cols(
+            ptr,
+            stride,
+            cols.clone(), /* AUDIT(hot): Range copy, no heap */
+            h,
+            1,
+            scratch,
+        );
         for x in cols {
             let at = |y: usize| y * stride + x;
             let mut y = 0;
@@ -232,6 +262,10 @@ pub unsafe fn inv_naive_53_cols(
 ///
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn fwd_strip_53_cols(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -286,6 +320,10 @@ pub unsafe fn fwd_strip_53_cols(
 ///
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn inv_strip_53_cols(
     ptr: &DisjointClaim<i32>,
     stride: usize,
@@ -301,7 +339,14 @@ pub unsafe fn inv_strip_53_cols(
             return;
         }
         let strip = strip.max(1);
-        interleave_cols(ptr, stride, cols.clone(), h, strip, scratch);
+        interleave_cols(
+            ptr,
+            stride,
+            cols.clone(), /* AUDIT(hot): Range copy, no heap */
+            h,
+            strip,
+            scratch,
+        );
         let mut x0 = cols.start;
         while x0 < cols.end {
             let s = strip.min(cols.end - x0);
@@ -343,6 +388,10 @@ pub unsafe fn inv_strip_53_cols(
 /// # Safety
 /// Column `x` in bounds; exclusive access to it.
 #[inline]
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn lift_col_97(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -370,6 +419,10 @@ unsafe fn lift_col_97(
 ///
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn fwd_naive_97_cols(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -384,6 +437,7 @@ pub unsafe fn fwd_naive_97_cols(
             return;
         }
         let (kl, kh) = (1.0 / KAPPA, KAPPA / 2.0);
+        // AUDIT(hot): Range copy, no heap.
         for x in cols.clone() {
             lift_col_97(ptr, stride, x, h, 1, ALPHA);
             lift_col_97(ptr, stride, x, h, 0, BETA);
@@ -402,6 +456,10 @@ pub unsafe fn fwd_naive_97_cols(
 ///
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn inv_naive_97_cols(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -415,7 +473,14 @@ pub unsafe fn inv_naive_97_cols(
         if h <= 1 {
             return;
         }
-        interleave_cols(ptr, stride, cols.clone(), h, 1, scratch);
+        interleave_cols(
+            ptr,
+            stride,
+            cols.clone(), /* AUDIT(hot): Range copy, no heap */
+            h,
+            1,
+            scratch,
+        );
         let (kl, kh) = (KAPPA, 2.0 / KAPPA);
         for x in cols {
             for y in 0..h {
@@ -439,6 +504,10 @@ pub unsafe fn inv_naive_97_cols(
 /// # Safety
 /// Strip in bounds; exclusive access to its columns.
 #[inline]
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 unsafe fn lift_strip_97(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -473,6 +542,10 @@ unsafe fn lift_strip_97(
 ///
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn fwd_strip_97_cols(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -514,6 +587,10 @@ pub unsafe fn fwd_strip_97_cols(
 ///
 /// # Safety
 /// Same contract as [`fwd_naive_53_cols`].
+// AUDIT(fn): encoder-side column-lifting driver: indices derive from the claimed
+// rect (cols x rows inside the plane) and strip offsets are clamped to
+// the region height.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 pub unsafe fn inv_strip_97_cols(
     ptr: &DisjointClaim<f32>,
     stride: usize,
@@ -529,7 +606,14 @@ pub unsafe fn inv_strip_97_cols(
             return;
         }
         let strip = strip.max(1);
-        interleave_cols(ptr, stride, cols.clone(), h, strip, scratch);
+        interleave_cols(
+            ptr,
+            stride,
+            cols.clone(), /* AUDIT(hot): Range copy, no heap */
+            h,
+            strip,
+            scratch,
+        );
         let (kl, kh) = (KAPPA, 2.0 / KAPPA);
         let mut x0 = cols.start;
         while x0 < cols.end {
@@ -551,6 +635,7 @@ pub unsafe fn inv_strip_97_cols(
     }
 }
 #[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 mod tests {
     use super::*;
     use crate::lift::{fwd_row_53, fwd_row_97};

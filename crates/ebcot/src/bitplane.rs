@@ -92,13 +92,28 @@ fn parse_engine_token(tok: &str) -> Option<Tier1Engine> {
     }
 }
 
-/// The cached `PJ2K_TIER1` override, read once per process.
+/// The cached `PJ2K_TIER1` override, read once per process. A set but
+/// unrecognized value warns on stderr instead of silently falling back,
+/// so a typo (`PJ2K_TIER1=refrence`) can't masquerade as an ablation run.
+/// Empty and `auto` are accepted silently as explicit "no override".
 fn env_override() -> Option<Tier1Engine> {
     static OVERRIDE: OnceLock<Option<Tier1Engine>> = OnceLock::new();
     *OVERRIDE.get_or_init(|| {
-        std::env::var("PJ2K_TIER1")
-            .ok()
-            .and_then(|v| parse_engine_token(&v))
+        let v = std::env::var("PJ2K_TIER1").ok()?;
+        let tok = v.trim();
+        if tok.is_empty() || tok.eq_ignore_ascii_case("auto") {
+            return None;
+        }
+        let parsed = parse_engine_token(tok);
+        if parsed.is_none() {
+            // AUDIT(hot): cold diagnostic — runs at most once per process
+            // (OnceLock) and only when the env var is set to garbage.
+            eprintln!(
+                "pj2k: ignoring unrecognized PJ2K_TIER1={v:?} \
+                 (expected reference|ref|scalar, bitplane|bitmask, or auto)"
+            );
+        }
+        parsed
     })
 }
 
@@ -128,6 +143,9 @@ const NB_NO_SOUTH: u32 = 0b0_0011_1111;
 /// packed neighborhood (self bit ignored). Generated from [`zc_context`],
 /// so the branchy Table D.1 logic runs 1536 times at startup instead of
 /// once per coded decision.
+// AUDIT(fn): startup LUT generation — `bi` enumerates the 3-row table
+// and the neighbor-bit sums are bounded by the 9-bit window.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 fn zc_lut() -> &'static [[u8; 512]; 3] {
     static LUT: OnceLock<[[u8; 512]; 3]> = OnceLock::new();
     LUT.get_or_init(|| {
@@ -162,6 +180,9 @@ fn band_index(band: BandCtx) -> usize {
 /// 0 = sigW, 1 = sigE, 2 = sigN, 3 = sigS, 4..=7 the matching sign bits
 /// (set = negative). Insignificant neighbors' sign bits are don't-care.
 /// Generated from [`sc_context`].
+// AUDIT(fn): startup LUT generation — contributions are in {-1, 0, 1}
+// before the clamp, so the sums cannot overflow.
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
 fn sc_lut() -> &'static [u8; 256] {
     static LUT: OnceLock<[u8; 256]> = OnceLock::new();
     LUT.get_or_init(|| {
@@ -216,6 +237,9 @@ pub(crate) struct BitplaneScratch {
 }
 
 impl BitplaneScratch {
+    // AUDIT(hot): setup-time — empty vectors, no heap until `reset`
+    // sizes them; one scratch lives per coder and is recycled across
+    // blocks.
     pub(crate) fn new() -> Self {
         Self {
             w: 0,
@@ -238,6 +262,8 @@ impl BitplaneScratch {
 
     /// Re-dimension for a `w`×`h` block with `planes` magnitude planes and
     /// zero all state, keeping allocations when large enough.
+    // AUDIT(hot): amortized — every buffer is clear + resize over
+    // recycled capacity; steady state allocates nothing (oracle-checked).
     // AUDIT(fn): encoder side — sizes derive from the caller-validated
     // block geometry (w, h <= 1024, planes <= MAX_PLANES), far below
     // overflow range.
@@ -288,6 +314,8 @@ impl BitplaneScratch {
     }
 
     /// Magnitude of `(x, y)` from the stripe-interleaved copy.
+    // AUDIT(fn): x < w and y < h index inside the copy by construction.
+    #[allow(clippy::indexing_slicing)]
     #[inline]
     fn smag_at(&self, x: usize, y: usize) -> u32 {
         // AUDIT: x < w and y < h index inside the copy by construction;
@@ -389,16 +417,16 @@ fn win_regs(regs: &[u64; STRIPE_HEIGHT + 2], sh: usize) -> u32 {
     // and the fixed trip count lets the extraction unroll.
     let mut win = 0u32;
     if sh == 0 {
-        for j in 0..STRIPE_HEIGHT + 2 {
-            win |= (((regs[j] & 3) << 1) as u32) << (3 * j);
+        for (j, &r) in regs.iter().enumerate() {
+            win |= (((r & 3) << 1) as u32) << (3 * j);
         }
     } else if sh == 63 {
-        for j in 0..STRIPE_HEIGHT + 2 {
-            win |= (((regs[j] >> 62) & 3) as u32) << (3 * j);
+        for (j, &r) in regs.iter().enumerate() {
+            win |= (((r >> 62) & 3) as u32) << (3 * j);
         }
     } else {
-        for j in 0..STRIPE_HEIGHT + 2 {
-            win |= (((regs[j] >> (sh - 1)) & 7) as u32) << (3 * j);
+        for (j, &r) in regs.iter().enumerate() {
+            win |= (((r >> (sh - 1)) & 7) as u32) << (3 * j);
         }
     }
     win
@@ -501,10 +529,18 @@ impl Coder<'_> {
 /// setup), `msb_planes >= 1` the coded plane count — all validated by
 /// [`crate::BlockCoder`], which also owns `seg_buf`, the recycled segment
 /// allocation.
+// The wide signature is deliberate: every argument is a distinct borrow
+// of caller-owned scratch, so bundling them would just add a struct
+// whose only job is to be destructured here.
+#[allow(clippy::too_many_arguments)]
 // AUDIT(fn): encoder side — indices derive from the validated geometry
 // (w * h == coeffs.len() == mag.len()); per-plane and per-stripe offsets
 // are products of in-range factors.
 #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+// AUDIT(hot): all growth amortized — pass records and coded bytes land
+// in the caller's recycled `EncodedBlock` buffers and the MQ/raw sinks
+// rebuild over the previous segment's storage; the counting-allocator
+// oracle pins the steady state at 0 allocations per block.
 pub(crate) fn encode_block_into(
     bp: &mut BitplaneScratch,
     mag: &[u32],
@@ -761,6 +797,9 @@ fn sig_prop_pass(enc: &mut Coder, plane: u8) -> f64 {
 // AUDIT(fn): encoder side — offsets as in `sig_prop_pass`; `smag_at`
 // indexes the validated magnitude copy.
 #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+// AUDIT(hot): the refinement-gain LUT refill is amortized — `rgain` is
+// recycled scratch and the extend is O(2^lut_bits) per pass, not per
+// sample.
 fn mag_ref_pass(enc: &mut Coder, plane: u8) -> f64 {
     let (h, w, wpr) = (enc.bp.h, enc.bp.w, enc.bp.wpr);
     let causal = enc.opts.stripe_causal;
@@ -1113,5 +1152,39 @@ fn clear_run_bits(enc: &mut Coder, x: usize, w: usize) {
         enc.bp.aux[wj] &= m;
         enc.bp.aux2[wj] &= m;
         enc.bp.colmask[wj] &= m;
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_engine_token_covers_knob_vocabulary() {
+        assert_eq!(
+            parse_engine_token("reference"),
+            Some(Tier1Engine::Reference)
+        );
+        assert_eq!(parse_engine_token("ref"), Some(Tier1Engine::Reference));
+        assert_eq!(parse_engine_token("scalar"), Some(Tier1Engine::Reference));
+        assert_eq!(parse_engine_token("bitplane"), Some(Tier1Engine::Bitplane));
+        assert_eq!(parse_engine_token("bitmask"), Some(Tier1Engine::Bitplane));
+        // Case-insensitive, whitespace-tolerant — matches PJ2K_SIMD.
+        assert_eq!(
+            parse_engine_token(" Bitplane "),
+            Some(Tier1Engine::Bitplane)
+        );
+        assert_eq!(parse_engine_token("REF"), Some(Tier1Engine::Reference));
+        // Garbage and empty are rejected (env_override warns, not here).
+        assert_eq!(parse_engine_token("refrence"), None);
+        assert_eq!(parse_engine_token(""), None);
+        assert_eq!(parse_engine_token("auto"), None);
+    }
+
+    #[test]
+    fn forced_engines_resolve_to_themselves() {
+        assert_eq!(Tier1Engine::Reference.resolve(), Tier1Engine::Reference);
+        assert_eq!(Tier1Engine::Bitplane.resolve(), Tier1Engine::Bitplane);
     }
 }

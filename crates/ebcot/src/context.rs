@@ -119,6 +119,7 @@ pub fn sc_context(hc: i32, vc: i32) -> (usize, u8) {
         (-1, 1) => (11, 1),
         (-1, 0) => (12, 1),
         (-1, -1) => (13, 1),
+        // AUDIT(hot): unreachable — hc/vc are clamped to -1..=1 above.
         _ => unreachable!("clamped contributions"),
     }
 }

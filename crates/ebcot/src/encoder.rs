@@ -368,6 +368,8 @@ impl BlockCoder {
 
     /// Fresh coder pinned to `engine` (still subject to the `PJ2K_TIER1`
     /// override when `engine` is [`Tier1Engine::Auto`]).
+    // AUDIT(hot): setup-time — empty vectors; per-block work recycles
+    // them via clear/resize.
     pub fn with_engine(engine: Tier1Engine) -> Self {
         Self {
             engine,
@@ -477,7 +479,9 @@ impl BlockCoder {
     }
 
     /// Shared setup (magnitudes, plane count, distortion baseline) and
-    /// engine dispatch.
+    /// engine dispatch. The wide signature mirrors the public
+    /// `encode_with`/`encode_into` entry points plus the optional profile.
+    #[allow(clippy::too_many_arguments)]
     fn encode_inner(
         &mut self,
         coeffs: &[i32],
@@ -488,10 +492,10 @@ impl BlockCoder {
         profile: Option<&mut Tier1Profile>,
         out: &mut EncodedBlock,
     ) {
-        assert!(w > 0 && h > 0, "empty code-block");
-        assert_eq!(coeffs.len(), w * h, "coefficient count mismatch");
+        assert!(w > 0 && h > 0, "empty code-block"); // AUDIT(hot): per-block precondition, O(1) at entry.
+        assert_eq!(coeffs.len(), w * h, "coefficient count mismatch"); // AUDIT(hot): per-block precondition.
         self.mag.clear();
-        self.mag.resize(w * h, 0);
+        self.mag.resize(w * h, 0); // AUDIT(hot): amortized — recycled magnitude plane.
         let mut max_mag = 0u32;
         let mut initial_distortion = 0.0f64;
         for (k, &c) in coeffs.iter().enumerate() {
@@ -501,7 +505,7 @@ impl BlockCoder {
             initial_distortion += f64::from(m) * f64::from(m);
         }
         let msb_planes = (32 - max_mag.leading_zeros()) as u8;
-        assert!(msb_planes <= MAX_PLANES, "coefficient magnitude too large");
+        assert!(msb_planes <= MAX_PLANES, "coefficient magnitude too large"); // AUDIT(hot): per-block contract check.
         out.width = w;
         out.height = h;
         out.msb_planes = msb_planes;
@@ -531,6 +535,10 @@ impl BlockCoder {
 
     /// The reference per-coefficient flag-grid engine.
     #[allow(clippy::too_many_arguments)]
+    // AUDIT(hot): all growth amortized — same recycled-buffer emit
+    // protocol as the bitplane engine (pass records and coded bytes
+    // reuse `EncodedBlock` and sink storage); oracle holds 0
+    // allocations per block after warm-up.
     fn encode_reference_into(
         &mut self,
         coeffs: &[i32],

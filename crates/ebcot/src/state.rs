@@ -17,6 +17,7 @@ pub(crate) struct FlagGrid {
 }
 
 impl FlagGrid {
+    // AUDIT(hot): setup-time — delegates to `reset`, which recycles.
     pub fn new(w: usize, h: usize) -> Self {
         let mut g = Self {
             w: 0,
@@ -30,6 +31,8 @@ impl FlagGrid {
 
     /// Re-dimension the grid for a new block and zero every flag, keeping
     /// the previously allocated storage when it is large enough.
+    // AUDIT(hot): amortized — clear + resize reuses the prior block's
+    // capacity; steady state allocates nothing.
     pub fn reset(&mut self, w: usize, h: usize) {
         self.w = w;
         self.h = h;

@@ -20,6 +20,9 @@ impl Image {
     /// # Panics
     /// Panics if `components` is empty, the planes disagree in size, or
     /// `bit_depth` is outside `1..=16`.
+    // AUDIT(hot): setup-time — image construction happens once per
+    // encode/decode, outside every coding loop; asserts are its
+    // documented contract.
     pub fn new(components: Vec<Plane<i32>>, bit_depth: u8, signed: bool) -> Self {
         assert!(!components.is_empty(), "image needs at least one component");
         assert!(

@@ -26,6 +26,8 @@ impl<T: Copy + Default> Plane<T> {
     ///
     /// # Panics
     /// Panics if `stride < width`.
+    // AUDIT(hot): setup-time — the plane buffer is allocated once per
+    // component/tile, never inside the per-sample loops.
     pub fn with_stride(width: usize, height: usize, stride: usize) -> Self {
         assert!(stride >= width, "stride {stride} < width {width}");
         Self {

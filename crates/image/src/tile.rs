@@ -37,6 +37,7 @@ impl TileGrid {
     ///
     /// # Panics
     /// Panics on zero-sized tiles or image.
+    // AUDIT(hot): setup-time — grid geometry fixed once per image.
     pub fn new(image_w: usize, image_h: usize, tile_w: usize, tile_h: usize) -> Self {
         assert!(image_w > 0 && image_h > 0, "empty image");
         assert!(tile_w > 0 && tile_h > 0, "empty tile");
@@ -83,6 +84,8 @@ impl TileGrid {
     ///
     /// # Panics
     /// Panics if `index >= len()`.
+    // AUDIT(hot): O(1) per tile — the assert is the documented index
+    // contract, evaluated once per tile, not per sample.
     pub fn rect(&self, index: usize) -> TileRect {
         assert!(index < self.len(), "tile index out of range");
         let tx = index % self.cols();

@@ -92,6 +92,8 @@ impl Default for MqEncoder {
 
 impl MqEncoder {
     /// Fresh encoder (INITENC).
+    // AUDIT(hot): setup-time — one tiny buffer per fresh coder; hot
+    // loops use `from_recycled` and never hit this.
     pub fn new() -> Self {
         Self::from_recycled(Vec::with_capacity(1))
     }
@@ -101,6 +103,8 @@ impl MqEncoder {
     /// the coder once per pass (Tier-1 codes thousands of passes per image)
     /// hand the [`MqEncoder::flush`]ed segment back here instead of paying
     /// a heap allocation per pass.
+    // AUDIT(hot): amortized — the sentinel push reuses the recycled
+    // buffer's capacity (cleared, never shrunk).
     pub fn from_recycled(mut buf: Vec<u8>) -> Self {
         buf.clear();
         buf.push(0);
@@ -225,6 +229,8 @@ impl MqEncoder {
 
     // AUDIT(fn): encoder side; `bp` always indexes a pushed byte (the
     // sentinel guarantees `buf` is never empty).
+    // AUDIT(hot): amortized — all pushes append to the recycled segment
+    // buffer; steady state reuses capacity (oracle: 0 allocs/block).
     #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
     fn byte_out(&mut self) {
         if self.buf[self.bp] == 0xFF {
@@ -253,6 +259,7 @@ impl MqEncoder {
     }
 
     // AUDIT(fn): encoder side; `bp` tracks `buf.len() - 1`.
+    // AUDIT(hot): amortized — append into recycled segment buffer.
     #[allow(clippy::arithmetic_side_effects)]
     #[inline]
     fn push(&mut self, b: u8) {

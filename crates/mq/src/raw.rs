@@ -19,6 +19,8 @@ pub struct RawEncoder {
 
 impl RawEncoder {
     /// Fresh raw segment.
+    // AUDIT(hot): setup-time — empty vec, no heap; hot loops recycle
+    // via `from_recycled`.
     pub fn new() -> Self {
         Self::from_recycled(Vec::new())
     }
@@ -52,7 +54,7 @@ impl RawEncoder {
         if self.filled == self.nbits {
             // A 7-bit byte after 0xFF keeps its MSB stuffed to zero.
             let byte = self.acc;
-            self.out.push(byte);
+            self.out.push(byte); // AUDIT(hot): amortized — recycled segment buffer.
             self.nbits = if byte == 0xFF { 7 } else { 8 };
             self.acc = 0;
             self.filled = 0;
@@ -95,10 +97,10 @@ impl RawEncoder {
             let pad = self.nbits - self.filled;
             // A 7-bit follower byte keeps its MSB stuffed to zero.
             let mask = if self.nbits == 7 { 0x7F } else { 0xFF };
-            self.out.push((self.acc << pad) & mask);
+            self.out.push((self.acc << pad) & mask); // AUDIT(hot): amortized — flush tail, recycled buffer.
         }
         if self.out.last() == Some(&0xFF) {
-            self.out.push(0);
+            self.out.push(0); // AUDIT(hot): amortized — at most one terminator byte per pass.
         }
         self.out
     }

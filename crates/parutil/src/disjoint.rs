@@ -39,6 +39,8 @@ struct ClaimTable {
 
 #[cfg(debug_assertions)]
 impl ClaimTable {
+    // AUDIT(hot): debug-build only — the claim bitmap exists solely in
+    // debug builds; release hot paths compile none of this.
     fn new(len: usize) -> Self {
         ClaimTable {
             bits: vec![0u64; len.div_ceil(64)],
@@ -46,6 +48,7 @@ impl ClaimTable {
         }
     }
 
+    // AUDIT(hot): debug-build only — overlap detection, absent in release.
     fn claim(&mut self, i: usize) {
         let (w, b) = (i / 64, i % 64);
         assert!(
@@ -125,6 +128,8 @@ unsafe impl<T: Send> Sync for DisjointWriter<'_, T> {}
 impl<'a, T> DisjointWriter<'a, T> {
     /// Wrap `slice` for checked disjoint parallel writes. The slice stays
     /// mutably borrowed for the writer's lifetime.
+    // AUDIT(hot): setup-time — one writer per parallel region; the
+    // mutex-guarded claim table is debug-build bookkeeping.
     pub fn new(slice: &'a mut [T]) -> Self {
         DisjointWriter {
             ptr: slice.as_mut_ptr(),
@@ -151,9 +156,9 @@ impl<'a, T> DisjointWriter<'a, T> {
     /// If the range is out of bounds; in debug builds, if any element is
     /// already claimed.
     pub fn claim_range(&self, range: Range<usize>) -> DisjointClaim<'_, T> {
-        assert!(range.end <= self.len, "claim_range out of bounds");
+        assert!(range.end <= self.len, "claim_range out of bounds"); // AUDIT(hot): O(1) per claim, not per element.
         #[cfg(debug_assertions)]
-        self.register(range.clone());
+        self.register(range.clone()); // AUDIT(hot): Range copy + debug-only registration.
         DisjointClaim {
             ptr: self.ptr,
             #[cfg(debug_assertions)]
@@ -168,6 +173,8 @@ impl<'a, T> DisjointWriter<'a, T> {
     /// # Panics
     /// In debug builds: if any index is out of bounds, repeated, or already
     /// claimed.
+    // AUDIT(hot): the bounds asserts and the index-set collect are
+    // debug-build only (cfg'd field); release claims are pointer math.
     pub fn claim_indices(&self, indices: &[usize]) -> DisjointClaim<'_, T> {
         #[cfg(debug_assertions)]
         {
@@ -218,6 +225,7 @@ impl<'a, T> DisjointWriter<'a, T> {
     }
 
     #[cfg(debug_assertions)]
+    // AUDIT(hot): debug-build only — lock + bitmap update vanish in release.
     fn register(&self, indices: impl IntoIterator<Item = usize>) {
         let mut table = self.table.lock().unwrap_or_else(|e| e.into_inner());
         for i in indices {
@@ -228,6 +236,7 @@ impl<'a, T> DisjointWriter<'a, T> {
     /// Debug-build assertion that the claims issued so far cover **every**
     /// element of the buffer (full coverage at scope exit). No-op in
     /// release builds.
+    // AUDIT(hot): debug-build only — coverage assertion, no-op in release.
     pub fn debug_assert_fully_claimed(&self) {
         #[cfg(debug_assertions)]
         {
@@ -287,9 +296,9 @@ impl<T> DisjointClaim<'_, T> {
         T: Copy,
     {
         #[cfg(debug_assertions)]
-        assert!(self.region.owns(i), "read of unclaimed element {i}");
-        // SAFETY: caller guarantees `i` is in bounds; the claim's region
-        // was bounds-checked at claim time.
+        assert!(self.region.owns(i), "read of unclaimed element {i}"); // AUDIT(hot): debug-build only.
+                                                                       // SAFETY: caller guarantees `i` is in bounds; the claim's region
+                                                                       // was bounds-checked at claim time.
         unsafe { *self.ptr.add(i) }
     }
 
@@ -301,9 +310,9 @@ impl<T> DisjointClaim<'_, T> {
     #[inline]
     pub unsafe fn write(&self, i: usize, v: T) {
         #[cfg(debug_assertions)]
-        assert!(self.region.owns(i), "write to unclaimed element {i}");
-        // SAFETY: caller guarantees `i` is in bounds; disjointness of
-        // claims makes the store race-free.
+        assert!(self.region.owns(i), "write to unclaimed element {i}"); // AUDIT(hot): debug-build only.
+                                                                        // SAFETY: caller guarantees `i` is in bounds; disjointness of
+                                                                        // claims makes the store race-free.
         unsafe { *self.ptr.add(i) = v };
     }
 
@@ -316,6 +325,7 @@ impl<T> DisjointClaim<'_, T> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
         #[cfg(debug_assertions)]
+        // AUDIT(hot): debug-build only.
         assert!(
             self.region.owns_span(start, len),
             "slice_mut of unclaimed span {start}..{}",

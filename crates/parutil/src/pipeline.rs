@@ -50,6 +50,8 @@ impl<T> PipelineQueue<T> {
     /// [`pipeline_map_with_state`] constructs its own queue; this is public
     /// so the loom models in `tests/loom.rs` can drive the exact
     /// producer/consumer hand-off the pipeline executor runs.
+    // AUDIT(hot): setup-time — one queue (mutex + condvar) per pipeline
+    // run, constructed before any stage starts.
     pub fn new() -> Self {
         Self {
             state: Mutex::new(QueueState {
@@ -66,6 +68,9 @@ impl<T> PipelineQueue<T> {
     ///
     /// # Panics
     /// Panics if called after the producer returned (queue closed).
+    // AUDIT(hot): by design — the lock/notify pair IS the stage-overlap
+    // handoff; it runs once per work item (a DWT strip or code block),
+    // never inside the per-sample kernels.
     pub fn send(&self, index: usize, item: T) {
         let mut q = self.state.lock().expect("pipeline queue poisoned");
         assert!(!q.closed, "send on a closed pipeline queue");
@@ -79,6 +84,7 @@ impl<T> PipelineQueue<T> {
     /// and then observe `None`. The pipeline driver calls this when the
     /// producer returns; it is public for the loom models and shutdown
     /// tests.
+    // AUDIT(hot): once per pipeline run, at producer shutdown.
     pub fn close(&self) {
         // Poison-tolerant: close runs from a drop guard during unwinding,
         // and panicking inside a Drop would escalate to an abort.
@@ -90,6 +96,9 @@ impl<T> PipelineQueue<T> {
 
     /// Pop the next item, blocking while the queue is open and empty.
     /// Returns `None` once the queue is closed *and* drained.
+    // AUDIT(hot): by design — consumer side of the per-item handoff;
+    // blocking here is idle time the paper's overlap model accounts for,
+    // not contention inside a coding loop.
     pub fn recv(&self) -> Option<(usize, T)> {
         let mut q = self.state.lock().expect("pipeline queue poisoned");
         loop {
@@ -121,6 +130,9 @@ impl<T> PipelineQueue<T> {
 /// # Panics
 /// Panics if the producer publishes an index twice (debug builds, claim
 /// table) or fails to cover `0..n` (all builds).
+// AUDIT(hot): setup/teardown — the slot vector is allocated once per
+// pipeline run and the duplicate-index assert fires once per item, both
+// outside the per-sample kernels the pipeline drives.
 pub fn pipeline_map_with_state<T, S, R, I, F, P>(
     n: usize,
     p: usize,
@@ -192,6 +204,8 @@ impl<T> Drop for CloseOnDrop<'_, T> {
     }
 }
 
+// AUDIT(hot): teardown — one pass over the finished slots per run; the
+// panic is the pipeline's completeness contract.
 fn unwrap_slots<R>(slots: Vec<Option<R>>) -> Vec<R> {
     slots
         .into_iter()

@@ -41,6 +41,9 @@ where
 /// from a shared atomic cursor as they go idle. Either way every claimed
 /// region is routed through [`DisjointWriter`], so the debug-build claim
 /// table validates that the realized partition is disjoint and covering.
+// AUDIT(hot): batch dispatch — every allocation, assert, and claim here
+// is O(n + p) once per parallel batch (slot vector, schedule, teardown
+// collect); the per-sample loops live inside `f`, not in this wrapper.
 pub fn pool_map_with_state<S, R, I, F>(
     n: usize,
     p: usize,
@@ -124,6 +127,8 @@ where
 /// Run `f(i)` for every `i in 0..n` on `p` scoped worker threads, discarding
 /// results. Like [`pool_map`] but for side-effecting work (e.g. in-place
 /// filtering of disjoint row ranges).
+// AUDIT(hot): batch dispatch — same O(n + p) per-batch costs as
+// `pool_map_with_state`, with no result slots.
 pub fn pool_run<F>(n: usize, p: usize, schedule: Schedule, f: F)
 where
     F: Fn(usize) + Sync,
@@ -181,6 +186,9 @@ impl WorkerPool {
     ///
     /// # Panics
     /// Panics if `p == 0`.
+    // AUDIT(hot): setup-time — threads, channels, and the outstanding
+    // counter are built once per pool lifetime; the lock/notify in the
+    // spawned worker loop runs once per job retirement, not per sample.
     pub fn new(p: usize) -> Self {
         assert!(p > 0, "worker count must be positive");
         let outstanding = Arc::new((Mutex::new(0usize), Condvar::new()));
@@ -225,6 +233,9 @@ impl WorkerPool {
     /// time; with [`Schedule::Dynamic`] the jobs are materialized up front
     /// and the workers claim consecutive chunks of the job list through a
     /// shared atomic cursor as they go idle.
+    // AUDIT(hot): by design — the counter lock, boxed job sends, and the
+    // final condvar wait are the batch barrier itself, O(n + p) per
+    // batch; coding work happens inside the jobs.
     pub fn run_batch<F, G>(&self, n: usize, schedule: Schedule, make: G)
     where
         F: FnOnce() + Send + 'static,
@@ -257,6 +268,9 @@ impl WorkerPool {
 
     /// Dynamic-schedule variant of [`WorkerPool::run_batch`]: one claiming
     /// driver per worker, all counted by the shared outstanding counter.
+    // AUDIT(hot): by design — job slots, the claim cursor, and the
+    // barrier wait are O(n + p) per dynamic batch; the slot mutex is
+    // uncontended by construction (each chunk claimed once).
     fn run_batch_dynamic<F, G>(&self, n: usize, chunk: usize, make: G)
     where
         F: FnOnce() + Send + 'static,

@@ -59,6 +59,9 @@ pub enum Schedule {
 /// # Panics
 /// Panics if `p == 0`, or if `schedule` is [`Schedule::Dynamic`] with
 /// `chunk == 0`.
+// AUDIT(hot): batch dispatch — assignment lists are built once per
+// parallel batch, O(n) total; executors then run allocation-free off
+// the returned partition.
 pub fn assign(n: usize, p: usize, schedule: Schedule) -> Vec<Vec<usize>> {
     assert!(p > 0, "worker count must be positive");
     let mut out = vec![Vec::with_capacity(n.div_ceil(p)); p];
@@ -116,6 +119,8 @@ impl DynamicCursor {
     ///
     /// # Panics
     /// Panics if `chunk == 0`.
+    // AUDIT(hot): setup-time — one cursor per dynamic batch; the chunk
+    // assert is its documented contract.
     pub fn new(n: usize, chunk: usize) -> Self {
         assert!(chunk > 0, "dynamic chunk size must be positive");
         DynamicCursor {
@@ -141,6 +146,7 @@ impl DynamicCursor {
 ///
 /// The first `n % p` ranges are one longer than the rest, matching the
 /// canonical static loop split of OpenMP's `schedule(static)`.
+// AUDIT(hot): batch dispatch — O(p) range list once per batch.
 pub fn chunk_ranges(n: usize, p: usize) -> Vec<std::ops::Range<usize>> {
     assert!(p > 0, "worker count must be positive");
     let base = n / p;

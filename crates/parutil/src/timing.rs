@@ -22,6 +22,8 @@ impl StageTimes {
     }
 
     /// Add `d` to stage `name`, creating the stage on first use.
+    // AUDIT(hot): cold — stage accounting runs once per pipeline stage
+    // per run (a handful of entries), never inside coding loops.
     pub fn add(&mut self, name: &str, d: Duration) {
         if let Some(entry) = self.entries.iter_mut().find(|(n, _)| n == name) {
             entry.1 += d;

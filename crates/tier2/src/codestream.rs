@@ -239,6 +239,10 @@ impl MarkerWriter {
     }
 
     /// Emit raw bytes (tile body data after `SOD`).
+    // AUDIT(hot): amortized — appends whole segments to the growing
+    // codestream vec, O(markers) per image. (Reached by the hot-path
+    // audit via a name collision with `Plane::raw`; kept justified
+    // rather than special-cased.)
     pub fn raw(&mut self, bytes: &[u8]) {
         self.out.extend_from_slice(bytes);
     }

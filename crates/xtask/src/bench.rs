@@ -23,15 +23,21 @@ struct BenchSpec {
     /// Numeric regression floors: the first number following each key in
     /// the document must be strictly greater than the given value.
     floors: &'static [(&'static str, f64)],
+    /// Numeric ceilings: the first number following each key must be less
+    /// than or equal to the given value (inclusive, so exact-zero
+    /// contracts are expressible as a 0.0 ceiling).
+    ceilings: &'static [(&'static str, f64)],
 }
 
 const BENCHES: &[BenchSpec] = &[
     BenchSpec {
         bin: "bench_tier1",
         out: "target/BENCH_tier1_smoke.json",
-        schema: "pj2k.bench_tier1.v2",
+        schema: "pj2k.bench_tier1.v3",
         keys: &[
             "\"microbench\"",
+            "\"steady_state\"",
+            "\"steady_allocs_per_block\"",
             "\"encoder\"",
             "\"dynamic_over_staggered\"",
             "\"engines\"",
@@ -52,13 +58,18 @@ const BENCHES: &[BenchSpec] = &[
         // dipping under 1.2 means the engine lost most of its advantage,
         // not that the runner was noisy.
         floors: &[("\"bitplane_speedup\"", 1.2)],
+        // The warm Tier-1 arena must allocate exactly zero times per
+        // block — the runtime half of the audit-hotpath contract.
+        ceilings: &[("\"steady_allocs_per_block\"", 0.0)],
     },
     BenchSpec {
         bin: "bench_dwt",
         out: "target/BENCH_dwt_smoke.json",
-        schema: "pj2k.bench_dwt.v1",
+        schema: "pj2k.bench_dwt.v2",
         keys: &[
             "\"kernels\"",
+            "\"steady_state\"",
+            "\"allocs_marginal_per_strip\"",
             "\"fused_strip_speedup_97\"",
             "\"fused_naive_speedup_97\"",
             "\"fused_strip_speedup_53\"",
@@ -73,6 +84,8 @@ const BENCHES: &[BenchSpec] = &[
             "\"modeled_pipelined_speedup\"",
         ],
         floors: &[],
+        // Extra DWT strips must not cost extra allocations.
+        ceilings: &[("\"allocs_marginal_per_strip\"", 0.0)],
     },
 ];
 
@@ -148,6 +161,13 @@ fn check_doc(doc: &str, spec: &BenchSpec) -> Result<(), String> {
             None => return Err(format!("no numeric value found for {key}")),
         }
     }
+    for (key, ceiling) in spec.ceilings {
+        match extract_number(doc, key) {
+            Some(v) if v <= *ceiling => {}
+            Some(v) => return Err(format!("{key} = {v} exceeds the ceiling {ceiling}")),
+            None => return Err(format!("no numeric value found for {key}")),
+        }
+    }
     Ok(())
 }
 
@@ -167,43 +187,61 @@ fn extract_number(doc: &str, key: &str) -> Option<f64> {
 mod tests {
     use super::*;
 
+    /// A document with every required key; keys named in `ceilings` get 0
+    /// (the steady-state contracts are exact-zero), everything else 1.
+    fn doc_with_all_keys(spec: &BenchSpec) -> String {
+        let mut doc = format!("{{\"schema\": \"{}\"", spec.schema);
+        for key in spec.keys {
+            let ceiled = spec.ceilings.iter().any(|(k, _)| k == key);
+            doc.push_str(&format!(", {key}: {}", if ceiled { 0 } else { 1 }));
+        }
+        doc.push('}');
+        doc
+    }
+
     #[test]
     fn check_doc_accepts_minimal_valid_doc() {
         let spec = &BENCHES[1];
-        let mut doc = String::from("{\"schema\": \"pj2k.bench_dwt.v1\"");
-        for key in spec.keys {
-            doc.push_str(&format!(", {key}: 1"));
-        }
-        doc.push('}');
-        assert!(check_doc(&doc, spec).is_ok());
+        assert!(check_doc(&doc_with_all_keys(spec), spec).is_ok());
     }
 
     #[test]
     fn floors_enforce_numeric_minimums() {
         let spec = &BENCHES[0];
         assert_eq!(spec.floors, &[("\"bitplane_speedup\"", 1.2)]);
-        let mut doc = String::from("{\"schema\": \"pj2k.bench_tier1.v2\"");
-        for key in spec.keys {
-            doc.push_str(&format!(", {key}: 1"));
-        }
-        // keys list already contains bitplane_speedup: 1 — under the
-        // floor, which must be rejected (strictly-greater comparison).
-        let at_floor = format!("{doc}}}");
+        // keys list contains bitplane_speedup: 1 — under the floor, which
+        // must be rejected (strictly-greater comparison).
+        let at_floor = doc_with_all_keys(spec);
         assert!(check_doc(&at_floor, spec).is_err());
-        let above = format!(
-            "{}}}",
-            doc.replace("\"bitplane_speedup\": 1", "\"bitplane_speedup\": 2.75")
-        );
+        let above = at_floor.replace("\"bitplane_speedup\": 1", "\"bitplane_speedup\": 2.75");
         assert!(check_doc(&above, spec).is_ok());
         assert_eq!(extract_number("{\"x\": -3.5e2,", "\"x\""), Some(-350.0));
         assert_eq!(extract_number("{\"x\": []}", "\"x\""), None);
     }
 
     #[test]
+    fn ceilings_enforce_exact_zero_contracts() {
+        let spec = &BENCHES[0];
+        assert_eq!(spec.ceilings, &[("\"steady_allocs_per_block\"", 0.0)]);
+        let good =
+            doc_with_all_keys(spec).replace("\"bitplane_speedup\": 1", "\"bitplane_speedup\": 2.0");
+        assert!(check_doc(&good, spec).is_ok());
+        // Any steady-state allocation breaks the ceiling (inclusive
+        // comparison: 0 passes, 0.5 does not).
+        let leaky = good.replace(
+            "\"steady_allocs_per_block\": 0",
+            "\"steady_allocs_per_block\": 0.5",
+        );
+        assert!(check_doc(&leaky, spec).is_err());
+        let dwt = &BENCHES[1];
+        assert_eq!(dwt.ceilings, &[("\"allocs_marginal_per_strip\"", 0.0)]);
+    }
+
+    #[test]
     fn check_doc_rejects_missing_key_and_imbalance() {
         let spec = &BENCHES[1];
-        assert!(check_doc("{\"schema\": \"pj2k.bench_dwt.v1\"}", spec).is_err());
-        let mut doc = String::from("{\"schema\": \"pj2k.bench_dwt.v1\"");
+        assert!(check_doc("{\"schema\": \"pj2k.bench_dwt.v2\"}", spec).is_err());
+        let mut doc = String::from("{\"schema\": \"pj2k.bench_dwt.v2\"");
         for key in spec.keys {
             doc.push_str(&format!(", {key}: ["));
         }

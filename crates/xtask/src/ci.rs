@@ -2,7 +2,8 @@
 //!
 //! Runs, in order: `cargo fmt --check`, `cargo clippy -D warnings`, the
 //! project lint pass (in-process), the panic-path audit (in-process), the
-//! concurrency-contract audit (in-process), and `cargo test`. All steps
+//! concurrency-contract audit (in-process), the hot-path discipline audit
+//! (in-process), and `cargo test`. All steps
 //! run even if an earlier one fails, so a single
 //! invocation reports every problem; the exit status is non-zero if any
 //! step failed.
@@ -59,6 +60,7 @@ pub fn run(root: &Path, opts: &CiOptions) -> i32 {
     let lint = step_lint(root);
     let audit = step_audit(root);
     let unsafe_audit = step_unsafe_audit(root);
+    let hotpath = step_hotpath(root);
     let test = step_cmd(
         "test",
         opts.skip_tests,
@@ -66,7 +68,7 @@ pub fn run(root: &Path, opts: &CiOptions) -> i32 {
             .args(["test", "--workspace", "-q"])
             .current_dir(root),
     );
-    let results = [fmt, clippy, lint, audit, unsafe_audit, test];
+    let results = [fmt, clippy, lint, audit, unsafe_audit, hotpath, test];
 
     println!("\n== ci summary ==");
     let mut failed = false;
@@ -181,6 +183,37 @@ fn step_unsafe_audit(root: &Path) -> StepResult {
     };
     StepResult {
         name: "audit-unsafe",
+        outcome,
+    }
+}
+
+fn step_hotpath(root: &Path) -> StepResult {
+    println!("== ci: audit-hotpath ==");
+    let outcome = match crate::hotpath::audit_hotpath_workspace(root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.violations.is_empty() {
+                println!(
+                    "audit-hotpath: clean ({} hot fns from {} roots)",
+                    report.closure.len(),
+                    report.roots.len()
+                );
+                Outcome::Pass
+            } else {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("audit-hotpath: {} violation(s)", report.violations.len());
+                Outcome::Fail
+            }
+        }
+        Err(err) => {
+            eprintln!("audit-hotpath: io error: {err}");
+            Outcome::Fail
+        }
+    };
+    StepResult {
+        name: "audit-hotpath",
         outcome,
     }
 }

@@ -11,9 +11,14 @@
 //!   raw parallel writes must route through `DisjointClaim` or carry an
 //!   `// AUDIT(alias):` justification, and `SendPtr` stays inside its
 //!   allowlisted modules. Exits non-zero on any uncovered site.
+//! * `cargo run -p xtask -- audit-hotpath` — static hot-path discipline
+//!   audit (see [`hotpath`]): builds an approximate call graph from the
+//!   roots declared in `hotpaths.toml` and requires every allocation,
+//!   lock, I/O, or panic site in the transitive closure to carry an
+//!   `// AUDIT(hot):` justification. Exits non-zero on any uncovered site.
 //! * `cargo run -p xtask -- ci` — the full verification gate: fmt check,
-//!   clippy `-D warnings`, the custom lint, both audits, and the test
-//!   suite.
+//!   clippy `-D warnings`, the custom lint, all three audits, and the
+//!   test suite.
 //! * `cargo run -p xtask -- bench-smoke` — run every benchmark harness in
 //!   smoke mode and re-validate the JSON it emits (see [`bench`]).
 //!
@@ -23,6 +28,7 @@
 mod audit;
 mod bench;
 mod ci;
+mod hotpath;
 mod lint;
 mod scan;
 mod unsafe_audit;
@@ -45,6 +51,15 @@ fn main() -> ExitCode {
         Some("audit-unsafe") => {
             let quiet = args.iter().any(|a| a == "--quiet");
             run_unsafe_audit(&root, quiet)
+        }
+        Some("audit-hotpath") => {
+            let quiet = args.iter().any(|a| a == "--quiet");
+            let report_path = args
+                .iter()
+                .position(|a| a == "--report")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from);
+            run_hotpath_audit(&root, quiet, report_path.as_deref())
         }
         Some("ci") => {
             let opts = ci::CiOptions {
@@ -163,6 +178,48 @@ fn run_unsafe_audit(root: &Path, quiet: bool) -> ExitCode {
     }
 }
 
+fn run_hotpath_audit(root: &Path, quiet: bool, report_path: Option<&Path>) -> ExitCode {
+    match hotpath::audit_hotpath_workspace(root) {
+        Ok(report) => {
+            let rendered = report.render();
+            if !quiet {
+                print!("{rendered}");
+            } else {
+                println!(
+                    "hot-path inventory: {} sites across {} hot fns",
+                    report.sites.len(),
+                    report.closure.len()
+                );
+            }
+            if let Some(path) = report_path {
+                if let Err(err) = std::fs::write(path, &rendered) {
+                    eprintln!("audit-hotpath: cannot write {}: {err}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("audit-hotpath: report written to {}", path.display());
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "audit-hotpath: clean ({} hot fns from {} roots)",
+                    report.closure.len(),
+                    report.roots.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("audit-hotpath: {} violation(s)", report.violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("audit-hotpath: io error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Locate the workspace root: walk up from the current directory to the
 /// first directory containing a `crates/` subdirectory and a `Cargo.toml`.
 fn workspace_root() -> PathBuf {
@@ -191,6 +248,9 @@ fn print_help() {
          \t\t--quiet\tsummarize the inventory instead of listing sites\n\
          \taudit-unsafe\tconcurrency-contract audit (Send/Sync, SendPtr, claims)\n\
          \t\t--quiet\tsummarize the inventory instead of listing sites\n\
+         \taudit-hotpath\thot-path discipline audit (hotpaths.toml call-graph closure)\n\
+         \t\t--quiet\tsummarize the inventory instead of listing sites\n\
+         \t\t--report <path>\talso write the inventory report to a file\n\
          \tci\tfmt-check + clippy -D warnings + lint + audits + tests\n\
          \t\t--skip-fmt | --skip-clippy | --skip-tests\n\
          \tbench-smoke\trun bench_tier1 + bench_dwt in smoke mode, validate JSON\n\
