@@ -1,0 +1,457 @@
+//! Decode pipeline throughput harness.
+//!
+//! Emits `BENCH_decode.json` (schema `pj2k.bench_decode.v1`) tracking the
+//! staged decode pipeline (DESIGN.md §15) against the barriered decoder:
+//!
+//! 1. **Bit-identity cross-check**: every decoder variant this harness
+//!    times (barriered/pipelined × static/cost-weighted × worker counts)
+//!    must reproduce the sequential reference exactly — enforced in-run
+//!    before any number is reported.
+//! 2. **Real-thread sweep** at p ∈ {1, 2, 4, 8} over two workloads: a
+//!    *pyramid* stream (paper-default encode, dyadic cost mix) and a
+//!    *skewed* stream (heavy code-blocks recurring at a fixed stride —
+//!    the aliasing case for stride schedules). Wall seconds and Mpix/s
+//!    for the barriered decoder (static policy, staggered round-robin)
+//!    vs the pipelined decoder (cost-weighted repartitioning).
+//! 3. **Modeled sweep**: the same contrast through
+//!    [`pj2k_smpsim::decode`] driven by this run's measured stage totals,
+//!    so the shape claim survives single-core CI hosts where real-thread
+//!    speedups are meaningless. `pipelined_speedup` at p=4 on the skewed
+//!    workload is the headline key CI asserts.
+//! 4. **Steady-state allocation oracle**: a warm
+//!    [`pj2k_ebcot::BlockDecoderScratch`] pass over pre-parsed segments
+//!    must allocate exactly zero times per block — the runtime proof
+//!    behind the `AUDIT(hot): amortized` justifications in the pipelined
+//!    Tier-1 drain closure.
+//!
+//! ```sh
+//! cargo run --release -p pj2k-bench --bin bench_decode -- [--smoke] [--out PATH]
+//! ```
+
+use pj2k_bench::alloc_count::{self, CountingAlloc};
+use pj2k_bench::{paper_config, test_image, time};
+use pj2k_core::report::stage;
+use pj2k_core::{DecodeStagePolicy, Decoder, Encoder, EncoderConfig, ParallelMode, StageOverlap};
+use pj2k_ebcot::{BandCtx, BlockCoder, BlockDecoderScratch, EncodedBlock, Tier1Options};
+use pj2k_image::{synth, Image, Plane};
+use pj2k_smpsim::{
+    barriered_decode_makespan, pipelined_decode_makespan, DecodeStageCosts, Schedule,
+};
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Smooth background with a dense noise band in every fourth 64-pixel
+/// code-block row: heavy blocks recur at a fixed stride, which a stride
+/// schedule aliases onto one worker while the pipeline's queue drain
+/// rebalances at runtime.
+fn skewed_image(side: usize) -> Image {
+    let mut state = 0x5EED_BEEFu64;
+    Image::gray8(Plane::from_fn(side, side, |x, y| {
+        if (y / 64) % 4 == 0 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 256) as i32
+        } else {
+            (((x + 2 * y) / 8) % 256) as i32
+        }
+    }))
+}
+
+fn barriered(p: usize) -> Decoder {
+    Decoder {
+        parallel: if p == 1 {
+            ParallelMode::Sequential
+        } else {
+            ParallelMode::WorkerPool { workers: p }
+        },
+        stage_policy: DecodeStagePolicy::Static,
+        ..Decoder::default()
+    }
+}
+
+fn pipelined(p: usize) -> Decoder {
+    Decoder {
+        overlap: StageOverlap::Pipelined,
+        stage_policy: DecodeStagePolicy::CostWeighted,
+        ..barriered(p)
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    bytes: Vec<u8>,
+    pixels: f64,
+    /// Relative Tier-1 cost of block `i` in arrival order, for the model.
+    weight: fn(usize) -> f64,
+}
+
+fn pyramid_weight(i: usize) -> f64 {
+    // Dyadic mix: per 8 blocks, six sparse finest-level, one mid-level,
+    // one dense coarse/LL (see bench_tier1's synth_blocks).
+    [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 3.0, 9.0][i % 8]
+}
+
+fn skewed_weight(i: usize) -> f64 {
+    // Period-16 heavy blocks: with p=4 the staggered round-robin stride
+    // (worker = (i%p + i/p) % p) sends every one of them to worker 0.
+    if i.is_multiple_of(16) {
+        24.0
+    } else {
+        1.0
+    }
+}
+
+struct MeasuredRow {
+    p: usize,
+    barriered_secs: f64,
+    pipelined_secs: f64,
+}
+
+struct ModeledRow {
+    p: usize,
+    barriered_speedup: f64,
+    pipelined_speedup: f64,
+}
+
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Keys the emitted document must contain; checked after writing so a
+/// refactor cannot silently change the schema consumers parse.
+const REQUIRED_KEYS: &[&str] = &[
+    "\"schema\"",
+    "\"smoke\"",
+    "\"bit_identity\"",
+    "\"steady_state\"",
+    "\"steady_allocs_per_block\"",
+    "\"workloads\"",
+    "\"pyramid\"",
+    "\"skewed\"",
+    "\"parse_secs\"",
+    "\"tier1_secs\"",
+    "\"dwt_secs\"",
+    "\"measured\"",
+    "\"barriered_secs\"",
+    "\"pipelined_secs\"",
+    "\"barriered_mpix_per_sec\"",
+    "\"pipelined_mpix_per_sec\"",
+    "\"pipelined_over_barriered\"",
+    "\"modeled\"",
+    "\"barriered_speedup\"",
+    "\"pipelined_speedup\"",
+    "\"skewed_p4_pipelined_speedup\"",
+];
+
+fn validate(doc: &str) -> Result<(), String> {
+    for key in REQUIRED_KEYS {
+        if !doc.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    let opens = doc.matches('{').count();
+    let closes = doc.matches('}').count();
+    if opens == 0 || opens != closes {
+        return Err(format!("unbalanced braces: {opens} vs {closes}"));
+    }
+    if doc.matches('[').count() != doc.matches(']').count() {
+        return Err("unbalanced brackets".to_string());
+    }
+    Ok(())
+}
+
+/// Exact steady-state allocation count of one warm scratch pass: encode a
+/// block set, slice the per-pass segments up front, then decode every
+/// block through one recycled [`BlockDecoderScratch`] — after the warm-up
+/// pass the loop must not allocate at all.
+fn steady_state_allocs(n_blocks: usize) -> (u64, usize) {
+    let opts = Tier1Options::default();
+    let mut state = 0x00DE_C0DE_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    let bands = [BandCtx::LlLh, BandCtx::Hl, BandCtx::Hh];
+    let mut coder = BlockCoder::new();
+    let blocks: Vec<EncodedBlock> = (0..n_blocks)
+        .map(|b| {
+            let keep = [4u64, 4, 4, 12, 70][b % 5];
+            let coeffs: Vec<i32> = (0..64 * 64)
+                .map(|_| {
+                    let r = next();
+                    if (r >> 32) % 128 < keep {
+                        (((r >> 40) & 0xFF) as i32) - 128
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            coder.encode_with(&coeffs, 64, 64, bands[b % 3], opts)
+        })
+        .collect();
+    // Pre-sliced per-pass segments, exactly what the Tier-2 parser hands
+    // the pipelined drain.
+    let segments: Vec<Vec<&[u8]>> = blocks
+        .iter()
+        .map(|blk| {
+            let mut segs = Vec::new();
+            let mut off = 0usize;
+            for pass in &blk.passes {
+                segs.push(&blk.data[off..off + pass.len]);
+                off += pass.len;
+            }
+            segs
+        })
+        .collect();
+    let mut scratch = BlockDecoderScratch::new();
+    let mut out = Vec::new();
+    // Warm-up: size every scratch buffer for the block set.
+    for (b, (blk, segs)) in blocks.iter().zip(&segments).enumerate() {
+        scratch
+            .decode_into(
+                blk.width,
+                blk.height,
+                bands[b % 3],
+                blk.msb_planes,
+                segs,
+                opts,
+                &mut out,
+            )
+            .expect("self-encoded block must decode");
+    }
+    let a0 = alloc_count::thread_allocs();
+    let mut sink = 0i64;
+    for (b, (blk, segs)) in blocks.iter().zip(&segments).enumerate() {
+        scratch
+            .decode_into(
+                blk.width,
+                blk.height,
+                bands[b % 3],
+                blk.msb_planes,
+                segs,
+                opts,
+                &mut out,
+            )
+            .expect("self-encoded block must decode");
+        sink += i64::from(out.first().copied().unwrap_or(0));
+    }
+    std::hint::black_box(sink);
+    (alloc_count::thread_allocs() - a0, blocks.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_decode.json".to_string());
+    let (kpx, trials, oracle_blocks) = if smoke { (64, 1, 6) } else { (1024, 3, 48) };
+
+    // --- workloads --------------------------------------------------------
+    let pyramid_img = test_image(kpx);
+    let side = synth::side_for_kpixels(kpx).max(256);
+    let skewed_img = skewed_image(side);
+    let enc = Encoder::new(EncoderConfig {
+        levels: 5,
+        ..paper_config()
+    })
+    .expect("config");
+    let workloads = [
+        Workload {
+            name: "pyramid",
+            bytes: enc.encode(&pyramid_img).0,
+            pixels: (pyramid_img.width() * pyramid_img.height()) as f64,
+            weight: pyramid_weight,
+        },
+        Workload {
+            name: "skewed",
+            bytes: enc.encode(&skewed_img).0,
+            pixels: (side * side) as f64,
+            weight: skewed_weight,
+        },
+    ];
+
+    // --- in-run bit-identity cross-check ---------------------------------
+    for w in &workloads {
+        let (reference, _) = Decoder::default().decode(&w.bytes).expect("valid stream");
+        for p in [2usize, 4] {
+            for (what, dec) in [("barriered", barriered(p)), ("pipelined", pipelined(p))] {
+                let (img, _) = dec.decode(&w.bytes).expect("valid stream");
+                if img != reference {
+                    eprintln!("FAIL: {what} p={p} diverged from sequential on {}", w.name);
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    println!("bit-identity: all decoder variants match the sequential reference");
+
+    // --- steady-state allocation oracle ----------------------------------
+    let (steady_allocs, oracle_n) = steady_state_allocs(oracle_blocks);
+    let steady_per_block = steady_allocs as f64 / oracle_n as f64;
+    println!("steady-state oracle: {steady_allocs} allocs over {oracle_n} warm blocks");
+    if steady_allocs != 0 {
+        eprintln!(
+            "FAIL: warm decode scratch allocated {steady_allocs} time(s); the contract is zero"
+        );
+        std::process::exit(1);
+    }
+
+    // --- measured + modeled sweeps ---------------------------------------
+    let cpus = [1usize, 2, 4, 8];
+    let mut sections = Vec::new();
+    let mut skewed_p4 = 0.0f64;
+    for w in &workloads {
+        // Sequential stage breakdown drives the model.
+        let (_, report) = Decoder::default().decode(&w.bytes).expect("valid stream");
+        let parse_total = report.stages.get(stage::TIER2).as_secs_f64();
+        let tier1_total = report.stages.get(stage::TIER1).as_secs_f64();
+        let dwt_total = report.stages.get(stage::INTRA_COMPONENT).as_secs_f64();
+        let n = report.num_blocks.max(1);
+        let weights: Vec<f64> = (0..n).map(w.weight).collect();
+        let wsum: f64 = weights.iter().sum();
+        let costs = DecodeStageCosts {
+            parse: vec![parse_total / n as f64; n],
+            tier1: weights.iter().map(|x| tier1_total * x / wsum).collect(),
+            // The finest reconstruction level (~3/4 of the samples)
+            // completes last; coarser levels overlap the drain.
+            dwt_overlapped: dwt_total * 0.25,
+            dwt_exposed: dwt_total * 0.75,
+        };
+        println!(
+            "{}: {} blocks — parse {:.1} ms, tier-1 {:.1} ms, dwt {:.1} ms",
+            w.name,
+            n,
+            parse_total * 1e3,
+            tier1_total * 1e3,
+            dwt_total * 1e3
+        );
+
+        let mut measured = Vec::new();
+        let mut modeled = Vec::new();
+        for &p in &cpus {
+            let mut t_bar = f64::INFINITY;
+            let mut t_pipe = f64::INFINITY;
+            for _ in 0..trials {
+                let (_, t) = time(|| barriered(p).decode(&w.bytes).expect("valid stream"));
+                t_bar = t_bar.min(t);
+                let (_, t) = time(|| pipelined(p).decode(&w.bytes).expect("valid stream"));
+                t_pipe = t_pipe.min(t);
+            }
+            measured.push(MeasuredRow {
+                p,
+                barriered_secs: t_bar,
+                pipelined_secs: t_pipe,
+            });
+            let seq = costs.sequential();
+            let m_bar = barriered_decode_makespan(&costs, p, Schedule::StaggeredRoundRobin);
+            let m_pipe = pipelined_decode_makespan(&costs, p);
+            let row = ModeledRow {
+                p,
+                barriered_speedup: if m_bar > 0.0 { seq / m_bar } else { 1.0 },
+                pipelined_speedup: if m_pipe > 0.0 { m_bar / m_pipe } else { 1.0 },
+            };
+            println!(
+                "  p={p}: measured barriered {:.1} ms, pipelined {:.1} ms (x{:.3}); \
+                 modeled pipelined/barriered x{:.3}",
+                t_bar * 1e3,
+                t_pipe * 1e3,
+                t_bar / t_pipe,
+                row.pipelined_speedup
+            );
+            if w.name == "skewed" && p == 4 {
+                skewed_p4 = row.pipelined_speedup;
+            }
+            modeled.push(row);
+        }
+        sections.push((w, parse_total, tier1_total, dwt_total, n, measured, modeled));
+    }
+
+    // Self-validation: on the skewed workload at p=4 the cost-weighted
+    // pipeline must beat the static barriered decoder by the contract
+    // margin (modeled from this run's measured stage totals, so the claim
+    // is host-independent; smoke keeps a weaker floor since its tiny
+    // stream carries few heavy blocks).
+    let floor = if smoke { 1.0 } else { 1.25 };
+    if skewed_p4 < floor {
+        eprintln!("FAIL: skewed p=4 pipelined speedup {skewed_p4:.3} under floor {floor}");
+        std::process::exit(1);
+    }
+
+    // --- hand-rolled JSON -------------------------------------------------
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    doc.push_str("  \"schema\": \"pj2k.bench_decode.v1\",\n");
+    doc.push_str(&format!("  \"smoke\": {smoke},\n"));
+    doc.push_str(&format!("  \"kpixels\": {kpx},\n"));
+    doc.push_str("  \"bit_identity\": \"ok\",\n");
+    doc.push_str(&format!(
+        "  \"steady_state\": {{ \"blocks\": {oracle_n}, \"allocs\": {steady_allocs}, \
+         \"steady_allocs_per_block\": {} }},\n",
+        jf(steady_per_block)
+    ));
+    doc.push_str("  \"workloads\": {\n");
+    for (wi, (w, parse, tier1, dwt, n, measured, modeled)) in sections.iter().enumerate() {
+        doc.push_str(&format!("    \"{}\": {{\n", w.name));
+        doc.push_str(&format!("      \"blocks\": {n},\n"));
+        doc.push_str(&format!("      \"parse_secs\": {},\n", jf(*parse)));
+        doc.push_str(&format!("      \"tier1_secs\": {},\n", jf(*tier1)));
+        doc.push_str(&format!("      \"dwt_secs\": {},\n", jf(*dwt)));
+        doc.push_str("      \"measured\": [\n");
+        for (i, r) in measured.iter().enumerate() {
+            let mp = w.pixels / 1e6;
+            doc.push_str(&format!(
+                "        {{ \"p\": {}, \"barriered_secs\": {}, \"pipelined_secs\": {}, \
+                 \"barriered_mpix_per_sec\": {}, \"pipelined_mpix_per_sec\": {}, \
+                 \"pipelined_over_barriered\": {} }}{}\n",
+                r.p,
+                jf(r.barriered_secs),
+                jf(r.pipelined_secs),
+                jf(mp / r.barriered_secs),
+                jf(mp / r.pipelined_secs),
+                jf(r.barriered_secs / r.pipelined_secs),
+                if i + 1 < measured.len() { "," } else { "" }
+            ));
+        }
+        doc.push_str("      ],\n");
+        doc.push_str("      \"modeled\": [\n");
+        for (i, r) in modeled.iter().enumerate() {
+            doc.push_str(&format!(
+                "        {{ \"p\": {}, \"barriered_speedup\": {}, \"pipelined_speedup\": {} }}{}\n",
+                r.p,
+                jf(r.barriered_speedup),
+                jf(r.pipelined_speedup),
+                if i + 1 < modeled.len() { "," } else { "" }
+            ));
+        }
+        doc.push_str("      ]\n");
+        doc.push_str(&format!(
+            "    }}{}\n",
+            if wi + 1 < sections.len() { "," } else { "" }
+        ));
+    }
+    doc.push_str("  },\n");
+    doc.push_str(&format!(
+        "  \"skewed_p4_pipelined_speedup\": {}\n}}\n",
+        jf(skewed_p4)
+    ));
+
+    std::fs::write(&out_path, &doc).expect("write benchmark JSON");
+    let written = std::fs::read_to_string(&out_path).expect("re-read benchmark JSON");
+    if let Err(e) = validate(&written) {
+        eprintln!("BENCH_decode schema validation failed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} ({} bytes, schema OK)", written.len());
+}

@@ -26,6 +26,8 @@ pub fn resolutions(deco: &Decomposition) -> Vec<Vec<Subband>> {
 /// `Decomposition::subbands()` order — the index the per-band Kmax tables
 /// of the codestream are keyed by. Carrying it from here saves every
 /// consumer a fallible reverse lookup.
+// AUDIT(hot): per-tile geometry setup — one Vec per resolution level,
+// built once before any block is decoded.
 pub fn indexed_resolutions(deco: &Decomposition) -> Vec<Vec<(usize, Subband)>> {
     let bands = deco.subbands();
     let mut out: Vec<Vec<(usize, Subband)>> = vec![Vec::new(); deco.levels as usize + 1];
@@ -63,6 +65,8 @@ pub fn grid_dims(sb: &Subband, cb: (usize, usize)) -> (usize, usize) {
 }
 
 /// All code-blocks of a subband in raster order (row-major over the grid).
+// AUDIT(hot): per-band geometry setup — one exact-capacity Vec built
+// once per subband, before the block loops start.
 pub fn blocks_of(sb: &Subband, cb: (usize, usize)) -> Vec<BlockGeom> {
     let (gw, gh) = grid_dims(sb, cb);
     let mut out = Vec::with_capacity(gw * gh);

@@ -108,6 +108,84 @@ pub enum StageOverlap {
     Pipelined,
 }
 
+/// How the pipelined decoder splits workers between the Tier-1 block
+/// stage and the inverse-DWT stage (the "dynamic repartitioning" of
+/// arXiv 1311.5304 applied to this decoder's two compute stages).
+///
+/// Only consulted when decoding with [`StageOverlap::Pipelined`]; the
+/// decoded planes are bit-identical under every policy (asserted in
+/// tests) — the policy moves work between stages, never changes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DecodeStagePolicy {
+    /// Honour the `PJ2K_DECODE_STAGES` environment variable
+    /// (`static` or `cost`/`cost-weighted`), defaulting to
+    /// [`DecodeStagePolicy::CostWeighted`].
+    #[default]
+    Auto,
+    /// Fixed stage split: the inverse DWT runs single-lane while Tier-1
+    /// blocks remain, and takes the full pool only after the last block.
+    Static,
+    /// Re-balance at each resolution-level boundary: the per-block cost
+    /// estimate from the Tier-2 headers (coded bytes × coding passes —
+    /// known *before* any entropy decode) yields the remaining Tier-1
+    /// work, and the inverse-DWT lane count grows as that estimate
+    /// drains. Also feeds [`Schedule::Dynamic`]'s chunk choice so skewed
+    /// block costs get finer-grained claiming.
+    CostWeighted,
+}
+
+/// Parsed value of a `PJ2K_DECODE_STAGES` token, `None` meaning "no
+/// override".
+fn parse_stage_policy_token(tok: &str) -> Option<DecodeStagePolicy> {
+    match tok.trim().to_ascii_lowercase().as_str() {
+        "static" | "fixed" => Some(DecodeStagePolicy::Static),
+        "cost" | "cost-weighted" | "costweighted" | "dynamic" => {
+            Some(DecodeStagePolicy::CostWeighted)
+        }
+        _ => None,
+    }
+}
+
+/// The cached `PJ2K_DECODE_STAGES` override, read once per process. A set
+/// but unrecognized value warns on stderr instead of silently falling
+/// back, so a typo can't masquerade as an ablation run. Empty and `auto`
+/// are accepted silently as explicit "no override".
+fn stage_policy_env_override() -> Option<DecodeStagePolicy> {
+    static OVERRIDE: std::sync::OnceLock<Option<DecodeStagePolicy>> = std::sync::OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        let v = std::env::var("PJ2K_DECODE_STAGES").ok()?;
+        let tok = v.trim();
+        if tok.is_empty() || tok.eq_ignore_ascii_case("auto") {
+            return None;
+        }
+        let parsed = parse_stage_policy_token(tok);
+        if parsed.is_none() {
+            // AUDIT(hot): the OnceLock body runs at most once per process,
+            // and this eprintln! only on an unrecognized override — cold.
+            eprintln!(
+                "pj2k: ignoring unrecognized PJ2K_DECODE_STAGES={v:?} \
+                 (expected static|fixed, cost|cost-weighted|dynamic, or auto)"
+            );
+        }
+        parsed
+    })
+}
+
+impl DecodeStagePolicy {
+    /// Resolve to a concrete policy (never [`DecodeStagePolicy::Auto`]):
+    /// `Auto` honours `PJ2K_DECODE_STAGES` and otherwise picks
+    /// [`DecodeStagePolicy::CostWeighted`].
+    #[must_use]
+    pub fn resolve(self) -> DecodeStagePolicy {
+        match self {
+            DecodeStagePolicy::Auto => {
+                stage_policy_env_override().unwrap_or(DecodeStagePolicy::CostWeighted)
+            }
+            forced => forced,
+        }
+    }
+}
+
 /// A rectangular region of interest in image pixel coordinates.
 ///
 /// Coded with the MAXSHIFT method (ISO 15444-1 Annex H): quantized
@@ -197,6 +275,8 @@ pub struct EncoderConfig {
 impl Default for EncoderConfig {
     /// The paper's defaults: 5-level 9/7, 64x64 code-blocks, no tiling,
     /// sequential execution, naive filtering, lossy at 1 bpp.
+    // AUDIT(hot): config construction — once per encoder, setup-time
+    // (pulled into the decode closure only via approximate call matching).
     fn default() -> Self {
         Self {
             wavelet: Wavelet::Irreversible97,
@@ -235,6 +315,8 @@ impl EncoderConfig {
     ///
     /// # Errors
     /// Returns a [`ConfigError`] describing the first violated constraint.
+    // AUDIT(hot): once per encoder construction; every format! is a cold
+    // invalid-config error path.
     pub fn validate(&self) -> Result<(), ConfigError> {
         let (cw, ch) = self.code_block;
         if !cw.is_power_of_two() || !ch.is_power_of_two() {
@@ -384,6 +466,36 @@ mod tests {
             ..Default::default()
         };
         ok.validate().unwrap();
+    }
+
+    #[test]
+    fn stage_policy_tokens_parse() {
+        assert_eq!(
+            parse_stage_policy_token(" Static "),
+            Some(DecodeStagePolicy::Static)
+        );
+        assert_eq!(
+            parse_stage_policy_token("fixed"),
+            Some(DecodeStagePolicy::Static)
+        );
+        for tok in ["cost", "Cost-Weighted", "costweighted", "dynamic"] {
+            assert_eq!(
+                parse_stage_policy_token(tok),
+                Some(DecodeStagePolicy::CostWeighted),
+                "{tok}"
+            );
+        }
+        assert_eq!(parse_stage_policy_token("garbage"), None);
+        assert_eq!(parse_stage_policy_token(""), None);
+        // Forced policies resolve to themselves regardless of environment.
+        assert_eq!(
+            DecodeStagePolicy::Static.resolve(),
+            DecodeStagePolicy::Static
+        );
+        assert_eq!(
+            DecodeStagePolicy::CostWeighted.resolve(),
+            DecodeStagePolicy::CostWeighted
+        );
     }
 
     #[test]

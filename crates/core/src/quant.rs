@@ -51,6 +51,27 @@ pub fn quantize_value(v: f32, inv: f64) -> i32 {
     }
 }
 
+/// Dequantize one index mid-bin: `v = sign(q) * (|q| + 0.5) * Δ_b`, with
+/// `q == 0` mapping to exactly `0.0`.
+///
+/// This is the exact expression [`dequantize_plane`] applies per sample; the
+/// pipelined decoder calls it directly while scattering freshly decoded
+/// code-blocks into subband buffers, so both paths stay bit-identical by
+/// construction.
+#[inline]
+pub fn dequantize_value(q: i32, step: f64) -> f32 {
+    if q == 0 {
+        0.0
+    } else {
+        let m = (f64::from(q.abs()) + 0.5) * step;
+        if q < 0 {
+            -m as f32
+        } else {
+            m as f32
+        }
+    }
+}
+
 /// Quantize an f32 coefficient plane into i32 indices, in place over rows
 /// split across `exec` workers: `q = sign(v) * floor(|v| / step)`.
 pub fn quantize_plane(
@@ -118,16 +139,7 @@ pub fn dequantize_plane(
             // a lock acquisition per row to a per-sample hot loop.
             let dst_row = unsafe { dst_ptr.slice_mut(y * dst_stride + x0, w) };
             for (d, &q) in dst_row.iter_mut().zip(src_row) {
-                *d = if q == 0 {
-                    0.0
-                } else {
-                    let m = (f64::from(q.abs()) + 0.5) * step;
-                    if q < 0 {
-                        -m as f32
-                    } else {
-                        m as f32
-                    }
-                };
+                *d = dequantize_value(q, step);
             }
         }
     });

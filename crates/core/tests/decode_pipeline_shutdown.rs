@@ -1,0 +1,221 @@
+//! Shutdown- and error-path tests for the *pipelined decoder* (DESIGN.md
+//! §15): the decode-side mirror of `crates/parutil/tests/pipeline_shutdown.rs`.
+//!
+//! The happy path (bit-identity against the barriered decoder) is covered
+//! by unit and property tests; these tests pin down what happens when a
+//! pipelined run ends *abnormally* — the Tier-2 parser errors with Tier-1
+//! workers already parked on the block queue, a worker hits a corrupt
+//! segment mid-drain, the driver is waiting on a resolution level that
+//! will never complete. The contract in every case: `decode` returns
+//! `Err(CodecError)` in bounded time — it never hangs, never panics, and
+//! never leaks a parked worker (the scoped executor cannot return while
+//! one is still blocked, so "returns at all" doubles as the leak check).
+
+use pj2k_core::{
+    Decoder, Encoder, EncoderConfig, ParallelMode, RateControl, StageOverlap, Wavelet,
+};
+use pj2k_image::synth;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+/// Deterministic xorshift64* PRNG — no `rand` dependency, reproducible
+/// failures (mirrors `hardening.rs`).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A decoder routed through the staged pipeline: Tier-2 parse feeding a
+/// block queue drained by `workers` Tier-1 threads, with the inverse DWT
+/// overlapping on the driver.
+fn pipelined(workers: usize) -> Decoder {
+    Decoder {
+        parallel: ParallelMode::WorkerPool { workers },
+        overlap: StageOverlap::Pipelined,
+        ..Decoder::default()
+    }
+}
+
+/// Run `f` on a helper thread and fail if it has not finished within
+/// `secs`. A parked Tier-1 worker or a driver stuck on the reassembly
+/// gate shows up as a deadline miss here instead of a CI-wide timeout.
+fn with_deadline<F>(secs: u64, what: &str, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let runner = thread::spawn(move || {
+        f();
+        // The receiver only disappears after a verdict; ignore the
+        // impossible send error rather than panicking in teardown.
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => runner.join().expect("deadline body must not panic"),
+        Err(_) => panic!("{what}: exceeded {secs}s — a pipelined decode worker is likely parked"),
+    }
+}
+
+/// Small but structurally rich corpus: multiple levels, both wavelets,
+/// layers, and tiles all reach different pipelined stages (parse, drain,
+/// per-level DWT hand-off).
+fn corpus() -> Vec<Vec<u8>> {
+    let gray = synth::natural_gray(48, 40, 3);
+    let rgb = synth::natural_rgb(32, 32, 5);
+    let configs = [
+        EncoderConfig {
+            wavelet: Wavelet::Reversible53,
+            rate: RateControl::Lossless,
+            levels: 3,
+            ..Default::default()
+        },
+        EncoderConfig {
+            rate: RateControl::TargetBpp(vec![0.5, 2.0]),
+            levels: 2,
+            tiles: Some((32, 32)),
+            ..Default::default()
+        },
+    ];
+    let mut out = Vec::new();
+    for cfg in configs {
+        out.push(Encoder::new(cfg.clone()).unwrap().encode(&gray).0);
+        out.push(Encoder::new(cfg).unwrap().encode(&rgb).0);
+    }
+    out
+}
+
+#[test]
+fn truncation_sweep_terminates_at_every_cut() {
+    // Every prefix of every corpus stream: early cuts die in the header
+    // parser before the pipeline spins up; late cuts error *inside* the
+    // producer with workers already parked on the queue — the case the
+    // parse-failure gate exists for.
+    with_deadline(120, "truncation sweep", || {
+        for (ci, stream) in corpus().iter().enumerate() {
+            for cut in 0..stream.len() {
+                let r = pipelined(3).decode(&stream[..cut]);
+                assert!(
+                    r.is_err(),
+                    "corpus {ci} cut {cut}: truncated stream decoded Ok"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn bit_flip_mutants_never_hang_the_pipeline() {
+    // Corrupt segment bytes typically surface in a Tier-1 *worker* (MQ
+    // decoder error mid-drain), not the producer: the worker must flip
+    // the shared failure flag, the remaining workers must drain-and-drop,
+    // and the driver must observe the gate error — all without a join
+    // that never comes.
+    with_deadline(120, "bit-flip sweep", || {
+        let corpus = corpus();
+        let mut rng = Rng(0xDECD_0001);
+        for _ in 0..1_500 {
+            let stream = &corpus[rng.below(corpus.len())];
+            let mut bytes = stream.clone();
+            for _ in 0..=rng.below(3) {
+                let i = rng.below(bytes.len());
+                bytes[i] ^= 1 << rng.below(8);
+            }
+            let _ = pipelined(2).decode(&bytes);
+        }
+    });
+}
+
+#[test]
+fn length_field_corruption_drains_cleanly() {
+    // Clobbered marker-segment lengths make the Tier-2 cursor run out
+    // mid-packet — the parse error must release both the queue (so
+    // workers see `None`) and the gate (so the driver's per-level wait
+    // bails) on every mutant.
+    with_deadline(120, "length-field sweep", || {
+        for stream in &corpus() {
+            for i in 0..stream.len().saturating_sub(3) {
+                if stream[i] != 0xFF {
+                    continue;
+                }
+                for val in [0u16, 3, 0x00FF, 0xFFFF] {
+                    let mut bytes = stream.clone();
+                    bytes[i + 2] = (val >> 8) as u8;
+                    bytes[i + 3] = (val & 0xFF) as u8;
+                    let _ = pipelined(4).decode(&bytes);
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn late_parse_error_unparks_waiting_workers() {
+    // Cut each stream at 85% of its length: headers and early packets
+    // parse fine, jobs are already flowing, then the producer errors with
+    // the drive closure blocked on a reassembly slot that will never
+    // fill. Repeated runs shake out interleavings where the error lands
+    // before/after workers park.
+    with_deadline(120, "late-parse-error runs", || {
+        let corpus = corpus();
+        for stream in &corpus {
+            let cut = stream.len() * 85 / 100;
+            for run in 0..40 {
+                let workers = 2 + (run % 3);
+                let r = pipelined(workers).decode(&stream[..cut]);
+                assert!(r.is_err(), "85% prefix decoded Ok on run {run}");
+            }
+        }
+    });
+}
+
+#[test]
+fn garbage_and_empty_inputs_error_before_spawning() {
+    with_deadline(60, "garbage inputs", || {
+        let mut rng = Rng(0xDECD_0002);
+        assert!(pipelined(4).decode(&[]).is_err());
+        for len in 0..128 {
+            let bytes = vec![0xFFu8; len];
+            assert!(pipelined(4).decode(&bytes).is_err(), "all-FF len {len}");
+        }
+        for iter in 0..500 {
+            let len = rng.below(384);
+            let mut bytes = vec![0u8; len];
+            for b in bytes.iter_mut() {
+                *b = (rng.next() >> 32) as u8;
+            }
+            let _ = pipelined(3).decode(&bytes);
+            let _ = iter;
+        }
+    });
+}
+
+#[test]
+fn repeated_pipelined_decodes_stay_bit_identical() {
+    // Drop/reuse path: back-to-back pipelined runs on the same process
+    // must neither accumulate state nor drift from the sequential
+    // barriered reference (each run builds and tears down its own queue,
+    // gate, and band buffers).
+    with_deadline(120, "repeated valid decodes", || {
+        for stream in corpus() {
+            let (reference, _) = Decoder::default().decode(&stream).expect("valid stream");
+            for run in 0..12 {
+                let (img, report) = pipelined(1 + run % 4)
+                    .decode(&stream)
+                    .expect("valid stream via pipeline");
+                assert_eq!(img, reference, "pipelined run {run} diverged");
+                assert!(report.num_blocks > 0, "pipeline decoded no blocks");
+            }
+        }
+    });
+}

@@ -8,7 +8,7 @@
 //! offline builders; `prop_hardening.rs` layers proptest shrinking on top
 //! of the same properties.
 
-use pj2k_core::{Decoder, Encoder, EncoderConfig, ParallelMode, RateControl};
+use pj2k_core::{Decoder, Encoder, EncoderConfig, ParallelMode, RateControl, StageOverlap};
 use pj2k_dwt::Wavelet;
 use pj2k_image::synth;
 
@@ -70,6 +70,17 @@ fn decode_must_not_panic(bytes: &[u8], what: &str) {
         // Errors must render without panicking too.
         let _ = format!("{what}: {e}");
     }
+    // And a third time through the staged decode pipeline, whose error
+    // paths (parse failure with parked Tier-1 workers, worker failure
+    // with the DWT driver waiting on a gate) are disjoint from the
+    // barriered ones; `decode_pipeline_shutdown.rs` adds deadline guards
+    // on top of the same corpus.
+    let dec = Decoder {
+        parallel: ParallelMode::WorkerPool { workers: 3 },
+        overlap: StageOverlap::Pipelined,
+        ..Default::default()
+    };
+    let _ = dec.decode(bytes);
 }
 
 #[test]
@@ -178,6 +189,13 @@ fn untouched_streams_decode_bit_identically() {
         };
         let (c, _) = dec.decode(&stream).expect("valid stream");
         assert_eq!(a, c, "parallel decode must agree bit-for-bit");
+        let dec = Decoder {
+            parallel: ParallelMode::WorkerPool { workers: 4 },
+            overlap: StageOverlap::Pipelined,
+            ..Default::default()
+        };
+        let (d, _) = dec.decode(&stream).expect("valid stream");
+        assert_eq!(a, d, "pipelined decode must agree bit-for-bit");
     }
 }
 

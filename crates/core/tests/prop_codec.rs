@@ -1,7 +1,11 @@
 //! Property tests for the full codec: lossless exactness on arbitrary
 //! inputs, lossy totality, and decoder robustness against corruption.
 
-use pj2k_core::{Decoder, Encoder, EncoderConfig, RateControl, Wavelet};
+use pj2k_core::config::Tier1Engine;
+use pj2k_core::{
+    DecodeStagePolicy, Decoder, Encoder, EncoderConfig, ParallelMode, RateControl, Schedule,
+    StageOverlap, Wavelet,
+};
 use pj2k_image::{metrics, Image, Plane};
 use proptest::prelude::*;
 
@@ -90,6 +94,58 @@ proptest! {
         let pos = (pos_seed % bytes.len() as u64) as usize;
         bytes[pos] ^= xor;
         let _ = Decoder::default().decode(&bytes);
+    }
+
+    /// The staged decode pipeline (DESIGN.md §15) is bit-identical to the
+    /// sequential barriered decoder for arbitrary image content, worker
+    /// counts, schedules, stage policies, and Tier-1 engines — overlap
+    /// and dynamic repartitioning must never change a pixel.
+    #[test]
+    fn pipelined_decode_matches_sequential(
+        img in arb_image(),
+        levels in 0u8..5,
+        workers in 1usize..5,
+        chunk in 1usize..9,
+        dynamic in any::<bool>(),
+        cost_weighted in any::<bool>(),
+        reference_engine in any::<bool>(),
+        lossless in any::<bool>(),
+    ) {
+        let cfg = EncoderConfig {
+            wavelet: if lossless { Wavelet::Reversible53 } else { Wavelet::Irreversible97 },
+            rate: if lossless {
+                RateControl::Lossless
+            } else {
+                RateControl::TargetBpp(vec![1.5])
+            },
+            levels,
+            tier1_engine: if reference_engine {
+                Tier1Engine::Reference
+            } else {
+                Tier1Engine::Bitplane
+            },
+            ..EncoderConfig::default()
+        };
+        let (bytes, _) = Encoder::new(cfg).unwrap().encode(&img);
+        let (sequential, _) = Decoder::default().decode(&bytes).unwrap();
+        let dec = Decoder {
+            parallel: ParallelMode::WorkerPool { workers },
+            overlap: StageOverlap::Pipelined,
+            tier1_schedule: if dynamic {
+                Schedule::Dynamic { chunk }
+            } else {
+                Schedule::StaggeredRoundRobin
+            },
+            stage_policy: if cost_weighted {
+                DecodeStagePolicy::CostWeighted
+            } else {
+                DecodeStagePolicy::Static
+            },
+            ..Decoder::default()
+        };
+        let (pipelined, report) = dec.decode(&bytes).unwrap();
+        prop_assert_eq!(&sequential, &pipelined);
+        prop_assert!(report.num_blocks > 0);
     }
 
     /// The codestream is deterministic: same input, same bytes.

@@ -88,19 +88,62 @@ impl Source<'_> {
     }
 }
 
-struct BlockDecoder {
+/// Reusable decode-side scratch arena: the flag grid, magnitude
+/// accumulator and known-plane map survive across blocks so a warm
+/// worker decodes with zero steady-state allocations (the decode mirror
+/// of the encoder's `BlockCoder` arena; the counting-allocator oracle in
+/// `crates/bench` pins the steady state at zero).
+#[derive(Default)]
+pub struct BlockDecoderScratch {
     grid: FlagGrid,
-    band: BandCtx,
-    ctx: [CtxState; NUM_CTX],
     /// Decoded magnitude bits so far.
     mag: Vec<u32>,
     /// Lowest plane whose bit is known per coefficient (for midpoint
     /// reconstruction of truncated streams).
     known_plane: Vec<u8>,
+}
+
+impl BlockDecoderScratch {
+    /// Empty scratch; buffers grow to the largest block seen and stay.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decode a code-block into `out` (cleared first), reusing this
+    /// scratch's buffers. Semantics are exactly [`decode_block_with`];
+    /// `segments` is generic over anything byte-slice-shaped so callers
+    /// can pass `&[Vec<u8>]` without building a per-block `Vec<&[u8]>`.
+    // The arguments are the block's wire-format identity plus the two
+    // caller-owned buffers; bundling them would only add a struct whose
+    // job is to be destructured here (same shape as the encode side).
+    #[allow(clippy::too_many_arguments)]
+    pub fn decode_into<S: AsRef<[u8]>>(
+        &mut self,
+        w: usize,
+        h: usize,
+        band: BandCtx,
+        msb_planes: u8,
+        segments: &[S],
+        opts: Tier1Options,
+        out: &mut Vec<i32>,
+    ) -> Result<(), DecodeError> {
+        decode_block_into(self, w, h, band, msb_planes, segments, opts, out)
+    }
+}
+
+/// Per-block decoder view: borrows the scratch buffers (already sized to
+/// `w * h`) plus the per-block context states and options.
+struct BlockDecoder<'a> {
+    grid: &'a mut FlagGrid,
+    band: BandCtx,
+    ctx: [CtxState; NUM_CTX],
+    mag: &'a mut [u32],
+    known_plane: &'a mut [u8],
     opts: Tier1Options,
 }
 
-impl BlockDecoder {
+impl BlockDecoder<'_> {
     // AUDIT(fn): `y < h` in every caller, so `y + 1` cannot overflow.
     #[allow(clippy::arithmetic_side_effects)]
     #[inline]
@@ -162,11 +205,9 @@ pub fn decode_block(
 /// coding order (any prefix of the encoder's passes). Returns the
 /// midpoint-reconstructed signed coefficients, row-major, or a
 /// [`DecodeError`] when the block parameters are inconsistent.
-// AUDIT(fn): arithmetic and indexing run over the validated geometry —
-// `w * h > 0` (non-empty check above), `msb_planes <= 31` (bounds the
-// shifts and `max_passes`), and `k` scans `0..w * h` over vectors of
-// exactly that length. Untrusted segment bytes never influence an index.
-#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+// AUDIT(hot): cold convenience wrapper — builds fresh scratch per
+// call; the decode hot paths go through a warm [`BlockDecoderScratch`]
+// and `decode_into` instead.
 pub fn decode_block_with(
     w: usize,
     h: usize,
@@ -175,6 +216,33 @@ pub fn decode_block_with(
     segments: &[&[u8]],
     opts: Tier1Options,
 ) -> Result<Vec<i32>, DecodeError> {
+    let mut scratch = BlockDecoderScratch::new();
+    let mut out = Vec::new();
+    scratch.decode_into(w, h, band, msb_planes, segments, opts, &mut out)?;
+    Ok(out)
+}
+
+/// Shared body for [`decode_block_with`] and
+/// [`BlockDecoderScratch::decode_into`].
+// AUDIT(fn): arithmetic and indexing run over the validated geometry —
+// `w * h > 0` (non-empty check above), `msb_planes <= 31` (bounds the
+// shifts and `max_passes`), and `k` scans `0..w * h` over buffers resized
+// to exactly that length. Untrusted segment bytes never influence an
+// index. The resize/extend sites are AUDIT(hot)-amortized: scratch
+// buffers keep their high-water capacity across blocks, so a warm worker
+// performs zero allocations here (pinned by the bench alloc oracle).
+#[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+#[allow(clippy::too_many_arguments)]
+fn decode_block_into<S: AsRef<[u8]>>(
+    scratch: &mut BlockDecoderScratch,
+    w: usize,
+    h: usize,
+    band: BandCtx,
+    msb_planes: u8,
+    segments: &[S],
+    opts: Tier1Options,
+    out: &mut Vec<i32>,
+) -> Result<(), DecodeError> {
     if w == 0 || h == 0 {
         return Err(DecodeError::EmptyBlock);
     }
@@ -184,7 +252,10 @@ pub fn decode_block_with(
                 passes: segments.len(),
             });
         }
-        return Ok(vec![0; w * h]);
+        out.clear();
+        // AUDIT(hot): amortized — reuses the caller's high-water capacity.
+        out.resize(w * h, 0);
+        return Ok(());
     }
     if msb_planes > MAX_PLANES {
         return Err(DecodeError::TooManyPlanes {
@@ -199,12 +270,19 @@ pub fn decode_block_with(
             max: max_passes,
         });
     }
+    scratch.grid.reset(w, h);
+    scratch.mag.clear();
+    // AUDIT(hot): amortized — scratch keeps its high-water capacity.
+    scratch.mag.resize(w * h, 0);
+    scratch.known_plane.clear();
+    // AUDIT(hot): amortized — scratch keeps its high-water capacity.
+    scratch.known_plane.resize(w * h, 0);
     let mut dec = BlockDecoder {
-        grid: FlagGrid::new(w, h),
+        grid: &mut scratch.grid,
         band,
         ctx: initial_states(),
-        mag: vec![0; w * h],
-        known_plane: vec![0; w * h],
+        mag: scratch.mag.as_mut_slice(),
+        known_plane: scratch.known_plane.as_mut_slice(),
         opts,
     };
     let mut seg_iter = segments.iter();
@@ -216,9 +294,10 @@ pub fn decode_block_with(
         if !first_plane {
             for kind in 0..2 {
                 // A short prefix is a legal truncation point: stop cleanly.
-                let Some(&seg) = seg_iter.next() else {
+                let Some(seg) = seg_iter.next() else {
                     break 'outer;
                 };
+                let seg = seg.as_ref();
                 let mut mq = if bypassed {
                     Source::Raw(RawDecoder::new(seg))
                 } else {
@@ -234,10 +313,10 @@ pub fn decode_block_with(
                 }
             }
         }
-        let Some(&seg) = seg_iter.next() else {
+        let Some(seg) = seg_iter.next() else {
             break;
         };
-        let mut mq = Source::Mq(MqDecoder::new(seg));
+        let mut mq = Source::Mq(MqDecoder::new(seg.as_ref()));
         cleanup_pass(&mut dec, &mut mq, plane);
         if opts.reset_contexts {
             dec.ctx = initial_states();
@@ -245,29 +324,30 @@ pub fn decode_block_with(
     }
 
     // Midpoint reconstruction with sign.
-    Ok((0..w * h)
-        .map(|k| {
-            let m = dec.mag[k];
-            if m == 0 {
-                return 0;
-            }
-            let p = dec.known_plane[k];
-            let half = if p == 0 { 0 } else { 1i64 << (p - 1) };
-            let v = i64::from(m) + half;
-            let (x, y) = (k % w, k / w);
-            if dec.grid.get(dec.grid.idx(x, y)) & NEG != 0 {
-                -(v as i32)
-            } else {
-                v as i32
-            }
-        })
-        .collect())
+    out.clear();
+    // AUDIT(hot): amortized — extend into the caller's recycled buffer.
+    out.extend((0..w * h).map(|k| {
+        let m = dec.mag[k];
+        if m == 0 {
+            return 0;
+        }
+        let p = dec.known_plane[k];
+        let half = if p == 0 { 0 } else { 1i64 << (p - 1) };
+        let v = i64::from(m) + half;
+        let (x, y) = (k % w, k / w);
+        if dec.grid.get(dec.grid.idx(x, y)) & NEG != 0 {
+            -(v as i32)
+        } else {
+            v as i32
+        }
+    }));
+    Ok(())
 }
 
 // AUDIT(fn): stripe geometry over the validated grid (`ymax <= h`); all
 // indexing happens through the FlagGrid accessors on in-range (x, y).
 #[allow(clippy::arithmetic_side_effects)]
-fn sig_prop_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
+fn sig_prop_pass(dec: &mut BlockDecoder<'_>, mq: &mut Source, plane: u8) {
     let (w, h) = (dec.grid.w, dec.grid.h);
     let mut y0 = 0;
     while y0 < h {
@@ -290,7 +370,7 @@ fn sig_prop_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
 // `x < w`, `y < h` stays below `mag.len() == w * h`, the context index is
 // `< NUM_CTX` by the table contract, and `plane <= 30` bounds the shift.
 #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
-fn mag_ref_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
+fn mag_ref_pass(dec: &mut BlockDecoder<'_>, mq: &mut Source, plane: u8) {
     let (w, h) = (dec.grid.w, dec.grid.h);
     let mut y0 = 0;
     while y0 < h {
@@ -319,7 +399,7 @@ fn mag_ref_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
 // (`ymax - y0 == STRIPE_HEIGHT`), so `y0 + r < ymax <= h`; everything
 // else is validated-grid geometry and `< NUM_CTX` context indices.
 #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
-fn cleanup_pass(dec: &mut BlockDecoder, mq: &mut Source, plane: u8) {
+fn cleanup_pass(dec: &mut BlockDecoder<'_>, mq: &mut Source, plane: u8) {
     let (w, h) = (dec.grid.w, dec.grid.h);
     let mut y0 = 0;
     while y0 < h {
@@ -502,6 +582,71 @@ mod tests {
             let got = decode_block(8, 4, BandCtx::Hl, planes, &segs[..n]).unwrap();
             assert_eq!(got.len(), 32);
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_block_shapes() {
+        // One warm scratch decoding blocks of varying geometry must match
+        // the one-shot path exactly (the pipelined decoder reuses one
+        // scratch per worker across every block it claims).
+        let mut scratch = BlockDecoderScratch::new();
+        let mut out = Vec::new();
+        for (w, h) in [(16usize, 16usize), (3, 9), (32, 4), (1, 1), (8, 8)] {
+            let coeffs: Vec<i32> = (0..w * h).map(|i| (i as i32 % 23) - 11).collect();
+            for band in [BandCtx::LlLh, BandCtx::Hl, BandCtx::Hh] {
+                let blk = encode_block(&coeffs, w, h, band);
+                // Owned segments, passed without a per-block ref vector.
+                let owned: Vec<Vec<u8>> = (0..blk.passes.len())
+                    .map(|p| blk.segment(p).to_vec())
+                    .collect();
+                scratch
+                    .decode_into(
+                        w,
+                        h,
+                        band,
+                        blk.msb_planes,
+                        &owned,
+                        Tier1Options::default(),
+                        &mut out,
+                    )
+                    .unwrap();
+                let refs: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+                assert_eq!(
+                    out,
+                    decode_block(w, h, band, blk.msb_planes, &refs).unwrap(),
+                    "{w}x{h} {band:?}"
+                );
+                assert_eq!(out, coeffs);
+            }
+        }
+        // Structural errors leave the scratch reusable.
+        let seg: &[u8] = &[0u8];
+        assert_eq!(
+            scratch
+                .decode_into(
+                    2,
+                    2,
+                    BandCtx::LlLh,
+                    1,
+                    &[seg, seg],
+                    Tier1Options::default(),
+                    &mut out
+                )
+                .unwrap_err(),
+            DecodeError::TooManyPasses { passes: 2, max: 1 }
+        );
+        scratch
+            .decode_into(
+                4,
+                4,
+                BandCtx::Hh,
+                0,
+                &[] as &[&[u8]],
+                Tier1Options::default(),
+                &mut out,
+            )
+            .unwrap();
+        assert_eq!(out, vec![0; 16]);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub(crate) mod state;
 
 pub use bitplane::Tier1Engine;
 pub use context::BandCtx;
-pub use decoder::{decode_block, decode_block_with, DecodeError};
+pub use decoder::{decode_block, decode_block_with, BlockDecoderScratch, DecodeError};
 pub use encoder::{
     encode_block, encode_block_with, BlockCoder, EncodedBlock, PassInfo, PassKind, Tier1Options,
     Tier1Profile,

@@ -9,6 +9,7 @@ pub(crate) const NEG: u8 = 16; // sign bit (set = negative)
 
 /// Padded flag grid: a one-cell border of permanently-insignificant
 /// neighbors removes all bounds checks from context formation.
+#[derive(Default)]
 pub(crate) struct FlagGrid {
     pub w: usize,
     pub h: usize,

@@ -94,6 +94,8 @@ impl<T: Copy + Default> Plane<T> {
     ///
     /// # Panics
     /// Panics if `src` does not fit.
+    // AUDIT(hot): one structural bounds assert per blit — O(blits), and a
+    // caller bug, not data-dependent.
     pub fn blit(&mut self, src: &Plane<T>, x0: usize, y0: usize) {
         assert!(
             x0 + src.width <= self.width && y0 + src.height <= self.height,

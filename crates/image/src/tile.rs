@@ -118,6 +118,8 @@ pub fn split(img: &Image, grid: &TileGrid) -> Vec<Image> {
 ///
 /// # Panics
 /// Panics if the tile list does not match the grid.
+// AUDIT(hot): once per image — O(tiles) structural asserts and one
+// plane Vec, not per-sample work.
 pub fn assemble(tiles: &[Image], grid: &TileGrid, bit_depth: u8, signed: bool) -> Image {
     assert_eq!(tiles.len(), grid.len(), "tile count mismatch");
     let comps = tiles[0].num_components();

@@ -38,7 +38,7 @@ pub mod timing;
 
 pub use disjoint::{DisjointClaim, DisjointWriter};
 pub use exec::{Backend, Exec, SendPtr};
-pub use pipeline::{pipeline_map_with_state, PipelineQueue};
+pub use pipeline::{pipeline_map_with_state, pipeline_overlap_with_state, PipelineQueue};
 pub use pool::{pool_map, pool_map_with_state, pool_run, WorkerPool};
 pub use schedule::{assign, chunk_ranges, DynamicCursor, Schedule};
 pub use timing::{StageClock, StageTimes};

@@ -194,6 +194,80 @@ where
     unwrap_slots(slots)
 }
 
+/// Run `p` scoped consumers draining `queue` while the calling thread first
+/// runs `produce` (publishing items) and then `drive`, overlapped with the
+/// consumers' tail — the decode-side mirror of [`pipeline_map_with_state`].
+/// Results do not come back through slots; consumers communicate through
+/// whatever shared state the caller closes over (e.g. disjoint band
+/// buffers plus a completion gate the driver waits on).
+///
+/// * `init(w)` builds worker `w`'s reusable scratch.
+/// * `consume(&mut state, index, item)` runs once per published item.
+/// * `produce()` runs on the calling thread; the queue is closed when it
+///   returns — normally or by unwinding — so consumers always drain out
+///   and the scope's join cannot deadlock.
+/// * `drive()` then runs on the calling thread, concurrent with consumers
+///   still draining the queue; its return value is returned.
+/// * `on_panic()` fires before a spawned consumer's panic is re-raised at
+///   scope join, so a `drive` blocked on a completion gate can be
+///   unblocked instead of deadlocking; the original panic still
+///   propagates to the caller afterwards. (With `p <= 1` nothing is
+///   spawned and a consumer panic propagates directly, so `on_panic` is
+///   never called there.)
+///
+/// With `p <= 1`, `produce` runs fully, items are consumed inline in
+/// arrival order on one state, then `drive` runs — the same `consume`
+/// call sequence a one-worker pipeline would observe.
+pub fn pipeline_overlap_with_state<T, S, R, I, C, U, P, D>(
+    p: usize,
+    queue: &PipelineQueue<T>,
+    init: I,
+    consume: C,
+    on_panic: U,
+    produce: P,
+    drive: D,
+) -> R
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    C: Fn(&mut S, usize, T) + Sync,
+    U: Fn() + Sync,
+    P: FnOnce(),
+    D: FnOnce() -> R,
+{
+    if p <= 1 {
+        let guard = CloseOnDrop(queue);
+        produce();
+        drop(guard);
+        let mut state = init(0);
+        while let Some((i, item)) = queue.recv() {
+            consume(&mut state, i, item);
+        }
+        return drive();
+    }
+    thread::scope(|scope| {
+        for w in 0..p {
+            let (init, consume, on_panic) = (&init, &consume, &on_panic);
+            scope.spawn(move || {
+                let mut state = init(w);
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    while let Some((i, item)) = queue.recv() {
+                        consume(&mut state, i, item);
+                    }
+                }));
+                if let Err(payload) = run {
+                    on_panic();
+                    std::panic::resume_unwind(payload);
+                }
+            });
+        }
+        let guard = CloseOnDrop(queue);
+        produce();
+        drop(guard);
+        drive()
+    })
+}
+
 /// Closes the wrapped queue when dropped — including during unwinding, so
 /// a panicking producer cannot strand consumers on an open empty queue.
 struct CloseOnDrop<'q, T>(&'q PipelineQueue<T>);
@@ -393,5 +467,140 @@ mod tests {
                 q.send(3, ());
             },
         );
+    }
+
+    #[test]
+    fn overlap_consumes_everything_and_returns_drive_result() {
+        for p in [0, 1, 2, 4, 7] {
+            let queue = PipelineQueue::new();
+            let sum = AtomicUsize::new(0);
+            let got = pipeline_overlap_with_state(
+                p,
+                &queue,
+                |_| (),
+                |_s, i, payload: usize| {
+                    sum.fetch_add(i * 2 + payload, Ordering::SeqCst);
+                },
+                || {},
+                || {
+                    for i in 0..60 {
+                        queue.send(i, i + 1);
+                    }
+                },
+                || 777_usize,
+            );
+            assert_eq!(got, 777, "p={p}");
+            let want: usize = (0..60).map(|i| i * 3 + 1).sum();
+            assert_eq!(sum.load(Ordering::SeqCst), want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn overlap_inline_path_orders_produce_consume_drive() {
+        let queue = PipelineQueue::new();
+        let log = std::sync::Mutex::new(Vec::new());
+        pipeline_overlap_with_state(
+            1,
+            &queue,
+            |_| (),
+            |_s, i, _p: ()| log.lock().unwrap().push(format!("consume {i}")),
+            || {},
+            || {
+                log.lock().unwrap().push("produce".into());
+                queue.send(0, ());
+                queue.send(1, ());
+            },
+            || log.lock().unwrap().push("drive".into()),
+        );
+        assert_eq!(
+            *log.lock().unwrap(),
+            ["produce", "consume 0", "consume 1", "drive"]
+        );
+    }
+
+    #[test]
+    fn overlap_drive_runs_while_consumers_still_drain() {
+        // A consumer blocks on a flag only `drive` sets. If `drive` did not
+        // overlap the consumer tail, this would deadlock; the bounded spin
+        // turns that into a test failure instead.
+        let queue = PipelineQueue::new();
+        let go = std::sync::atomic::AtomicBool::new(false);
+        let consumed = AtomicUsize::new(0);
+        pipeline_overlap_with_state(
+            2,
+            &queue,
+            |_| (),
+            |_s, _i, _p: ()| {
+                let mut spins = 0u32;
+                while !go.load(Ordering::SeqCst) {
+                    thread::sleep(Duration::from_millis(1));
+                    spins += 1;
+                    assert!(spins < 5_000, "drive never overlapped the consumers");
+                }
+                consumed.fetch_add(1, Ordering::SeqCst);
+            },
+            || go.store(true, Ordering::SeqCst),
+            || {
+                for i in 0..4 {
+                    queue.send(i, ());
+                }
+            },
+            || go.store(true, Ordering::SeqCst),
+        );
+        assert_eq!(consumed.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn overlap_consumer_panic_fires_on_panic_and_propagates() {
+        let queue = PipelineQueue::new();
+        let unblocked = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let seen = unblocked.clone();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipeline_overlap_with_state(
+                3,
+                &queue,
+                |_| (),
+                |_s, i, _p: ()| {
+                    assert!(i != 1, "poison item");
+                },
+                || seen.store(true, Ordering::SeqCst),
+                || {
+                    for i in 0..6 {
+                        queue.send(i, ());
+                    }
+                },
+                || (),
+            );
+        }));
+        assert!(caught.is_err(), "consumer panic must propagate");
+        assert!(
+            unblocked.load(Ordering::SeqCst),
+            "on_panic must fire so a gated driver can be released"
+        );
+    }
+
+    #[test]
+    fn overlap_producer_panic_still_releases_consumers() {
+        // The queue must be closed when `produce` unwinds, or the spawned
+        // consumers would park forever and the scope join would hang.
+        let queue = PipelineQueue::new();
+        let consumed = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipeline_overlap_with_state(
+                3,
+                &queue,
+                |_| (),
+                |_s, _i, _p: ()| {
+                    consumed.fetch_add(1, Ordering::SeqCst);
+                },
+                || {},
+                || {
+                    queue.send(0, ());
+                    panic!("producer died mid-stream");
+                },
+                || (),
+            );
+        }));
+        assert!(caught.is_err(), "producer panic must propagate");
     }
 }

@@ -1,0 +1,244 @@
+//! Decode-side pipeline makespan: barriered vs staged overlap.
+//!
+//! The encoder-side models in [`makespan`](crate::makespan) answer "how do
+//! the paper's schedules split a fixed Tier-1 workload?". The decoder adds
+//! a dimension the encoder does not have: the work *arrives over time*.
+//! Tier-2 packet parsing is inherently serial (each packet header's
+//! position depends on the previous packet's length), so a barriered
+//! decoder pays `parse + tier1/p + dwt` while the staged pipeline
+//! (DESIGN.md §15) starts Tier-1 block decoding the moment each
+//! precinct's segment lengths are known and runs coarse inverse-DWT
+//! levels on the driver while the fine-level blocks are still draining.
+//!
+//! [`pipelined_decode_makespan`] models that overlap as list scheduling
+//! with release times — the same greedy "idle worker claims the next
+//! ready job" rule the real queue drain implements — and exposes only the
+//! DWT share that genuinely cannot be hidden (the finest level, which
+//! completes last). The claims are *shape* claims, like the rest of this
+//! crate: where pipelining pays (serial parse share, skewed block costs)
+//! and where it cannot (one CPU, DWT-dominated streams).
+
+use crate::makespan::makespan;
+use pj2k_parutil::Schedule;
+
+/// Per-stage decode costs feeding the pipeline model, all in seconds.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeStageCosts {
+    /// Serial Tier-2 parse cost of each code-block's packets, in the
+    /// order the producer publishes jobs (layer-major arrival order).
+    pub parse: Vec<f64>,
+    /// Tier-1 decode cost of each code-block, same order as `parse`.
+    pub tier1: Vec<f64>,
+    /// Inverse-DWT time the pipeline can run on the driver while Tier-1
+    /// workers are still draining (every level but the finest).
+    pub dwt_overlapped: f64,
+    /// Inverse-DWT time that stays exposed after the last block lands
+    /// (the finest level — its bands complete last by construction).
+    pub dwt_exposed: f64,
+}
+
+impl DecodeStageCosts {
+    /// Total sequential decode time: every stage back to back on one CPU.
+    pub fn sequential(&self) -> f64 {
+        self.parse.iter().sum::<f64>()
+            + self.tier1.iter().sum::<f64>()
+            + self.dwt_overlapped
+            + self.dwt_exposed
+    }
+}
+
+/// Makespan of the *barriered* decoder on `p` CPUs: the full serial parse,
+/// then the Tier-1 blocks under `schedule`, then the whole inverse DWT
+/// (the barrier forbids any DWT/Tier-1 overlap; the DWT's own row-level
+/// parallelism is second-order next to the stage serialization and is
+/// left out of the shape model).
+pub fn barriered_decode_makespan(costs: &DecodeStageCosts, p: usize, schedule: Schedule) -> f64 {
+    assert!(p > 0, "need at least one CPU");
+    let parse: f64 = costs.parse.iter().sum();
+    parse + makespan(&costs.tier1, p, schedule) + costs.dwt_overlapped + costs.dwt_exposed
+}
+
+/// Makespan of the *pipelined* decoder on `p` CPUs.
+///
+/// Block `i` is released at the parse-cost prefix sum (the serial producer
+/// publishes jobs in order); `p` workers claim ready jobs greedily, which
+/// is list scheduling with release times — the queue-drain equivalent of
+/// [`Schedule::Dynamic`] with chunk 1. The driver finishes parsing, runs
+/// the overlappable coarse-level DWT concurrently with the drain tail,
+/// and only then pays the exposed finest-level share.
+///
+/// With one CPU there is nothing to overlap (the real decoder's `p <= 1`
+/// path drains inline), so the model returns the sequential total.
+pub fn pipelined_decode_makespan(costs: &DecodeStageCosts, p: usize) -> f64 {
+    assert!(p > 0, "need at least one CPU");
+    if p == 1 {
+        return costs.sequential();
+    }
+    let mut release = 0.0f64;
+    let mut free = vec![0.0f64; p];
+    for (i, &t1) in costs.tier1.iter().enumerate() {
+        release += costs.parse.get(i).copied().unwrap_or(0.0);
+        let min = free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(w, _)| w)
+            .unwrap_or(0);
+        free[min] = free[min].max(release) + t1;
+    }
+    let drain_end = free.into_iter().fold(0.0, f64::max);
+    // The driver is busy until the parse ends, then interleaves the
+    // coarse-level DWT with the drain tail; the finest level waits for
+    // the last block either way.
+    let parse_total: f64 = costs.parse.iter().sum();
+    drain_end.max(parse_total + costs.dwt_overlapped) + costs.dwt_exposed
+}
+
+/// Barriered and pipelined speedups over the sequential decode for each
+/// CPU count in `cpus`, as `(barriered, pipelined)` pairs.
+pub fn decode_speedup_curve(
+    costs: &DecodeStageCosts,
+    cpus: &[usize],
+    schedule: Schedule,
+) -> Vec<(f64, f64)> {
+    let seq = costs.sequential();
+    cpus.iter()
+        .map(|&p| {
+            let bar = barriered_decode_makespan(costs, p, schedule);
+            let pipe = pipelined_decode_makespan(costs, p);
+            (
+                if bar > 0.0 { seq / bar } else { 1.0 },
+                if pipe > 0.0 { seq / pipe } else { 1.0 },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, parse: f64, tier1: f64) -> DecodeStageCosts {
+        DecodeStageCosts {
+            parse: vec![parse; n],
+            tier1: vec![tier1; n],
+            dwt_overlapped: 0.0,
+            dwt_exposed: 0.0,
+        }
+    }
+
+    #[test]
+    fn one_cpu_is_sequential_for_both() {
+        let mut costs = uniform(32, 0.1, 1.0);
+        costs.dwt_overlapped = 3.0;
+        costs.dwt_exposed = 1.0;
+        let seq = costs.sequential();
+        assert!(
+            (barriered_decode_makespan(&costs, 1, Schedule::StaggeredRoundRobin) - seq).abs()
+                < 1e-12
+        );
+        assert!((pipelined_decode_makespan(&costs, 1) - seq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_never_loses_to_barriered() {
+        // Overlap can only remove exposed time: on uniform, skewed, and
+        // DWT-heavy workloads alike the pipeline is at least as fast.
+        let mut skewed = uniform(48, 0.05, 0.2);
+        skewed.tier1[0] = 4.0;
+        skewed.dwt_overlapped = 1.5;
+        skewed.dwt_exposed = 0.5;
+        let mut dwt_heavy = uniform(16, 0.01, 0.1);
+        dwt_heavy.dwt_overlapped = 8.0;
+        dwt_heavy.dwt_exposed = 2.0;
+        for costs in [uniform(64, 0.1, 1.0), skewed, dwt_heavy] {
+            for p in [2usize, 4, 8, 16] {
+                let pipe = pipelined_decode_makespan(&costs, p);
+                for s in [
+                    Schedule::StaggeredRoundRobin,
+                    Schedule::Dynamic { chunk: 1 },
+                    Schedule::StaticBlock,
+                ] {
+                    let bar = barriered_decode_makespan(&costs, p, s);
+                    assert!(pipe <= bar + 1e-9, "p={p} {s:?}: pipe {pipe} vs bar {bar}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_hides_the_serial_parse() {
+        // Parse-dominated stream with plenty of workers: the barriered
+        // decoder pays parse + tier1/p; the pipeline decodes each block
+        // the moment it is parsed, leaving essentially only the parse.
+        let costs = uniform(256, 1.0, 0.5);
+        let p = 8;
+        let bar = barriered_decode_makespan(&costs, p, Schedule::Dynamic { chunk: 1 });
+        let pipe = pipelined_decode_makespan(&costs, p);
+        // parse = 256, tier1/p = 16: the pipeline should land within one
+        // block of the 256.5 lower bound.
+        assert!(pipe < 258.0, "pipe {pipe}");
+        assert!(bar > 271.0, "bar {bar}");
+    }
+
+    #[test]
+    fn coarse_dwt_levels_overlap_the_drain() {
+        // Tier-1-bound drain tail with overlappable DWT work smaller than
+        // the tail: the pipeline hides all of it and pays only the
+        // exposed finest level.
+        let mut costs = uniform(64, 0.01, 1.0);
+        costs.dwt_overlapped = 4.0;
+        costs.dwt_exposed = 1.0;
+        let p = 4;
+        let pipe = pipelined_decode_makespan(&costs, p);
+        let drain = 64.0 / p as f64 + 0.64; // ideal drain + release skew bound
+        assert!(
+            pipe <= drain + costs.dwt_exposed + 1e-9,
+            "pipe {pipe}: overlappable DWT was not hidden"
+        );
+        let bar = barriered_decode_makespan(&costs, p, Schedule::Dynamic { chunk: 1 });
+        assert!(
+            bar >= pipe + costs.dwt_overlapped - 0.64,
+            "bar {bar} pipe {pipe}"
+        );
+    }
+
+    #[test]
+    fn release_times_bound_the_drain() {
+        // A single worker pair cannot finish before the last job is even
+        // published: drain end >= total parse + last block's cost.
+        let costs = uniform(16, 0.5, 0.1);
+        let pipe = pipelined_decode_makespan(&costs, 2);
+        assert!(pipe >= 16.0 * 0.5 + 0.1 - 1e-12, "pipe {pipe}");
+    }
+
+    #[test]
+    fn speedup_curve_shapes() {
+        let mut costs = uniform(128, 0.02, 0.5);
+        costs.dwt_overlapped = 2.0;
+        costs.dwt_exposed = 0.7;
+        let curve = decode_speedup_curve(&costs, &[1, 2, 4, 8], Schedule::StaggeredRoundRobin);
+        // p=1: both exactly sequential.
+        assert!((curve[0].0 - 1.0).abs() < 1e-9);
+        assert!((curve[0].1 - 1.0).abs() < 1e-9);
+        for (i, (bar, pipe)) in curve.iter().enumerate() {
+            assert!(pipe + 1e-9 >= *bar, "entry {i}: {pipe} vs {bar}");
+        }
+        // Pipelined speedup grows with p on this Tier-1-bound workload.
+        assert!(
+            curve[3].1 > curve[1].1 && curve[1].1 > curve[0].1,
+            "{curve:?}"
+        );
+    }
+
+    #[test]
+    fn empty_costs_are_total_zero() {
+        let costs = DecodeStageCosts::default();
+        assert_eq!(costs.sequential(), 0.0);
+        assert_eq!(pipelined_decode_makespan(&costs, 4), 0.0);
+        assert_eq!(
+            barriered_decode_makespan(&costs, 4, Schedule::RoundRobin),
+            0.0
+        );
+    }
+}

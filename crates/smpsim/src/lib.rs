@@ -15,16 +15,23 @@
 //! * [`bus`] adds the shared-memory-bus contention that the paper blames
 //!   for the poor scalability of naive vertical filtering ("the congestion
 //!   of the bus caused by the high number of cache misses"),
-//! * [`amdahl`] provides the §3.4 theoretical-speedup bounds.
+//! * [`amdahl`] provides the §3.4 theoretical-speedup bounds,
+//! * [`decode`] projects the decode side: barriered stage serialization
+//!   versus the staged pipeline (DESIGN.md §15) whose Tier-1 jobs are
+//!   *released over time* by the serial Tier-2 parse.
 //!
 //! The model's claims are *shape* claims (who wins, where scaling
 //! saturates), matching how EXPERIMENTS.md compares against the paper.
 
 pub mod amdahl;
 pub mod bus;
+pub mod decode;
 pub mod makespan;
 
 pub use amdahl::{amdahl_speedup, serial_fraction};
 pub use bus::{bus_makespan, BusParams, WorkItem};
+pub use decode::{
+    barriered_decode_makespan, decode_speedup_curve, pipelined_decode_makespan, DecodeStageCosts,
+};
 pub use makespan::{makespan, speedup_curve};
 pub use pj2k_parutil::Schedule;

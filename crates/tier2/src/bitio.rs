@@ -26,6 +26,7 @@ pub struct HeaderBitWriter {
 
 impl HeaderBitWriter {
     /// Fresh writer.
+    // AUDIT(hot): one empty Vec per packet header — setup-time.
     pub fn new() -> Self {
         Self {
             out: Vec::new(),

@@ -373,26 +373,31 @@ impl PayloadWriter {
     }
 
     /// Append a byte.
+    // AUDIT(hot): one amortized byte push per marker field — header-size work.
     pub fn u8(&mut self, v: u8) {
         self.out.push(v);
     }
 
     /// Append a big-endian u16.
+    // AUDIT(hot): amortized append, header/marker fields only.
     pub fn u16(&mut self, v: u16) {
         self.out.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Append a big-endian u32.
+    // AUDIT(hot): amortized append, header/marker fields only.
     pub fn u32(&mut self, v: u32) {
         self.out.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Append a big-endian u64.
+    // AUDIT(hot): amortized append, header/marker fields only.
     pub fn u64(&mut self, v: u64) {
         self.out.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Append an f64 (IEEE-754 bits, big-endian).
+    // AUDIT(hot): amortized append, header/marker fields only.
     pub fn f64(&mut self, v: f64) {
         self.out.extend_from_slice(&v.to_bits().to_be_bytes());
     }

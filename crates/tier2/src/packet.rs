@@ -131,6 +131,8 @@ impl PrecinctState {
     /// The caller is responsible for capping `grid_w * grid_h` before
     /// allocating per-block state from untrusted dimensions (see
     /// `core::decode`'s block-count budget).
+    // AUDIT(hot): per-precinct state built once, sized by the (capped)
+    // block grid — setup-time relative to the block decode loops.
     pub fn for_decoder(grid_w: usize, grid_h: usize) -> Self {
         let n = grid_w.saturating_mul(grid_h);
         Self {
@@ -254,6 +256,9 @@ pub fn encode_packet(
 // capped at MAX_LBLOCK before use. Indexing stays denied: all element
 // access goes through get/get_mut.
 #[allow(clippy::arithmetic_side_effects)]
+// AUDIT(hot): one result Vec per packet plus one owned segment-length
+// push per newly included pass — O(blocks) per layer, and the segment
+// buffers are handed off to the Tier-1 jobs rather than copied again.
 pub fn decode_packet(
     state: &mut PrecinctState,
     layer: usize,

@@ -53,6 +53,8 @@ impl TagTree {
     // dimensions; the non-empty assert is the caller's contract, checked
     // in `core::decode` before any tree is built.
     #[allow(clippy::arithmetic_side_effects, clippy::indexing_slicing)]
+    // AUDIT(hot): tree construction runs once per precinct and band —
+    // setup-time, sized by the capped block grid.
     pub fn new(w: usize, h: usize) -> Self {
         assert!(w > 0 && h > 0, "empty tag tree");
         // Build levels from root (1x1) down to leaves; nodes stored
@@ -154,6 +156,8 @@ impl TagTree {
     // decreasing until the self-parenting root), so the walk is in-bounds
     // and terminates regardless of input bits.
     #[allow(clippy::indexing_slicing)]
+    // AUDIT(hot): depth-bounded scratch (≤ log2 of the grid, ~8 entries)
+    // per header query — header-size work, not per-sample.
     fn path_to(&self, leaf: usize) -> Vec<usize> {
         let mut path = vec![leaf];
         let mut i = leaf;

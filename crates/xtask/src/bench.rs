@@ -87,6 +87,34 @@ const BENCHES: &[BenchSpec] = &[
         // Extra DWT strips must not cost extra allocations.
         ceilings: &[("\"allocs_marginal_per_strip\"", 0.0)],
     },
+    BenchSpec {
+        bin: "bench_decode",
+        out: "target/BENCH_decode_smoke.json",
+        schema: "pj2k.bench_decode.v1",
+        keys: &[
+            "\"bit_identity\"",
+            "\"steady_state\"",
+            "\"steady_allocs_per_block\"",
+            "\"workloads\"",
+            "\"pyramid\"",
+            "\"skewed\"",
+            "\"measured\"",
+            "\"barriered_mpix_per_sec\"",
+            "\"pipelined_mpix_per_sec\"",
+            "\"modeled\"",
+            "\"barriered_speedup\"",
+            "\"pipelined_speedup\"",
+            "\"skewed_p4_pipelined_speedup\"",
+        ],
+        // On the skewed workload at 4 CPUs the cost-weighted pipeline must
+        // beat the static barriered decoder (modeled from measured stage
+        // totals, so the claim holds on single-core runners too; the
+        // binary itself enforces 1.25 in full runs).
+        floors: &[("\"skewed_p4_pipelined_speedup\"", 1.0)],
+        // The warm Tier-1 decode scratch must allocate exactly zero times
+        // per block — the decode half of the audit-hotpath contract.
+        ceilings: &[("\"steady_allocs_per_block\"", 0.0)],
+    },
 ];
 
 /// Run all smoke benches rooted at `root`. Returns the process exit code.
@@ -235,6 +263,23 @@ mod tests {
         assert!(check_doc(&leaky, spec).is_err());
         let dwt = &BENCHES[1];
         assert_eq!(dwt.ceilings, &[("\"allocs_marginal_per_strip\"", 0.0)]);
+    }
+
+    #[test]
+    fn decode_spec_enforces_speedup_floor_and_alloc_ceiling() {
+        let spec = &BENCHES[2];
+        assert_eq!(spec.bin, "bench_decode");
+        assert_eq!(spec.floors, &[("\"skewed_p4_pipelined_speedup\"", 1.0)]);
+        assert_eq!(spec.ceilings, &[("\"steady_allocs_per_block\"", 0.0)]);
+        // The floor is strict: a pipeline exactly matching the barriered
+        // decoder (1.0) is a regression of the overlap win.
+        let at_floor = doc_with_all_keys(spec);
+        assert!(check_doc(&at_floor, spec).is_err());
+        let above = at_floor.replace(
+            "\"skewed_p4_pipelined_speedup\": 1",
+            "\"skewed_p4_pipelined_speedup\": 1.7",
+        );
+        assert!(check_doc(&above, spec).is_ok());
     }
 
     #[test]

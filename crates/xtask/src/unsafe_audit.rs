@@ -14,8 +14,8 @@
 //!   must carry a `// SAFETY:` contract naming the shared-state invariant
 //!   that makes cross-thread transfer sound.
 //! * **raw_write_routing** — inside the parallel-write scope (`parutil`,
-//!   `dwt`, `mq` sources and `core::quant`), every raw parallel write must
-//!   be lexically routed through a `DisjointClaim`: mutable-slice
+//!   `dwt`, `mq` sources, `core::quant`, and `core::decode`), every raw
+//!   parallel write must be lexically routed through a `DisjointClaim`: mutable-slice
 //!   fabrication (`from_raw_parts_mut`, `ptr::write`) and `.write(..)` /
 //!   `.slice_mut(..)` calls on `SendPtr`-rooted receivers are violations
 //!   unless covered by an `// AUDIT(alias): <reason>` justification naming
@@ -25,7 +25,8 @@
 //!   gates instead.
 //! * **sendptr_allowlist** — the `SendPtr` type must not appear outside an
 //!   allowlisted module set (`parutil::exec` where it lives, the `parutil`
-//!   crate root that re-exports it, `core::quant`'s audited hot loops, and
+//!   crate root that re-exports it, `core::quant`'s audited hot loops,
+//!   `core::decode`'s gate-synchronized pipeline scatter, and
 //!   `parutil/tests/`). New code must use `DisjointWriter` claims; growing
 //!   the allowlist is a reviewed change to this file.
 //!
@@ -51,7 +52,7 @@ use std::path::{Path, PathBuf};
 /// The parallel-write scope for `raw_write_routing`: everything that
 /// fabricates or consumes shared mutable buffers across worker threads.
 const SCOPED_DIRS: &[&str] = &["crates/parutil/src", "crates/dwt/src", "crates/mq/src"];
-const SCOPED_FILES: &[&str] = &["crates/core/src/quant.rs"];
+const SCOPED_FILES: &[&str] = &["crates/core/src/quant.rs", "crates/core/src/decode.rs"];
 
 /// Files implementing the claim/escape layer itself — `raw_write_routing`
 /// does not apply (they are what writes get routed *to*).
@@ -65,6 +66,7 @@ const SENDPTR_ALLOWED_FILES: &[&str] = &[
     "crates/parutil/src/exec.rs",
     "crates/parutil/src/lib.rs",
     "crates/core/src/quant.rs",
+    "crates/core/src/decode.rs",
 ];
 const SENDPTR_ALLOWED_DIRS: &[&str] = &["crates/parutil/tests"];
 
@@ -322,8 +324,8 @@ pub fn audit_unsafe_source(path: &Path, source: &str, report: &mut UnsafeAuditRe
                     rule: "sendptr_allowlist",
                     message: "`SendPtr` outside the allowlisted modules \
                               (parutil::exec, parutil crate root, core::quant, \
-                              parutil/tests) — route writes through DisjointWriter \
-                              claims instead"
+                              core::decode, parutil/tests) — route writes through \
+                              DisjointWriter claims instead"
                         .to_string(),
                 });
             }
@@ -838,6 +840,30 @@ mod tests {
                 .iter()
                 .any(|s| s.kind == SiteKind::RawWrite && s.covered),
             "expected audited SendPtr writes in quant.rs"
+        );
+    }
+
+    #[test]
+    fn real_decode_pipeline_scatter_stays_audited() {
+        // Regression guard: the staged decode pipeline's SendPtr scatter
+        // (DESIGN.md §15) must keep its AUDIT(alias) coverage now that
+        // core::decode is in the raw-write scope and SendPtr allowlist.
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../core/src/decode.rs")
+            .canonicalize()
+            .expect("crates/core/src/decode.rs must exist");
+        let src = std::fs::read_to_string(&path).unwrap();
+        let r = audit_str("crates/core/src/decode.rs", &src);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(
+            r.sites
+                .iter()
+                .any(|s| s.kind == SiteKind::RawWrite && s.covered),
+            "expected audited SendPtr writes in decode.rs"
+        );
+        assert!(
+            r.sites.iter().any(|s| s.kind == SiteKind::SendPtrUse),
+            "expected inventoried SendPtr uses in decode.rs"
         );
     }
 
