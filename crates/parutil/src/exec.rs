@@ -64,7 +64,9 @@ impl Exec {
 
     /// Split `0..n` into `workers` contiguous ranges and run `f` on each,
     /// in parallel per the backend. Returns after all ranges complete
-    /// (barrier semantics).
+    /// (barrier semantics). The worker count is clamped to the
+    /// process-wide [`thread_budget`](crate::thread_budget)
+    /// (`PJ2K_THREADS`) before splitting.
     pub fn run_ranges<F>(&self, n: usize, f: F)
     where
         F: Fn(Range<usize>) + Sync,
@@ -72,7 +74,7 @@ impl Exec {
         if n == 0 {
             return;
         }
-        let p = self.workers.min(n);
+        let p = crate::budget::clamp_workers(self.workers).min(n);
         if self.is_sequential() || p == 1 {
             f(0..n);
             return;

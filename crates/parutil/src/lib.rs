@@ -28,6 +28,8 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 #![deny(unused_must_use)]
 
+pub mod bounded;
+pub mod budget;
 pub mod disjoint;
 pub mod exec;
 pub mod pipeline;
@@ -36,6 +38,8 @@ pub mod schedule;
 mod sync;
 pub mod timing;
 
+pub use bounded::{bounded_ordered_serve, BoundedQueue, SendError};
+pub use budget::{clamp_workers, parse_thread_budget_token, resolve_thread_budget, thread_budget};
 pub use disjoint::{DisjointClaim, DisjointWriter};
 pub use exec::{Backend, Exec, SendPtr};
 pub use pipeline::{pipeline_map_with_state, pipeline_overlap_with_state, PipelineQueue};

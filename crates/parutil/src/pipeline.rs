@@ -125,7 +125,8 @@ impl<T> PipelineQueue<T> {
 /// runs to completion first, then the items are consumed inline, in arrival
 /// order, on a single state — so sequential baselines carry no threading
 /// overhead and observe the exact same `f` call sequence a one-worker
-/// pipeline would.
+/// pipeline would. The requested `p` is clamped to the process-wide
+/// [`thread_budget`](crate::thread_budget) (`PJ2K_THREADS`).
 ///
 /// # Panics
 /// Panics if the producer publishes an index twice (debug builds, claim
@@ -147,6 +148,7 @@ where
     F: Fn(&mut S, usize, T) -> R + Sync,
     P: FnOnce(&PipelineQueue<T>),
 {
+    let p = crate::budget::clamp_workers(p);
     let queue = PipelineQueue::new();
     if p <= 1 || n <= 1 {
         producer(&queue);
@@ -235,6 +237,7 @@ where
     P: FnOnce(),
     D: FnOnce() -> R,
 {
+    let p = crate::budget::clamp_workers(p);
     if p <= 1 {
         let guard = CloseOnDrop(queue);
         produce();

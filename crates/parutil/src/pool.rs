@@ -18,6 +18,10 @@ use std::thread;
 ///
 /// With `p == 1` no threads are spawned and `f` runs inline, so sequential
 /// baselines measured through this entry point carry no threading overhead.
+///
+/// Like every parutil executor, the requested `p` is clamped to the
+/// process-wide [`thread_budget`](crate::thread_budget) (`PJ2K_THREADS`);
+/// with the budget unset the request passes through unchanged.
 pub fn pool_map<R, F>(n: usize, p: usize, schedule: Schedule, f: F) -> Vec<R>
 where
     R: Send,
@@ -57,6 +61,7 @@ where
     F: Fn(&mut S, usize) -> R + Sync,
 {
     assert!(p > 0, "worker count must be positive");
+    let p = crate::budget::clamp_workers(p);
     if p == 1 || n <= 1 {
         let mut state = init(0);
         return (0..n).map(|i| f(&mut state, i)).collect();
@@ -134,6 +139,7 @@ where
     F: Fn(usize) + Sync,
 {
     assert!(p > 0, "worker count must be positive");
+    let p = crate::budget::clamp_workers(p);
     if p == 1 || n <= 1 {
         (0..n).for_each(f);
         return;
@@ -191,6 +197,7 @@ impl WorkerPool {
     // spawned worker loop runs once per job retirement, not per sample.
     pub fn new(p: usize) -> Self {
         assert!(p > 0, "worker count must be positive");
+        let p = crate::budget::clamp_workers(p);
         let outstanding = Arc::new((Mutex::new(0usize), Condvar::new()));
         let mut senders = Vec::with_capacity(p);
         let mut handles = Vec::with_capacity(p);

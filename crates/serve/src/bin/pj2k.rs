@@ -1,20 +1,29 @@
 //! `pj2k` — command-line front end for the codec.
 //!
 //! ```text
-//! pj2k encode <in.pgm|in.ppm> <out.pj2k> [options]
+//! pj2k encode <inputs...> <out.pj2k|outdir> [options]
+//!     One input file + an output file encodes a single image. Several
+//!     inputs, a directory input, or --jobs routes through the batch
+//!     layer: every .pgm/.ppm/.pnm in a directory input is encoded, the
+//!     last argument names the output directory (created if missing),
+//!     outputs are written in input order, and the exit code is non-zero
+//!     iff any job failed.
 //!     --bpp R[,R2,...]   lossy target bit rates (cumulative layers; default 1.0)
 //!     --lossless         reversible 5/3, exact reconstruction
 //!     --levels N         decomposition levels (default 5)
 //!     --block WxH        code-block size (default 64x64)
 //!     --tiles N          NxN tiling (default: none)
 //!     --filter F         naive | padded | strip (default strip)
-//!     --threads N        worker threads (default 1)
-//!     --backend B        pool | rayon (default pool)
+//!     --threads N        single image: worker threads (default 1);
+//!                        batch: total worker budget B (default PJ2K_THREADS
+//!                        or host parallelism)
+//!     --jobs J           batch: concurrent images (default: auto j×k ≤ B split)
+//!     --backend B        pool | rayon (default pool; single image only)
 //!     --causal           stripe-causal Tier-1 contexts
 //!     --reset            reset MQ contexts every pass
 //!     --bypass           lazy mode: raw-code the deep SPP/MRP passes
 //!     --roi X,Y,W,H      prioritize a region of interest (MAXSHIFT)
-//!     --stats            print the per-stage timing breakdown
+//!     --stats            print the per-stage timing breakdown (single image)
 //!
 //! pj2k decode <in.pj2k> <out.pgm> [--layers N] [--threads N] [--pipeline]
 //! pj2k info   <in.pj2k>
@@ -25,8 +34,10 @@ use pj2k_core::{
     Decoder, Encoder, EncoderConfig, FilterStrategy, ParallelMode, RateControl, StageOverlap,
 };
 use pj2k_image::pnm;
+use pj2k_serve::{discover, encode_files, BatchOptions};
 use pj2k_tier2::codestream::{self, MarkerReader, PayloadReader};
 use std::io::BufReader;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn fail(msg: &str) -> ExitCode {
@@ -55,13 +66,14 @@ struct Opts<'a> {
     flags: Vec<(&'a str, Option<&'a str>)>,
 }
 
-const VALUE_OPTS: [&str; 9] = [
+const VALUE_OPTS: [&str; 10] = [
     "--bpp",
     "--levels",
     "--block",
     "--tiles",
     "--filter",
     "--threads",
+    "--jobs",
     "--backend",
     "--layers",
     "--roi",
@@ -113,20 +125,10 @@ fn parallel_mode(opts: &Opts) -> Result<ParallelMode, String> {
     }
 }
 
-fn cmd_encode(args: &[String]) -> ExitCode {
-    let opts = parse_opts(args);
-    let [input, output] = opts.rest[..] else {
-        return fail("encode needs <input.pnm> <output.pj2k>");
-    };
-    let file = match std::fs::File::open(input) {
-        Ok(f) => f,
-        Err(e) => return fail(&format!("cannot open {input}: {e}")),
-    };
-    let img = match pnm::read(&mut BufReader::new(file)) {
-        Ok(i) => i,
-        Err(e) => return fail(&format!("cannot read {input}: {e}")),
-    };
-
+/// Build the encoder configuration shared by single and batch encodes
+/// (everything but `parallel`, which single mode takes from `--threads`
+/// and batch mode from the `j × k` plan).
+fn encoder_config(opts: &Opts) -> Result<EncoderConfig, String> {
     let mut cfg = EncoderConfig {
         filter: FilterStrategy::Strip,
         ..EncoderConfig::default()
@@ -138,43 +140,34 @@ fn cmd_encode(args: &[String]) -> ExitCode {
         let rates: Result<Vec<f64>, _> = bpp.split(',').map(str::parse).collect();
         match rates {
             Ok(r) => cfg.rate = RateControl::TargetBpp(r),
-            Err(_) => return fail(&format!("bad --bpp {bpp:?}")),
+            Err(_) => return Err(format!("bad --bpp {bpp:?}")),
         }
     }
     if let Some(l) = opts.value("--levels") {
-        match l.parse() {
-            Ok(v) => cfg.levels = v,
-            Err(_) => return fail(&format!("bad --levels {l:?}")),
-        }
+        cfg.levels = l.parse().map_err(|_| format!("bad --levels {l:?}"))?;
     }
     if let Some(b) = opts.value("--block") {
         let parts: Vec<&str> = b.split('x').collect();
         match parts[..] {
             [w, h] => match (w.parse(), h.parse()) {
                 (Ok(w), Ok(h)) => cfg.code_block = (w, h),
-                _ => return fail(&format!("bad --block {b:?}")),
+                _ => return Err(format!("bad --block {b:?}")),
             },
-            _ => return fail(&format!("bad --block {b:?} (expected WxH)")),
+            _ => return Err(format!("bad --block {b:?} (expected WxH)")),
         }
     }
     if let Some(t) = opts.value("--tiles") {
-        match t.parse::<usize>() {
-            Ok(v) => cfg.tiles = Some((v, v)),
-            Err(_) => return fail(&format!("bad --tiles {t:?}")),
-        }
+        let v: usize = t.parse().map_err(|_| format!("bad --tiles {t:?}"))?;
+        cfg.tiles = Some((v, v));
     }
     if let Some(f) = opts.value("--filter") {
         cfg.filter = match f {
             "naive" => FilterStrategy::Naive,
             "padded" => FilterStrategy::PaddedWidth,
             "strip" => FilterStrategy::Strip,
-            other => return fail(&format!("bad --filter {other:?}")),
+            other => return Err(format!("bad --filter {other:?}")),
         };
     }
-    cfg.parallel = match parallel_mode(&opts) {
-        Ok(p) => p,
-        Err(e) => return fail(&e),
-    };
     cfg.tier1 = Tier1Options {
         stripe_causal: opts.has("--causal"),
         reset_contexts: opts.has("--reset"),
@@ -191,23 +184,61 @@ fn cmd_encode(args: &[String]) -> ExitCode {
                     h: *h,
                 })
             }
-            _ => return fail(&format!("bad --roi {spec:?} (expected X,Y,W,H)")),
+            _ => return Err(format!("bad --roi {spec:?} (expected X,Y,W,H)")),
         }
     }
+    Ok(cfg)
+}
 
+fn cmd_encode(args: &[String]) -> ExitCode {
+    let opts = parse_opts(args);
+    if opts.rest.len() < 2 {
+        return fail("encode needs <inputs...> <output.pj2k|outdir>");
+    }
+    let inputs: Vec<PathBuf> = opts.rest[..opts.rest.len() - 1]
+        .iter()
+        .map(PathBuf::from)
+        .collect();
+    let out_arg = PathBuf::from(opts.rest[opts.rest.len() - 1]);
+    let batch_mode =
+        inputs.len() > 1 || opts.has("--jobs") || inputs[0].is_dir() || out_arg.is_dir();
+    if batch_mode {
+        cmd_encode_batch(&opts, &inputs, &out_arg)
+    } else {
+        cmd_encode_single(&opts, &inputs[0], &out_arg)
+    }
+}
+
+fn cmd_encode_single(opts: &Opts, input: &PathBuf, output: &PathBuf) -> ExitCode {
+    let file = match std::fs::File::open(input) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("cannot open {}: {e}", input.display())),
+    };
+    let img = match pnm::read(&mut BufReader::new(file)) {
+        Ok(i) => i,
+        Err(e) => return fail(&format!("cannot read {}: {e}", input.display())),
+    };
+    let mut cfg = match encoder_config(opts) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    cfg.parallel = match parallel_mode(opts) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
     let encoder = match Encoder::new(cfg) {
         Ok(e) => e,
         Err(e) => return fail(&format!("{e}")),
     };
     let (bytes, report) = encoder.encode(&img);
     if let Err(e) = std::fs::write(output, &bytes) {
-        return fail(&format!("cannot write {output}: {e}"));
+        return fail(&format!("cannot write {}: {e}", output.display()));
     }
     let bpp = bytes.len() as f64 * 8.0 / img.pixels() as f64;
     println!(
         "{} -> {}: {} bytes ({bpp:.3} bpp, {} blocks, {} passes)",
-        input,
-        output,
+        input.display(),
+        output.display(),
         bytes.len(),
         report.num_blocks,
         report.total_passes
@@ -221,6 +252,95 @@ fn cmd_encode(args: &[String]) -> ExitCode {
             report.dwt.vertical.as_secs_f64() * 1e3,
             report.dwt.horizontal.as_secs_f64() * 1e3
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Encode many inputs through the batch layer: bounded-admission
+/// scheduling, `j × k ≤ B` thread split, outputs written in input order,
+/// exit non-zero iff any job failed.
+fn cmd_encode_batch(opts: &Opts, inputs: &[PathBuf], out_arg: &PathBuf) -> ExitCode {
+    let jobs_list = match discover(inputs) {
+        Ok(l) => l,
+        Err(e) => return fail(&format!("{e}")),
+    };
+    // A single discovered input with a non-directory output encodes to
+    // that exact path; otherwise the last argument is the output
+    // directory.
+    let pairs: Vec<(PathBuf, PathBuf)> = if jobs_list.len() == 1 && !out_arg.is_dir() {
+        vec![(jobs_list[0].clone(), out_arg.clone())]
+    } else {
+        if let Err(e) = std::fs::create_dir_all(out_arg) {
+            return fail(&format!("cannot create {}: {e}", out_arg.display()));
+        }
+        jobs_list
+            .iter()
+            .map(|input| {
+                let stem = input
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "out".to_string());
+                (input.clone(), out_arg.join(format!("{stem}.pj2k")))
+            })
+            .collect()
+    };
+    let cfg = match encoder_config(opts) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    if opts.value("--backend") == Some("rayon") {
+        eprintln!("pj2k: --backend rayon is single-image only; batch uses the worker pool");
+    }
+    let mut bopts = BatchOptions::default();
+    if let Some(j) = opts.value("--jobs") {
+        match j.parse::<usize>() {
+            Ok(v) if v > 0 => bopts.jobs = Some(v),
+            _ => return fail(&format!("bad --jobs {j:?}")),
+        }
+    }
+    if let Some(t) = opts.value("--threads") {
+        match t.parse::<usize>() {
+            Ok(v) if v > 0 => bopts.budget = Some(v),
+            _ => return fail(&format!("bad --threads {t:?}")),
+        }
+    }
+    let report = match encode_files(&pairs, &cfg, &bopts) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("{e}")),
+    };
+    for o in &report.outcomes {
+        match &o.result {
+            Ok(s) => println!(
+                "{} -> {}: {} bytes ({} blocks, {} passes, {:.1} ms)",
+                o.input.display(),
+                o.output.display(),
+                s.bytes,
+                s.blocks,
+                s.passes,
+                s.seconds * 1e3
+            ),
+            Err(e) => println!("{} -> FAILED: {e}", o.input.display()),
+        }
+    }
+    let failed = report.failed();
+    println!(
+        "batch: {} job(s), j={} k={} budget={} queue={}, {} ok, {} failed",
+        report.outcomes.len(),
+        report.plan.jobs,
+        report.plan.threads_per_job,
+        report.plan.budget,
+        report.plan.queue_capacity,
+        report.outcomes.len() - failed,
+        failed
+    );
+    if failed > 0 {
+        eprintln!("pj2k: {failed} of {} job(s) failed:", report.outcomes.len());
+        for o in report.outcomes.iter().filter(|o| o.result.is_err()) {
+            if let Err(e) = &o.result {
+                eprintln!("  {}: {e}", o.input.display());
+            }
+        }
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,137 @@
+//! Input discovery: expand CLI arguments into an ordered encode job list.
+//!
+//! Each argument is either an image file (taken as-is, any extension — the
+//! parser is the authority on whether it is readable) or a directory,
+//! which contributes every contained `.pgm`/`.ppm`/`.pnm` file
+//! (case-insensitive), sorted by file name so batch output order is
+//! deterministic across platforms and `readdir` orders. Directories are
+//! not recursed: a service points at a spool directory, not a tree.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why discovery rejected an input argument.
+#[derive(Debug)]
+pub enum DiscoveryError {
+    /// The argument does not exist or cannot be stat'ed / listed.
+    Unreadable(PathBuf, std::io::Error),
+    /// A directory argument contained no image files.
+    EmptyDirectory(PathBuf),
+}
+
+impl fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscoveryError::Unreadable(p, e) => write!(f, "cannot read {}: {e}", p.display()),
+            DiscoveryError::EmptyDirectory(p) => {
+                write!(f, "no .pgm/.ppm/.pnm files in {}", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
+/// True for the PNM family extensions the codec's image reader accepts.
+fn is_image_name(name: &Path) -> bool {
+    name.extension().and_then(|e| e.to_str()).is_some_and(|e| {
+        e.eq_ignore_ascii_case("pgm")
+            || e.eq_ignore_ascii_case("ppm")
+            || e.eq_ignore_ascii_case("pnm")
+    })
+}
+
+/// Expand `inputs` into the ordered job list: files pass through in
+/// argument order, each directory contributes its image files sorted by
+/// name. Returns an error for a missing argument or an image-free
+/// directory (silently encoding nothing would mask an operator typo).
+pub fn discover(inputs: &[PathBuf]) -> Result<Vec<PathBuf>, DiscoveryError> {
+    let mut jobs = Vec::new();
+    for input in inputs {
+        let meta =
+            std::fs::metadata(input).map_err(|e| DiscoveryError::Unreadable(input.clone(), e))?;
+        if !meta.is_dir() {
+            jobs.push(input.clone());
+            continue;
+        }
+        let entries =
+            std::fs::read_dir(input).map_err(|e| DiscoveryError::Unreadable(input.clone(), e))?;
+        let mut found: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file() && is_image_name(p))
+            .collect();
+        if found.is_empty() {
+            return Err(DiscoveryError::EmptyDirectory(input.clone()));
+        }
+        found.sort();
+        jobs.extend(found);
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch directory removed on drop, unique per test.
+    struct Scratch(PathBuf);
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("pj2k-serve-discovery-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create scratch dir");
+            Scratch(dir)
+        }
+        fn file(&self, name: &str) -> PathBuf {
+            let p = self.0.join(name);
+            std::fs::write(&p, b"P5\n1 1\n255\n\0").expect("write scratch file");
+            p
+        }
+    }
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn files_pass_through_in_argument_order() {
+        let s = Scratch::new("files");
+        let b = s.file("b.pgm");
+        let a = s.file("a.pgm");
+        let got = discover(&[b.clone(), a.clone()]).expect("discover");
+        assert_eq!(got, vec![b, a]);
+    }
+
+    #[test]
+    fn directory_contributes_sorted_image_files_only() {
+        let s = Scratch::new("dir");
+        s.file("c.ppm");
+        s.file("a.PGM");
+        s.file("b.pnm");
+        s.file("notes.txt");
+        s.file("noext");
+        let got = discover(std::slice::from_ref(&s.0)).expect("discover");
+        let names: Vec<String> = got
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["a.PGM", "b.pnm", "c.ppm"]);
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let s = Scratch::new("missing");
+        let err = discover(&[s.0.join("nope.pgm")]).unwrap_err();
+        assert!(matches!(err, DiscoveryError::Unreadable(..)), "{err}");
+    }
+
+    #[test]
+    fn image_free_directory_is_an_error() {
+        let s = Scratch::new("empty");
+        s.file("readme.txt");
+        let err = discover(std::slice::from_ref(&s.0)).unwrap_err();
+        assert!(matches!(err, DiscoveryError::EmptyDirectory(_)), "{err}");
+    }
+}

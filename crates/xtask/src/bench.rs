@@ -115,6 +115,36 @@ const BENCHES: &[BenchSpec] = &[
         // per block — the decode half of the audit-hotpath contract.
         ceilings: &[("\"steady_allocs_per_block\"", 0.0)],
     },
+    BenchSpec {
+        bin: "bench_serve",
+        out: "target/BENCH_serve_smoke.json",
+        schema: "pj2k.bench_serve.v1",
+        keys: &[
+            "\"bit_identity\"",
+            "\"workload\"",
+            "\"classes\"",
+            "\"measured\"",
+            "\"images_per_sec\"",
+            "\"p50_latency_secs\"",
+            "\"p99_latency_secs\"",
+            "\"batch_over_serial\"",
+            "\"modeled\"",
+            "\"batch_speedup\"",
+            "\"memory\"",
+            "\"peak_2x_bytes\"",
+            "\"flatness_ratio\"",
+            "\"measured_p4_batch_over_serial\"",
+            "\"mixed_p4_batch_speedup\"",
+        ],
+        // At a budget of 4 the batch scheduler must beat serial whole-pool
+        // encoding in the deterministic model (measured cost splits, so it
+        // holds on single-core runners; the binary itself enforces 1.1).
+        floors: &[("\"mixed_p4_batch_speedup\"", 1.0)],
+        // Doubling offered load must not grow peak heap by more than 25% —
+        // the flat-memory half of the bounded-admission contract (the
+        // binary additionally checks the absolute admission ceiling).
+        ceilings: &[("\"flatness_ratio\"", 1.25)],
+    },
 ];
 
 /// Run all smoke benches rooted at `root`. Returns the process exit code.
@@ -280,6 +310,27 @@ mod tests {
             "\"skewed_p4_pipelined_speedup\": 1.7",
         );
         assert!(check_doc(&above, spec).is_ok());
+    }
+
+    #[test]
+    fn serve_spec_enforces_speedup_floor_and_flat_memory_ceiling() {
+        let spec = &BENCHES[3];
+        assert_eq!(spec.bin, "bench_serve");
+        assert_eq!(spec.floors, &[("\"mixed_p4_batch_speedup\"", 1.0)]);
+        assert_eq!(spec.ceilings, &[("\"flatness_ratio\"", 1.25)]);
+        // The floor is strict: a batch exactly matching serial whole-pool
+        // throughput (1.0) is a regression of the j/k split win.
+        let at_floor = doc_with_all_keys(spec);
+        assert!(check_doc(&at_floor, spec).is_err());
+        let above = at_floor.replace(
+            "\"mixed_p4_batch_speedup\": 1",
+            "\"mixed_p4_batch_speedup\": 1.4",
+        );
+        assert!(check_doc(&above, spec).is_ok());
+        // A 2x-oversubscribed peak 30% above the 1x run blows the
+        // flat-memory ceiling.
+        let bloated = above.replace("\"flatness_ratio\": 0", "\"flatness_ratio\": 1.3");
+        assert!(check_doc(&bloated, spec).is_err());
     }
 
     #[test]

@@ -253,7 +253,7 @@ fn print_help() {
          \t\t--report <path>\talso write the inventory report to a file\n\
          \tci\tfmt-check + clippy -D warnings + lint + audits + tests\n\
          \t\t--skip-fmt | --skip-clippy | --skip-tests\n\
-         \tbench-smoke\trun bench_tier1 + bench_dwt in smoke mode, validate JSON\n\
+         \tbench-smoke\trun every bench harness in smoke mode, validate JSON\n\
          \thelp\tthis message\n\
          \n\
          LINT RULES (suppress with `// lint:allow(<rule>) -- <reason>`):\n\
